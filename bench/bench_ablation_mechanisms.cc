@@ -1,0 +1,152 @@
+// Ablation of the device-model mechanisms DESIGN.md calls out: toggle each
+// one off and show which reproduced paper observation breaks. This is the
+// justification trail for every second-order constant in TimingConfig.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cluster/simulation.h"
+#include "src/pipeline/pipeline.h"
+
+namespace flashps {
+namespace {
+
+using bench::Fmt;
+
+double Throughput(const serving::EngineConfig& engine, int batch) {
+  return cluster::MeasureEngineThroughput(engine, batch,
+                                          trace::TraceKind::kProduction,
+                                          16 * batch);
+}
+
+void SmUtilization() {
+  std::printf("\n--- (1) SM utilization (sm_half_sat_tokens) ---\n");
+  std::printf("supports: Fig. 14 batch-1 ordering (TeaCache ahead) and "
+              "FlashPS's batching gain\n");
+  auto flash = serving::EngineConfig::ForSystem(serving::SystemKind::kFlashPS,
+                                                model::ModelKind::kSdxl);
+  const auto tea = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kTeaCache, model::ModelKind::kSdxl);
+  bench::PrintRow({"variant", "FlashPS B=1", "TeaCache B=1", "FlashPS gain"},
+                  16);
+  for (const bool enabled : {true, false}) {
+    serving::EngineConfig variant = flash;
+    if (!enabled) {
+      variant.model_config.sm_half_sat_tokens = 1e-6;  // Perfect utilization.
+    }
+    const double b1 = Throughput(variant, 1);
+    const double b8 = Throughput(variant, 8);
+    bench::PrintRow({enabled ? "modeled" : "ablated", Fmt(b1, 3),
+                     Fmt(Throughput(tea, 1), 3), Fmt(b8 / b1, 2) + "x"},
+                    16);
+  }
+  std::printf("ablated: FlashPS already wins at batch 1 and batching gains "
+              "vanish — Fig. 14's two signature shapes disappear.\n");
+}
+
+void PinnedVsPageable() {
+  std::printf("\n--- (2) pinned vs pageable loads (sync_load_bw) ---\n");
+  std::printf("supports: Fig. 4-Left's ~2x naive-loading overhead alongside "
+              "Fig. 7's KV-cache win\n");
+  const auto config = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  auto spec = device::DeviceSpec::Get(config.gpu);
+  const double ratios[] = {0.11};
+  const auto w =
+      model::BuildStepWorkload(config, ratios, model::ComputeMode::kMaskAwareY);
+  const auto d = model::ComputeStepDurations(config, spec, w);
+  const Duration ideal = pipeline::IdealLatency(d.compute_with_cache) + d.non_tf;
+  bench::PrintRow({"variant", "naive overhead"}, 22);
+  for (const bool enabled : {true, false}) {
+    std::vector<Duration> loads;
+    for (const auto& block : w.blocks) {
+      loads.push_back(enabled ? spec.SyncLoadLatency(block.load_bytes)
+                              : spec.GatherLoadLatency(block.load_bytes));
+    }
+    const Duration naive =
+        pipeline::NaiveSequentialLatency(d.compute_with_cache, loads) + d.non_tf;
+    bench::PrintRow({enabled ? "pageable sync (modeled)" : "pinned rate (ablated)",
+                     "+" + Fmt(100.0 * (naive / ideal - 1.0), 0) + "%"},
+                    22);
+  }
+  std::printf("ablated: the naive overhead shrinks by more than half, "
+              "falling well short of Fig. 4-Left's +102%%.\n");
+}
+
+void RaggedPadding() {
+  std::printf("\n--- (3) ragged-batch padding (ragged_pad_fraction) ---\n");
+  std::printf("supports: heterogeneous-ratio batches costing more than "
+              "their parts (what mask-aware placement exploits)\n");
+  bench::PrintRow({"variant", "mixed(ms)", "homog-mean(ms)"}, 18);
+  for (const bool enabled : {true, false}) {
+    auto engine = serving::EngineConfig::ForSystem(
+        serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+    if (!enabled) {
+      engine.model_config.ragged_pad_fraction = 0.0;
+    }
+    const serving::Worker worker(0, engine);
+    const double mixed = worker.StepLatency({0.02, 0.8}).millis();
+    const double homog = (worker.StepLatency({0.02, 0.02}).millis() +
+                          worker.StepLatency({0.8, 0.8}).millis()) /
+                         2.0;
+    bench::PrintRow({enabled ? "modeled" : "ablated", Fmt(mixed, 1),
+                     Fmt(homog, 1)},
+                    18);
+  }
+  std::printf("ablated: batch cost becomes purely additive in mask ratios — "
+              "no placement policy can beat count balancing.\n");
+}
+
+void SparseEfficiency() {
+  std::printf("\n--- (4) sparse-kernel efficiency (FISEdit) ---\n");
+  std::printf("supports: Fig. 12 SD2.1 — FlashPS's batch-4 engine overtakes "
+              "FISEdit's batch-1 engine\n");
+  bench::PrintRow({"variant", "FISEdit thr", "FlashPS B=4 thr"}, 18);
+  const auto flash = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSd21);
+  for (const bool enabled : {true, false}) {
+    auto fisedit = serving::EngineConfig::ForSystem(
+        serving::SystemKind::kFISEdit, model::ModelKind::kSd21);
+    if (!enabled) {
+      fisedit.model_config.sparse_kernel_efficiency = 1.0;
+    }
+    bench::PrintRow({enabled ? "modeled (0.5)" : "ablated (1.0)",
+                     Fmt(Throughput(fisedit, 1), 3),
+                     Fmt(Throughput(flash, 4), 3)},
+                    18);
+  }
+  std::printf("ablated: FISEdit's capacity rises ~17%%, shrinking the "
+              "headroom behind Fig. 12's SD2.1 result.\n");
+}
+
+void TeaCacheBatchGate() {
+  std::printf("\n--- (5) batch-coupled step skipping (TeaCache) ---\n");
+  std::printf("supports: Fig. 14 — TeaCache plateaus while FlashPS keeps "
+              "scaling\n");
+  const auto tea = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kTeaCache, model::ModelKind::kSdxl);
+  const serving::Worker worker(0, tea);
+  bench::PrintRow({"batch", "effective steps", "throughput"}, 18);
+  for (const int batch : {1, 2, 4, 8}) {
+    bench::PrintRow({std::to_string(batch),
+                     std::to_string(worker.EffectiveSteps(batch)),
+                     Fmt(Throughput(tea, batch), 3)},
+                    18);
+  }
+  std::printf("every batch member must agree to skip a step, so the "
+              "effective skip rate decays with batch size.\n");
+}
+
+}  // namespace
+}  // namespace flashps
+
+int main() {
+  flashps::bench::PrintHeader(
+      "Ablation: device-model mechanisms (DESIGN.md)",
+      "each second-order mechanism is needed for a specific paper "
+      "observation; ablating it breaks that observation");
+  flashps::SmUtilization();
+  flashps::PinnedVsPageable();
+  flashps::RaggedPadding();
+  flashps::SparseEfficiency();
+  flashps::TeaCacheBatchGate();
+  return 0;
+}

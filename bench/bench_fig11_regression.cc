@@ -1,0 +1,78 @@
+// Reproduces Fig. 11: the linear regression models that map a batch's FLOPs
+// (derived from mask ratios via Table 1) to latency, for each model/GPU
+// pair. The paper reports R^2 ~= 0.99.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/sched/latency_model.h"
+
+namespace flashps {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 11: latency-estimation regressions",
+      "latency is linear in Table-1 FLOPs; fits achieve R^2 ~= 0.99 "
+      "(parameters vary per model and GPU)");
+
+  bench::PrintRow({"model", "gpu", "compute R^2", "slope(s/TFLOP)",
+                   "load R^2", "slope(s/MB)"});
+  for (const model::ModelKind kind :
+       {model::ModelKind::kSd21, model::ModelKind::kSdxl,
+        model::ModelKind::kFlux}) {
+    const auto config = model::TimingConfig::Get(kind);
+    const auto m =
+        sched::LatencyModel::FitOffline(config, model::ComputeMode::kMaskAwareY);
+    bench::PrintRow({config.name, device::ToString(config.gpu),
+                     bench::Fmt(m.compute_fit().r2, 4),
+                     bench::Fmt(m.compute_fit().slope, 5),
+                     bench::Fmt(m.load_fit().r2, 4),
+                     bench::Fmt(m.load_fit().slope, 6)});
+  }
+
+  // Scatter check for SDXL: predicted vs device-model latency per batch.
+  std::printf("\n--- SDXL/H800: predicted vs measured step latency ---\n");
+  const auto config = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  const auto spec = device::DeviceSpec::Get(config.gpu);
+  const auto lm =
+      sched::LatencyModel::FitOffline(config, model::ComputeMode::kMaskAwareY);
+  bench::PrintRow({"batch", "mean-ratio", "measured(ms)", "predicted(ms)"});
+  Rng rng(11);
+  for (int batch = 1; batch <= 8; batch *= 2) {
+    for (const double base : {0.08, 0.25}) {
+      std::vector<double> ratios;
+      double sum = 0.0;
+      for (int i = 0; i < batch; ++i) {
+        const double r = std::clamp(base + rng.Uniform(-0.03, 0.03), 0.01, 0.99);
+        ratios.push_back(r);
+        sum += r;
+      }
+      const auto w = model::BuildStepWorkload(config, ratios,
+                                              model::ComputeMode::kMaskAwareY);
+      const auto d = model::ComputeStepDurations(config, spec, w);
+      Duration measured = d.non_tf;
+      for (const Duration c : d.compute_with_cache) {
+        measured += c;
+      }
+      const auto est = lm.EstimateStepDurations(ratios);
+      Duration predicted = est.non_tf;
+      for (const Duration c : est.compute_with_cache) {
+        predicted += c;
+      }
+      bench::PrintRow({std::to_string(batch), bench::Fmt(sum / batch, 2),
+                       bench::Fmt(measured.millis(), 1),
+                       bench::Fmt(predicted.millis(), 1)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashps
+
+int main() {
+  flashps::Run();
+  return 0;
+}

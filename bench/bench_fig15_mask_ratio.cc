@@ -1,0 +1,107 @@
+// Reproduces Fig. 15: latency of mask-aware image editing vs mask ratio.
+//  Left:  kernel-level latency (attention and linear/feed-forward kernels)
+//         under the device model, which should scale linearly with m.
+//  Right: image-level latency per model, linear in m, with the paper's
+//         speedups at m = 0.2 (1.3x SD2.1, 2.2x SDXL, 1.9x Flux).
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/model/flops.h"
+#include "src/serving/worker.h"
+
+namespace flashps {
+namespace {
+
+using bench::Fmt;
+
+void KernelLevel() {
+  std::printf("\n--- Left: kernel-level latency vs mask ratio (Flux/H800) ---\n");
+  const auto config = model::TimingConfig::Get(model::ModelKind::kFlux);
+  const auto spec = device::DeviceSpec::Get(config.gpu);
+  bench::PrintRow({"m", "attention(ms)", "linear+FF(ms)"});
+  std::vector<double> ms;
+  std::vector<double> attn_lat;
+  std::vector<double> linear_lat;
+  for (double m = 0.1; m <= 0.91; m += 0.1) {
+    const double attn_flops =
+        4.0 * m * config.tokens * config.tokens * config.hidden *
+        config.layers_per_group;
+    const double linear_flops =
+        24.0 * m * config.tokens * config.hidden * config.hidden *
+        config.layers_per_group;
+    const double active = m * config.tokens;
+    const double attn =
+        model::UtilizedComputeLatency(spec, config, attn_flops, active)
+            .millis();
+    const double linear =
+        model::UtilizedComputeLatency(spec, config, linear_flops, active)
+            .millis();
+    bench::PrintRow({Fmt(m, 1), Fmt(attn, 3), Fmt(linear, 3)});
+    ms.push_back(m);
+    attn_lat.push_back(attn);
+    linear_lat.push_back(linear);
+  }
+  const LinearFit attn_fit = FitLinear(ms, attn_lat);
+  const LinearFit lin_fit = FitLinear(ms, linear_lat);
+  std::printf("linearity (R^2): attention %.4f, linear/FF %.4f\n", attn_fit.r2,
+              lin_fit.r2);
+}
+
+void ImageLevel() {
+  std::printf("\n--- Right: image-level latency vs mask ratio ---\n");
+  bench::PrintRow({"m", "SD2.1(s)", "SDXL(s)", "Flux(s)"});
+  std::vector<serving::Worker> workers;
+  std::vector<serving::Worker> full_workers;
+  for (const model::ModelKind kind :
+       {model::ModelKind::kSd21, model::ModelKind::kSdxl,
+        model::ModelKind::kFlux}) {
+    workers.emplace_back(
+        0, serving::EngineConfig::ForSystem(serving::SystemKind::kFlashPS, kind));
+    full_workers.emplace_back(
+        0,
+        serving::EngineConfig::ForSystem(serving::SystemKind::kDiffusers, kind));
+  }
+  auto image_latency = [](const serving::Worker& w, double m) {
+    const auto& mc = w.config().model_config;
+    return w.StepLatency({m}).seconds() * mc.denoise_steps +
+           mc.pre_latency.seconds() + mc.post_latency.seconds();
+  };
+  std::vector<double> ms;
+  std::vector<std::vector<double>> lat(3);
+  for (double m = 0.1; m <= 0.91; m += 0.1) {
+    std::vector<std::string> row = {Fmt(m, 1)};
+    for (size_t i = 0; i < workers.size(); ++i) {
+      const double secs = image_latency(workers[i], m);
+      row.push_back(Fmt(secs, 2));
+      lat[i].push_back(secs);
+    }
+    ms.push_back(m);
+    bench::PrintRow(row);
+  }
+  const char* names[] = {"SD2.1", "SDXL", "Flux"};
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const LinearFit fit = FitLinear(ms, lat[i]);
+    const double full = image_latency(full_workers[i], 0.2);
+    const double masked = image_latency(workers[i], 0.2);
+    std::printf("%s: linearity R^2=%.3f, speedup at m=0.2: %.2fx (paper: "
+                "%s)\n",
+                names[i], fit.r2, full / masked,
+                i == 0 ? "1.3x" : (i == 1 ? "2.2x" : "1.9x"));
+  }
+}
+
+}  // namespace
+}  // namespace flashps
+
+int main() {
+  flashps::bench::PrintHeader(
+      "Figure 15: mask-aware editing latency vs mask ratio",
+      "kernel- and image-level latencies scale linearly with the mask ratio "
+      "(Table 1); m=0.2 speedups 1.3x / 2.2x / 1.9x for SD2.1/SDXL/Flux");
+  flashps::KernelLevel();
+  flashps::ImageLevel();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces §6.6: FlashPS's own overheads are milliseconds against
+// request latencies measured in seconds. Measures the real wall-clock cost
+// of a scheduling decision (Algorithm 2 incl. the DP) and reports the
+// modeled per-step batching and handoff overheads against end-to-end
+// latency.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cluster/simulation.h"
+#include "src/sched/scheduler.h"
+
+namespace flashps {
+namespace {
+
+double MeasureSchedulingDecisionMs() {
+  const auto config = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  sched::MaskAwareRouter router(
+      sched::LatencyModel::FitOffline(config, model::ComputeMode::kMaskAwareY));
+  // 8 workers with realistic occupancy.
+  std::vector<sched::WorkerStatus> statuses;
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    sched::WorkerStatus s;
+    s.worker_id = i;
+    for (int j = 0; j < 5; ++j) {
+      s.running_ratios.push_back(0.05 + 0.3 * rng.NextDouble());
+    }
+    s.remaining_steps = 5 * 25;
+    statuses.push_back(std::move(s));
+  }
+  trace::Request r;
+  r.mask_ratio = 0.2;
+  r.denoise_steps = 50;
+
+  constexpr int kIters = 2000;
+  const auto start = std::chrono::steady_clock::now();
+  int sink = 0;
+  for (int i = 0; i < kIters; ++i) {
+    sink += router.Route(r, statuses);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         kIters;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Section 6.6: system overheads",
+      "scheduling ~0.6 ms, per-step batch organization ~1.2 ms, latent "
+      "serialization ~1.1 ms + 1.3 ms IPC — negligible vs seconds-scale "
+      "requests");
+
+  const double sched_ms = MeasureSchedulingDecisionMs();
+
+  const auto engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+  trace::WorkloadSpec spec;
+  spec.rps = 2.0;
+  spec.num_requests = 60;
+  cluster::ClusterConfig config;
+  config.num_workers = 2;
+  config.engine = engine;
+  const auto result =
+      cluster::RunClusterSim(config, trace::GenerateWorkload(spec));
+  const double request_s = result.total_latency_s.Mean();
+
+  bench::PrintRow({"overhead source", "cost", "paper", "share of request"},
+                  22);
+  bench::PrintRow({"scheduling decision*", bench::Fmt(sched_ms, 2) + " ms",
+                   "0.6 ms",
+                   bench::Fmt(100.0 * sched_ms / 1e3 / request_s, 3) + "%"},
+                  22);
+  bench::PrintRow({"batch org / step", bench::Fmt(
+                       engine.batch_org_overhead.millis(), 1) + " ms",
+                   "1.2 ms",
+                   bench::Fmt(100.0 * engine.batch_org_overhead.seconds() /
+                                  request_s,
+                              3) +
+                       "%"},
+                  22);
+  bench::PrintRow({"serialize + IPC", bench::Fmt(
+                       engine.handoff_overhead.millis(), 1) + " ms",
+                   "1.1 + 1.3 ms",
+                   bench::Fmt(
+                       100.0 * engine.handoff_overhead.seconds() / request_s,
+                       3) +
+                       "%"},
+                  22);
+  std::printf(
+      "\n*actual wall-clock of Algorithm 2 over 8 workers on this host\n"
+      "mean request latency in the same setting: %.2f s -> all overheads "
+      "are millisecond-scale, negligible as the paper reports.\n",
+      request_s);
+}
+
+}  // namespace
+}  // namespace flashps
+
+int main() {
+  flashps::Run();
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Reproduces Table 2: quantitative image-quality comparison. Diffusers
+// (exact full computation) is the ground-truth reference; FISEdit, TeaCache
+// and FlashPS are scored against it with CLIP-proxy (prompt alignment), FID
+// (feature-distribution distance) and SSIM. Real numerics on the scaled
+// model substrate; the comparison of interest is the *ordering* between
+// systems (see DESIGN.md on metric substitutions).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/cache/activation_store.h"
+#include "src/model/diffusion_model.h"
+#include "src/quality/metrics.h"
+
+namespace flashps {
+namespace {
+
+using bench::Fmt;
+
+struct BenchmarkSpec {
+  model::ModelKind kind;
+  const char* dataset;
+  double mask_mean;  // Mean mask ratio of the dataset's editing tasks.
+  std::vector<model::ComputeMode> systems;
+  bool clip_applicable;  // VITON-HD is image-conditioned: no CLIP.
+};
+
+struct Scores {
+  double clip = 0.0;
+  double fid = 0.0;
+  double ssim = 0.0;
+  int accepted = 0;  // Edits a viewer would accept (visual-quality proxy).
+  int images = 0;
+};
+
+// Proxy for the paper's §6.2 user study: an edit is "acceptable" when it is
+// visually close to the reference (the study asked participants to judge
+// alignment with the standard images). SSIM >= 0.9 is a standard
+// visually-indistinguishable band.
+constexpr double kAcceptSsim = 0.90;
+
+void RunBenchmark(const BenchmarkSpec& spec, int num_images) {
+  const model::NumericsConfig config =
+      model::NumericsConfig::ForModelKind(spec.kind);
+  const model::DiffusionModel m(config);
+  cache::ActivationStore store;
+  Rng rng(2026);
+
+  std::printf("\n--- %s / %s (%d edits, mean mask %.2f) ---\n",
+              model::ToString(spec.kind).c_str(), spec.dataset, num_images,
+              spec.mask_mean);
+
+  // Per-edit inputs.
+  struct Edit {
+    int template_id;
+    trace::Mask mask;
+    uint64_t prompt_seed;
+  };
+  std::vector<Edit> edits;
+  for (int i = 0; i < num_images; ++i) {
+    Edit e;
+    e.template_id = i % 4;  // Templates reused heavily, as in production.
+    const double ratio =
+        std::clamp(spec.mask_mean + rng.Uniform(-0.08, 0.08), 0.05, 0.9);
+    e.mask = trace::GenerateBlobMask(config.grid_h, config.grid_w, ratio, rng);
+    e.prompt_seed = 10'000 + i;
+    edits.push_back(std::move(e));
+  }
+
+  // Reference: Diffusers-style exact computation.
+  std::vector<Matrix> reference;
+  double ref_clip = 0.0;
+  for (const Edit& e : edits) {
+    model::DiffusionModel::RunOptions full;
+    Matrix img = m.EditImage(e.template_id, e.mask, e.prompt_seed, full);
+    ref_clip += quality::ClipProxyScore(img, m.PromptTexture(e.prompt_seed),
+                                        e.mask, config.patch);
+    reference.push_back(std::move(img));
+  }
+  ref_clip /= num_images;
+
+  std::map<model::ComputeMode, Scores> results;
+  for (const model::ComputeMode mode : spec.systems) {
+    std::vector<Matrix> images;
+    Scores s;
+    for (const Edit& e : edits) {
+      model::DiffusionModel::RunOptions options;
+      options.mode = mode;
+      options.mask = &e.mask;
+      // Match the serving-side configuration: TeaCache skips ~half of the
+      // denoising steps ("minimize latency while ensuring acceptable
+      // quality", §6.1).
+      options.teacache_threshold = 0.5;
+      const bool mask_aware = mode == model::ComputeMode::kMaskAwareY ||
+                              mode == model::ComputeMode::kMaskAwareKV;
+      if (mask_aware) {
+        options.cache = &store.GetOrRegister(
+            m, e.template_id, mode == model::ComputeMode::kMaskAwareKV);
+      }
+      Matrix img = m.EditImage(e.template_id, e.mask, e.prompt_seed, options);
+      s.clip += quality::ClipProxyScore(img, m.PromptTexture(e.prompt_seed),
+                                        e.mask, config.patch);
+      const double ssim = quality::Ssim(img, reference[s.images]);
+      s.ssim += ssim;
+      s.accepted += ssim >= kAcceptSsim ? 1 : 0;
+      ++s.images;
+      images.push_back(std::move(img));
+    }
+    s.clip /= s.images;
+    s.ssim /= s.images;
+    s.fid = quality::FidScore(images, reference);
+    results[mode] = s;
+  }
+
+  bench::PrintRow({"system", "CLIP", "FID", "SSIM"});
+  bench::PrintRow({"Diffusers (ref)",
+                   spec.clip_applicable ? Fmt(ref_clip, 2) : "-", "-", "-"});
+  for (const auto& [mode, s] : results) {
+    std::string name;
+    switch (mode) {
+      case model::ComputeMode::kMaskAwareY:
+        name = "FlashPS";
+        break;
+      case model::ComputeMode::kSparse:
+        name = "FISEdit";
+        break;
+      case model::ComputeMode::kTeaCache:
+        name = "TeaCache";
+        break;
+      default:
+        name = model::ToString(mode);
+    }
+    bench::PrintRow({name, spec.clip_applicable ? Fmt(s.clip, 2) : "-",
+                     Fmt(s.fid, 2), Fmt(s.ssim, 3)});
+  }
+
+  const Scores& flash = results.at(model::ComputeMode::kMaskAwareY);
+  for (const auto& [mode, s] : results) {
+    if (mode == model::ComputeMode::kMaskAwareY) {
+      continue;
+    }
+    const char* name =
+        mode == model::ComputeMode::kSparse ? "FISEdit" : "TeaCache";
+    std::printf("FlashPS vs %s: FID %s, SSIM %s\n", name,
+                flash.fid < s.fid ? "lower (better)" : "HIGHER (worse!)",
+                flash.ssim > s.ssim ? "higher (better)" : "LOWER (worse!)");
+    // §6.2 user-study proxy: acceptance-rate ratio (paper: 2.0x over
+    // FISEdit, 1.63x over TeaCache).
+    std::printf(
+        "  acceptance (SSIM>=%.2f): FlashPS %d/%d vs %s %d/%d -> %.2fx\n",
+        kAcceptSsim, flash.accepted, flash.images, name, s.accepted, s.images,
+        static_cast<double>(flash.accepted) / std::max(1, s.accepted));
+  }
+}
+
+}  // namespace
+}  // namespace flashps
+
+int main() {
+  flashps::bench::PrintHeader(
+      "Table 2: quantitative image quality",
+      "FlashPS matches Diffusers closely (SSIM up to 0.99) and beats "
+      "FISEdit and TeaCache on FID/SSIM while matching CLIP alignment");
+
+  using flashps::model::ComputeMode;
+  using flashps::model::ModelKind;
+
+  flashps::RunBenchmark(
+      {ModelKind::kSd21, "InstructPix2Pix", 0.2,
+       {ComputeMode::kMaskAwareY, ComputeMode::kSparse}, true},
+      8);
+  flashps::RunBenchmark(
+      {ModelKind::kSdxl, "VITON-HD", 0.35,
+       {ComputeMode::kMaskAwareY, ComputeMode::kTeaCache}, false},
+      8);
+  flashps::RunBenchmark(
+      {ModelKind::kFlux, "PIE-Bench", 0.25,
+       {ComputeMode::kMaskAwareY, ComputeMode::kTeaCache}, true},
+      8);
+  return 0;
+}

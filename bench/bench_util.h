@@ -1,0 +1,35 @@
+// Shared helpers for the experiment-reproduction binaries: consistent table
+// printing and paper-vs-measured reporting.
+#ifndef FLASHPS_BENCH_BENCH_UTIL_H_
+#define FLASHPS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flashps::bench {
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace flashps::bench
+
+#endif  // FLASHPS_BENCH_BENCH_UTIL_H_

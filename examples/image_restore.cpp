@@ -1,0 +1,63 @@
+// Image-restoration scenario (the paper's §2.2 Adetailer workflow): the
+// editing mask is generated automatically from the image content — detect
+// the salient region, pad it, and repaint only that region with the
+// mask-aware engine. No user-supplied mask anywhere.
+#include <cstdio>
+
+#include "src/cache/activation_store.h"
+#include "src/model/diffusion_model.h"
+#include "src/quality/metrics.h"
+#include "src/trace/auto_mask.h"
+
+int main() {
+  using namespace flashps;
+
+  const model::NumericsConfig config =
+      model::NumericsConfig::ForModelKind(model::ModelKind::kSdxl);
+  const model::DiffusionModel diffusion(config);
+  cache::ActivationStore store;
+
+  std::printf("restoring 4 generated images (auto-generated masks):\n\n");
+  double worst_ssim = 1.0;
+  for (int template_id = 0; template_id < 4; ++template_id) {
+    // The "freshly generated image" whose detail region needs repainting.
+    const Matrix image =
+        diffusion.DecodeLatent(diffusion.EncodeTemplate(template_id));
+
+    // Adetailer substitute: find the salient region and pad it.
+    trace::AutoMaskOptions detector;
+    detector.threshold_sigmas = 1.2;
+    detector.dilation = 2;
+    detector.patch = config.patch;
+    const trace::Mask mask = trace::GenerateAutoMask(image, detector);
+
+    // Repaint: exact reference vs mask-aware with the cached activations.
+    const uint64_t prompt_seed = 7000 + template_id;
+    model::DiffusionModel::RunOptions exact;
+    const Matrix reference =
+        diffusion.EditImage(template_id, mask, prompt_seed, exact);
+
+    model::DiffusionModel::RunOptions mask_aware;
+    mask_aware.mode = model::ComputeMode::kMaskAwareY;
+    mask_aware.cache = &store.GetOrRegister(diffusion, template_id);
+    mask_aware.mask = &mask;
+    const Matrix restored =
+        diffusion.EditImage(template_id, mask, prompt_seed, mask_aware);
+
+    const double ssim = quality::Ssim(reference, restored);
+    worst_ssim = std::min(worst_ssim, ssim);
+    std::printf(
+        "template %d: auto mask covers %3zu/%d tokens (ratio %.2f), "
+        "SSIM vs exact repaint %.4f\n",
+        template_id, mask.masked_tokens.size(), mask.total_tokens(),
+        mask.ratio(), ssim);
+  }
+
+  if (worst_ssim < 0.85) {
+    std::printf("\nFAILED: restoration diverged from exact computation\n");
+    return 1;
+  }
+  std::printf("\nOK: automatic masks drive mask-aware restoration with "
+              "quality intact.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Real-time serving demo: the actual-concurrency runtime (threads, queues,
+// futures) serving a stream of edits, comparing FlashPS's disaggregated
+// continuous batching against the strawman that runs pre/post-processing on
+// the denoise thread. Wall-clock numbers, real math.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/runtime/online_server.h"
+
+namespace {
+
+struct RunStats {
+  double mean_total_ms = 0.0;
+  double p95_total_ms = 0.0;
+  double mean_queue_ms = 0.0;
+};
+
+RunStats RunSession(bool disaggregate, bool mask_aware) {
+  using namespace flashps;
+  runtime::OnlineServer::Options options;
+  options.numerics = model::NumericsConfig::ForTests();
+  options.max_batch = 3;
+  options.disaggregate = disaggregate;
+  options.mask_aware = mask_aware;
+  runtime::OnlineServer server(options);
+
+  Rng rng(17);
+  std::vector<std::future<runtime::OnlineResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    runtime::OnlineRequest request;
+    request.template_id = i % 3;
+    request.mask = trace::GenerateBlobMask(options.numerics.grid_h,
+                                           options.numerics.grid_w,
+                                           0.1 + 0.25 * rng.NextDouble(), rng);
+    request.prompt_seed = 4000 + i;
+    futures.push_back(server.Submit(std::move(request)));
+    // A paced arrival stream.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+
+  StatAccumulator total_ms;
+  StatAccumulator queue_ms;
+  for (auto& f : futures) {
+    const auto response = f.get();
+    total_ms.Add(response.total_ms());
+    queue_ms.Add(response.queueing_ms());
+  }
+  server.Stop();
+  return RunStats{total_ms.Mean(), total_ms.P95(), queue_ms.Mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("online serving, 12 requests at ~25 rps (real threads, real "
+              "math, wall clock):\n\n");
+  std::printf("%-34s %-12s %-12s %-12s\n", "configuration", "mean(ms)",
+              "p95(ms)", "queue(ms)");
+  const RunStats flash = RunSession(/*disaggregate=*/true, /*mask_aware=*/true);
+  std::printf("%-34s %-12.1f %-12.1f %-12.1f\n",
+              "FlashPS (mask-aware, disagg.)", flash.mean_total_ms,
+              flash.p95_total_ms, flash.mean_queue_ms);
+  const RunStats strawman =
+      RunSession(/*disaggregate=*/false, /*mask_aware=*/true);
+  std::printf("%-34s %-12.1f %-12.1f %-12.1f\n",
+              "strawman (pre/post on denoise)", strawman.mean_total_ms,
+              strawman.p95_total_ms, strawman.mean_queue_ms);
+  const RunStats full = RunSession(/*disaggregate=*/true, /*mask_aware=*/false);
+  std::printf("%-34s %-12.1f %-12.1f %-12.1f\n", "full compute (Diffusers)",
+              full.mean_total_ms, full.p95_total_ms, full.mean_queue_ms);
+
+  std::printf("\nmask-aware + disaggregation should show the lowest "
+              "latencies; exact figures vary with host load.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Cluster serving walkthrough: generates production-like traffic and
+// compares the four serving systems (Diffusers, FISEdit, TeaCache, FlashPS)
+// plus FlashPS's internal policy knobs (batching, routing) on an 8-worker
+// cluster — the experiment a capacity planner would run before deployment.
+#include <cstdio>
+
+#include "src/cluster/simulation.h"
+
+namespace {
+
+void Report(const char* label, const flashps::cluster::SimResult& result) {
+  std::printf("%-28s avg %6.2fs  p95 %6.2fs  queue %5.2fs  thr %.3f rps\n",
+              label, result.total_latency_s.Mean(),
+              result.total_latency_s.P95(), result.queueing_s.Mean(),
+              result.throughput_rps);
+}
+
+}  // namespace
+
+int main() {
+  using namespace flashps;
+
+  trace::WorkloadSpec workload;
+  workload.trace = trace::TraceKind::kProduction;
+  workload.rps = 2.0;
+  workload.num_requests = 200;
+  const auto requests = trace::GenerateWorkload(workload);
+  std::printf(
+      "workload: %d requests at %.1f rps, production mask distribution, "
+      "%d templates (Zipf)\n\n",
+      workload.num_requests, workload.rps, workload.num_templates);
+
+  // 1) The four systems, as configured in the paper's evaluation.
+  std::printf("--- systems (SDXL, 8 H800 workers) ---\n");
+  for (const serving::SystemKind system :
+       {serving::SystemKind::kDiffusers, serving::SystemKind::kTeaCache,
+        serving::SystemKind::kFlashPS}) {
+    cluster::ClusterConfig config;
+    config.num_workers = 8;
+    config.engine =
+        serving::EngineConfig::ForSystem(system, model::ModelKind::kSdxl);
+    config.policy = system == serving::SystemKind::kFlashPS
+                        ? sched::RoutePolicy::kMaskAware
+                        : sched::RoutePolicy::kRequestCount;
+    Report(ToString(system).c_str(), cluster::RunClusterSim(config, requests));
+  }
+
+  // 2) FlashPS with each batching policy (everything else fixed).
+  std::printf("\n--- FlashPS batching policy ablation ---\n");
+  for (const serving::BatchPolicy policy :
+       {serving::BatchPolicy::kStatic, serving::BatchPolicy::kContinuousNaive,
+        serving::BatchPolicy::kContinuousDisaggregated}) {
+    cluster::ClusterConfig config;
+    config.num_workers = 8;
+    config.engine = serving::EngineConfig::ForSystem(
+        serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+    config.engine.batching = policy;
+    Report(ToString(policy).c_str(), cluster::RunClusterSim(config, requests));
+  }
+
+  // 3) FlashPS with each routing policy.
+  std::printf("\n--- FlashPS routing policy ablation ---\n");
+  for (const sched::RoutePolicy policy :
+       {sched::RoutePolicy::kRoundRobin, sched::RoutePolicy::kRequestCount,
+        sched::RoutePolicy::kTokenCount, sched::RoutePolicy::kMaskAware}) {
+    cluster::ClusterConfig config;
+    config.num_workers = 8;
+    config.engine = serving::EngineConfig::ForSystem(
+        serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+    config.policy = policy;
+    Report(ToString(policy).c_str(), cluster::RunClusterSim(config, requests));
+  }
+
+  // 4) With the hierarchical cache engine and a small host tier: cold
+  // templates promote from disk while queued.
+  std::printf("\n--- hierarchical cache (host tier = 16 templates) ---\n");
+  cluster::ClusterConfig config;
+  config.num_workers = 8;
+  config.engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+  config.use_cache_engine = true;
+  config.host_capacity_bytes =
+      16 * config.engine.model_config.TemplateCacheStoreBytes();
+  Report("FlashPS + cache engine", cluster::RunClusterSim(config, requests));
+
+  return 0;
+}

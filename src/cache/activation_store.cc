@@ -1,0 +1,26 @@
+#include "src/cache/activation_store.h"
+
+namespace flashps::cache {
+
+const model::ActivationRecord& ActivationStore::GetOrRegister(
+    const model::DiffusionModel& m, int template_id, bool record_kv) {
+  auto it = records_.find(template_id);
+  if (it != records_.end() && (!record_kv || it->second->has_kv())) {
+    return *it->second;
+  }
+  auto record = std::make_unique<model::ActivationRecord>(
+      m.Register(template_id, record_kv));
+  auto& slot = records_[template_id];
+  slot = std::move(record);
+  return *slot;
+}
+
+size_t ActivationStore::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [id, record] : records_) {
+    total += record->TotalBytes();
+  }
+  return total;
+}
+
+}  // namespace flashps::cache

@@ -1,0 +1,36 @@
+// In-memory store of real activation records keyed by template, used by the
+// numerics path (examples, quality benchmarks). The timing path uses
+// CacheEngine, which manages the same caches as byte-sized resources in
+// virtual time; this class holds the actual matrices.
+#ifndef FLASHPS_SRC_CACHE_ACTIVATION_STORE_H_
+#define FLASHPS_SRC_CACHE_ACTIVATION_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/model/diffusion_model.h"
+
+namespace flashps::cache {
+
+class ActivationStore {
+ public:
+  // Returns the template's activation record, running a registration pass on
+  // first use (the paper's observation: templates are reused ~35k times, so
+  // registration cost amortizes to nothing).
+  const model::ActivationRecord& GetOrRegister(const model::DiffusionModel& m,
+                                               int template_id,
+                                               bool record_kv = false);
+
+  bool Contains(int template_id) const {
+    return records_.contains(template_id);
+  }
+  size_t size() const { return records_.size(); }
+  size_t TotalBytes() const;
+
+ private:
+  std::unordered_map<int, std::unique_ptr<model::ActivationRecord>> records_;
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_ACTIVATION_STORE_H_

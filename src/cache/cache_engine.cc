@@ -1,0 +1,95 @@
+#include "src/cache/cache_engine.h"
+
+#include <cassert>
+
+namespace flashps::cache {
+
+CacheEngine::CacheEngine(uint64_t host_capacity_bytes, device::DeviceSpec spec)
+    : host_capacity_(host_capacity_bytes), spec_(spec) {}
+
+void CacheEngine::RegisterTemplate(int template_id, uint64_t bytes,
+                                   TimePoint now) {
+  assert(bytes > 0);
+  auto [it, inserted] = entries_.try_emplace(template_id);
+  Entry& e = it->second;
+  if (!inserted) {
+    return;  // Already registered.
+  }
+  e.bytes = bytes;
+  if (bytes <= host_capacity_) {
+    EvictForSpace(bytes);
+    e.host_resident = true;
+    e.host_ready = now;
+    lru_.push_front(template_id);
+    e.lru_it = lru_.begin();
+    host_bytes_used_ += bytes;
+    stats_.host_bytes_used = host_bytes_used_;
+  }
+}
+
+bool CacheEngine::IsRegistered(int template_id) const {
+  return entries_.contains(template_id);
+}
+
+Tier CacheEngine::Locate(int template_id) const {
+  const auto it = entries_.find(template_id);
+  if (it == entries_.end()) {
+    return Tier::kUnknown;
+  }
+  return it->second.host_resident ? Tier::kHost : Tier::kDisk;
+}
+
+TimePoint CacheEngine::EnsureHostResident(int template_id, TimePoint now) {
+  auto it = entries_.find(template_id);
+  assert(it != entries_.end() && "template not registered");
+  Entry& e = it->second;
+  if (e.host_resident) {
+    // A hit is a use: refresh recency so hot templates stay resident.
+    lru_.erase(e.lru_it);
+    lru_.push_front(template_id);
+    e.lru_it = lru_.begin();
+    if (e.host_ready <= now) {
+      ++stats_.host_hits;
+      return now;
+    }
+    // Promotion still in flight.
+    return e.host_ready;
+  }
+  // Start a promotion on the disk timeline (overlaps with queueing).
+  assert(e.bytes <= host_capacity_ && "cache larger than host tier");
+  EvictForSpace(e.bytes);
+  const auto span = disk_timeline_.Enqueue(now, spec_.DiskLatency(e.bytes));
+  e.host_resident = true;
+  e.host_ready = span.end;
+  lru_.push_front(template_id);
+  e.lru_it = lru_.begin();
+  host_bytes_used_ += e.bytes;
+  stats_.host_bytes_used = host_bytes_used_;
+  ++stats_.disk_promotions;
+  return span.end;
+}
+
+void CacheEngine::Touch(int template_id, TimePoint now) {
+  (void)now;
+  auto it = entries_.find(template_id);
+  if (it == entries_.end() || !it->second.host_resident) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(template_id);
+  it->second.lru_it = lru_.begin();
+}
+
+void CacheEngine::EvictForSpace(uint64_t bytes) {
+  while (host_bytes_used_ + bytes > host_capacity_ && !lru_.empty()) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    Entry& e = entries_.at(victim);
+    e.host_resident = false;
+    host_bytes_used_ -= e.bytes;
+    ++stats_.evictions;
+  }
+  stats_.host_bytes_used = host_bytes_used_;
+}
+
+}  // namespace flashps::cache

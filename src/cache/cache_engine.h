@@ -1,0 +1,80 @@
+// Hierarchical storage manager for cached template activations (paper §4.2).
+//
+// A template's activation cache (GiB-scale) lives on disk/remote storage
+// permanently once registered; a host-memory tier holds the hot set under an
+// LRU policy; the per-request working set is gather-loaded HBM-ward by the
+// pipeline executor (not managed here — HBM holds only in-flight data).
+//
+// Promotion from disk to host runs on a dedicated disk-read timeline so it
+// overlaps with the request's queueing delay, the "prefetch while queued"
+// behaviour the paper adopts from LLM KV-cache management.
+#ifndef FLASHPS_SRC_CACHE_CACHE_ENGINE_H_
+#define FLASHPS_SRC_CACHE_CACHE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/device/device.h"
+
+namespace flashps::cache {
+
+enum class Tier { kHost, kDisk, kUnknown };
+
+struct CacheStats {
+  uint64_t host_hits = 0;
+  uint64_t disk_promotions = 0;
+  uint64_t evictions = 0;
+  uint64_t host_bytes_used = 0;
+};
+
+class CacheEngine {
+ public:
+  // `host_capacity_bytes`: host-memory budget for template caches.
+  CacheEngine(uint64_t host_capacity_bytes, device::DeviceSpec spec);
+
+  // Registers a template's activation cache (it is durably on disk and, if
+  // it fits, resident in host memory immediately).
+  void RegisterTemplate(int template_id, uint64_t bytes, TimePoint now);
+
+  bool IsRegistered(int template_id) const;
+  Tier Locate(int template_id) const;
+
+  // Ensures the template's cache is (or becomes) host-resident. Returns the
+  // time at which it is usable: `now` if already resident, otherwise the
+  // completion time of a disk read queued on the disk timeline. Idempotent:
+  // a promotion already in flight returns its existing completion time.
+  TimePoint EnsureHostResident(int template_id, TimePoint now);
+
+  // Marks use for LRU ordering (call when a request starts denoising).
+  void Touch(int template_id, TimePoint now);
+
+  uint64_t host_bytes_used() const { return host_bytes_used_; }
+  uint64_t host_capacity() const { return host_capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t bytes = 0;
+    bool host_resident = false;
+    // Valid while a promotion is in flight (ready time in the future).
+    TimePoint host_ready = TimePoint();
+    std::list<int>::iterator lru_it;  // Valid iff host_resident.
+  };
+
+  // Evicts LRU entries until `bytes` fit; the caller then accounts them.
+  void EvictForSpace(uint64_t bytes);
+
+  uint64_t host_capacity_;
+  uint64_t host_bytes_used_ = 0;
+  device::DeviceSpec spec_;
+  device::StreamTimeline disk_timeline_;
+  std::unordered_map<int, Entry> entries_;
+  std::list<int> lru_;  // Front = most recently used.
+  CacheStats stats_;
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_CACHE_ENGINE_H_

@@ -1,0 +1,163 @@
+#include "src/cache/disk_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace flashps::cache {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xF1A54A50;  // "FlAsHPS0"-ish tag.
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t ReadU32(const std::string& in, size_t& pos) {
+  if (pos + sizeof(uint32_t) > in.size()) {
+    throw std::runtime_error("activation record: truncated header");
+  }
+  uint32_t v = 0;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+
+void AppendMatrix(std::string& out, const Matrix& m) {
+  AppendU32(out, static_cast<uint32_t>(m.rows()));
+  AppendU32(out, static_cast<uint32_t>(m.cols()));
+  out.append(reinterpret_cast<const char*>(m.data()), m.bytes());
+}
+
+Matrix ReadMatrix(const std::string& in, size_t& pos) {
+  const uint32_t rows = ReadU32(in, pos);
+  const uint32_t cols = ReadU32(in, pos);
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  if (pos + m.bytes() > in.size()) {
+    throw std::runtime_error("activation record: truncated payload");
+  }
+  std::memcpy(m.data(), in.data() + pos, m.bytes());
+  pos += m.bytes();
+  return m;
+}
+
+}  // namespace
+
+std::string SerializeRecord(const model::ActivationRecord& record) {
+  std::string out;
+  AppendU32(out, kMagic);
+  AppendU32(out, kVersion);
+  AppendU32(out, static_cast<uint32_t>(record.steps.size()));
+  const uint32_t blocks =
+      record.steps.empty() ? 0
+                           : static_cast<uint32_t>(record.steps[0].y.size());
+  AppendU32(out, blocks);
+  AppendU32(out, record.has_kv() ? 1 : 0);
+  for (const auto& step : record.steps) {
+    if (step.y.size() != blocks ||
+        (record.has_kv() && (step.k.size() != blocks || step.v.size() != blocks))) {
+      throw std::runtime_error("activation record: ragged steps");
+    }
+    for (const auto& y : step.y) {
+      AppendMatrix(out, y);
+    }
+    for (const auto& k : step.k) {
+      AppendMatrix(out, k);
+    }
+    for (const auto& v : step.v) {
+      AppendMatrix(out, v);
+    }
+  }
+  return out;
+}
+
+model::ActivationRecord DeserializeRecord(const std::string& bytes) {
+  size_t pos = 0;
+  if (ReadU32(bytes, pos) != kMagic) {
+    throw std::runtime_error("activation record: bad magic");
+  }
+  if (ReadU32(bytes, pos) != kVersion) {
+    throw std::runtime_error("activation record: unsupported version");
+  }
+  const uint32_t steps = ReadU32(bytes, pos);
+  const uint32_t blocks = ReadU32(bytes, pos);
+  const bool has_kv = ReadU32(bytes, pos) != 0;
+
+  model::ActivationRecord record;
+  record.steps.resize(steps);
+  for (auto& step : record.steps) {
+    step.y.reserve(blocks);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      step.y.push_back(ReadMatrix(bytes, pos));
+    }
+    if (has_kv) {
+      for (uint32_t b = 0; b < blocks; ++b) {
+        step.k.push_back(ReadMatrix(bytes, pos));
+      }
+      for (uint32_t b = 0; b < blocks; ++b) {
+        step.v.push_back(ReadMatrix(bytes, pos));
+      }
+    }
+  }
+  if (pos != bytes.size()) {
+    throw std::runtime_error("activation record: trailing bytes");
+  }
+  return record;
+}
+
+DiskActivationStore::DiskActivationStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path DiskActivationStore::PathFor(int template_id) const {
+  return directory_ / ("template_" + std::to_string(template_id) + ".actv");
+}
+
+size_t DiskActivationStore::Put(int template_id,
+                                const model::ActivationRecord& record) {
+  const std::string bytes = SerializeRecord(record);
+  std::ofstream out(PathFor(template_id), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("disk store: cannot open file for write");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("disk store: short write");
+  }
+  return bytes.size();
+}
+
+std::optional<model::ActivationRecord> DiskActivationStore::Get(
+    int template_id) const {
+  std::ifstream in(PathFor(template_id), std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeRecord(bytes);
+}
+
+bool DiskActivationStore::Contains(int template_id) const {
+  return std::filesystem::exists(PathFor(template_id));
+}
+
+void DiskActivationStore::Evict(int template_id) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(template_id), ec);
+}
+
+uint64_t DiskActivationStore::DiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".actv") {
+      total += entry.file_size();
+    }
+  }
+  return total;
+}
+
+}  // namespace flashps::cache

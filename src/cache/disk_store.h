@@ -1,0 +1,54 @@
+// File-backed activation storage: the secondary tier of §4.2 with real I/O.
+//
+// Activation records serialize to a compact binary format (one file per
+// template) under a spill directory. CacheEngine models the *timing* of this
+// tier in virtual time; DiskActivationStore provides the actual bytes for
+// the numerics path, so host memory can hold only the hot set even in real
+// (non-simulated) use.
+#ifndef FLASHPS_SRC_CACHE_DISK_STORE_H_
+#define FLASHPS_SRC_CACHE_DISK_STORE_H_
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "src/model/diffusion_model.h"
+
+namespace flashps::cache {
+
+// Binary (de)serialization of activation records. Format: a small header
+// (magic, version, step/block counts, kv flag, matrix dims) followed by
+// raw row-major float payloads. Throws std::runtime_error on malformed
+// input.
+std::string SerializeRecord(const model::ActivationRecord& record);
+model::ActivationRecord DeserializeRecord(const std::string& bytes);
+
+class DiskActivationStore {
+ public:
+  // Files live under `directory` (created if absent) as
+  // `template_<id>.actv`.
+  explicit DiskActivationStore(std::filesystem::path directory);
+
+  // Writes (or overwrites) a template's record. Returns bytes written.
+  size_t Put(int template_id, const model::ActivationRecord& record);
+
+  // Reads a record back; nullopt if the template has never been stored.
+  std::optional<model::ActivationRecord> Get(int template_id) const;
+
+  bool Contains(int template_id) const;
+  // Removes the file; no-op if absent.
+  void Evict(int template_id);
+  // Total bytes on disk across all stored templates.
+  uint64_t DiskBytes() const;
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+ private:
+  std::filesystem::path PathFor(int template_id) const;
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_DISK_STORE_H_

@@ -1,0 +1,53 @@
+// Cluster-scale discrete-event simulation: Poisson request traffic routed by
+// a scheduler across N worker replicas, each running the serving engine in
+// virtual time. This is the substrate for the paper's end-to-end serving
+// experiments (Fig. 4, Fig. 12, Fig. 16).
+#ifndef FLASHPS_SRC_CLUSTER_SIMULATION_H_
+#define FLASHPS_SRC_CLUSTER_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/sched/scheduler.h"
+#include "src/serving/worker.h"
+#include "src/trace/workload.h"
+
+namespace flashps::cluster {
+
+struct ClusterConfig {
+  int num_workers = 8;
+  serving::EngineConfig engine;
+  sched::RoutePolicy policy = sched::RoutePolicy::kMaskAware;
+  // When true, each worker gets a hierarchical cache engine with the given
+  // host capacity and the first `num_templates` templates registered
+  // (pre-warmed: templates have all been edited before, §2.2).
+  bool use_cache_engine = false;
+  uint64_t host_capacity_bytes = 1ULL << 40;
+  int num_templates = 970;
+  // Routing decision cost (§6.6: ~0.6 ms) added to each request's path.
+  Duration scheduler_overhead = Duration::Micros(600);
+};
+
+struct SimResult {
+  std::vector<serving::CompletedRequest> completed;
+  StatAccumulator total_latency_s;
+  StatAccumulator queueing_s;
+  StatAccumulator inference_s;
+  StatAccumulator interruptions;
+  double makespan_s = 0.0;
+  double throughput_rps = 0.0;
+};
+
+SimResult RunClusterSim(const ClusterConfig& config,
+                        const std::vector<trace::Request>& requests);
+
+// Closed-loop engine throughput at a fixed batch size (Fig. 14): keeps the
+// worker's batch at `batch_size` and reports steady-state requests/second.
+double MeasureEngineThroughput(const serving::EngineConfig& engine,
+                               int batch_size, trace::TraceKind trace_kind,
+                               int num_requests = 64, uint64_t seed = 7);
+
+}  // namespace flashps::cluster
+
+#endif  // FLASHPS_SRC_CLUSTER_SIMULATION_H_

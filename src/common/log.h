@@ -1,0 +1,51 @@
+// Minimal leveled logger. Serving-system components log through this so that
+// benchmarks can silence them and tests can raise verbosity.
+#ifndef FLASHPS_SRC_COMMON_LOG_H_
+#define FLASHPS_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace flashps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Not thread-safe to
+// mutate concurrently with logging (set it once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg);
+}  // namespace internal
+
+// Stream-style log statement: FLASHPS_LOG(kInfo) << "worker " << id;
+#define FLASHPS_LOG(level)                                              \
+  if (::flashps::LogLevel::level < ::flashps::GetLogLevel()) {          \
+  } else                                                                \
+    ::flashps::internal::LogLine(::flashps::LogLevel::level)
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_LOG_H_

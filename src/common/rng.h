@@ -1,0 +1,64 @@
+// Seeded, splittable pseudo-random generator (xoshiro256**) with the
+// distributions FlashPS needs: uniform, normal, exponential, Poisson, Zipf.
+//
+// We own the generator rather than using <random> engines so that streams are
+// reproducible across standard-library implementations.
+#ifndef FLASHPS_SRC_COMMON_RNG_H_
+#define FLASHPS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flashps {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+  // Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Standard normal via Box-Muller (deterministic pairing).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  int Poisson(double mean);
+  // Log-normal with the given underlying normal parameters.
+  double LogNormal(double mu, double sigma);
+  // Beta(a, b) via two gamma draws.
+  double Beta(double a, double b);
+
+  // A new independent generator derived from this one's stream.
+  Rng Split();
+
+ private:
+  double Gamma(double shape);
+
+  uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`.
+// Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+
+  int Sample(Rng& rng) const;
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace flashps {
+
+void StatAccumulator::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void StatAccumulator::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sum_ = 0.0;
+  sorted_valid_ = false;
+}
+
+double StatAccumulator::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double StatAccumulator::Min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::Max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double v : samples_) {
+    ss += (v - mean) * (v - mean);
+  }
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double StatAccumulator::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  assert(buckets > 0 && hi > lo);
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double v) {
+  const int n = bucket_count();
+  int idx = static_cast<int>((v - lo_) / (hi_ - lo_) * n);
+  idx = std::clamp(idx, 0, n - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::BucketLow(int i) const {
+  return lo_ + (hi_ - lo_) * i / bucket_count();
+}
+
+double Histogram::BucketHigh(int i) const {
+  return lo_ + (hi_ - lo_) * (i + 1) / bucket_count();
+}
+
+double Histogram::Fraction(int i) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string Histogram::Render(int max_width) const {
+  std::ostringstream os;
+  size_t max_count = 1;
+  for (size_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  char buf[64];
+  for (int i = 0; i < bucket_count(); ++i) {
+    const int width =
+        static_cast<int>(static_cast<double>(counts_[i]) /
+                         static_cast<double>(max_count) * max_width);
+    std::snprintf(buf, sizeof(buf), "[%5.2f,%5.2f) %6.2f%% |", BucketLow(i),
+                  BucketHigh(i), Fraction(i) * 100.0);
+    os << buf << std::string(static_cast<size_t>(width), '#') << "\n";
+  }
+  return os.str();
+}
+
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const size_t n = x.size();
+  if (n < 2) {
+    return fit;
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    fit.intercept = sy / dn;
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+
+  const double mean_y = sy / dn;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace flashps

@@ -1,0 +1,77 @@
+// Statistics accumulators used by benchmarks and the cluster metrics pipeline.
+#ifndef FLASHPS_SRC_COMMON_STATS_H_
+#define FLASHPS_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flashps {
+
+// Collects samples and reports summary statistics. Percentile queries sort a
+// copy lazily; the accumulator itself is append-only.
+class StatAccumulator {
+ public:
+  void Add(double v);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double Percentile(double q) const;
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the edge
+// buckets. Used to render distribution figures (e.g. Fig. 3) as text.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double v);
+  int bucket_count() const { return static_cast<int>(counts_.size()); }
+  size_t total() const { return total_; }
+  size_t bucket(int i) const { return counts_[i]; }
+  double BucketLow(int i) const;
+  double BucketHigh(int i) const;
+  double Fraction(int i) const;
+
+  // Renders an ASCII bar chart, one row per bucket.
+  std::string Render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+// Ordinary least squares fit y = a*x + b plus the coefficient of
+// determination R^2. This is the regression model family the FlashPS
+// scheduler uses (paper §4.4, Fig. 11).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_STATS_H_

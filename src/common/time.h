@@ -1,0 +1,97 @@
+// Fixed-point simulated-time types used across FlashPS.
+//
+// All timing in the simulator is expressed in integral microseconds so that
+// event ordering is exact and runs are bit-reproducible across platforms.
+// Floating-point seconds are accepted/produced only at API boundaries.
+#ifndef FLASHPS_SRC_COMMON_TIME_H_
+#define FLASHPS_SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace flashps {
+
+// A span of simulated time. Signed so that differences are representable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(us_ * k); }
+  // Fractional scaling (rounded to microseconds).
+  constexpr Duration Scale(double k) const { return Seconds(seconds() * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(us_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+// A point on the simulated timeline (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint FromSeconds(double s) {
+    return TimePoint(Duration::Seconds(s).micros());
+  }
+  static constexpr TimePoint Max() {
+    return TimePoint(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(us_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(us_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+inline TimePoint Later(TimePoint a, TimePoint b) { return a < b ? b : a; }
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_TIME_H_

@@ -1,0 +1,35 @@
+// A deterministic simulated clock shared by device streams, serving engines
+// and the cluster simulator. Time only moves forward via AdvanceTo/AdvanceBy.
+#ifndef FLASHPS_SRC_COMMON_VIRTUAL_CLOCK_H_
+#define FLASHPS_SRC_COMMON_VIRTUAL_CLOCK_H_
+
+#include "src/common/time.h"
+
+namespace flashps {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  TimePoint now() const { return now_; }
+
+  // Moves the clock to `t`. Moving backwards is a programming error and is
+  // ignored (the clock is monotone), which keeps multi-source advancement
+  // (several streams reporting completion times) safe.
+  void AdvanceTo(TimePoint t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void AdvanceBy(Duration d) { now_ = now_ + d; }
+
+  void Reset() { now_ = TimePoint(); }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_VIRTUAL_CLOCK_H_

@@ -1,0 +1,52 @@
+// Calibration constants for the analytic device model.
+//
+// Each constant is anchored to a number the paper publishes; none of the
+// algorithms under test depend on the absolute values, only on the regimes
+// they induce (e.g. "cache loading is comparable to mask-aware compute",
+// which is what makes the bubble-free pipeline matter).
+//
+// Anchors used:
+//  - §3.1: SDXL on H800 at mask ratio 0.2 takes 2.27 s with Y-caching
+//    (2.06 s with KV-caching).
+//  - Fig. 15-Right: mask ratio 0.2 speedups are 1.3x (SD2.1/A10),
+//    2.2x (SDXL/H800), 1.9x (Flux/H800).
+//  - Fig. 4-Left: sequential cache loading inflates SDXL/H800 latency by
+//    ~102% versus compute-only, i.e. per-step load latency is of the same
+//    order as per-step mask-aware compute. Cached-activation loads gather
+//    scattered token rows, so their effective bandwidth is latency-bound and
+//    far below the PCIe link rate.
+//  - §4.2: an SDXL template's cache is ~2.6 GiB and loads from disk in
+//    ~6.4 s, giving a ~0.44 GB/s disk read rate.
+//  - §1: generating a 1024x1024 SDXL image costs 676 TFLOPs (with CFG).
+#ifndef FLASHPS_SRC_DEVICE_CALIBRATION_H_
+#define FLASHPS_SRC_DEVICE_CALIBRATION_H_
+
+namespace flashps::device::calibration {
+
+// Effective dense throughput. H800: derived from SDXL full-image latency of
+// ~5.0 s (= 2.27 s x 2.2 speedup) for ~400 TFLOP of work. A10: scaled by the
+// A10:H800 dense-rate gap so SD2.1 full generation lands near 8 s.
+inline constexpr double kH800EffectiveFlops = 80e12;
+inline constexpr double kA10EffectiveFlops = 18e12;
+
+// Host->HBM bandwidth for *pipelined* cached-activation loads: async
+// copies via pinned staging buffers, gathering scattered token rows.
+inline constexpr double kH800GatherLoadBw = 2.5e9;
+inline constexpr double kA10GatherLoadBw = 2.5e9;
+
+// Bandwidth of *naive* synchronous loads (blocking pageable transfers, one
+// per block) -- the Fig. 4-Left strawman. Calibrated so sequential loading
+// roughly doubles SDXL/H800 inference latency (~+102%).
+inline constexpr double kH800SyncLoadBw = 1.1e9;
+inline constexpr double kA10SyncLoadBw = 0.7e9;
+
+// Contiguous PCIe rates (Gen5 x16 for the H800 host, Gen4 x16 for A10).
+inline constexpr double kH800PcieBw = 50e9;
+inline constexpr double kA10PcieBw = 25e9;
+
+// Disk/remote storage read rate (2.6 GiB in 6.4 s, §4.2).
+inline constexpr double kDiskBw = 0.44e9;
+
+}  // namespace flashps::device::calibration
+
+#endif  // FLASHPS_SRC_DEVICE_CALIBRATION_H_

@@ -1,0 +1,80 @@
+#include "src/device/device.h"
+
+#include "src/device/calibration.h"
+
+namespace flashps::device {
+
+std::string ToString(GpuKind kind) {
+  switch (kind) {
+    case GpuKind::kA10:
+      return "A10";
+    case GpuKind::kH800:
+      return "H800";
+  }
+  return "?";
+}
+
+Duration DeviceSpec::ComputeLatency(double flops) const {
+  return launch_overhead + Duration::Seconds(flops / compute_flops);
+}
+
+Duration DeviceSpec::GatherLoadLatency(uint64_t bytes) const {
+  return Duration::Seconds(static_cast<double>(bytes) / gather_load_bw);
+}
+
+Duration DeviceSpec::SyncLoadLatency(uint64_t bytes) const {
+  return Duration::Seconds(static_cast<double>(bytes) / sync_load_bw);
+}
+
+Duration DeviceSpec::PcieLatency(uint64_t bytes) const {
+  return Duration::Seconds(static_cast<double>(bytes) / pcie_bw);
+}
+
+Duration DeviceSpec::DiskLatency(uint64_t bytes) const {
+  return Duration::Seconds(static_cast<double>(bytes) / disk_bw);
+}
+
+DeviceSpec DeviceSpec::Get(GpuKind kind) {
+  DeviceSpec spec;
+  spec.kind = kind;
+  switch (kind) {
+    case GpuKind::kA10:
+      spec.compute_flops = calibration::kA10EffectiveFlops;
+      spec.gather_load_bw = calibration::kA10GatherLoadBw;
+      spec.sync_load_bw = calibration::kA10SyncLoadBw;
+      spec.pcie_bw = calibration::kA10PcieBw;
+      spec.disk_bw = calibration::kDiskBw;
+      spec.hbm_cache_bytes = 4ULL << 30;
+      break;
+    case GpuKind::kH800:
+      spec.compute_flops = calibration::kH800EffectiveFlops;
+      spec.gather_load_bw = calibration::kH800GatherLoadBw;
+      spec.sync_load_bw = calibration::kH800SyncLoadBw;
+      spec.pcie_bw = calibration::kH800PcieBw;
+      spec.disk_bw = calibration::kDiskBw;
+      spec.hbm_cache_bytes = 16ULL << 30;
+      break;
+  }
+  return spec;
+}
+
+StreamTimeline::Span StreamTimeline::Enqueue(TimePoint ready, Duration duration) {
+  const TimePoint start = Later(ready, free_at_);
+  if (first_op_done_ && start > free_at_) {
+    idle_ += start - free_at_;
+  }
+  const TimePoint end = start + duration;
+  free_at_ = end;
+  busy_ += duration;
+  first_op_done_ = true;
+  return Span{start, end};
+}
+
+void StreamTimeline::Reset(TimePoint t) {
+  free_at_ = t;
+  idle_ = Duration::Zero();
+  busy_ = Duration::Zero();
+  first_op_done_ = false;
+}
+
+}  // namespace flashps::device

@@ -1,0 +1,96 @@
+// Analytic device model standing in for the paper's NVIDIA A10 / H800 GPUs.
+//
+// FlashPS's experiments measure latency *structure* — linear scaling of
+// compute and cache-load latency with mask ratio, pipeline bubbles between a
+// compute stream and a copy stream, and queueing that follows from service
+// times. A roofline-style analytic model over a virtual clock reproduces that
+// structure deterministically on a CPU-only host. Absolute constants are
+// calibrated against the numbers the paper publishes (see calibration.h).
+#ifndef FLASHPS_SRC_DEVICE_DEVICE_H_
+#define FLASHPS_SRC_DEVICE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace flashps::device {
+
+enum class GpuKind { kA10, kH800 };
+
+std::string ToString(GpuKind kind);
+
+// Static description of one GPU worker's hardware.
+struct DeviceSpec {
+  GpuKind kind = GpuKind::kH800;
+  // Effective dense-math throughput (FLOP/s) for diffusion inference kernels.
+  // Far below peak: it folds in attention memory-boundness, kernel mix and
+  // small batch sizes, and is calibrated so full-model latencies match §3.1
+  // and Fig. 15 of the paper.
+  double compute_flops = 80e12;
+  // Effective host->HBM bandwidth (B/s) for *pipelined* cached-activation
+  // loads: asynchronous copies from pinned staging buffers on the copy
+  // stream. Gathering (1-m)*L non-contiguous token rows keeps this below
+  // the PCIe link rate, but well above the synchronous path.
+  double gather_load_bw = 6.0e9;
+  // Effective bandwidth (B/s) of *naive* synchronous loads (blocking,
+  // pageable host memory, one transfer per block) — the strawman of
+  // Fig. 4-Left, which roughly doubles inference latency.
+  double sync_load_bw = 1.1e9;
+  // Contiguous host->HBM copy bandwidth (B/s), e.g. for latents.
+  double pcie_bw = 50e9;
+  // Disk / remote-storage read bandwidth into host memory (B/s). Calibrated
+  // from §4.2: loading a 2.6 GiB SDXL template cache from disk takes 6.4 s.
+  double disk_bw = 0.44e9;
+  // Per-kernel-launch overhead charged to each enqueued compute op.
+  Duration launch_overhead = Duration::Micros(15);
+  // HBM capacity (bytes) available for cached activations of the running
+  // batch (most HBM is weights + workspace).
+  uint64_t hbm_cache_bytes = 8ULL << 30;
+
+  // Latency to execute `flops` of dense math on this device.
+  Duration ComputeLatency(double flops) const;
+  // Latency to gather-load `bytes` of cached activations from host memory
+  // on the copy stream (pipelined path).
+  Duration GatherLoadLatency(uint64_t bytes) const;
+  // Latency of the naive synchronous load of `bytes` (blocks computation).
+  Duration SyncLoadLatency(uint64_t bytes) const;
+  // Latency to stream `bytes` contiguously over PCIe.
+  Duration PcieLatency(uint64_t bytes) const;
+  // Latency to read `bytes` from secondary storage into host memory.
+  Duration DiskLatency(uint64_t bytes) const;
+
+  static DeviceSpec Get(GpuKind kind);
+};
+
+// A hardware queue (CUDA-stream analogue): ops run in FIFO order; an op
+// enqueued at `ready` starts at max(ready, stream free time).
+class StreamTimeline {
+ public:
+  struct Span {
+    TimePoint start;
+    TimePoint end;
+  };
+
+  // Schedules work of length `duration` that may not start before `ready`.
+  // Returns the realized [start, end) span and advances the stream.
+  Span Enqueue(TimePoint ready, Duration duration);
+
+  TimePoint free_at() const { return free_at_; }
+  // Total time the stream sat idle between ops (pipeline bubbles).
+  Duration idle_time() const { return idle_; }
+  // Total busy time.
+  Duration busy_time() const { return busy_; }
+
+  void Reset(TimePoint t = TimePoint());
+
+ private:
+  TimePoint free_at_;
+  Duration idle_;
+  Duration busy_;
+  bool first_op_done_ = false;
+};
+
+}  // namespace flashps::device
+
+#endif  // FLASHPS_SRC_DEVICE_DEVICE_H_

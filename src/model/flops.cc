@@ -1,0 +1,64 @@
+#include "src/model/flops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace flashps::model {
+
+double FlopsFullBlock(double tokens, double hidden, double layers) {
+  const double proj = 8.0 * tokens * hidden * hidden;
+  const double attn = 4.0 * tokens * tokens * hidden;
+  const double ff = 16.0 * tokens * hidden * hidden;
+  return layers * (proj + attn + ff);
+}
+
+double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
+                        double layers) {
+  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  const double kv_all = 4.0 * tokens * hidden * hidden;
+  const double q_and_out = 4.0 * mask_ratio * tokens * hidden * hidden;
+  const double attn = 4.0 * mask_ratio * tokens * tokens * hidden;
+  const double ff = 16.0 * mask_ratio * tokens * hidden * hidden;
+  return layers * (kv_all + q_and_out + attn + ff);
+}
+
+double FlopsKvCacheBlock(double tokens, double hidden, double mask_ratio,
+                         double layers) {
+  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  const double proj = 8.0 * mask_ratio * tokens * hidden * hidden;
+  const double attn = 4.0 * mask_ratio * tokens * tokens * hidden;
+  const double ff = 16.0 * mask_ratio * tokens * hidden * hidden;
+  return layers * (proj + attn + ff);
+}
+
+double FlopsSparseBlock(double tokens, double hidden, double mask_ratio,
+                        double layers) {
+  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  const double proj = 8.0 * mask_ratio * tokens * hidden * hidden;
+  const double attn = 4.0 * mask_ratio * mask_ratio * tokens * tokens * hidden;
+  const double ff = 16.0 * mask_ratio * tokens * hidden * hidden;
+  return layers * (proj + attn + ff);
+}
+
+uint64_t YCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                         int bytes_per_elem) {
+  const double rows = (1.0 - mask_ratio) * tokens;
+  return static_cast<uint64_t>(std::llround(rows)) *
+         static_cast<uint64_t>(hidden) * static_cast<uint64_t>(bytes_per_elem);
+}
+
+uint64_t YCacheStoreBytes(int tokens, int hidden, int bytes_per_elem) {
+  return static_cast<uint64_t>(tokens) * static_cast<uint64_t>(hidden) *
+         static_cast<uint64_t>(bytes_per_elem);
+}
+
+uint64_t KvCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                          int bytes_per_elem) {
+  return 2 * YCacheLoadBytes(tokens, hidden, mask_ratio, bytes_per_elem);
+}
+
+uint64_t KvCacheStoreBytes(int tokens, int hidden, int bytes_per_elem) {
+  return 2 * YCacheStoreBytes(tokens, hidden, bytes_per_elem);
+}
+
+}  // namespace flashps::model

@@ -1,0 +1,56 @@
+// FLOP and cache-size accounting for transformer blocks under each compute
+// policy. This is Table 1 of the paper made executable: per-op costs are
+// linear in the mask ratio m, speedup is 1/m, and the cached activation for
+// a block has shape (B, (1-m)*L, H).
+//
+// Conventions: one multiply-add counts as 2 FLOPs; L = token length,
+// H = hidden dim, m = mask ratio in (0, 1]. The feed-forward expands to 4H.
+// `layers` scales the cost when one cached block-group stands for several
+// consecutive real layers (caching happens at group granularity, §4.2).
+#ifndef FLASHPS_SRC_MODEL_FLOPS_H_
+#define FLASHPS_SRC_MODEL_FLOPS_H_
+
+#include <cstdint>
+
+namespace flashps::model {
+
+// Full computation: QKV+output projections (8LH^2), attention scores and
+// value aggregation (4L^2H), feed-forward (16LH^2).
+double FlopsFullBlock(double tokens, double hidden, double layers = 1.0);
+
+// Mask-aware with cached Y activations (paper Fig. 5-Bottom): K and V are
+// recomputed for all tokens from the replenished input, Q / output projection
+// / feed-forward run on masked tokens only, attention scores are
+// (mL x L): 4LH^2 + (4m)LH^2 + 16mLH^2 + 4mL^2H.
+double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
+                        double layers = 1.0);
+
+// Mask-aware with cached K and V (paper Fig. 7 alternative): all projections
+// and the feed-forward run on masked tokens only; attention still spans all
+// tokens: 24mLH^2 + 4mL^2H. Pure 1/m on the token-wise ops, at the price of
+// a 2x larger cache.
+double FlopsKvCacheBlock(double tokens, double hidden, double mask_ratio,
+                         double layers = 1.0);
+
+// FISEdit-style sparse computation: masked tokens only, attending only to
+// each other (no global context): 24mLH^2 + 4m^2L^2H.
+double FlopsSparseBlock(double tokens, double hidden, double mask_ratio,
+                        double layers = 1.0);
+
+// Bytes of cached activations *loaded* per block per denoising step for one
+// request: the unmasked (1-m)*L rows of one Y matrix.
+uint64_t YCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                         int bytes_per_elem);
+
+// Bytes *stored* per block per step for a template (all L rows, so any
+// request's unmasked subset can be served).
+uint64_t YCacheStoreBytes(int tokens, int hidden, int bytes_per_elem);
+
+// KV alternative loads/stores two matrices instead of one.
+uint64_t KvCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                          int bytes_per_elem);
+uint64_t KvCacheStoreBytes(int tokens, int hidden, int bytes_per_elem);
+
+}  // namespace flashps::model
+
+#endif  // FLASHPS_SRC_MODEL_FLOPS_H_

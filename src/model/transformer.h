@@ -1,0 +1,76 @@
+// Transformer-block numerics: real float math for every compute flow in the
+// paper's Fig. 5 / Fig. 7. Quality and similarity experiments run on these;
+// timing experiments use the analytic accounting in timing.h.
+#ifndef FLASHPS_SRC_MODEL_TRANSFORMER_H_
+#define FLASHPS_SRC_MODEL_TRANSFORMER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix.h"
+#include "src/trace/workload.h"
+
+namespace flashps::model {
+
+// Weights of one pre-norm transformer block (single attention head; the
+// FLOP structure is head-count independent).
+struct BlockWeights {
+  Matrix wq, wk, wv, wo;           // hidden x hidden
+  Matrix w1;                       // hidden x 4*hidden
+  Matrix w2;                       // 4*hidden x hidden
+  std::vector<float> ln1_gamma, ln1_beta;
+  std::vector<float> ln2_gamma, ln2_beta;
+
+  static BlockWeights Random(int hidden, Rng& rng);
+};
+
+// Distance-decay additive attention bias over an h x w token grid:
+// bias(i, j) = -strength * euclidean_distance(grid(i), grid(j)).
+//
+// Stands in for the attention locality of trained editing models: the paper
+// observes (Fig. 6-Right, and OOTDiffusion reports the same) that masked
+// tokens attend mostly to masked tokens and unmasked to unmasked, which is
+// what makes cached-activation reuse accurate.
+Matrix MakeDistanceBias(int grid_h, int grid_w, float strength);
+
+// Y activations (and optionally K/V) of each block for one denoising step.
+struct StepActivations {
+  std::vector<Matrix> y;  // Per block: tokens x hidden.
+  std::vector<Matrix> k;  // Filled only when K/V recording is on.
+  std::vector<Matrix> v;
+};
+
+// Full computation of one block (Fig. 5-Top). If `k_out`/`v_out` are
+// non-null, the projected K/V are copied out for KV-cache registration.
+Matrix BlockForwardFull(const BlockWeights& w, const Matrix& x,
+                        const Matrix& attn_bias, Matrix* k_out = nullptr,
+                        Matrix* v_out = nullptr);
+
+// Mask-aware flow with cached Y (Fig. 5-Bottom): K/V are recomputed for all
+// tokens from the replenished input, Q/attention/FF run on masked rows only,
+// and the unmasked rows of the output are replenished from `cached_y`.
+Matrix BlockForwardMaskedY(const BlockWeights& w, const Matrix& x,
+                           const Matrix& attn_bias, const trace::Mask& mask,
+                           const Matrix& cached_y);
+
+// Mask-aware flow with cached K/V (Fig. 7 alternative): unmasked K/V rows
+// come from the cache instead of being recomputed; everything else runs on
+// masked rows only. Output unmasked rows are replenished from `cached_y`.
+Matrix BlockForwardMaskedKV(const BlockWeights& w, const Matrix& x,
+                            const Matrix& attn_bias, const trace::Mask& mask,
+                            const Matrix& cached_y, const Matrix& cached_k,
+                            const Matrix& cached_v);
+
+// FISEdit-style sparse flow: input holds masked rows only; attention spans
+// only those rows (`masked_bias` is the gathered bias submatrix). No global
+// context is available — this is what distorts its outputs.
+Matrix BlockForwardSparse(const BlockWeights& w, const Matrix& x_masked,
+                          const Matrix& masked_bias);
+
+// Post-softmax attention matrix of a block (for the Fig. 6 analysis).
+Matrix AttentionMatrix(const BlockWeights& w, const Matrix& x,
+                       const Matrix& attn_bias);
+
+}  // namespace flashps::model
+
+#endif  // FLASHPS_SRC_MODEL_TRANSFORMER_H_

@@ -1,0 +1,174 @@
+#include "src/pipeline/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace flashps::pipeline {
+
+namespace {
+
+// DP state after deciding a prefix of blocks.
+//  load_sum: total copy-stream occupancy of cached blocks chosen so far
+//            (loads run back-to-back from t=0, so the k-th cached block's
+//            load finishes at the prefix sum of chosen loads).
+//  slack:    compute_end - load_sum. Final latency = slack + load_sum.
+// Transitions:
+//  cache block:  compute_end' = max(compute_end, load_sum + L) + C_w
+//                => slack' = max(slack + C_w - L, C_w)
+//                   load_sum' = load_sum + L
+//  recompute:    slack' = slack + C_wo, load_sum unchanged.
+// Both coordinates are monotone under both transitions, so Pareto pruning on
+// (slack, load_sum) preserves optimality.
+struct State {
+  int64_t slack_us;
+  int64_t load_us;
+  uint64_t choice_bits;  // Cache decisions for blocks decided so far.
+};
+
+void ParetoInsert(std::vector<State>& frontier, State s) {
+  for (const State& other : frontier) {
+    if (other.slack_us <= s.slack_us && other.load_us <= s.load_us) {
+      return;  // Dominated.
+    }
+  }
+  std::erase_if(frontier, [&](const State& other) {
+    return s.slack_us <= other.slack_us && s.load_us <= other.load_us;
+  });
+  frontier.push_back(s);
+}
+
+}  // namespace
+
+PipelinePlan PlanBubbleFree(std::span<const Duration> compute_with_cache,
+                            std::span<const Duration> compute_without_cache,
+                            std::span<const Duration> load) {
+  const size_t n = compute_with_cache.size();
+  assert(compute_without_cache.size() == n && load.size() == n);
+  assert(n <= 64);
+
+  std::vector<State> frontier;
+  frontier.push_back(State{0, 0, 0});
+  std::vector<State> next;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t cw = compute_with_cache[i].micros();
+    const int64_t cwo = compute_without_cache[i].micros();
+    const int64_t li = load[i].micros();
+    next.clear();
+    for (const State& s : frontier) {
+      // Option A: use the cache.
+      ParetoInsert(next, State{std::max(s.slack_us + cw - li, cw),
+                               s.load_us + li, s.choice_bits | (1ULL << i)});
+      // Option B: recompute in full.
+      ParetoInsert(next, State{s.slack_us + cwo, s.load_us, s.choice_bits});
+    }
+    frontier.swap(next);
+  }
+
+  PipelinePlan plan;
+  plan.use_cache.assign(n, false);
+  int64_t best = std::numeric_limits<int64_t>::max();
+  uint64_t best_bits = 0;
+  for (const State& s : frontier) {
+    const int64_t total = s.slack_us + s.load_us;
+    if (total < best) {
+      best = total;
+      best_bits = s.choice_bits;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    plan.use_cache[i] = (best_bits >> i) & 1ULL;
+  }
+  plan.latency = Duration::Micros(best);
+  return plan;
+}
+
+PipelinePlan PlanBruteForce(std::span<const Duration> compute_with_cache,
+                            std::span<const Duration> compute_without_cache,
+                            std::span<const Duration> load) {
+  const size_t n = compute_with_cache.size();
+  assert(n <= 20);
+  PipelinePlan best;
+  best.latency = Duration::Max();
+  std::vector<bool> choice(n, false);
+  for (uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+    for (size_t i = 0; i < n; ++i) {
+      choice[i] = (bits >> i) & 1ULL;
+    }
+    const PipelineTrace trace =
+        ExecutePlan(compute_with_cache, compute_without_cache, load, choice);
+    if (trace.total < best.latency) {
+      best.latency = trace.total;
+      best.use_cache = choice;
+    }
+  }
+  return best;
+}
+
+PipelineTrace ExecutePlan(std::span<const Duration> compute_with_cache,
+                          std::span<const Duration> compute_without_cache,
+                          std::span<const Duration> load,
+                          const std::vector<bool>& use_cache) {
+  const size_t n = compute_with_cache.size();
+  assert(compute_without_cache.size() == n && load.size() == n &&
+         use_cache.size() == n);
+
+  device::StreamTimeline compute_stream;
+  device::StreamTimeline copy_stream;
+  PipelineTrace trace;
+  trace.blocks.resize(n);
+
+  // Issue all loads up front (the copy stream may run ahead of compute).
+  for (size_t i = 0; i < n; ++i) {
+    auto& b = trace.blocks[i];
+    b.used_cache = use_cache[i];
+    if (use_cache[i]) {
+      const auto span = copy_stream.Enqueue(TimePoint(), load[i]);
+      b.load_start = span.start;
+      b.load_end = span.end;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto& b = trace.blocks[i];
+    const TimePoint ready = b.used_cache ? b.load_end : TimePoint();
+    const Duration cost =
+        b.used_cache ? compute_with_cache[i] : compute_without_cache[i];
+    const auto span = compute_stream.Enqueue(ready, cost);
+    b.compute_start = span.start;
+    b.compute_end = span.end;
+  }
+
+  trace.total = n == 0 ? Duration::Zero()
+                       : trace.blocks.back().compute_end - TimePoint();
+  trace.compute_idle = compute_stream.idle_time() +
+                       (n > 0 ? trace.blocks.front().compute_start - TimePoint()
+                              : Duration::Zero());
+  trace.copy_idle = copy_stream.idle_time();
+  return trace;
+}
+
+Duration NaiveSequentialLatency(std::span<const Duration> compute_with_cache,
+                                std::span<const Duration> load) {
+  Duration total;
+  for (size_t i = 0; i < compute_with_cache.size(); ++i) {
+    total += load[i] + compute_with_cache[i];
+  }
+  return total;
+}
+
+Duration StrawmanPipelineLatency(std::span<const Duration> compute_with_cache,
+                                 std::span<const Duration> load) {
+  std::vector<bool> all(compute_with_cache.size(), true);
+  return ExecutePlan(compute_with_cache, compute_with_cache, load, all).total;
+}
+
+Duration IdealLatency(std::span<const Duration> compute_with_cache) {
+  Duration total;
+  for (const Duration d : compute_with_cache) {
+    total += d;
+  }
+  return total;
+}
+
+}  // namespace flashps::pipeline

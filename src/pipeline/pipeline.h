@@ -1,0 +1,74 @@
+// Bubble-free pipeline planning (paper Algorithm 1).
+//
+// A denoising step runs N transformer block-groups in order on the compute
+// stream. A block may either use cached activations (compute cost C_w, and
+// its cache must first be gather-loaded, occupying the copy stream for L) or
+// recompute everything (cost C_w/o, no load). Loads are issued in block order
+// on the copy stream and may run arbitrarily far ahead. Block i's compute may
+// start only when the compute stream is free and, if it uses the cache, its
+// load has finished.
+//
+// The planner picks the subset of blocks that use the cache to minimize the
+// step's end-to-end latency, eliminating the bubbles a strawman
+// all-blocks-cached pipeline suffers when loading is slower than computing.
+#ifndef FLASHPS_SRC_PIPELINE_PIPELINE_H_
+#define FLASHPS_SRC_PIPELINE_PIPELINE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/device/device.h"
+
+namespace flashps::pipeline {
+
+struct PipelinePlan {
+  std::vector<bool> use_cache;  // Per block.
+  Duration latency;             // Minimal pipeline latency for one step.
+};
+
+// Exact dynamic program over Pareto-pruned (compute-slack, load-sum) states.
+// Runs in O(N * |frontier|); the frontier stays tiny for the block counts
+// diffusion models have (tens), matching the paper's "negligible overhead".
+PipelinePlan PlanBubbleFree(std::span<const Duration> compute_with_cache,
+                            std::span<const Duration> compute_without_cache,
+                            std::span<const Duration> load);
+
+// Exhaustive 2^N reference used to verify the DP in tests. N must be <= 20.
+PipelinePlan PlanBruteForce(std::span<const Duration> compute_with_cache,
+                            std::span<const Duration> compute_without_cache,
+                            std::span<const Duration> load);
+
+// Latency of a *given* cache assignment, simulated on two stream timelines.
+struct PipelineTrace {
+  struct BlockSpan {
+    TimePoint load_start;
+    TimePoint load_end;  // == load_start when the block does not load.
+    TimePoint compute_start;
+    TimePoint compute_end;
+    bool used_cache = false;
+  };
+  std::vector<BlockSpan> blocks;
+  Duration total;
+  Duration compute_idle;  // Bubbles on the compute stream.
+  Duration copy_idle;     // Idle time on the copy stream.
+};
+
+PipelineTrace ExecutePlan(std::span<const Duration> compute_with_cache,
+                          std::span<const Duration> compute_without_cache,
+                          std::span<const Duration> load,
+                          const std::vector<bool>& use_cache);
+
+// Reference schemes from Fig. 9 and Fig. 4-Left.
+// Naive: each block loads its cache, then computes, strictly serialized.
+Duration NaiveSequentialLatency(std::span<const Duration> compute_with_cache,
+                                std::span<const Duration> load);
+// Strawman: every block uses the cache, loads pipelined with compute.
+Duration StrawmanPipelineLatency(std::span<const Duration> compute_with_cache,
+                                 std::span<const Duration> load);
+// Ideal: cache loading is free; every block computes with the cache.
+Duration IdealLatency(std::span<const Duration> compute_with_cache);
+
+}  // namespace flashps::pipeline
+
+#endif  // FLASHPS_SRC_PIPELINE_PIPELINE_H_

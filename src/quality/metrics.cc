@@ -1,0 +1,332 @@
+#include "src/quality/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace flashps::quality {
+
+namespace {
+
+std::vector<double> GaussianKernel1D(int size, double sigma) {
+  std::vector<double> k(size);
+  const double mid = (size - 1) / 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < size; ++i) {
+    k[i] = std::exp(-(i - mid) * (i - mid) / (2.0 * sigma * sigma));
+    sum += k[i];
+  }
+  for (double& v : k) {
+    v /= sum;
+  }
+  return k;
+}
+
+}  // namespace
+
+double Ssim(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  const int h = a.rows();
+  const int w = a.cols();
+  const int win = std::min({11, h, w});
+  const std::vector<double> kernel = GaussianKernel1D(win, 1.5);
+
+  constexpr double kC1 = 0.01 * 0.01;  // (K1 * L)^2 with L = 1.
+  constexpr double kC2 = 0.03 * 0.03;
+
+  double total = 0.0;
+  int count = 0;
+  for (int r = 0; r + win <= h; ++r) {
+    for (int c = 0; c + win <= w; ++c) {
+      double mu_a = 0.0;
+      double mu_b = 0.0;
+      double aa = 0.0;
+      double bb = 0.0;
+      double ab = 0.0;
+      for (int i = 0; i < win; ++i) {
+        for (int j = 0; j < win; ++j) {
+          const double wgt = kernel[i] * kernel[j];
+          const double va = a.at(r + i, c + j);
+          const double vb = b.at(r + i, c + j);
+          mu_a += wgt * va;
+          mu_b += wgt * vb;
+          aa += wgt * va * va;
+          bb += wgt * vb * vb;
+          ab += wgt * va * vb;
+        }
+      }
+      const double var_a = aa - mu_a * mu_a;
+      const double var_b = bb - mu_b * mu_b;
+      const double cov = ab - mu_a * mu_b;
+      const double num = (2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2);
+      const double den =
+          (mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : total / count;
+}
+
+double Psnr(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double mse = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse < 1e-12) {
+    return 99.0;
+  }
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+FeatureExtractor::FeatureExtractor(int patch, int stride, int dims,
+                                   uint64_t seed)
+    : patch_(patch), stride_(stride), dims_(dims) {
+  Rng rng(seed);
+  weights_ = Matrix(patch * patch, dims);
+  weights_.FillNormal(rng, 1.0f / std::sqrt(static_cast<float>(patch)));
+}
+
+std::vector<std::vector<double>> FeatureExtractor::Extract(
+    const Matrix& image) const {
+  std::vector<std::vector<double>> features;
+  for (int r = 0; r + patch_ <= image.rows(); r += stride_) {
+    for (int c = 0; c + patch_ <= image.cols(); c += stride_) {
+      std::vector<double> f(dims_, 0.0);
+      for (int i = 0; i < patch_; ++i) {
+        for (int j = 0; j < patch_; ++j) {
+          const float v = image.at(r + i, c + j);
+          const float* wrow = weights_.row(i * patch_ + j);
+          for (int d = 0; d < dims_; ++d) {
+            f[d] += v * wrow[d];
+          }
+        }
+      }
+      for (double& v : f) {
+        v = std::tanh(v);  // Mild nonlinearity, as in learned features.
+      }
+      features.push_back(std::move(f));
+    }
+  }
+  return features;
+}
+
+FeatureStats ComputeFeatureStats(const std::vector<Matrix>& images,
+                                 const FeatureExtractor& extractor) {
+  const int d = extractor.dims();
+  FeatureStats stats;
+  stats.mean.assign(d, 0.0);
+  stats.cov.assign(d, std::vector<double>(d, 0.0));
+
+  size_t n = 0;
+  std::vector<std::vector<double>> all;
+  for (const Matrix& img : images) {
+    auto fs = extractor.Extract(img);
+    n += fs.size();
+    for (auto& f : fs) {
+      for (int i = 0; i < d; ++i) {
+        stats.mean[i] += f[i];
+      }
+      all.push_back(std::move(f));
+    }
+  }
+  assert(n > 1);
+  for (double& m : stats.mean) {
+    m /= static_cast<double>(n);
+  }
+  for (const auto& f : all) {
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        stats.cov[i][j] += (f[i] - stats.mean[i]) * (f[j] - stats.mean[j]);
+      }
+    }
+  }
+  for (auto& row : stats.cov) {
+    for (double& v : row) {
+      v /= static_cast<double>(n - 1);
+    }
+  }
+  return stats;
+}
+
+void SymmetricEigen(const std::vector<std::vector<double>>& m,
+                    std::vector<double>& eigenvalues,
+                    std::vector<std::vector<double>>& eigenvectors) {
+  const int n = static_cast<int>(m.size());
+  std::vector<std::vector<double>> a = m;
+  eigenvectors.assign(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    eigenvectors[i][i] = 1.0;
+  }
+
+  // Cyclic Jacobi rotations.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        off += a[p][q] * a[p][q];
+      }
+    }
+    if (off < 1e-20) {
+      break;
+    }
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-15) {
+          continue;
+        }
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = eigenvectors[k][p];
+          const double vkq = eigenvectors[k][q];
+          eigenvectors[k][p] = c * vkp - s * vkq;
+          eigenvectors[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.resize(n);
+  for (int i = 0; i < n; ++i) {
+    eigenvalues[i] = a[i][i];
+  }
+}
+
+std::vector<std::vector<double>> SymmetricSqrt(
+    const std::vector<std::vector<double>>& m) {
+  const int n = static_cast<int>(m.size());
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  SymmetricEigen(m, evals, evecs);
+  std::vector<std::vector<double>> out(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        const double root = std::sqrt(std::max(0.0, evals[k]));
+        acc += evecs[i][k] * root * evecs[j][k];
+      }
+      out[i][j] = acc;
+    }
+  }
+  return out;
+}
+
+double FrechetDistance(const FeatureStats& a, const FeatureStats& b) {
+  const int n = static_cast<int>(a.mean.size());
+  assert(static_cast<int>(b.mean.size()) == n);
+
+  double mean_dist = 0.0;
+  for (int i = 0; i < n; ++i) {
+    mean_dist += (a.mean[i] - b.mean[i]) * (a.mean[i] - b.mean[i]);
+  }
+
+  // tr(S1 + S2 - 2*sqrt(sqrt(S1) S2 sqrt(S1))).
+  const auto sqrt_a = SymmetricSqrt(a.cov);
+  std::vector<std::vector<double>> inner(n, std::vector<double>(n, 0.0));
+  // inner = sqrt_a * b.cov * sqrt_a (symmetric by construction).
+  std::vector<std::vector<double>> tmp(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += sqrt_a[i][k] * b.cov[k][j];
+      }
+      tmp[i][j] = acc;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += tmp[i][k] * sqrt_a[k][j];
+      }
+      inner[i][j] = acc;
+    }
+  }
+  // Symmetrize against numerical drift before the final root.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (inner[i][j] + inner[j][i]);
+      inner[i][j] = avg;
+      inner[j][i] = avg;
+    }
+  }
+  const auto root = SymmetricSqrt(inner);
+
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) {
+    trace += a.cov[i][i] + b.cov[i][i] - 2.0 * root[i][i];
+  }
+  return std::max(0.0, mean_dist + trace);
+}
+
+double FidScore(const std::vector<Matrix>& candidates,
+                const std::vector<Matrix>& references) {
+  const FeatureExtractor extractor;
+  const FeatureStats a = ComputeFeatureStats(candidates, extractor);
+  const FeatureStats b = ComputeFeatureStats(references, extractor);
+  // Scaled into the familiar FID numeric range.
+  return 1000.0 * FrechetDistance(a, b);
+}
+
+double ClipProxyScore(const Matrix& image, const Matrix& prompt_texture,
+                      const trace::Mask& mask, int patch) {
+  assert(image.rows() == prompt_texture.rows() &&
+         image.cols() == prompt_texture.cols());
+  // Correlation over the masked pixels only: the edit must realize the
+  // prompt inside the mask (the unmasked region is template-constrained).
+  double sa = 0.0;
+  double sb = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  double sab = 0.0;
+  int n = 0;
+  for (const int t : mask.masked_tokens) {
+    const int gr = t / mask.grid_w;
+    const int gc = t % mask.grid_w;
+    for (int i = 0; i < patch; ++i) {
+      for (int j = 0; j < patch; ++j) {
+        const double va = image.at(gr * patch + i, gc * patch + j);
+        const double vb = prompt_texture.at(gr * patch + i, gc * patch + j);
+        sa += va;
+        sb += vb;
+        saa += va * va;
+        sbb += vb * vb;
+        sab += va * vb;
+        ++n;
+      }
+    }
+  }
+  if (n < 2) {
+    return 0.0;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  const double corr = cov / std::sqrt(std::max(1e-12, var_a * var_b));
+  // Map [-1, 1] correlation into a CLIP-score-like range around ~30.
+  return 16.0 * (1.0 + corr);
+}
+
+}  // namespace flashps::quality

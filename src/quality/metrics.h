@@ -1,0 +1,87 @@
+// Image-quality metrics used by the Table 2 reproduction.
+//
+// SSIM is the standard Wang et al. 2004 formulation (11x11 Gaussian window,
+// sigma 1.5, K1=0.01, K2=0.03). FID substitutes the trained Inception
+// features with a fixed seeded random patch-feature extractor and computes
+// the exact Frechet distance between the Gaussian statistics of two image
+// sets. The CLIP proxy scores prompt alignment as the local correlation of
+// the edited region against the prompt's decoded texture. All systems are
+// scored by the same fixed extractors against the same references, so the
+// *orderings* the paper's Table 2 compares are preserved (see DESIGN.md).
+#ifndef FLASHPS_SRC_QUALITY_METRICS_H_
+#define FLASHPS_SRC_QUALITY_METRICS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/trace/workload.h"
+
+namespace flashps::quality {
+
+// Mean SSIM between two grayscale images in [0, 1] (same shape). Uses the
+// standard 11x11 Gaussian window where the image allows, shrinking it for
+// very small images.
+double Ssim(const Matrix& a, const Matrix& b);
+
+// Peak signal-to-noise ratio in dB for images in [0, 1] (peak = 1).
+// Returns +inf-ish (capped at 99 dB) for identical images.
+double Psnr(const Matrix& a, const Matrix& b);
+
+// Fixed random patch-feature extractor: overlapping patches -> feature
+// vectors. Deterministic across processes.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(int patch = 8, int stride = 4, int dims = 12,
+                   uint64_t seed = 0xFEA7);
+
+  // One feature vector per patch position.
+  std::vector<std::vector<double>> Extract(const Matrix& image) const;
+  int dims() const { return dims_; }
+
+ private:
+  int patch_;
+  int stride_;
+  int dims_;
+  Matrix weights_;  // (patch*patch) x dims
+};
+
+// Gaussian statistics of a set of images under an extractor.
+struct FeatureStats {
+  std::vector<double> mean;              // dims
+  std::vector<std::vector<double>> cov;  // dims x dims
+};
+
+FeatureStats ComputeFeatureStats(const std::vector<Matrix>& images,
+                                 const FeatureExtractor& extractor);
+
+// Frechet distance between two Gaussians:
+// |mu1-mu2|^2 + tr(S1 + S2 - 2*(S1^1/2 S2 S1^1/2)^1/2).
+double FrechetDistance(const FeatureStats& a, const FeatureStats& b);
+
+// Convenience: FID-style score between a candidate image set and a
+// reference image set using the default extractor.
+double FidScore(const std::vector<Matrix>& candidates,
+                const std::vector<Matrix>& references);
+
+// CLIP-proxy: alignment between the edited (masked) region of `image` and
+// the prompt's texture rendered through the same decoder,
+// as mean local correlation mapped to the familiar 0-100-ish CLIP range.
+// `prompt_texture` must have the same shape as `image`; `mask` gives the
+// token grid and patch size `patch` maps tokens to pixels.
+double ClipProxyScore(const Matrix& image, const Matrix& prompt_texture,
+                      const trace::Mask& mask, int patch);
+
+// Symmetric-matrix helpers (exposed for tests).
+// Jacobi eigendecomposition of a symmetric matrix: fills eigenvalues and the
+// orthonormal eigenvector matrix (columns).
+void SymmetricEigen(const std::vector<std::vector<double>>& m,
+                    std::vector<double>& eigenvalues,
+                    std::vector<std::vector<double>>& eigenvectors);
+
+// Principal square root of a symmetric positive semi-definite matrix.
+std::vector<std::vector<double>> SymmetricSqrt(
+    const std::vector<std::vector<double>>& m);
+
+}  // namespace flashps::quality
+
+#endif  // FLASHPS_SRC_QUALITY_METRICS_H_

@@ -1,0 +1,158 @@
+#include "src/runtime/online_server.h"
+
+#include <stdexcept>
+
+namespace flashps::runtime {
+
+OnlineServer::OnlineServer(Options options)
+    : options_(std::move(options)), model_(options_.numerics) {
+  if (options_.disaggregate) {
+    cpu_pool_ = std::make_unique<ThreadPool>(options_.cpu_lanes);
+  }
+  denoise_thread_ = std::thread([this] { DenoiseLoop(); });
+}
+
+OnlineServer::~OnlineServer() { Stop(); }
+
+void OnlineServer::Preprocess(InFlight& item) const {
+  // The CPU-bound "pre-processing": decode the user's inputs into a latent.
+  const Matrix tmpl = model_.EncodeTemplate(item.request.template_id);
+  item.latent =
+      model_.InitEditLatent(tmpl, item.request.mask, item.request.prompt_seed);
+}
+
+void OnlineServer::Postprocess(InFlightPtr item) {
+  // The CPU-bound "post-processing": decode the latent to an image and
+  // fulfil the caller's future.
+  OnlineResponse response;
+  response.id = item->id;
+  response.image = model_.DecodeLatent(item->latent);
+  response.submitted = item->submitted;
+  response.admitted = item->admitted;
+  response.denoise_done = item->denoise_done;
+  response.completed = std::chrono::steady_clock::now();
+  completed_.fetch_add(1);
+  item->promise.set_value(std::move(response));
+}
+
+std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
+  if (stopping_.load()) {
+    throw std::runtime_error("OnlineServer: submit after Stop()");
+  }
+  auto item = std::make_unique<InFlight>();
+  item->id = next_id_.fetch_add(1);
+  item->request = std::move(request);
+  item->submitted = std::chrono::steady_clock::now();
+  std::future<OnlineResponse> future = item->promise.get_future();
+  accepted_.fetch_add(1);
+
+  if (options_.disaggregate) {
+    // Pre-processing runs on a CPU lane; the request becomes admissible
+    // once its latent is ready.
+    InFlight* raw = item.release();
+    const bool ok = cpu_pool_->Submit([this, raw] {
+      InFlightPtr owned(raw);
+      Preprocess(*owned);
+      ready_.Push(std::move(owned));
+    });
+    if (!ok) {
+      InFlightPtr owned(raw);
+      owned->promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("OnlineServer: shutting down")));
+    }
+  } else {
+    // Strawman: raw request goes straight to the denoise thread, which will
+    // pay the pre-processing inline (interrupting the running batch).
+    ready_.Push(std::move(item));
+  }
+  return future;
+}
+
+void OnlineServer::DenoiseLoop() {
+  std::vector<InFlightPtr> batch;
+  const int total_steps = options_.numerics.num_steps;
+
+  model::DiffusionModel::RunOptions run_options;
+  run_options.mode = options_.mask_aware ? model::ComputeMode::kMaskAwareY
+                                         : model::ComputeMode::kFull;
+
+  for (;;) {
+    // Admit up to capacity. Block only when the batch is idle.
+    while (static_cast<int>(batch.size()) < options_.max_batch) {
+      std::optional<InFlightPtr> item =
+          batch.empty() ? ready_.Pop() : ready_.TryPop();
+      if (!item.has_value()) {
+        break;
+      }
+      InFlightPtr inflight = std::move(*item);
+      if (!options_.disaggregate) {
+        Preprocess(*inflight);  // Interrupts the running batch.
+      }
+      if (options_.mask_aware) {
+        // Registration is idempotent and denoise-thread-local.
+        store_.GetOrRegister(model_, inflight->request.template_id);
+      }
+      inflight->admitted = std::chrono::steady_clock::now();
+      batch.push_back(std::move(inflight));
+    }
+    if (batch.empty()) {
+      if (ready_.closed()) {
+        return;  // Drained and shut down.
+      }
+      continue;
+    }
+
+    // One denoising step for every batch member (step-level interleaving).
+    for (auto& member : batch) {
+      model::DiffusionModel::RunOptions opts = run_options;
+      if (options_.mask_aware) {
+        opts.cache = &store_.GetOrRegister(model_, member->request.template_id);
+        opts.mask = &member->request.mask;
+      }
+      member->latent = model_.RunStepRange(std::move(member->latent), opts,
+                                           member->steps_done,
+                                           member->steps_done + 1);
+      ++member->steps_done;
+    }
+
+    // Retire finished members.
+    for (auto it = batch.begin(); it != batch.end();) {
+      if ((*it)->steps_done < total_steps) {
+        ++it;
+        continue;
+      }
+      InFlightPtr done = std::move(*it);
+      it = batch.erase(it);
+      done->denoise_done = std::chrono::steady_clock::now();
+      if (options_.disaggregate) {
+        InFlight* raw = done.release();
+        cpu_pool_->Submit([this, raw] { Postprocess(InFlightPtr(raw)); });
+      } else {
+        Postprocess(std::move(done));
+      }
+    }
+  }
+}
+
+void OnlineServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Another caller is (or was) stopping; nothing to do — the first caller
+    // joins the threads.
+    return;
+  }
+  // No new submissions are accepted now. The denoise loop keeps running, so
+  // wait for every accepted request to fully complete before tearing down.
+  while (completed_.load() < accepted_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ready_.Close();
+  if (denoise_thread_.joinable()) {
+    denoise_thread_.join();
+  }
+  if (cpu_pool_ != nullptr) {
+    cpu_pool_->Shutdown();
+  }
+}
+
+}  // namespace flashps::runtime

@@ -1,0 +1,114 @@
+// Real-time online serving runtime (the paper's §5 implementation layer).
+//
+// A dedicated denoise thread owns the running batch and advances every
+// member by one denoising step per iteration — requests join and leave at
+// step boundaries (continuous batching). CPU-bound pre-processing (latent
+// preparation) and post-processing (decoding) either run disaggregated on a
+// thread pool (FlashPS's design: the denoise thread is never interrupted)
+// or inline on the denoise thread (the strawman), selectable per server.
+//
+// This is the actual-concurrency counterpart of serving::Worker (which
+// models the same policies in virtual time): real threads, real queues,
+// real math, wall-clock timestamps.
+#ifndef FLASHPS_SRC_RUNTIME_ONLINE_SERVER_H_
+#define FLASHPS_SRC_RUNTIME_ONLINE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "src/cache/activation_store.h"
+#include "src/model/diffusion_model.h"
+#include "src/runtime/concurrent_queue.h"
+#include "src/runtime/thread_pool.h"
+
+namespace flashps::runtime {
+
+struct OnlineRequest {
+  int template_id = 0;
+  trace::Mask mask;
+  uint64_t prompt_seed = 0;
+};
+
+struct OnlineResponse {
+  uint64_t id = 0;
+  Matrix image;
+  std::chrono::steady_clock::time_point submitted;
+  std::chrono::steady_clock::time_point admitted;      // Joined the batch.
+  std::chrono::steady_clock::time_point denoise_done;  // Left the batch.
+  std::chrono::steady_clock::time_point completed;     // Post done.
+
+  double queueing_ms() const {
+    return std::chrono::duration<double, std::milli>(admitted - submitted)
+        .count();
+  }
+  double total_ms() const {
+    return std::chrono::duration<double, std::milli>(completed - submitted)
+        .count();
+  }
+};
+
+class OnlineServer {
+ public:
+  struct Options {
+    model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+    int max_batch = 4;
+    bool mask_aware = true;
+    // true: pre/post on the CPU lanes (FlashPS); false: inline on the
+    // denoise thread (the Fig. 10-Top strawman).
+    bool disaggregate = true;
+    int cpu_lanes = 2;
+  };
+
+  explicit OnlineServer(Options options);
+  ~OnlineServer();
+
+  OnlineServer(const OnlineServer&) = delete;
+  OnlineServer& operator=(const OnlineServer&) = delete;
+
+  // Asynchronous submission; the future resolves when post-processing
+  // finishes. Throws std::runtime_error after Stop().
+  std::future<OnlineResponse> Submit(OnlineRequest request);
+
+  // Completes all accepted requests, then joins every thread. Idempotent.
+  void Stop();
+
+  uint64_t completed_count() const { return completed_.load(); }
+  const model::DiffusionModel& model() const { return model_; }
+
+ private:
+  struct InFlight {
+    uint64_t id = 0;
+    OnlineRequest request;
+    Matrix latent;
+    int steps_done = 0;
+    std::promise<OnlineResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point denoise_done;
+  };
+  using InFlightPtr = std::unique_ptr<InFlight>;
+
+  void DenoiseLoop();
+  // Prepares the initial latent (the CPU-bound "pre-processing").
+  void Preprocess(InFlight& item) const;
+  // Decodes and fulfills the promise (the CPU-bound "post-processing").
+  void Postprocess(InFlightPtr item);
+
+  Options options_;
+  model::DiffusionModel model_;
+  cache::ActivationStore store_;  // Touched only by the denoise thread.
+  ConcurrentQueue<InFlightPtr> ready_;
+  std::unique_ptr<ThreadPool> cpu_pool_;
+  std::thread denoise_thread_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace flashps::runtime
+
+#endif  // FLASHPS_SRC_RUNTIME_ONLINE_SERVER_H_

@@ -1,0 +1,108 @@
+#include "src/sched/latency_model.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/pipeline/pipeline.h"
+
+namespace flashps::sched {
+
+namespace {
+constexpr double kTera = 1e12;
+constexpr double kMega = 1e6;
+}  // namespace
+
+LatencyModel LatencyModel::FitOffline(const model::TimingConfig& config,
+                                      model::ComputeMode mode) {
+  LatencyModel m;
+  m.config_ = config;
+  m.mode_ = mode;
+  const auto spec = device::DeviceSpec::Get(config.gpu);
+
+  std::vector<double> flops_x;
+  std::vector<double> compute_y;
+  std::vector<double> bytes_x;
+  std::vector<double> load_y;
+
+  // Profiling sweep: batch sizes 1..max, mask ratios over the operating
+  // range. "Measurements" come from the device model, the substitute for
+  // profiling runs on real GPUs.
+  Rng rng(0x0FF1CE);
+  for (int batch = 1; batch <= 8; ++batch) {
+    for (double ratio = 0.02; ratio < 1.0; ratio += 0.06) {
+      std::vector<double> ratios;
+      for (int i = 0; i < batch; ++i) {
+        // Jitter within the batch so samples cover mixed-ratio batches.
+        ratios.push_back(
+            std::clamp(ratio + rng.Uniform(-0.02, 0.02), 0.01, 0.99));
+      }
+      const auto workload = model::BuildStepWorkload(config, ratios, mode);
+      const auto durations =
+          model::ComputeStepDurations(config, spec, workload);
+      for (size_t b = 0; b < workload.blocks.size(); ++b) {
+        flops_x.push_back(workload.blocks[b].flops_with_cache / kTera);
+        compute_y.push_back(durations.compute_with_cache[b].seconds());
+        if (workload.blocks[b].load_bytes > 0) {
+          bytes_x.push_back(
+              static_cast<double>(workload.blocks[b].load_bytes) / kMega);
+          load_y.push_back(durations.load[b].seconds());
+        }
+      }
+      flops_x.push_back(workload.non_tf_flops / kTera);
+      compute_y.push_back(durations.non_tf.seconds());
+    }
+  }
+
+  m.compute_fit_ = FitLinear(flops_x, compute_y);
+  m.load_fit_ = bytes_x.empty() ? LinearFit{} : FitLinear(bytes_x, load_y);
+  return m;
+}
+
+model::StepDurations LatencyModel::EstimateStepDurations(
+    std::span<const double> mask_ratios) const {
+  const auto workload = model::BuildStepWorkload(config_, mask_ratios, mode_);
+  model::StepDurations d;
+  auto compute_secs = [this](double flops) {
+    return std::max(0.0, compute_fit_.slope * (flops / kTera) +
+                             compute_fit_.intercept);
+  };
+  auto load_secs = [this](uint64_t bytes) {
+    if (bytes == 0) {
+      return 0.0;
+    }
+    return std::max(0.0, load_fit_.slope * (static_cast<double>(bytes) / kMega) +
+                             load_fit_.intercept);
+  };
+  for (const auto& block : workload.blocks) {
+    d.compute_with_cache.push_back(
+        Duration::Seconds(compute_secs(block.flops_with_cache)));
+    d.compute_without_cache.push_back(
+        Duration::Seconds(compute_secs(block.flops_without_cache)));
+    d.load.push_back(Duration::Seconds(load_secs(block.load_bytes)));
+  }
+  d.non_tf = Duration::Seconds(compute_secs(workload.non_tf_flops));
+  return d;
+}
+
+Duration LatencyModel::EstimateStepLatency(
+    std::span<const double> mask_ratios) const {
+  if (mask_ratios.empty()) {
+    return Duration::Zero();
+  }
+  const auto d = EstimateStepDurations(mask_ratios);
+  const bool mask_aware = mode_ == model::ComputeMode::kMaskAwareY ||
+                          mode_ == model::ComputeMode::kMaskAwareKV;
+  Duration blocks;
+  if (mask_aware) {
+    blocks = pipeline::PlanBubbleFree(d.compute_with_cache,
+                                      d.compute_without_cache, d.load)
+                 .latency;
+  } else {
+    for (const Duration c : d.compute_without_cache) {
+      blocks += c;
+    }
+  }
+  return blocks + d.non_tf;
+}
+
+}  // namespace flashps::sched

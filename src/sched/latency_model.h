@@ -1,0 +1,53 @@
+// Regression latency models (paper §4.4, Fig. 11).
+//
+// FlashPS's scheduler estimates a worker's load from the mask ratios of its
+// requests: per-block FLOPs and cache bytes follow Table 1, and two linear
+// regressions — fitted offline on profiled (FLOPs, latency) and (bytes,
+// latency) samples — map them to time. The paper reports R^2 ~= 0.99; the
+// residual here comes from SM-utilization effects the linear model cannot
+// see, just as on real hardware.
+#ifndef FLASHPS_SRC_SCHED_LATENCY_MODEL_H_
+#define FLASHPS_SRC_SCHED_LATENCY_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/device/device.h"
+#include "src/model/timing.h"
+
+namespace flashps::sched {
+
+class LatencyModel {
+ public:
+  // Fits the two regressions from synthetic offline profiling: a sweep over
+  // mask ratios and batch sizes, measured on the device model (standing in
+  // for the paper's offline measurements on real GPUs).
+  static LatencyModel FitOffline(const model::TimingConfig& config,
+                                 model::ComputeMode mode);
+
+  // Per-block duration estimates for a hypothetical batch, suitable for
+  // Algorithm 1 / Algorithm 2.
+  model::StepDurations EstimateStepDurations(
+      std::span<const double> mask_ratios) const;
+
+  // One-step latency estimate: bubble-free DP over the estimated durations
+  // (plus the non-maskable step work).
+  Duration EstimateStepLatency(std::span<const double> mask_ratios) const;
+
+  const LinearFit& compute_fit() const { return compute_fit_; }
+  const LinearFit& load_fit() const { return load_fit_; }
+  const model::TimingConfig& config() const { return config_; }
+  model::ComputeMode mode() const { return mode_; }
+
+ private:
+  model::TimingConfig config_;
+  model::ComputeMode mode_ = model::ComputeMode::kMaskAwareY;
+  LinearFit compute_fit_;  // TFLOPs -> seconds.
+  LinearFit load_fit_;     // MB -> seconds.
+};
+
+}  // namespace flashps::sched
+
+#endif  // FLASHPS_SRC_SCHED_LATENCY_MODEL_H_

@@ -1,0 +1,159 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace flashps::sched {
+
+std::string ToString(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kFirstFit:
+      return "first-fit";
+    case RoutePolicy::kRequestCount:
+      return "request-count";
+    case RoutePolicy::kTokenCount:
+      return "token-count";
+    case RoutePolicy::kMaskAware:
+      return "mask-aware";
+  }
+  return "?";
+}
+
+int RoundRobinRouter::Route(const trace::Request& request,
+                            const std::vector<WorkerStatus>& statuses) {
+  (void)request;
+  assert(!statuses.empty());
+  const int pick = static_cast<int>(next_ % statuses.size());
+  ++next_;
+  return statuses[pick].worker_id;
+}
+
+int FirstFitRouter::Route(const trace::Request& request,
+                          const std::vector<WorkerStatus>& statuses) {
+  (void)request;
+  assert(!statuses.empty());
+  for (const auto& s : statuses) {
+    if (s.has_slack) {
+      return s.worker_id;
+    }
+  }
+  int best = statuses.front().worker_id;
+  size_t fewest = std::numeric_limits<size_t>::max();
+  for (const auto& s : statuses) {
+    const size_t outstanding =
+        s.running_ratios.size() + s.waiting_ratios.size();
+    if (outstanding < fewest) {
+      fewest = outstanding;
+      best = s.worker_id;
+    }
+  }
+  return best;
+}
+
+int RequestCountRouter::Route(const trace::Request& request,
+                              const std::vector<WorkerStatus>& statuses) {
+  (void)request;
+  assert(!statuses.empty());
+  int best = statuses.front().worker_id;
+  int64_t best_count = std::numeric_limits<int64_t>::max();
+  for (const auto& s : statuses) {
+    const int64_t count = assigned_[s.worker_id];
+    if (count < best_count) {
+      best_count = count;
+      best = s.worker_id;
+    }
+  }
+  ++assigned_[best];
+  return best;
+}
+
+int TokenCountRouter::Route(const trace::Request& request,
+                            const std::vector<WorkerStatus>& statuses) {
+  assert(!statuses.empty());
+  int best = statuses.front().worker_id;
+  double best_tokens = std::numeric_limits<double>::max();
+  for (const auto& s : statuses) {
+    const double tokens = assigned_tokens_[s.worker_id];
+    if (tokens < best_tokens) {
+      best_tokens = tokens;
+      best = s.worker_id;
+    }
+  }
+  assigned_tokens_[best] += request.mask_ratio * tokens_per_image_;
+  return best;
+}
+
+double MaskAwareRouter::CalcCost(const trace::Request& request,
+                                 const WorkerStatus& status) const {
+  // Hypothetical batch: everything outstanding plus the new request.
+  std::vector<double> ratios = status.running_ratios;
+  ratios.insert(ratios.end(), status.waiting_ratios.begin(),
+                status.waiting_ratios.end());
+  ratios.push_back(request.mask_ratio);
+
+  // Estimated per-step pipeline latency of that batch (Algorithm 1 over
+  // regression-estimated durations), amortized per request, times the steps
+  // outstanding — an estimate of how long the worker takes to drain.
+  const Duration step = latency_model_.EstimateStepLatency(ratios);
+  const double steps_outstanding =
+      static_cast<double>(status.remaining_steps) +
+      static_cast<double>(request.denoise_steps);
+  // Requests beyond the batch capacity serialize into extra waves.
+  const double waves =
+      std::max(1.0, static_cast<double>(ratios.size()) /
+                        static_cast<double>(std::max(1, status.max_batch)));
+  return step.seconds() * steps_outstanding /
+         static_cast<double>(ratios.size()) * waves;
+}
+
+int MaskAwareRouter::Route(const trace::Request& request,
+                           const std::vector<WorkerStatus>& statuses) {
+  assert(!statuses.empty());
+  // Candidates: workers with slack in the running batch; fall back to all
+  // workers when everything is saturated (Algorithm 2 line 7).
+  std::vector<const WorkerStatus*> candidates;
+  for (const auto& s : statuses) {
+    if (s.has_slack) {
+      candidates.push_back(&s);
+    }
+  }
+  if (candidates.empty()) {
+    for (const auto& s : statuses) {
+      candidates.push_back(&s);
+    }
+  }
+  const WorkerStatus* best = candidates.front();
+  double best_cost = std::numeric_limits<double>::max();
+  for (const WorkerStatus* s : candidates) {
+    const double cost = CalcCost(request, *s);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = s;
+    }
+  }
+  return best->worker_id;
+}
+
+std::unique_ptr<Router> MakeRouter(RoutePolicy policy,
+                                   const model::TimingConfig& config,
+                                   model::ComputeMode mode) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RoutePolicy::kFirstFit:
+      return std::make_unique<FirstFitRouter>();
+    case RoutePolicy::kRequestCount:
+      return std::make_unique<RequestCountRouter>();
+    case RoutePolicy::kTokenCount:
+      return std::make_unique<TokenCountRouter>(config.tokens);
+    case RoutePolicy::kMaskAware:
+      return std::make_unique<MaskAwareRouter>(
+          LatencyModel::FitOffline(config, mode));
+  }
+  return nullptr;
+}
+
+}  // namespace flashps::sched

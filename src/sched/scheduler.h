@@ -1,0 +1,119 @@
+// Cluster request routing (paper §4.4, Algorithm 2) and baselines.
+//
+// The mask-aware policy scores each candidate worker by the Algorithm 1
+// pipeline latency of its hypothetical batch (running + waiting + the new
+// request), estimated via the offline regression models, scaled by the
+// outstanding denoising steps — i.e. an estimate of the worker's drain time.
+// Baselines score by request count or masked-token count, the
+// LLM-serving-style signals the paper shows to be insufficient.
+#ifndef FLASHPS_SRC_SCHED_SCHEDULER_H_
+#define FLASHPS_SRC_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sched/latency_model.h"
+#include "src/trace/workload.h"
+
+namespace flashps::sched {
+
+// Snapshot of one worker the router can see (published by the cluster).
+struct WorkerStatus {
+  int worker_id = 0;
+  std::vector<double> running_ratios;
+  std::vector<double> waiting_ratios;
+  int64_t remaining_steps = 0;
+  int max_batch = 8;
+  bool has_slack = true;
+};
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kFirstFit,      // First worker with batch slack (§4.4's naive bin packing).
+  kRequestCount,  // Fewest assigned requests (request-granularity LB).
+  kTokenCount,    // Fewest assigned masked tokens (token-granularity LB).
+  kMaskAware,     // Algorithm 2.
+};
+
+std::string ToString(RoutePolicy policy);
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  // Picks a worker index in [0, statuses.size()).
+  virtual int Route(const trace::Request& request,
+                    const std::vector<WorkerStatus>& statuses) = 0;
+};
+
+class RoundRobinRouter : public Router {
+ public:
+  int Route(const trace::Request& request,
+            const std::vector<WorkerStatus>& statuses) override;
+
+ private:
+  size_t next_ = 0;
+};
+
+// First-Fit bin packing: the first worker whose running batch has slack
+// (falls back to fewest-outstanding when all are full). The paper notes
+// this "naturally introduces load imbalances" under mask-aware serving.
+class FirstFitRouter : public Router {
+ public:
+  int Route(const trace::Request& request,
+            const std::vector<WorkerStatus>& statuses) override;
+};
+
+// Balances the cumulative number of requests *assigned* to each worker —
+// the LLM-serving-style signal the paper describes ("the number of requests
+// assigned to each server"), with no runtime feedback.
+class RequestCountRouter : public Router {
+ public:
+  int Route(const trace::Request& request,
+            const std::vector<WorkerStatus>& statuses) override;
+
+ private:
+  std::map<int, int64_t> assigned_;
+};
+
+// Balances the cumulative number of masked tokens assigned to each worker.
+class TokenCountRouter : public Router {
+ public:
+  // `tokens_per_image`: full token length L, so a request contributes m*L.
+  explicit TokenCountRouter(int tokens_per_image)
+      : tokens_per_image_(tokens_per_image) {}
+  int Route(const trace::Request& request,
+            const std::vector<WorkerStatus>& statuses) override;
+
+ private:
+  int tokens_per_image_;
+  std::map<int, double> assigned_tokens_;
+};
+
+// Algorithm 2.
+class MaskAwareRouter : public Router {
+ public:
+  explicit MaskAwareRouter(LatencyModel latency_model)
+      : latency_model_(std::move(latency_model)) {}
+
+  int Route(const trace::Request& request,
+            const std::vector<WorkerStatus>& statuses) override;
+
+  // Exposed for tests/benches: the cost score of placing `request` on a
+  // worker in the given state (estimated drain time, seconds).
+  double CalcCost(const trace::Request& request,
+                  const WorkerStatus& status) const;
+
+ private:
+  LatencyModel latency_model_;
+};
+
+std::unique_ptr<Router> MakeRouter(RoutePolicy policy,
+                                   const model::TimingConfig& config,
+                                   model::ComputeMode mode);
+
+}  // namespace flashps::sched
+
+#endif  // FLASHPS_SRC_SCHED_SCHEDULER_H_

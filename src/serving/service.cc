@@ -1,0 +1,81 @@
+#include "src/serving/service.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashps::serving {
+
+Service::Service(const ServiceConfig& config)
+    : config_(config), model_(config.numerics) {
+  const EngineConfig engine = EngineConfig::ForSystem(
+      config.mask_aware ? SystemKind::kFlashPS : SystemKind::kDiffusers,
+      config.model);
+  for (int i = 0; i < config.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(i, engine));
+  }
+  router_ =
+      sched::MakeRouter(config.policy, engine.model_config, engine.mode);
+}
+
+std::vector<EditResponse> Service::Serve(
+    const std::vector<EditRequest>& requests) {
+  // Timing half: route and simulate.
+  std::vector<int> placement(requests.size(), 0);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EditRequest& request = requests[i];
+    assert(i == 0 || requests[i - 1].arrival <= request.arrival);
+    for (auto& worker : workers_) {
+      worker->AdvanceTo(request.arrival);
+    }
+    std::vector<sched::WorkerStatus> statuses;
+    for (const auto& worker : workers_) {
+      sched::WorkerStatus s;
+      s.worker_id = worker->id();
+      s.running_ratios = worker->RunningRatios();
+      s.waiting_ratios = worker->WaitingRatios();
+      s.remaining_steps = worker->RemainingSteps();
+      s.max_batch = worker->config().max_batch;
+      s.has_slack = worker->HasSlack();
+      statuses.push_back(std::move(s));
+    }
+    trace::Request r;
+    r.id = static_cast<uint64_t>(i);
+    r.arrival = request.arrival;
+    r.template_id = request.template_id;
+    r.mask_ratio = request.mask.ratio();
+    r.denoise_steps = config_.numerics.num_steps;
+    const int target = router_->Route(r, statuses);
+    placement[i] = target;
+    workers_[target]->Enqueue(r, request.arrival);
+  }
+
+  std::vector<CompletedRequest> timings(requests.size());
+  for (auto& worker : workers_) {
+    worker->Drain();
+    for (auto& done : worker->TakeCompleted()) {
+      timings[done.request.id] = done;
+    }
+  }
+
+  // Numerics half: produce the actual images with the same compute policy.
+  std::vector<EditResponse> responses;
+  responses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EditRequest& request = requests[i];
+    model::DiffusionModel::RunOptions options;
+    if (config_.mask_aware) {
+      options.mode = model::ComputeMode::kMaskAwareY;
+      options.cache = &store_.GetOrRegister(model_, request.template_id);
+      options.mask = &request.mask;
+    }
+    EditResponse response;
+    response.image = model_.EditImage(request.template_id, request.mask,
+                                      request.prompt_seed, options);
+    response.timing = timings[i];
+    response.worker_id = placement[i];
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+}  // namespace flashps::serving

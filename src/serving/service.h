@@ -1,0 +1,72 @@
+// End-to-end service façade: the piece a downstream user instantiates.
+//
+// Combines the two halves of the reproduction:
+//  - the timing half (cluster simulation: routing, batching, caching,
+//    pipeline planning) produces per-request latency/queueing numbers, and
+//  - the numerics half (DiffusionModel + ActivationStore) produces the
+//    actual edited images, using the same mask-aware flow the timing half
+//    accounts for.
+//
+// This mirrors the paper's §5 implementation: a frontend accepting edit
+// requests, a scheduler, and workers with a cache engine.
+#ifndef FLASHPS_SRC_SERVING_SERVICE_H_
+#define FLASHPS_SRC_SERVING_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/activation_store.h"
+#include "src/model/diffusion_model.h"
+#include "src/sched/scheduler.h"
+#include "src/serving/worker.h"
+#include "src/trace/workload.h"
+
+namespace flashps::serving {
+
+// A user-facing edit request: which template, where to edit (mask), and the
+// edit content (prompt seed stands in for the text/image condition).
+struct EditRequest {
+  int template_id = 0;
+  trace::Mask mask;
+  uint64_t prompt_seed = 0;
+  TimePoint arrival;
+};
+
+struct EditResponse {
+  Matrix image;           // The edited image (real numerics).
+  CompletedRequest timing; // Simulated serving timeline for the request.
+  int worker_id = 0;
+};
+
+struct ServiceConfig {
+  model::ModelKind model = model::ModelKind::kSdxl;
+  int num_workers = 2;
+  sched::RoutePolicy policy = sched::RoutePolicy::kMaskAware;
+  model::NumericsConfig numerics =
+      model::NumericsConfig::ForModelKind(model::ModelKind::kSdxl);
+  // When false, runs exact full computation (Diffusers-equivalent) — useful
+  // for producing reference images.
+  bool mask_aware = true;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& config);
+
+  // Serves a batch of requests (arrival order). Returns one response per
+  // request, in request order. Deterministic.
+  std::vector<EditResponse> Serve(const std::vector<EditRequest>& requests);
+
+  const model::DiffusionModel& model() const { return model_; }
+
+ private:
+  ServiceConfig config_;
+  model::DiffusionModel model_;
+  cache::ActivationStore store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<sched::Router> router_;
+};
+
+}  // namespace flashps::serving
+
+#endif  // FLASHPS_SRC_SERVING_SERVICE_H_

@@ -1,0 +1,336 @@
+#include "src/serving/worker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/pipeline/pipeline.h"
+
+namespace flashps::serving {
+
+std::string ToString(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kStatic:
+      return "static";
+    case BatchPolicy::kContinuousNaive:
+      return "continuous-naive";
+    case BatchPolicy::kContinuousDisaggregated:
+      return "continuous-disaggregated";
+  }
+  return "?";
+}
+
+std::string ToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kFlashPS:
+      return "FlashPS";
+    case SystemKind::kDiffusers:
+      return "Diffusers";
+    case SystemKind::kFISEdit:
+      return "FISEdit";
+    case SystemKind::kTeaCache:
+      return "TeaCache";
+  }
+  return "?";
+}
+
+EngineConfig EngineConfig::ForSystem(SystemKind system,
+                                     model::ModelKind model) {
+  EngineConfig c;
+  c.model_config = model::TimingConfig::Get(model);
+  // §6.2: max batch size 4 for SD2.1 workers, 8 for SDXL and Flux.
+  c.max_batch = model == model::ModelKind::kSd21 ? 4 : 8;
+  switch (system) {
+    case SystemKind::kFlashPS:
+      c.mode = model::ComputeMode::kMaskAwareY;
+      c.batching = BatchPolicy::kContinuousDisaggregated;
+      c.use_pipeline_planner = true;
+      break;
+    case SystemKind::kDiffusers:
+      c.mode = model::ComputeMode::kFull;
+      c.batching = BatchPolicy::kStatic;
+      break;
+    case SystemKind::kFISEdit:
+      // FISEdit cannot batch requests with different mask ratios (§2.4).
+      c.mode = model::ComputeMode::kSparse;
+      c.batching = BatchPolicy::kStatic;
+      c.max_batch = 1;
+      break;
+    case SystemKind::kTeaCache:
+      c.mode = model::ComputeMode::kTeaCache;
+      c.batching = BatchPolicy::kStatic;
+      // On the DiT (Flux), aggressive timestep skipping is visibly lossy,
+      // so the latency-minimizing-at-acceptable-quality configuration
+      // (§6.1) skips fewer steps than on the UNet models.
+      if (model == model::ModelKind::kFlux) {
+        c.teacache_skip_fraction = 0.52;
+      }
+      break;
+  }
+  return c;
+}
+
+Worker::Worker(int id, EngineConfig config)
+    : id_(id),
+      config_(std::move(config)),
+      spec_(device::DeviceSpec::Get(config_.model_config.gpu)) {}
+
+int Worker::EffectiveSteps(int batch_size) const {
+  const int steps = config_.model_config.denoise_steps;
+  if (config_.mode != model::ComputeMode::kTeaCache) {
+    return steps;
+  }
+  // All batch members must agree to skip a step. The timestep-embedding
+  // part of the gate is shared (correlated), the content part is not; the
+  // agreement probability decays gently with batch size.
+  const double b = std::max(1, batch_size);
+  const double agreement = 0.85 + 0.15 / b;
+  const int computed = static_cast<int>(std::lround(
+      steps * (1.0 - config_.teacache_skip_fraction * agreement)));
+  return std::max(1, computed);
+}
+
+void Worker::Enqueue(const trace::Request& request, TimePoint now) {
+  Waiting w;
+  w.request = request;
+  w.arrival = now;
+  w.ready_at = now;
+  const bool mask_aware = config_.mode == model::ComputeMode::kMaskAwareY ||
+                          config_.mode == model::ComputeMode::kMaskAwareKV;
+  if (cache_ != nullptr && mask_aware) {
+    // Prefetch while queued (§4.2): the promotion overlaps queueing delay.
+    w.ready_at = Later(w.ready_at,
+                       cache_->EnsureHostResident(request.template_id, now));
+  }
+  if (config_.batching == BatchPolicy::kContinuousDisaggregated) {
+    // Preprocessing starts immediately on the CPU lane.
+    const auto span = cpu_lane_.Enqueue(now, config_.model_config.pre_latency);
+    w.ready_at = Later(w.ready_at, span.end);
+    w.pre_charged = true;
+  }
+  waiting_.push_back(std::move(w));
+}
+
+std::vector<double> Worker::RunningRatios() const {
+  std::vector<double> out;
+  out.reserve(batch_.size());
+  for (const auto& r : batch_) {
+    out.push_back(r.request.mask_ratio);
+  }
+  return out;
+}
+
+std::vector<double> Worker::WaitingRatios() const {
+  std::vector<double> out;
+  out.reserve(waiting_.size());
+  for (const auto& w : waiting_) {
+    out.push_back(w.request.mask_ratio);
+  }
+  return out;
+}
+
+int64_t Worker::RemainingSteps() const {
+  int64_t total = 0;
+  for (const auto& r : batch_) {
+    total += r.steps_left;
+  }
+  total += static_cast<int64_t>(waiting_.size()) * EffectiveSteps();
+  return total;
+}
+
+Duration Worker::StepLatency(const std::vector<double>& ratios) const {
+  if (ratios.empty()) {
+    return Duration::Zero();
+  }
+  const Duration fixed = config_.model_config.step_overhead;
+  const auto workload =
+      model::BuildStepWorkload(config_.model_config, ratios, config_.mode);
+  const auto d = model::ComputeStepDurations(config_.model_config, spec_, workload);
+  const bool mask_aware = config_.mode == model::ComputeMode::kMaskAwareY ||
+                          config_.mode == model::ComputeMode::kMaskAwareKV;
+  Duration block_latency;
+  if (!mask_aware) {
+    for (const Duration c : d.compute_without_cache) {
+      block_latency += c;
+    }
+  } else if (config_.use_pipeline_planner) {
+    block_latency = pipeline::PlanBubbleFree(d.compute_with_cache,
+                                             d.compute_without_cache, d.load)
+                        .latency;
+  } else {
+    block_latency =
+        pipeline::StrawmanPipelineLatency(d.compute_with_cache, d.load);
+  }
+  return fixed + block_latency + d.non_tf;
+}
+
+bool Worker::Admit() {
+  bool admitted = false;
+  if (config_.batching == BatchPolicy::kStatic && !batch_.empty()) {
+    return false;  // The running batch must fully complete first.
+  }
+  // FIFO preference, but a request whose cache is still promoting does not
+  // block ready requests behind it (they overtake, as with any
+  // prefetch-while-queued design).
+  auto next_ready = [this]() {
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (it->ready_at <= now_) {
+        return it;
+      }
+    }
+    return waiting_.end();
+  };
+  for (auto it = next_ready();
+       it != waiting_.end() &&
+       static_cast<int>(batch_.size()) < config_.max_batch;
+       it = next_ready()) {
+    Waiting w = std::move(*it);
+    waiting_.erase(it);
+
+    InFlight inflight;
+    inflight.request = w.request;
+    inflight.arrival = w.arrival;
+    inflight.exec_start = now_;
+    inflight.steps_left =
+        EffectiveSteps(static_cast<int>(batch_.size()) + 1);
+
+    if (!w.pre_charged) {
+      // Pre-processing executes on the denoise lane, interrupting every
+      // already-running request (Fig. 10-Top).
+      for (auto& member : batch_) {
+        ++member.interruptions;
+      }
+      now_ = now_ + config_.model_config.pre_latency;
+    }
+    if (cache_ != nullptr) {
+      cache_->Touch(w.request.template_id, now_);
+    }
+    batch_.push_back(std::move(inflight));
+    admitted = true;
+  }
+  return admitted;
+}
+
+void Worker::RunOneStep() {
+  assert(!batch_.empty());
+  Duration step = StepLatency(RunningRatios());
+  if (config_.batching != BatchPolicy::kStatic) {
+    step += config_.batch_org_overhead;  // §6.6 batching overhead.
+  }
+  now_ = now_ + step;
+  for (auto& member : batch_) {
+    --member.steps_left;
+  }
+}
+
+void Worker::CompleteFinished() {
+  if (config_.batching == BatchPolicy::kStatic) {
+    // The whole batch leaves together.
+    const bool all_done = std::all_of(
+        batch_.begin(), batch_.end(),
+        [](const InFlight& r) { return r.steps_left <= 0; });
+    if (!all_done) {
+      return;
+    }
+    const TimePoint denoise_end = now_;  // The batch leaves as a unit.
+    for (auto& member : batch_) {
+      CompletedRequest done;
+      done.request = member.request;
+      done.arrival = member.arrival;
+      done.exec_start = member.exec_start;
+      done.denoise_done = denoise_end;
+      now_ = now_ + config_.model_config.post_latency;
+      done.completion = now_;
+      done.interruptions = member.interruptions;
+      completed_.push_back(done);
+    }
+    batch_.clear();
+    return;
+  }
+
+  for (auto it = batch_.begin(); it != batch_.end();) {
+    if (it->steps_left > 0) {
+      ++it;
+      continue;
+    }
+    CompletedRequest done;
+    done.request = it->request;
+    done.arrival = it->arrival;
+    done.exec_start = it->exec_start;
+    done.denoise_done = now_;
+    done.interruptions = it->interruptions;
+    if (config_.batching == BatchPolicy::kContinuousNaive) {
+      // Post-processing on the denoise lane interrupts the others.
+      now_ = now_ + config_.model_config.post_latency;
+      done.completion = now_;
+      it = batch_.erase(it);
+      for (auto& member : batch_) {
+        ++member.interruptions;
+      }
+    } else {
+      // Disaggregated: serialize + hand off, post runs on the CPU lane.
+      now_ = now_ + config_.handoff_overhead;
+      const auto span =
+          cpu_lane_.Enqueue(now_, config_.model_config.post_latency);
+      done.completion = span.end;
+      it = batch_.erase(it);
+    }
+    completed_.push_back(done);
+  }
+}
+
+std::optional<TimePoint> Worker::NextWakeup() const {
+  std::optional<TimePoint> wake;
+  for (const auto& w : waiting_) {
+    if (!wake || w.ready_at < *wake) {
+      wake = w.ready_at;
+    }
+  }
+  return wake;
+}
+
+void Worker::AdvanceTo(TimePoint t) {
+  while (now_ < t) {
+    Admit();
+    if (batch_.empty()) {
+      const auto wake = NextWakeup();
+      if (!wake.has_value()) {
+        // Idle: leave the clock at the last event so drain/makespan
+        // measurements reflect real completion times.
+        return;
+      }
+      if (*wake > t) {
+        now_ = t;
+        return;
+      }
+      now_ = Later(now_, *wake);
+      continue;
+    }
+    RunOneStep();
+    CompleteFinished();
+    // In continuous modes new requests may join at the next step boundary;
+    // the loop re-admits at the top.
+  }
+}
+
+TimePoint Worker::Drain() {
+  while (!idle()) {
+    const auto wake = NextWakeup();
+    TimePoint target = now_ + Duration::Seconds(3600.0);
+    if (batch_.empty() && wake.has_value()) {
+      target = Later(*wake + Duration::Micros(1), target);
+    }
+    AdvanceTo(target);
+  }
+  // Disaggregated post-processing may still be running on the CPU lane
+  // after the denoise lane went idle.
+  return Later(now_, cpu_lane_.free_at());
+}
+
+std::vector<CompletedRequest> Worker::TakeCompleted() {
+  std::vector<CompletedRequest> out;
+  out.swap(completed_);
+  return out;
+}
+
+}  // namespace flashps::serving

@@ -1,0 +1,164 @@
+// Virtual-time serving engine for one GPU worker.
+//
+// Implements the paper's three batching policies (§4.3, Fig. 10):
+//  - kStatic: the running batch is fixed until every member finishes; new
+//    arrivals wait (Diffusers-style, the [9]/[19] baseline).
+//  - kContinuousNaive: step-level join/leave, but CPU-bound pre/post
+//    processing executes on the denoise lane, interrupting every in-flight
+//    request (the strawman of Fig. 10-Top).
+//  - kContinuousDisaggregated: FlashPS — pre/post run on a separate CPU lane
+//    (process), so a request joins the batch within one denoising step and
+//    the denoise lane is never interrupted (Fig. 10-Bottom).
+//
+// Compute policy (ComputeMode) is orthogonal: the same engine serves
+// Diffusers (kFull), FISEdit (kSparse, batch limited to 1), TeaCache
+// (kTeaCache, step skipping) and FlashPS (kMaskAwareY + bubble-free DP),
+// mirroring how the paper implements all baselines on one substrate.
+#ifndef FLASHPS_SRC_SERVING_WORKER_H_
+#define FLASHPS_SRC_SERVING_WORKER_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/cache/cache_engine.h"
+#include "src/common/time.h"
+#include "src/device/device.h"
+#include "src/model/timing.h"
+#include "src/trace/workload.h"
+
+namespace flashps::serving {
+
+enum class BatchPolicy { kStatic, kContinuousNaive, kContinuousDisaggregated };
+
+std::string ToString(BatchPolicy policy);
+
+// The four serving systems of the paper's evaluation (§6.1).
+enum class SystemKind { kFlashPS, kDiffusers, kFISEdit, kTeaCache };
+
+std::string ToString(SystemKind kind);
+
+struct EngineConfig {
+  model::TimingConfig model_config;
+  model::ComputeMode mode = model::ComputeMode::kMaskAwareY;
+  BatchPolicy batching = BatchPolicy::kContinuousDisaggregated;
+  int max_batch = 8;
+  // Fraction of denoising steps TeaCache skips (configured as the paper
+  // does: minimal latency at acceptable quality).
+  double teacache_skip_fraction = 0.6;
+  // false = strawman pipeline (always use the cache for every block);
+  // true = Algorithm 1's bubble-free selection.
+  bool use_pipeline_planner = true;
+  // Per-step batch-organization overhead (§6.6: ~1.2 ms) in continuous
+  // modes.
+  Duration batch_org_overhead = Duration::Micros(1200);
+  // Latent serialization + IPC to the post-processing process
+  // (§6.6: 1.1 ms + 1.3 ms), charged per completion under disaggregation.
+  Duration handoff_overhead = Duration::Micros(2400);
+
+  // Baseline/system presets matching §6.1 (FISEdit: batch 1, sparse, static;
+  // Diffusers: full compute, static; TeaCache: step skipping, static;
+  // FlashPS: mask-aware + continuous disaggregated batching).
+  static EngineConfig ForSystem(SystemKind system, model::ModelKind model);
+};
+
+struct CompletedRequest {
+  trace::Request request;
+  TimePoint arrival;       // At the worker.
+  TimePoint exec_start;    // Preprocessing began.
+  TimePoint denoise_done;  // Left the running batch.
+  TimePoint completion;    // Post-processing finished.
+  int interruptions = 0;   // Times its denoising was interrupted by CPU work.
+
+  Duration queueing() const { return exec_start - arrival; }
+  Duration inference() const { return denoise_done - exec_start; }
+  Duration total() const { return completion - arrival; }
+};
+
+class Worker {
+ public:
+  Worker(int id, EngineConfig config);
+
+  // Optional hierarchical cache: when set, a request may only join the batch
+  // once its template cache is host-resident; promotion starts at arrival
+  // (prefetch while queued, §4.2). Templates must be registered by the
+  // caller. Not owned.
+  void AttachCache(cache::CacheEngine* cache_engine) { cache_ = cache_engine; }
+
+  // Request arrives at the worker at time `now` (>= previous events).
+  void Enqueue(const trace::Request& request, TimePoint now);
+
+  // Processes work up to time `t`. Idempotent for t <= current time.
+  void AdvanceTo(TimePoint t);
+
+  // Runs until all accepted requests complete; returns the finish time.
+  TimePoint Drain();
+
+  std::vector<CompletedRequest> TakeCompleted();
+
+  // -- Status for the cluster scheduler --
+  int id() const { return id_; }
+  const EngineConfig& config() const { return config_; }
+  TimePoint now() const { return now_; }
+  // Mask ratios of requests in the running batch.
+  std::vector<double> RunningRatios() const;
+  // Mask ratios of requests waiting (queued or preprocessing).
+  std::vector<double> WaitingRatios() const;
+  // Total denoising steps outstanding across running + waiting requests.
+  int64_t RemainingSteps() const;
+  int running_batch_size() const { return static_cast<int>(batch_.size()); }
+  int waiting_count() const { return static_cast<int>(waiting_.size()); }
+  bool HasSlack() const {
+    return running_batch_size() + waiting_count() < config_.max_batch;
+  }
+  bool idle() const { return batch_.empty() && waiting_.empty(); }
+
+  // Per-step latency of a hypothetical batch with the given mask ratios
+  // under this worker's config (used by tests and throughput benches).
+  Duration StepLatency(const std::vector<double>& ratios) const;
+
+  // Steps a request of this config executes (TeaCache runs fewer). For
+  // TeaCache the batch size matters: a batched step can only be skipped
+  // when every batch member's gate agrees, so the effective skip fraction
+  // shrinks as the batch grows — this is why TeaCache's throughput
+  // plateaus in Fig. 14 while FlashPS keeps scaling.
+  int EffectiveSteps(int batch_size = 1) const;
+
+ private:
+  struct Waiting {
+    trace::Request request;
+    TimePoint arrival;
+    // Earliest time it may join the batch (preprocessing done and, when a
+    // cache engine is attached, template cache host-resident).
+    TimePoint ready_at;
+    bool pre_charged = false;  // Preprocessing already ran (disaggregated).
+  };
+
+  struct InFlight {
+    trace::Request request;
+    TimePoint arrival;
+    TimePoint exec_start;
+    int steps_left = 0;
+    int interruptions = 0;
+  };
+
+  // Admits eligible waiting requests; returns true if any joined.
+  bool Admit();
+  void RunOneStep();
+  void CompleteFinished();
+  std::optional<TimePoint> NextWakeup() const;
+
+  int id_;
+  EngineConfig config_;
+  device::DeviceSpec spec_;
+  cache::CacheEngine* cache_ = nullptr;
+  TimePoint now_;
+  device::StreamTimeline cpu_lane_;  // Disaggregated pre/post processes.
+  std::deque<Waiting> waiting_;
+  std::vector<InFlight> batch_;
+  std::vector<CompletedRequest> completed_;
+};
+
+}  // namespace flashps::serving
+
+#endif  // FLASHPS_SRC_SERVING_WORKER_H_

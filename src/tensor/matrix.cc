@@ -1,0 +1,195 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashps {
+
+void Matrix::FillNormal(Rng& rng, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+void Matrix::FillConstant(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out.row(i);
+    const float* a_row = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.row(p);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+void SoftmaxRows(Matrix& m) {
+  for (int i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i);
+    float mx = row[0];
+    for (int j = 1; j < m.cols(); ++j) {
+      mx = std::max(mx, row[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < m.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < m.cols(); ++j) {
+      row[j] *= inv;
+    }
+  }
+}
+
+Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, float eps) {
+  assert(static_cast<int>(gamma.size()) == x.cols());
+  assert(static_cast<int>(beta.size()) == x.cols());
+  Matrix out(x.rows(), x.cols());
+  const int c = x.cols();
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* in_row = x.row(i);
+    float* out_row = out.row(i);
+    float mean = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      mean += in_row[j];
+    }
+    mean /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      const float d = in_row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(c);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    for (int j = 0; j < c; ++j) {
+      out_row[j] = (in_row[j] - mean) * inv_std * gamma[j] + beta[j];
+    }
+  }
+  return out;
+}
+
+void GeluInPlace(Matrix& m) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  for (size_t i = 0; i < m.size(); ++i) {
+    const float x = m.data()[i];
+    const float t = std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
+    m.data()[i] = 0.5f * x * (1.0f + t);
+  }
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return out;
+}
+
+void AddInPlace(Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] += b.data()[i];
+  }
+}
+
+void ScaleInPlace(Matrix& m, float k) {
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] *= k;
+  }
+}
+
+Matrix GatherRows(const Matrix& m, const std::vector<int>& indices) {
+  Matrix out(static_cast<int>(indices.size()), m.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const float* src = m.row(indices[i]);
+    std::copy(src, src + m.cols(), out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void ScatterRows(Matrix& dst, const Matrix& src, const std::vector<int>& indices) {
+  assert(static_cast<int>(indices.size()) == src.rows());
+  assert(dst.cols() == src.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const float* s = src.row(static_cast<int>(i));
+    std::copy(s, s + src.cols(), dst.row(indices[i]));
+  }
+}
+
+double CosineSimilarity(const Matrix& a, int r1, const Matrix& b, int r2) {
+  assert(a.cols() == b.cols());
+  const float* x = a.row(r1);
+  const float* y = b.row(r2);
+  double dot = 0.0;
+  double nx = 0.0;
+  double ny = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    dot += static_cast<double>(x[j]) * y[j];
+    nx += static_cast<double>(x[j]) * x[j];
+    ny += static_cast<double>(y[j]) * y[j];
+  }
+  if (nx == 0.0 || ny == 0.0) {
+    return 0.0;
+  }
+  return dot / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+double MeanAbsDiff(const Matrix& a, const Matrix& b) {
+  assert(a.size() == b.size());
+  if (a.size() == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += std::abs(static_cast<double>(a.data()[i]) - b.data()[i]);
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double FrobeniusNorm(const Matrix& m) {
+  double total = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    total += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace flashps

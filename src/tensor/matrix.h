@@ -1,0 +1,97 @@
+// Dense row-major float32 matrix plus the kernel set a transformer block
+// needs. Rows are tokens, columns are feature channels — matching the
+// (B, H*W, C) layout the paper describes for diffusion transformer inputs
+// (§2.1); batching is handled above this layer, so a Matrix is one request's
+// token matrix.
+#ifndef FLASHPS_SRC_TENSOR_MATRIX_H_
+#define FLASHPS_SRC_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace flashps {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Fills with N(0, stddev) values from `rng` (row-major order).
+  void FillNormal(Rng& rng, float stddev);
+  void FillConstant(float v);
+
+  // Size of the backing store in bytes (used for cache-size accounting).
+  size_t bytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// out = a * b^T. Shapes: (m,k) x (n,k) -> (m,n). This is the QK^T kernel.
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b);
+
+// Row-wise softmax in place.
+void SoftmaxRows(Matrix& m);
+
+// Row-wise LayerNorm with per-channel gain/bias. gamma/beta have size cols.
+Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, float eps = 1e-5f);
+
+// Element-wise GeLU (tanh approximation) in place.
+void GeluInPlace(Matrix& m);
+
+// out = a + b (same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+void AddInPlace(Matrix& a, const Matrix& b);
+void ScaleInPlace(Matrix& m, float k);
+
+// Gathers the given rows into a new (indices.size(), cols) matrix.
+Matrix GatherRows(const Matrix& m, const std::vector<int>& indices);
+
+// Scatters src's rows into dst at the given row indices.
+void ScatterRows(Matrix& dst, const Matrix& src, const std::vector<int>& indices);
+
+// Cosine similarity of row r1 of a and row r2 of b.
+double CosineSimilarity(const Matrix& a, int r1, const Matrix& b, int r2);
+
+// Mean absolute difference across all elements (same shape).
+double MeanAbsDiff(const Matrix& a, const Matrix& b);
+
+// Frobenius norm.
+double FrobeniusNorm(const Matrix& m);
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_TENSOR_MATRIX_H_

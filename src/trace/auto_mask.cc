@@ -1,0 +1,160 @@
+#include "src/trace/auto_mask.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace flashps::trace {
+
+Matrix DetectSalientRegion(const Matrix& image, const AutoMaskOptions& options) {
+  double mean = 0.0;
+  for (size_t i = 0; i < image.size(); ++i) {
+    mean += image.data()[i];
+  }
+  mean /= static_cast<double>(image.size());
+  double var = 0.0;
+  for (size_t i = 0; i < image.size(); ++i) {
+    const double d = image.data()[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(image.size());
+  const double threshold = options.threshold_sigmas * std::sqrt(var);
+
+  Matrix binary(image.rows(), image.cols());
+  for (size_t i = 0; i < image.size(); ++i) {
+    binary.data()[i] =
+        std::abs(image.data()[i] - mean) > threshold ? 1.0f : 0.0f;
+  }
+  return binary;
+}
+
+Matrix LargestConnectedComponent(const Matrix& binary) {
+  const int h = binary.rows();
+  const int w = binary.cols();
+  std::vector<int> label(static_cast<size_t>(h) * w, 0);
+  int next_label = 0;
+  int best_label = 0;
+  int best_size = 0;
+
+  std::vector<int> stack;
+  for (int start = 0; start < h * w; ++start) {
+    if (binary.data()[start] <= 0.5f || label[start] != 0) {
+      continue;
+    }
+    ++next_label;
+    int size = 0;
+    stack.push_back(start);
+    label[start] = next_label;
+    while (!stack.empty()) {
+      const int cell = stack.back();
+      stack.pop_back();
+      ++size;
+      const int r = cell / w;
+      const int c = cell % w;
+      const int neighbours[4] = {
+          r > 0 ? cell - w : -1,
+          r + 1 < h ? cell + w : -1,
+          c > 0 ? cell - 1 : -1,
+          c + 1 < w ? cell + 1 : -1,
+      };
+      for (const int nb : neighbours) {
+        if (nb >= 0 && binary.data()[nb] > 0.5f && label[nb] == 0) {
+          label[nb] = next_label;
+          stack.push_back(nb);
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_label = next_label;
+    }
+  }
+
+  Matrix out(h, w);
+  if (best_label == 0) {
+    return out;  // Empty input -> empty component.
+  }
+  for (int i = 0; i < h * w; ++i) {
+    out.data()[i] = label[i] == best_label ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Matrix Dilate(const Matrix& binary, int radius) {
+  assert(radius >= 0);
+  if (radius == 0) {
+    return binary;
+  }
+  const int h = binary.rows();
+  const int w = binary.cols();
+  Matrix out(h, w);
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      bool hit = false;
+      for (int dr = -radius; dr <= radius && !hit; ++dr) {
+        for (int dc = -radius; dc <= radius && !hit; ++dc) {
+          const int rr = r + dr;
+          const int cc = c + dc;
+          if (rr >= 0 && rr < h && cc >= 0 && cc < w &&
+              binary.at(rr, cc) > 0.5f) {
+            hit = true;
+          }
+        }
+      }
+      out.at(r, c) = hit ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+Mask GenerateAutoMask(const Matrix& image, const AutoMaskOptions& options) {
+  assert(options.patch > 0);
+  assert(image.rows() % options.patch == 0 &&
+         image.cols() % options.patch == 0);
+  const Matrix detected = DetectSalientRegion(image, options);
+  const Matrix component = LargestConnectedComponent(detected);
+  const Matrix region = Dilate(component, options.dilation);
+
+  Mask mask;
+  mask.grid_h = image.rows() / options.patch;
+  mask.grid_w = image.cols() / options.patch;
+
+  std::vector<char> in_mask(static_cast<size_t>(mask.total_tokens()), 0);
+  for (int r = 0; r < image.rows(); ++r) {
+    for (int c = 0; c < image.cols(); ++c) {
+      if (region.at(r, c) > 0.5f) {
+        in_mask[(r / options.patch) * mask.grid_w + c / options.patch] = 1;
+      }
+    }
+  }
+
+  bool any = false;
+  for (const char v : in_mask) {
+    any |= v != 0;
+  }
+  if (!any) {
+    // Fall back to the single most salient token.
+    int best_token = 0;
+    float best_value = -1.0f;
+    for (int r = 0; r < image.rows(); ++r) {
+      for (int c = 0; c < image.cols(); ++c) {
+        if (detected.at(r, c) > best_value) {
+          best_value = detected.at(r, c);
+          best_token = (r / options.patch) * mask.grid_w + c / options.patch;
+        }
+      }
+    }
+    in_mask[best_token] = 1;
+  }
+
+  for (int t = 0; t < mask.total_tokens(); ++t) {
+    if (in_mask[t]) {
+      mask.masked_tokens.push_back(t);
+    } else {
+      mask.unmasked_tokens.push_back(t);
+    }
+  }
+  return mask;
+}
+
+}  // namespace flashps::trace

@@ -1,0 +1,46 @@
+// Automatic mask generation (the paper's §2.2 Adetailer workflow: when users
+// do not supply a mask, one is generated from the image content to delineate
+// the editing region, e.g. around detected faces/hands).
+//
+// Our detector substitute finds the salient region of a grayscale image:
+// threshold on deviation from the image mean, take the largest connected
+// component, and dilate it — the classic segmentation-postprocessing
+// pipeline Adetailer applies around its detector output.
+#ifndef FLASHPS_SRC_TRACE_AUTO_MASK_H_
+#define FLASHPS_SRC_TRACE_AUTO_MASK_H_
+
+#include "src/tensor/matrix.h"
+#include "src/trace/workload.h"
+
+namespace flashps::trace {
+
+struct AutoMaskOptions {
+  // Pixels whose |value - mean| exceeds `threshold_sigmas` standard
+  // deviations are seed candidates.
+  double threshold_sigmas = 1.0;
+  // Dilation radius (pixels) applied to the detected component, as
+  // Adetailer pads its detection boxes.
+  int dilation = 1;
+  // Pixels per token side: the pixel mask is reduced to the token grid a
+  // diffusion model edits (a token is masked if any of its pixels is).
+  int patch = 4;
+};
+
+// Binary pixel mask (1 = selected) of the salient region.
+Matrix DetectSalientRegion(const Matrix& image, const AutoMaskOptions& options);
+
+// Largest 4-connected component of a binary mask (values > 0.5).
+Matrix LargestConnectedComponent(const Matrix& binary);
+
+// Morphological dilation of a binary mask with a square structuring element
+// of the given radius.
+Matrix Dilate(const Matrix& binary, int radius);
+
+// Full Adetailer-style pipeline: detect -> largest component -> dilate ->
+// reduce to the token grid. The resulting Mask is non-empty (falls back to
+// the single most salient token when detection finds nothing).
+Mask GenerateAutoMask(const Matrix& image, const AutoMaskOptions& options);
+
+}  // namespace flashps::trace
+
+#endif  // FLASHPS_SRC_TRACE_AUTO_MASK_H_

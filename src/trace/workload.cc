@@ -1,0 +1,281 @@
+#include "src/trace/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace flashps::trace {
+
+std::string ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kProduction:
+      return "production";
+    case TraceKind::kPublic:
+      return "public";
+    case TraceKind::kVitonHd:
+      return "viton-hd";
+  }
+  return "?";
+}
+
+MaskRatioDistribution::MaskRatioDistribution(TraceKind kind) : kind_(kind) {
+  // Beta parameters chosen so the mean matches the paper's Fig. 3 statistics
+  // and alpha < 1 (production/public) gives the mass-near-zero, long-tail
+  // shape visible in the figure.
+  switch (kind) {
+    case TraceKind::kProduction:
+      alpha_ = 0.80;
+      beta_ = 6.47;  // mean = 0.11
+      break;
+    case TraceKind::kPublic:
+      alpha_ = 0.90;
+      beta_ = 3.83;  // mean = 0.19
+      break;
+    case TraceKind::kVitonHd:
+      alpha_ = 3.50;
+      beta_ = 6.50;  // mean = 0.35
+      break;
+  }
+}
+
+double MaskRatioDistribution::Sample(Rng& rng) const {
+  // Clamp away from the degenerate endpoints: a ratio of exactly 0 would mean
+  // no edit and exactly 1 full regeneration.
+  const double r = rng.Beta(alpha_, beta_);
+  return std::clamp(r, 0.005, 0.995);
+}
+
+namespace {
+
+void FinalizeMask(Mask& mask, std::vector<char>& in_mask) {
+  const int total = mask.total_tokens();
+  mask.masked_tokens.clear();
+  mask.unmasked_tokens.clear();
+  for (int t = 0; t < total; ++t) {
+    if (in_mask[t]) {
+      mask.masked_tokens.push_back(t);
+    } else {
+      mask.unmasked_tokens.push_back(t);
+    }
+  }
+}
+
+}  // namespace
+
+Mask GenerateBlobMask(int grid_h, int grid_w, double ratio, Rng& rng) {
+  assert(grid_h > 0 && grid_w > 0);
+  Mask mask;
+  mask.grid_h = grid_h;
+  mask.grid_w = grid_w;
+  const int total = grid_h * grid_w;
+  const int target =
+      std::clamp(static_cast<int>(std::lround(ratio * total)), 1, total);
+
+  std::vector<char> in_mask(total, 0);
+  std::vector<int> frontier;
+  const int seed_cell = static_cast<int>(rng.NextBelow(total));
+  in_mask[seed_cell] = 1;
+  frontier.push_back(seed_cell);
+  int count = 1;
+
+  while (count < target && !frontier.empty()) {
+    // Pick a random frontier cell and try to grow into a random neighbour;
+    // retire cells whose neighbourhood is exhausted.
+    const size_t pick = rng.NextBelow(frontier.size());
+    const int cell = frontier[pick];
+    const int r = cell / grid_w;
+    const int c = cell % grid_w;
+    const int neighbours[4] = {
+        r > 0 ? cell - grid_w : -1,
+        r + 1 < grid_h ? cell + grid_w : -1,
+        c > 0 ? cell - 1 : -1,
+        c + 1 < grid_w ? cell + 1 : -1,
+    };
+    int candidates[4];
+    int num_candidates = 0;
+    for (int nb : neighbours) {
+      if (nb >= 0 && !in_mask[nb]) {
+        candidates[num_candidates++] = nb;
+      }
+    }
+    if (num_candidates == 0) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      continue;
+    }
+    const int chosen = candidates[rng.NextBelow(num_candidates)];
+    in_mask[chosen] = 1;
+    frontier.push_back(chosen);
+    ++count;
+  }
+
+  FinalizeMask(mask, in_mask);
+  return mask;
+}
+
+Mask GenerateRectMask(int grid_h, int grid_w, double ratio, Rng& rng) {
+  assert(grid_h > 0 && grid_w > 0);
+  Mask mask;
+  mask.grid_h = grid_h;
+  mask.grid_w = grid_w;
+  const int total = grid_h * grid_w;
+  const int target =
+      std::clamp(static_cast<int>(std::lround(ratio * total)), 1, total);
+
+  // Pick an aspect-ratio-preserving rectangle of ~target cells.
+  int rect_h = std::max(1, static_cast<int>(std::lround(
+                               std::sqrt(static_cast<double>(target) * grid_h /
+                                         grid_w))));
+  rect_h = std::min(rect_h, grid_h);
+  int rect_w = std::min(grid_w, std::max(1, (target + rect_h - 1) / rect_h));
+
+  const int r0 = static_cast<int>(rng.NextBelow(grid_h - rect_h + 1));
+  const int c0 = static_cast<int>(rng.NextBelow(grid_w - rect_w + 1));
+
+  std::vector<char> in_mask(total, 0);
+  for (int r = r0; r < r0 + rect_h; ++r) {
+    for (int c = c0; c < c0 + rect_w; ++c) {
+      in_mask[r * grid_w + c] = 1;
+    }
+  }
+  FinalizeMask(mask, in_mask);
+  return mask;
+}
+
+TemplateCatalog::TemplateCatalog(int num_templates, double zipf_exponent)
+    : sampler_(num_templates, zipf_exponent) {}
+
+int TemplateCatalog::SampleTemplate(Rng& rng) const {
+  return sampler_.Sample(rng);
+}
+
+PoissonArrivals::PoissonArrivals(double rps, Rng rng) : rps_(rps), rng_(rng) {
+  assert(rps > 0.0);
+}
+
+TimePoint PoissonArrivals::Next() {
+  last_ = last_ + Duration::Seconds(rng_.Exponential(rps_));
+  return last_;
+}
+
+BurstyArrivals::BurstyArrivals(double base_rps, double burst_rps,
+                               Duration mean_phase, Rng rng)
+    : base_rps_(base_rps),
+      burst_rps_(burst_rps),
+      mean_phase_(mean_phase),
+      rng_(rng) {
+  assert(base_rps > 0.0 && burst_rps > 0.0);
+  phase_end_ = TimePoint() + Duration::Seconds(
+                                 rng_.Exponential(1.0 / mean_phase_.seconds()));
+}
+
+TimePoint BurstyArrivals::Next() {
+  for (;;) {
+    const double rate = bursting_ ? burst_rps_ : base_rps_;
+    const TimePoint candidate =
+        last_ + Duration::Seconds(rng_.Exponential(rate));
+    if (candidate <= phase_end_) {
+      last_ = candidate;
+      return last_;
+    }
+    // Phase switch: restart the draw from the phase boundary (memoryless).
+    last_ = phase_end_;
+    bursting_ = !bursting_;
+    phase_end_ =
+        phase_end_ +
+        Duration::Seconds(rng_.Exponential(1.0 / mean_phase_.seconds()));
+  }
+}
+
+std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  Rng arrival_rng = rng.Split();
+  Rng ratio_rng = rng.Split();
+  Rng template_rng = rng.Split();
+
+  const MaskRatioDistribution ratios(spec.trace);
+  const TemplateCatalog catalog(spec.num_templates, spec.zipf_exponent);
+  PoissonArrivals arrivals(spec.rps, arrival_rng);
+
+  std::vector<Request> out;
+  out.reserve(spec.num_requests);
+  for (int i = 0; i < spec.num_requests; ++i) {
+    Request r;
+    r.id = static_cast<uint64_t>(i);
+    r.arrival = arrivals.Next();
+    r.template_id = catalog.SampleTemplate(template_rng);
+    r.mask_ratio = ratios.Sample(ratio_rng);
+    r.denoise_steps = spec.denoise_steps;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string SerializeTraceCsv(const std::vector<Request>& requests) {
+  std::string out = "id,arrival_us,template_id,mask_ratio,denoise_steps\n";
+  char line[160];
+  for (const Request& r : requests) {
+    std::snprintf(line, sizeof(line), "%llu,%lld,%d,%.17g,%d\n",
+                  static_cast<unsigned long long>(r.id),
+                  static_cast<long long>(r.arrival.micros()), r.template_id,
+                  r.mask_ratio, r.denoise_steps);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<Request> ParseTraceCsv(const std::string& csv) {
+  std::vector<Request> out;
+  size_t pos = 0;
+  bool header = true;
+  while (pos < csv.size()) {
+    size_t end = csv.find('\n', pos);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::string line = csv.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    if (header) {
+      header = false;
+      continue;
+    }
+    Request r;
+    unsigned long long id = 0;
+    long long arrival_us = 0;
+    if (std::sscanf(line.c_str(), "%llu,%lld,%d,%lf,%d", &id, &arrival_us,
+                    &r.template_id, &r.mask_ratio, &r.denoise_steps) != 5) {
+      throw std::runtime_error("trace csv: malformed row: " + line);
+    }
+    r.id = id;
+    r.arrival = TimePoint::FromMicros(arrival_us);
+    out.push_back(r);
+  }
+  return out;
+}
+
+void WriteTraceFile(const std::string& path,
+                    const std::vector<Request>& requests) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trace csv: cannot open " + path);
+  }
+  out << SerializeTraceCsv(requests);
+}
+
+std::vector<Request> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace csv: cannot open " + path);
+  }
+  std::string csv((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return ParseTraceCsv(csv);
+}
+
+}  // namespace flashps::trace

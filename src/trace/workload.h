@@ -1,0 +1,151 @@
+// Workload generation: mask-ratio distributions, irregular mask geometry,
+// template popularity and request arrival processes.
+//
+// The distributions are parametric substitutes fitted to the statistics the
+// paper reports (§2.2, Fig. 3): production trace mean mask ratio 0.11, public
+// trace mean 0.19, VITON-HD mean 0.35, all with heavy right tails; 970
+// templates reused ~35k times each with skewed popularity.
+#ifndef FLASHPS_SRC_TRACE_WORKLOAD_H_
+#define FLASHPS_SRC_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace flashps::trace {
+
+// Which empirical mask-ratio distribution to sample from.
+enum class TraceKind {
+  kProduction,  // FlashPS authors' 14-day trace, mean ratio 0.11.
+  kPublic,      // Public diffusion serving trace, mean ratio 0.19.
+  kVitonHd,     // VITON-HD virtual try-on benchmark, mean ratio 0.35.
+};
+
+std::string ToString(TraceKind kind);
+
+// Samples mask ratios in (0, 1). Beta-distributed with parameters chosen to
+// match each trace's reported mean while keeping the wide spread the paper
+// emphasizes (individual ratios "exhibit a significant variation").
+class MaskRatioDistribution {
+ public:
+  explicit MaskRatioDistribution(TraceKind kind);
+
+  double Sample(Rng& rng) const;
+  double mean() const { return alpha_ / (alpha_ + beta_); }
+  TraceKind kind() const { return kind_; }
+
+ private:
+  TraceKind kind_;
+  double alpha_;
+  double beta_;
+};
+
+// An irregular editing mask over an h x w latent token grid. Grown as a
+// random connected blob so masks have arbitrary shape, as in production
+// (the paper's approach makes no assumption about mask shape).
+struct Mask {
+  int grid_h = 0;
+  int grid_w = 0;
+  std::vector<int> masked_tokens;    // Row-major token ids, sorted.
+  std::vector<int> unmasked_tokens;  // Complement, sorted.
+
+  int total_tokens() const { return grid_h * grid_w; }
+  double ratio() const {
+    return total_tokens() == 0
+               ? 0.0
+               : static_cast<double>(masked_tokens.size()) / total_tokens();
+  }
+};
+
+// Grows a connected random blob covering ~ratio of the h x w grid.
+Mask GenerateBlobMask(int grid_h, int grid_w, double ratio, Rng& rng);
+
+// A rectangle mask (used by tests and the FISEdit baseline, which assumes
+// contiguous regions).
+Mask GenerateRectMask(int grid_h, int grid_w, double ratio, Rng& rng);
+
+// Template popularity: 970 templates with Zipf-skewed reuse (paper §2.2:
+// "only 970 templates were utilized among the 34 million generated images").
+class TemplateCatalog {
+ public:
+  TemplateCatalog(int num_templates, double zipf_exponent);
+
+  int SampleTemplate(Rng& rng) const;
+  int num_templates() const { return sampler_.size(); }
+
+ private:
+  ZipfSampler sampler_;
+};
+
+// One image-editing request as seen by the serving system.
+struct Request {
+  uint64_t id = 0;
+  TimePoint arrival;
+  int template_id = 0;
+  double mask_ratio = 0.0;
+  int denoise_steps = 50;
+};
+
+// Poisson arrival process at a fixed rate (requests per second), the load
+// model the paper's evaluation uses (§6.1).
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rps, Rng rng);
+
+  // Arrival time of the next request (strictly increasing).
+  TimePoint Next();
+
+ private:
+  double rps_;
+  Rng rng_;
+  TimePoint last_;
+};
+
+// Two-state Markov-modulated Poisson process for bursty traffic (the paper
+// notes production arrivals are bursty, citing [23, 63]).
+class BurstyArrivals {
+ public:
+  BurstyArrivals(double base_rps, double burst_rps, Duration mean_phase,
+                 Rng rng);
+
+  TimePoint Next();
+
+ private:
+  double base_rps_;
+  double burst_rps_;
+  Duration mean_phase_;
+  Rng rng_;
+  TimePoint last_;
+  TimePoint phase_end_;
+  bool bursting_ = false;
+};
+
+// Generates a full request trace: arrivals + per-request template and mask
+// ratio draws.
+struct WorkloadSpec {
+  TraceKind trace = TraceKind::kProduction;
+  double rps = 1.0;
+  int num_requests = 100;
+  int num_templates = 970;
+  double zipf_exponent = 1.1;
+  int denoise_steps = 50;
+  uint64_t seed = 42;
+};
+
+std::vector<Request> GenerateWorkload(const WorkloadSpec& spec);
+
+// Record/replay: writes a request trace as CSV
+// (id,arrival_us,template_id,mask_ratio,denoise_steps) and reads it back.
+// Throws std::runtime_error on malformed rows.
+std::string SerializeTraceCsv(const std::vector<Request>& requests);
+std::vector<Request> ParseTraceCsv(const std::string& csv);
+void WriteTraceFile(const std::string& path,
+                    const std::vector<Request>& requests);
+std::vector<Request> ReadTraceFile(const std::string& path);
+
+}  // namespace flashps::trace
+
+#endif  // FLASHPS_SRC_TRACE_WORKLOAD_H_

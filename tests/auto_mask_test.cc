@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/auto_mask.h"
+
+namespace flashps::trace {
+namespace {
+
+// A flat image with one bright rectangle (the "face" to be restored).
+Matrix ImageWithBlob(int h, int w, int r0, int c0, int bh, int bw,
+                     float bg = 0.2f, float fg = 0.95f) {
+  Matrix img(h, w);
+  img.FillConstant(bg);
+  for (int r = r0; r < r0 + bh; ++r) {
+    for (int c = c0; c < c0 + bw; ++c) {
+      img.at(r, c) = fg;
+    }
+  }
+  return img;
+}
+
+TEST(DetectSalientRegionTest, FindsBrightBlob) {
+  const Matrix img = ImageWithBlob(32, 32, 8, 10, 6, 8);
+  AutoMaskOptions options;
+  const Matrix detected = DetectSalientRegion(img, options);
+  EXPECT_EQ(detected.at(10, 12), 1.0f);  // Inside the blob.
+  EXPECT_EQ(detected.at(0, 0), 0.0f);    // Background.
+}
+
+TEST(LargestConnectedComponentTest, KeepsOnlyTheBiggest) {
+  Matrix binary(8, 8);
+  // Big component: 2x3 block. Small component: single pixel far away.
+  for (int r = 1; r <= 2; ++r) {
+    for (int c = 1; c <= 3; ++c) {
+      binary.at(r, c) = 1.0f;
+    }
+  }
+  binary.at(6, 6) = 1.0f;
+  const Matrix out = LargestConnectedComponent(binary);
+  EXPECT_EQ(out.at(1, 1), 1.0f);
+  EXPECT_EQ(out.at(2, 3), 1.0f);
+  EXPECT_EQ(out.at(6, 6), 0.0f);  // The singleton is dropped.
+}
+
+TEST(LargestConnectedComponentTest, EmptyInputEmptyOutput) {
+  Matrix binary(4, 4);
+  const Matrix out = LargestConnectedComponent(binary);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], 0.0f);
+  }
+}
+
+TEST(LargestConnectedComponentTest, DiagonalPixelsAreSeparate) {
+  // 4-connectivity: diagonal neighbours are different components.
+  Matrix binary(4, 4);
+  binary.at(0, 0) = 1.0f;
+  binary.at(1, 1) = 1.0f;
+  binary.at(1, 2) = 1.0f;  // Makes {.at(1,1),(1,2)} the larger component.
+  const Matrix out = LargestConnectedComponent(binary);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_EQ(out.at(1, 1), 1.0f);
+  EXPECT_EQ(out.at(1, 2), 1.0f);
+}
+
+TEST(DilateTest, GrowsByRadius) {
+  Matrix binary(7, 7);
+  binary.at(3, 3) = 1.0f;
+  const Matrix grown = Dilate(binary, 1);
+  for (int r = 2; r <= 4; ++r) {
+    for (int c = 2; c <= 4; ++c) {
+      EXPECT_EQ(grown.at(r, c), 1.0f);
+    }
+  }
+  EXPECT_EQ(grown.at(0, 0), 0.0f);
+  EXPECT_EQ(grown.at(3, 5), 0.0f);
+  // Radius 0 is the identity.
+  const Matrix same = Dilate(binary, 0);
+  EXPECT_EQ(same.at(3, 3), 1.0f);
+  EXPECT_EQ(same.at(3, 4), 0.0f);
+}
+
+TEST(GenerateAutoMaskTest, MaskCoversTheBlobTokens) {
+  // Blob occupies pixel rows 8..15, cols 12..19 -> tokens rows 2..3,
+  // cols 3..4 at patch 4.
+  const Matrix img = ImageWithBlob(48, 48, 8, 12, 8, 8);
+  AutoMaskOptions options;
+  options.dilation = 0;
+  const Mask mask = GenerateAutoMask(img, options);
+  EXPECT_EQ(mask.grid_h, 12);
+  EXPECT_EQ(mask.grid_w, 12);
+  std::set<int> masked(mask.masked_tokens.begin(), mask.masked_tokens.end());
+  for (int tr = 2; tr <= 3; ++tr) {
+    for (int tc = 3; tc <= 4; ++tc) {
+      EXPECT_TRUE(masked.count(tr * 12 + tc)) << tr << "," << tc;
+    }
+  }
+  // Distant background tokens remain unmasked.
+  EXPECT_FALSE(masked.count(0));
+  EXPECT_FALSE(masked.count(11 * 12 + 11));
+  // Partition invariant.
+  EXPECT_EQ(static_cast<int>(mask.masked_tokens.size() +
+                             mask.unmasked_tokens.size()),
+            144);
+}
+
+TEST(GenerateAutoMaskTest, DilationEnlargesTheMask) {
+  const Matrix img = ImageWithBlob(48, 48, 20, 20, 6, 6);
+  AutoMaskOptions tight;
+  tight.dilation = 0;
+  AutoMaskOptions padded;
+  padded.dilation = 4;
+  const Mask a = GenerateAutoMask(img, tight);
+  const Mask b = GenerateAutoMask(img, padded);
+  EXPECT_GT(b.masked_tokens.size(), a.masked_tokens.size());
+}
+
+TEST(GenerateAutoMaskTest, FlatImageFallsBackToOneToken) {
+  Matrix flat(16, 16);
+  flat.FillConstant(0.5f);
+  const Mask mask = GenerateAutoMask(flat, AutoMaskOptions{});
+  EXPECT_EQ(mask.masked_tokens.size(), 1u);
+}
+
+}  // namespace
+}  // namespace flashps::trace

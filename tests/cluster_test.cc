@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/simulation.h"
+
+namespace flashps::cluster {
+namespace {
+
+using model::ModelKind;
+using serving::SystemKind;
+
+ClusterConfig SmallCluster(SystemKind system, int workers = 2) {
+  ClusterConfig c;
+  c.num_workers = workers;
+  c.engine = serving::EngineConfig::ForSystem(system, ModelKind::kSdxl);
+  c.engine.model_config.denoise_steps = 10;
+  c.policy = system == SystemKind::kFlashPS ? sched::RoutePolicy::kMaskAware
+                                            : sched::RoutePolicy::kRequestCount;
+  return c;
+}
+
+std::vector<trace::Request> SmallWorkload(int n, double rps,
+                                          uint64_t seed = 42) {
+  trace::WorkloadSpec spec;
+  spec.num_requests = n;
+  spec.rps = rps;
+  spec.seed = seed;
+  spec.denoise_steps = 10;
+  return trace::GenerateWorkload(spec);
+}
+
+TEST(ClusterSimTest, AllRequestsComplete) {
+  const auto requests = SmallWorkload(40, 2.0);
+  const auto result = RunClusterSim(SmallCluster(SystemKind::kFlashPS), requests);
+  ASSERT_EQ(result.completed.size(), requests.size());
+  std::set<uint64_t> ids;
+  for (const auto& done : result.completed) {
+    EXPECT_TRUE(ids.insert(done.request.id).second);
+    EXPECT_GE(done.arrival.micros(), 0);
+    EXPECT_GE(done.completion, done.arrival);
+  }
+  EXPECT_GT(result.throughput_rps, 0.0);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_EQ(result.total_latency_s.count(), requests.size());
+}
+
+TEST(ClusterSimTest, DeterministicAcrossRuns) {
+  const auto requests = SmallWorkload(30, 1.5);
+  const auto config = SmallCluster(SystemKind::kFlashPS);
+  const auto a = RunClusterSim(config, requests);
+  const auto b = RunClusterSim(config, requests);
+  ASSERT_EQ(a.completed.size(), b.completed.size());
+  for (size_t i = 0; i < a.completed.size(); ++i) {
+    EXPECT_EQ(a.completed[i].completion.micros(),
+              b.completed[i].completion.micros());
+  }
+}
+
+TEST(ClusterSimTest, FlashPSBeatsDiffusersOnLatency) {
+  // Fig. 12's headline: FlashPS reduces average latency substantially at the
+  // same traffic.
+  const auto requests = SmallWorkload(60, 1.5);
+  const auto flash =
+      RunClusterSim(SmallCluster(SystemKind::kFlashPS), requests);
+  const auto diffusers =
+      RunClusterSim(SmallCluster(SystemKind::kDiffusers), requests);
+  EXPECT_LT(flash.total_latency_s.Mean(), diffusers.total_latency_s.Mean());
+  EXPECT_LT(flash.queueing_s.Mean(), diffusers.queueing_s.Mean());
+}
+
+TEST(ClusterSimTest, MoreWorkersReduceLatencyUnderLoad) {
+  const auto requests = SmallWorkload(60, 3.0);
+  const auto two =
+      RunClusterSim(SmallCluster(SystemKind::kFlashPS, 2), requests);
+  const auto four =
+      RunClusterSim(SmallCluster(SystemKind::kFlashPS, 4), requests);
+  EXPECT_LE(four.total_latency_s.Mean(), two.total_latency_s.Mean() * 1.02);
+}
+
+TEST(ClusterSimTest, SchedulerOverheadDelaysDispatch) {
+  auto config = SmallCluster(SystemKind::kFlashPS, 1);
+  config.scheduler_overhead = Duration::Millis(100);  // Exaggerated.
+  const auto requests = SmallWorkload(5, 0.2);
+  const auto result = RunClusterSim(config, requests);
+  for (const auto& done : result.completed) {
+    // Arrival timestamps come from the trace; exec can't start before the
+    // routing decision lands.
+    EXPECT_GE((done.exec_start - done.request.arrival).millis(), 100.0);
+  }
+}
+
+TEST(ClusterSimTest, CacheEngineIntegration) {
+  auto config = SmallCluster(SystemKind::kFlashPS, 2);
+  config.use_cache_engine = true;
+  config.num_templates = 16;
+  const auto requests = SmallWorkload(20, 1.0);
+  const auto result = RunClusterSim(config, requests);
+  EXPECT_EQ(result.completed.size(), requests.size());
+}
+
+TEST(ClusterSimTest, ColdTemplatesAddQueueingNotFailures) {
+  auto config = SmallCluster(SystemKind::kFlashPS, 1);
+  config.use_cache_engine = true;
+  config.num_templates = 970;
+  // Host tier fits only ~2 templates: most requests hit disk promotions.
+  config.host_capacity_bytes =
+      2 * config.engine.model_config.TemplateCacheStoreBytes();
+  const auto requests = SmallWorkload(10, 0.2);
+  const auto cold = RunClusterSim(config, requests);
+  ASSERT_EQ(cold.completed.size(), requests.size());
+
+  config.host_capacity_bytes = 1ULL << 62;  // Everything host-resident.
+  const auto warm = RunClusterSim(config, requests);
+  EXPECT_GE(cold.queueing_s.Mean(), warm.queueing_s.Mean());
+}
+
+TEST(MeasureEngineThroughputTest, FlashPSThroughputGrowsWithBatch) {
+  // Fig. 14: mask-aware engines keep gaining from batching; full-compute
+  // engines plateau almost immediately.
+  const auto flash = serving::EngineConfig::ForSystem(SystemKind::kFlashPS,
+                                                      ModelKind::kSdxl);
+  const double b1 =
+      MeasureEngineThroughput(flash, 1, trace::TraceKind::kPublic, 16);
+  const double b4 =
+      MeasureEngineThroughput(flash, 4, trace::TraceKind::kPublic, 32);
+  EXPECT_GT(b4, b1 * 1.2);
+
+  const auto diffusers = serving::EngineConfig::ForSystem(
+      SystemKind::kDiffusers, ModelKind::kSdxl);
+  const double d1 =
+      MeasureEngineThroughput(diffusers, 1, trace::TraceKind::kPublic, 8);
+  const double d4 =
+      MeasureEngineThroughput(diffusers, 4, trace::TraceKind::kPublic, 16);
+  EXPECT_LT(d4 / d1, b4 / b1);
+}
+
+}  // namespace
+}  // namespace flashps::cluster

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/device/device.h"
+
+namespace flashps::device {
+namespace {
+
+TEST(DeviceSpecTest, LatencyFormulas) {
+  DeviceSpec spec;
+  spec.compute_flops = 1e12;
+  spec.gather_load_bw = 1e9;
+  spec.pcie_bw = 10e9;
+  spec.disk_bw = 0.5e9;
+  spec.launch_overhead = Duration::Micros(10);
+
+  EXPECT_EQ(spec.ComputeLatency(1e9).micros(), 1000 + 10);
+  EXPECT_EQ(spec.GatherLoadLatency(1'000'000).micros(), 1000);
+  EXPECT_EQ(spec.PcieLatency(10'000'000).micros(), 1000);
+  EXPECT_EQ(spec.DiskLatency(500'000).micros(), 1000);
+}
+
+TEST(DeviceSpecTest, PresetsAreOrdered) {
+  const DeviceSpec a10 = DeviceSpec::Get(GpuKind::kA10);
+  const DeviceSpec h800 = DeviceSpec::Get(GpuKind::kH800);
+  EXPECT_GT(h800.compute_flops, a10.compute_flops);
+  EXPECT_GE(h800.pcie_bw, a10.pcie_bw);
+  EXPECT_EQ(ToString(a10.kind), "A10");
+  EXPECT_EQ(ToString(h800.kind), "H800");
+}
+
+TEST(DeviceSpecTest, DiskLoadMatchesPaperAnchor) {
+  // §4.2: loading a 2.6 GiB SDXL template cache from disk takes ~6.4 s.
+  const DeviceSpec spec = DeviceSpec::Get(GpuKind::kH800);
+  const uint64_t bytes = static_cast<uint64_t>(2.6 * (1ULL << 30));
+  const double seconds = spec.DiskLatency(bytes).seconds();
+  EXPECT_NEAR(seconds, 6.4, 0.7);
+}
+
+TEST(StreamTimelineTest, FifoOrdering) {
+  StreamTimeline stream;
+  const auto a = stream.Enqueue(TimePoint(), Duration::Millis(10));
+  EXPECT_EQ(a.start.micros(), 0);
+  EXPECT_EQ(a.end.millis(), 10.0);
+  // Ready earlier than stream-free: starts when the stream frees.
+  const auto b = stream.Enqueue(TimePoint(), Duration::Millis(5));
+  EXPECT_EQ(b.start.millis(), 10.0);
+  EXPECT_EQ(b.end.millis(), 15.0);
+  EXPECT_EQ(stream.idle_time().micros(), 0);
+  EXPECT_EQ(stream.busy_time().millis(), 15.0);
+}
+
+TEST(StreamTimelineTest, IdleAccounting) {
+  StreamTimeline stream;
+  stream.Enqueue(TimePoint(), Duration::Millis(10));
+  // Op not ready until t=25ms: 15ms bubble.
+  const auto b =
+      stream.Enqueue(TimePoint::FromMicros(25'000), Duration::Millis(5));
+  EXPECT_EQ(b.start.millis(), 25.0);
+  EXPECT_EQ(stream.idle_time().millis(), 15.0);
+}
+
+TEST(StreamTimelineTest, FirstOpDelayIsNotIdle) {
+  StreamTimeline stream;
+  // The wait before the very first op is counted by callers, not the stream.
+  stream.Enqueue(TimePoint::FromMicros(7'000), Duration::Millis(1));
+  EXPECT_EQ(stream.idle_time().micros(), 0);
+}
+
+TEST(StreamTimelineTest, ResetClearsState) {
+  StreamTimeline stream;
+  stream.Enqueue(TimePoint(), Duration::Millis(10));
+  stream.Reset(TimePoint::FromSeconds(1.0));
+  EXPECT_EQ(stream.free_at().seconds(), 1.0);
+  EXPECT_EQ(stream.busy_time().micros(), 0);
+  EXPECT_EQ(stream.idle_time().micros(), 0);
+}
+
+}  // namespace
+}  // namespace flashps::device

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/diffusion_model.h"
+
+namespace flashps::model {
+namespace {
+
+class DiffusionModelTest : public ::testing::Test {
+ protected:
+  DiffusionModelTest()
+      : model_(NumericsConfig::ForTests()), mask_rng_(77) {
+    mask_ = trace::GenerateBlobMask(model_.config().grid_h,
+                                    model_.config().grid_w, 0.2, mask_rng_);
+  }
+
+  DiffusionModel model_;
+  Rng mask_rng_;
+  trace::Mask mask_;
+};
+
+TEST_F(DiffusionModelTest, TemplateEncodingDeterministicAndDistinct) {
+  const Matrix a = model_.EncodeTemplate(3);
+  const Matrix b = model_.EncodeTemplate(3);
+  const Matrix c = model_.EncodeTemplate(4);
+  ASSERT_EQ(a.rows(), model_.config().tokens());
+  EXPECT_DOUBLE_EQ(MeanAbsDiff(a, b), 0.0);
+  EXPECT_GT(MeanAbsDiff(a, c), 0.01);
+}
+
+TEST_F(DiffusionModelTest, InitEditLatentTouchesOnlyMaskedRows) {
+  const Matrix tmpl = model_.EncodeTemplate(1);
+  const Matrix latent = model_.InitEditLatent(tmpl, mask_, 55);
+  for (const int t : mask_.unmasked_tokens) {
+    for (int j = 0; j < model_.config().hidden; ++j) {
+      EXPECT_EQ(latent.at(t, j), tmpl.at(t, j));
+    }
+  }
+  double masked_diff = 0.0;
+  for (const int t : mask_.masked_tokens) {
+    for (int j = 0; j < model_.config().hidden; ++j) {
+      masked_diff += std::abs(latent.at(t, j) - tmpl.at(t, j));
+    }
+  }
+  EXPECT_GT(masked_diff, 0.1);
+}
+
+TEST_F(DiffusionModelTest, RegistrationShapes) {
+  const ActivationRecord record = model_.Register(1);
+  ASSERT_EQ(static_cast<int>(record.steps.size()), model_.config().num_steps);
+  for (const auto& step : record.steps) {
+    ASSERT_EQ(static_cast<int>(step.y.size()), model_.config().num_blocks);
+    for (const auto& y : step.y) {
+      EXPECT_EQ(y.rows(), model_.config().tokens());
+      EXPECT_EQ(y.cols(), model_.config().hidden);
+    }
+  }
+  EXPECT_FALSE(record.has_kv());
+  EXPECT_GT(record.TotalBytes(), 0u);
+
+  const ActivationRecord with_kv = model_.Register(1, /*record_kv=*/true);
+  EXPECT_TRUE(with_kv.has_kv());
+  EXPECT_NEAR(static_cast<double>(with_kv.TotalBytes()),
+              3.0 * static_cast<double>(record.TotalBytes()), 1.0);
+}
+
+TEST_F(DiffusionModelTest, FullRunDeterministicAndFinite) {
+  DiffusionModel::RunOptions options;
+  const Matrix img1 = model_.EditImage(1, mask_, 9, options);
+  const Matrix img2 = model_.EditImage(1, mask_, 9, options);
+  EXPECT_DOUBLE_EQ(MeanAbsDiff(img1, img2), 0.0);
+  for (size_t i = 0; i < img1.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(img1.data()[i]));
+    EXPECT_GE(img1.data()[i], 0.0f);
+    EXPECT_LE(img1.data()[i], 1.0f);
+  }
+}
+
+TEST_F(DiffusionModelTest, DifferentPromptsDifferentMaskedOutput) {
+  DiffusionModel::RunOptions options;
+  const Matrix a = model_.EditImage(1, mask_, 9, options);
+  const Matrix b = model_.EditImage(1, mask_, 10, options);
+  EXPECT_GT(MeanAbsDiff(a, b), 1e-4);
+}
+
+TEST_F(DiffusionModelTest, MaskAwareYCloseToFullCompute) {
+  // The core quality claim (§3.1, Table 2): reusing the registration cache
+  // for unmasked tokens yields outputs nearly identical to full compute.
+  const ActivationRecord cache = model_.Register(1);
+
+  DiffusionModel::RunOptions full;
+  const Matrix img_full = model_.EditImage(1, mask_, 9, full);
+
+  DiffusionModel::RunOptions mask_aware;
+  mask_aware.mode = ComputeMode::kMaskAwareY;
+  mask_aware.cache = &cache;
+  mask_aware.mask = &mask_;
+  const Matrix img_cached = model_.EditImage(1, mask_, 9, mask_aware);
+
+  const double full_range_err = MeanAbsDiff(img_full, img_cached);
+  EXPECT_LT(full_range_err, 0.05);
+
+  // And it must be materially closer to full compute than a sparse
+  // (context-free) run is.
+  DiffusionModel::RunOptions sparse;
+  sparse.mode = ComputeMode::kSparse;
+  sparse.mask = &mask_;
+  const Matrix img_sparse = model_.EditImage(1, mask_, 9, sparse);
+  EXPECT_LT(full_range_err, MeanAbsDiff(img_full, img_sparse));
+}
+
+TEST_F(DiffusionModelTest, KvModeMatchesYMode) {
+  const ActivationRecord cache = model_.Register(1, /*record_kv=*/true);
+  DiffusionModel::RunOptions y_mode;
+  y_mode.mode = ComputeMode::kMaskAwareY;
+  y_mode.cache = &cache;
+  y_mode.mask = &mask_;
+  DiffusionModel::RunOptions kv_mode = y_mode;
+  kv_mode.mode = ComputeMode::kMaskAwareKV;
+
+  const Matrix img_y = model_.EditImage(1, mask_, 9, y_mode);
+  const Matrix img_kv = model_.EditImage(1, mask_, 9, kv_mode);
+  // §3.1: the KV alternative changes cost, not results.
+  EXPECT_LT(MeanAbsDiff(img_y, img_kv), 2e-3);
+}
+
+TEST_F(DiffusionModelTest, PartialCacheBlocksStillClose) {
+  // The bubble-free pipeline may recompute some blocks in full; quality must
+  // not degrade (recomputing is exact).
+  const ActivationRecord cache = model_.Register(1);
+  DiffusionModel::RunOptions full;
+  const Matrix img_full = model_.EditImage(1, mask_, 9, full);
+
+  DiffusionModel::RunOptions partial;
+  partial.mode = ComputeMode::kMaskAwareY;
+  partial.cache = &cache;
+  partial.mask = &mask_;
+  partial.use_cache_blocks = {true, false, true, false};
+  const Matrix img_partial = model_.EditImage(1, mask_, 9, partial);
+
+  DiffusionModel::RunOptions all_cached = partial;
+  all_cached.use_cache_blocks.clear();
+  const Matrix img_all = model_.EditImage(1, mask_, 9, all_cached);
+
+  EXPECT_LT(MeanAbsDiff(img_full, img_partial),
+            MeanAbsDiff(img_full, img_all) + 0.02);
+  EXPECT_LT(MeanAbsDiff(img_full, img_partial), 0.05);
+}
+
+TEST_F(DiffusionModelTest, SparseLeavesUnmaskedPixelsUntouched) {
+  DiffusionModel::RunOptions sparse;
+  sparse.mode = ComputeMode::kSparse;
+  sparse.mask = &mask_;
+
+  const Matrix tmpl_latent = model_.EncodeTemplate(1);
+  Matrix init = model_.InitEditLatent(tmpl_latent, mask_, 9);
+  const auto result = model_.RunDenoise(init, sparse);
+  for (const int t : mask_.unmasked_tokens) {
+    for (int j = 0; j < model_.config().hidden; ++j) {
+      EXPECT_EQ(result.final_latent.at(t, j), init.at(t, j));
+    }
+  }
+}
+
+TEST_F(DiffusionModelTest, TeaCacheSkipsStepsAndDegradesOutput) {
+  DiffusionModel::RunOptions full;
+  const Matrix img_full = model_.EditImage(1, mask_, 9, full);
+
+  DiffusionModel::RunOptions tea;
+  tea.mode = ComputeMode::kTeaCache;
+  tea.teacache_threshold = 0.2;
+  const Matrix tmpl_latent = model_.EncodeTemplate(1);
+  Matrix init = model_.InitEditLatent(tmpl_latent, mask_, 9);
+  const auto result = model_.RunDenoise(init, tea);
+  EXPECT_GT(result.skipped_steps, 0);
+  EXPECT_EQ(result.skipped_steps + result.computed_steps,
+            model_.config().num_steps);
+
+  const Matrix img_tea = model_.DecodeLatent(result.final_latent);
+  EXPECT_GT(MeanAbsDiff(img_full, img_tea), 1e-4);
+}
+
+TEST_F(DiffusionModelTest, TeaCacheThresholdControlsSkipping) {
+  const Matrix tmpl_latent = model_.EncodeTemplate(1);
+  DiffusionModel::RunOptions tea;
+  tea.mode = ComputeMode::kTeaCache;
+
+  tea.teacache_threshold = 0.05;
+  Matrix init = model_.InitEditLatent(tmpl_latent, mask_, 9);
+  const auto low = model_.RunDenoise(init, tea);
+
+  tea.teacache_threshold = 0.5;
+  init = model_.InitEditLatent(tmpl_latent, mask_, 9);
+  const auto high = model_.RunDenoise(init, tea);
+
+  EXPECT_GE(high.skipped_steps, low.skipped_steps);
+}
+
+TEST_F(DiffusionModelTest, DecodeShapeAndRange) {
+  const Matrix latent = model_.EncodeTemplate(2);
+  const Matrix img = model_.DecodeLatent(latent);
+  EXPECT_EQ(img.rows(), model_.config().image_h());
+  EXPECT_EQ(img.cols(), model_.config().image_w());
+  for (size_t i = 0; i < img.size(); ++i) {
+    EXPECT_GE(img.data()[i], 0.0f);
+    EXPECT_LE(img.data()[i], 1.0f);
+  }
+}
+
+TEST_F(DiffusionModelTest, RecordedActivationsMatchRegistrationOnTemplateRun) {
+  // Running the raw template through RunDenoise with a recorder must produce
+  // the same activations as Register (they are the same computation).
+  ActivationRecord via_register = model_.Register(1);
+
+  ActivationRecord via_record;
+  DiffusionModel::RunOptions options;
+  options.record = &via_record;
+  auto result = model_.RunDenoise(model_.EncodeTemplate(1), options);
+  (void)result;
+
+  ASSERT_EQ(via_record.steps.size(), via_register.steps.size());
+  for (size_t s = 0; s < via_record.steps.size(); ++s) {
+    for (size_t b = 0; b < via_record.steps[s].y.size(); ++b) {
+      EXPECT_LT(MeanAbsDiff(via_record.steps[s].y[b],
+                            via_register.steps[s].y[b]),
+                1e-6)
+          << "step " << s << " block " << b;
+    }
+  }
+}
+
+TEST_F(DiffusionModelTest, UnmaskedActivationsSimilarAcrossRequests) {
+  // Fig. 6-Left: Y activations of unmasked tokens are highly similar across
+  // different edits of the same template, masked tokens less so.
+  DiffusionModel::RunOptions options;
+  ActivationRecord rec_a;
+  ActivationRecord rec_b;
+  const Matrix tmpl = model_.EncodeTemplate(1);
+
+  options.record = &rec_a;
+  model_.RunDenoise(model_.InitEditLatent(tmpl, mask_, 111), options);
+  options.record = &rec_b;
+  model_.RunDenoise(model_.InitEditLatent(tmpl, mask_, 222), options);
+
+  const int last_step = model_.config().num_steps - 1;
+  const int last_block = model_.config().num_blocks - 1;
+  const Matrix& ya = rec_a.steps[last_step].y[last_block];
+  const Matrix& yb = rec_b.steps[last_step].y[last_block];
+
+  double unmasked_sim = 0.0;
+  for (const int t : mask_.unmasked_tokens) {
+    unmasked_sim += CosineSimilarity(ya, t, yb, t);
+  }
+  unmasked_sim /= static_cast<double>(mask_.unmasked_tokens.size());
+
+  double masked_sim = 0.0;
+  for (const int t : mask_.masked_tokens) {
+    masked_sim += CosineSimilarity(ya, t, yb, t);
+  }
+  masked_sim /= static_cast<double>(mask_.masked_tokens.size());
+
+  EXPECT_GT(unmasked_sim, 0.95);
+  EXPECT_GT(unmasked_sim, masked_sim);
+}
+
+}  // namespace
+}  // namespace flashps::model

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/cache/disk_store.h"
+
+namespace flashps::cache {
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  DiskStoreTest()
+      : dir_(std::filesystem::temp_directory_path() /
+             ("flashps_disk_test_" + std::to_string(::getpid()))),
+        model_(model::NumericsConfig::ForTests()) {}
+  ~DiskStoreTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  model::DiffusionModel model_;
+};
+
+void ExpectRecordsEqual(const model::ActivationRecord& a,
+                        const model::ActivationRecord& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  ASSERT_EQ(a.has_kv(), b.has_kv());
+  for (size_t s = 0; s < a.steps.size(); ++s) {
+    ASSERT_EQ(a.steps[s].y.size(), b.steps[s].y.size());
+    for (size_t blk = 0; blk < a.steps[s].y.size(); ++blk) {
+      ASSERT_EQ(a.steps[s].y[blk].rows(), b.steps[s].y[blk].rows());
+      EXPECT_DOUBLE_EQ(MeanAbsDiff(a.steps[s].y[blk], b.steps[s].y[blk]), 0.0);
+    }
+    for (size_t blk = 0; blk < a.steps[s].k.size(); ++blk) {
+      EXPECT_DOUBLE_EQ(MeanAbsDiff(a.steps[s].k[blk], b.steps[s].k[blk]), 0.0);
+      EXPECT_DOUBLE_EQ(MeanAbsDiff(a.steps[s].v[blk], b.steps[s].v[blk]), 0.0);
+    }
+  }
+}
+
+TEST_F(DiskStoreTest, SerializeRoundTrip) {
+  const auto record = model_.Register(3);
+  const std::string bytes = SerializeRecord(record);
+  EXPECT_GT(bytes.size(), record.TotalBytes());  // Payload + headers.
+  const auto back = DeserializeRecord(bytes);
+  ExpectRecordsEqual(record, back);
+}
+
+TEST_F(DiskStoreTest, SerializeRoundTripWithKv) {
+  const auto record = model_.Register(3, /*record_kv=*/true);
+  const auto back = DeserializeRecord(SerializeRecord(record));
+  EXPECT_TRUE(back.has_kv());
+  ExpectRecordsEqual(record, back);
+}
+
+TEST_F(DiskStoreTest, RejectsCorruptInput) {
+  const auto record = model_.Register(1);
+  std::string bytes = SerializeRecord(record);
+  EXPECT_THROW(DeserializeRecord(bytes.substr(0, 10)), std::runtime_error);
+  std::string bad_magic = bytes;
+  bad_magic[0] = static_cast<char>(~bad_magic[0]);
+  EXPECT_THROW(DeserializeRecord(bad_magic), std::runtime_error);
+  std::string trailing = bytes + "junk";
+  EXPECT_THROW(DeserializeRecord(trailing), std::runtime_error);
+  EXPECT_THROW(DeserializeRecord(""), std::runtime_error);
+}
+
+TEST_F(DiskStoreTest, PutGetEvictLifecycle) {
+  DiskActivationStore store(dir_);
+  EXPECT_FALSE(store.Contains(5));
+  EXPECT_FALSE(store.Get(5).has_value());
+
+  const auto record = model_.Register(5);
+  const size_t written = store.Put(5, record);
+  EXPECT_GT(written, 0u);
+  EXPECT_TRUE(store.Contains(5));
+  EXPECT_EQ(store.DiskBytes(), written);
+
+  const auto loaded = store.Get(5);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectRecordsEqual(record, *loaded);
+
+  store.Evict(5);
+  EXPECT_FALSE(store.Contains(5));
+  EXPECT_EQ(store.DiskBytes(), 0u);
+  store.Evict(5);  // Idempotent.
+}
+
+TEST_F(DiskStoreTest, MultipleTemplatesCoexist) {
+  DiskActivationStore store(dir_);
+  const auto a = model_.Register(1);
+  const auto b = model_.Register(2);
+  store.Put(1, a);
+  store.Put(2, b);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(2));
+  // Records are template-specific.
+  const auto back = store.Get(2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_GT(MeanAbsDiff(a.steps[0].y[0], back->steps[0].y[0]), 1e-6);
+}
+
+TEST_F(DiskStoreTest, SpilledRecordStillServesMaskAwareEdits) {
+  // End-to-end through the disk tier: register, spill, drop the in-memory
+  // copy, reload, and verify a mask-aware edit matches exact computation.
+  DiskActivationStore store(dir_);
+  store.Put(7, model_.Register(7));
+
+  const auto loaded = store.Get(7);
+  ASSERT_TRUE(loaded.has_value());
+
+  Rng rng(9);
+  const auto& config = model_.config();
+  const trace::Mask mask =
+      trace::GenerateBlobMask(config.grid_h, config.grid_w, 0.2, rng);
+  model::DiffusionModel::RunOptions exact;
+  const Matrix reference = model_.EditImage(7, mask, 11, exact);
+
+  model::DiffusionModel::RunOptions mask_aware;
+  mask_aware.mode = model::ComputeMode::kMaskAwareY;
+  mask_aware.cache = &*loaded;
+  mask_aware.mask = &mask;
+  const Matrix image = model_.EditImage(7, mask, 11, mask_aware);
+  EXPECT_LT(MeanAbsDiff(reference, image), 0.08);
+}
+
+}  // namespace
+}  // namespace flashps::cache

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "src/model/flops.h"
+#include "src/model/timing.h"
+
+namespace flashps::model {
+namespace {
+
+TEST(FlopsTest, FullBlockBreakdown) {
+  // L=10, H=4: proj 8*10*16=1280, attn 4*100*4=1600, ff 16*10*16=2560.
+  EXPECT_DOUBLE_EQ(FlopsFullBlock(10, 4), 1280 + 1600 + 2560);
+  EXPECT_DOUBLE_EQ(FlopsFullBlock(10, 4, 2.0), 2.0 * (1280 + 1600 + 2560));
+}
+
+TEST(FlopsTest, Table1TokenWiseOpsScaleAs1OverM) {
+  // Table 1: feed-forward and projections accelerate by exactly 1/m under
+  // KV caching (all token-wise ops run on masked tokens only).
+  const double l = 4096;
+  const double h = 1280;
+  for (const double m : {0.1, 0.2, 0.5}) {
+    EXPECT_NEAR(FlopsKvCacheBlock(l, h, m) / FlopsKvCacheBlock(l, h, 1.0), m,
+                1e-12);
+  }
+  // m = 1 recovers the full cost.
+  EXPECT_NEAR(FlopsKvCacheBlock(l, h, 1.0), FlopsFullBlock(l, h), 1e-6);
+}
+
+TEST(FlopsTest, YCacheCostsMoreThanKvCacheButLoadsLess) {
+  // The Y-caching flow recomputes K/V for all tokens, so it does strictly
+  // more FLOPs than the KV alternative, but loads half the bytes (§3.1).
+  const double l = 1024;
+  const double h = 640;
+  for (const double m : {0.05, 0.2, 0.5}) {
+    EXPECT_GT(FlopsYCacheBlock(l, h, m), FlopsKvCacheBlock(l, h, m));
+    EXPECT_LT(FlopsYCacheBlock(l, h, m), FlopsFullBlock(l, h));
+    EXPECT_EQ(KvCacheLoadBytes(1024, 640, m, 2),
+              2 * YCacheLoadBytes(1024, 640, m, 2));
+  }
+}
+
+TEST(FlopsTest, SparseAttentionScalesAsMSquared) {
+  // FISEdit attention spans only masked tokens: quadratic in m.
+  const double l = 2048;
+  const double h = 8;  // Tiny hidden so attention dominates.
+  const double r_small = FlopsSparseBlock(l, h, 0.1);
+  const double r_double = FlopsSparseBlock(l, h, 0.2);
+  // Attention part quadruples; projections double. Ratio lies in (2, 4).
+  EXPECT_GT(r_double / r_small, 2.0);
+  EXPECT_LT(r_double / r_small, 4.0);
+}
+
+TEST(FlopsTest, CacheShapesMatchTable1) {
+  // Cache loaded per block: (1-m)*L rows of H at bytes_per_elem.
+  EXPECT_EQ(YCacheLoadBytes(1000, 64, 0.2, 2), 800u * 64u * 2u);
+  EXPECT_EQ(YCacheStoreBytes(1000, 64, 2), 1000u * 64u * 2u);
+  EXPECT_EQ(YCacheLoadBytes(1000, 64, 1.0, 2), 0u);
+}
+
+TEST(TimingConfigTest, SdxlAnchorsMatchPaper) {
+  const TimingConfig sdxl = TimingConfig::Get(ModelKind::kSdxl);
+  // §1: ~676 TFLOPs to generate a 1024x1024 SDXL image. Our accounting
+  // should land within 2x of it (same order).
+  const double total =
+      (sdxl.TfFlopsPerStepFull() + sdxl.NonTfFlopsPerStep()) *
+      sdxl.denoise_steps;
+  EXPECT_GT(total, 300e12);
+  EXPECT_LT(total, 800e12);
+  // §4.2: ~2.6 GiB cached activations per SDXL template.
+  const double gib = static_cast<double>(sdxl.TemplateCacheStoreBytes()) /
+                     static_cast<double>(1ULL << 30);
+  EXPECT_NEAR(gib, 2.6, 0.4);
+}
+
+TEST(TimingConfigTest, KvCacheDoublesStoreBytes) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  EXPECT_EQ(c.TemplateCacheStoreBytes(ComputeMode::kMaskAwareKV),
+            2 * c.TemplateCacheStoreBytes(ComputeMode::kMaskAwareY));
+}
+
+TEST(BuildStepWorkloadTest, FullModeHasNoLoads) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  const double ratios[] = {0.2, 0.4};
+  const StepWorkload w = BuildStepWorkload(c, ratios, ComputeMode::kFull);
+  ASSERT_EQ(static_cast<int>(w.blocks.size()), c.num_groups);
+  for (const auto& b : w.blocks) {
+    EXPECT_EQ(b.load_bytes, 0u);
+    EXPECT_DOUBLE_EQ(b.flops_with_cache, b.flops_without_cache);
+  }
+}
+
+TEST(BuildStepWorkloadTest, MaskAwareBatchesAreAdditive) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kFlux);
+  const double one[] = {0.3};
+  const double two[] = {0.3, 0.3};
+  const StepWorkload w1 = BuildStepWorkload(c, one, ComputeMode::kMaskAwareY);
+  const StepWorkload w2 = BuildStepWorkload(c, two, ComputeMode::kMaskAwareY);
+  EXPECT_NEAR(w2.blocks[0].flops_with_cache,
+              2.0 * w1.blocks[0].flops_with_cache, 1.0);
+  EXPECT_EQ(w2.blocks[0].load_bytes, 2 * w1.blocks[0].load_bytes);
+  EXPECT_NEAR(w2.non_tf_flops, 2.0 * w1.non_tf_flops, 1.0);
+}
+
+TEST(BuildStepWorkloadTest, SmallerMaskMeansLessComputeMoreLoad) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  const double small[] = {0.05};
+  const double large[] = {0.5};
+  const auto ws = BuildStepWorkload(c, small, ComputeMode::kMaskAwareY);
+  const auto wl = BuildStepWorkload(c, large, ComputeMode::kMaskAwareY);
+  EXPECT_LT(ws.blocks[0].flops_with_cache, wl.blocks[0].flops_with_cache);
+  EXPECT_GT(ws.blocks[0].load_bytes, wl.blocks[0].load_bytes);
+}
+
+TEST(UtilizedComputeLatencyTest, FewTokensRunLessEfficiently) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  const auto spec = device::DeviceSpec::Get(c.gpu);
+  const Duration many = UtilizedComputeLatency(spec, c, 1e12, 4096);
+  const Duration few = UtilizedComputeLatency(spec, c, 1e12, 64);
+  EXPECT_GT(few, many);  // Same FLOPs, fewer tokens => lower SM utilization.
+}
+
+TEST(ComputeStepDurationsTest, VectorsAlignWithBlocks) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kFlux);
+  const auto spec = device::DeviceSpec::Get(c.gpu);
+  const double ratios[] = {0.15};
+  const auto w = BuildStepWorkload(c, ratios, ComputeMode::kMaskAwareY);
+  const auto d = ComputeStepDurations(c, spec, w);
+  ASSERT_EQ(d.compute_with_cache.size(), w.blocks.size());
+  ASSERT_EQ(d.load.size(), w.blocks.size());
+  for (size_t i = 0; i < w.blocks.size(); ++i) {
+    EXPECT_LT(d.compute_with_cache[i], d.compute_without_cache[i]);
+    EXPECT_GT(d.load[i], Duration::Zero());
+  }
+}
+
+TEST(MultiResolutionGroupsTest, EffectiveGroupsDefaultsToUniform) {
+  const TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  const auto groups = c.EffectiveGroups();
+  ASSERT_EQ(static_cast<int>(groups.size()), c.num_groups);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.tokens, c.tokens);
+    EXPECT_EQ(g.hidden, c.hidden);
+    EXPECT_DOUBLE_EQ(g.layers, c.layers_per_group);
+  }
+}
+
+TEST(MultiResolutionGroupsTest, MixedResolutionAccounting) {
+  // A UNet-like config: a few high-resolution groups (many tokens, narrow)
+  // plus many low-resolution groups (fewer tokens, wide).
+  TimingConfig c = TimingConfig::Get(ModelKind::kSdxl);
+  c.groups = {GroupDims{4096, 640, 1.0}, GroupDims{4096, 640, 1.0},
+              GroupDims{1024, 1280, 3.0}, GroupDims{1024, 1280, 3.0},
+              GroupDims{1024, 1280, 3.0}};
+  const double expected =
+      c.cfg_factor * (2.0 * FlopsFullBlock(4096, 640, 1.0) +
+                      3.0 * FlopsFullBlock(1024, 1280, 3.0));
+  EXPECT_NEAR(c.TfFlopsPerStepFull(), expected, 1.0);
+
+  const uint64_t expected_cache =
+      (2 * YCacheStoreBytes(4096, 640, 2) + 3 * YCacheStoreBytes(1024, 1280, 2)) *
+      static_cast<uint64_t>(c.denoise_steps);
+  EXPECT_EQ(c.TemplateCacheStoreBytes(), expected_cache);
+
+  const double ratios[] = {0.2};
+  const auto w = BuildStepWorkload(c, ratios, ComputeMode::kMaskAwareY);
+  ASSERT_EQ(w.blocks.size(), 5u);
+  // High-res groups load more bytes than low-res ones at equal m.
+  EXPECT_GT(w.blocks[0].load_bytes, w.blocks[2].load_bytes);
+  // And their per-group compute reflects their own dimensions.
+  EXPECT_NE(w.blocks[0].flops_with_cache, w.blocks[2].flops_with_cache);
+}
+
+TEST(MultiResolutionGroupsTest, DurationsFollowGroupDims) {
+  TimingConfig c = TimingConfig::Get(ModelKind::kFlux);
+  c.groups = {GroupDims{4096, 2048, 1.0}, GroupDims{1024, 2048, 1.0}};
+  const auto spec = device::DeviceSpec::Get(c.gpu);
+  const double ratios[] = {0.3};
+  const auto w = BuildStepWorkload(c, ratios, ComputeMode::kMaskAwareY);
+  const auto d = ComputeStepDurations(c, spec, w);
+  ASSERT_EQ(d.compute_with_cache.size(), 2u);
+  EXPECT_GT(d.compute_with_cache[0], d.compute_with_cache[1]);
+  EXPECT_GT(d.load[0], d.load[1]);
+}
+
+}  // namespace
+}  // namespace flashps::model

@@ -1,0 +1,166 @@
+// Cross-module integration tests: the pieces the unit suites exercise in
+// isolation, wired together the way the benchmarks and the Service use them.
+#include <gtest/gtest.h>
+
+#include "src/cache/activation_store.h"
+#include "src/cluster/simulation.h"
+#include "src/model/diffusion_model.h"
+#include "src/pipeline/pipeline.h"
+#include "src/quality/metrics.h"
+#include "src/sched/latency_model.h"
+
+namespace flashps {
+namespace {
+
+TEST(PlannerToNumericsIntegration, DpCacheDecisionsPreserveQuality) {
+  // Feed Algorithm 1's per-block cache decisions (computed on the timing
+  // model) into the real numerics: quality must stay close to exact
+  // computation regardless of which blocks the DP picked.
+  const auto timing = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  const auto spec = device::DeviceSpec::Get(timing.gpu);
+  const model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  const model::DiffusionModel m(numerics);
+  cache::ActivationStore store;
+  Rng rng(21);
+
+  for (const double ratio : {0.08, 0.25}) {
+    const double ratios[] = {ratio};
+    const auto workload = model::BuildStepWorkload(
+        timing, ratios, model::ComputeMode::kMaskAwareY);
+    const auto d = model::ComputeStepDurations(timing, spec, workload);
+    auto plan = pipeline::PlanBubbleFree(d.compute_with_cache,
+                                         d.compute_without_cache, d.load);
+    // Map the (possibly longer) timing-side plan onto the numerics blocks.
+    std::vector<bool> use_cache(numerics.num_blocks);
+    for (int b = 0; b < numerics.num_blocks; ++b) {
+      use_cache[b] = plan.use_cache[b % plan.use_cache.size()];
+    }
+
+    const trace::Mask mask = trace::GenerateBlobMask(
+        numerics.grid_h, numerics.grid_w, ratio, rng);
+    model::DiffusionModel::RunOptions exact;
+    const Matrix reference = m.EditImage(1, mask, 77, exact);
+
+    model::DiffusionModel::RunOptions planned;
+    planned.mode = model::ComputeMode::kMaskAwareY;
+    planned.cache = &store.GetOrRegister(m, 1);
+    planned.mask = &mask;
+    planned.use_cache_blocks = use_cache;
+    const Matrix image = m.EditImage(1, mask, 77, planned);
+
+    EXPECT_GT(quality::Ssim(reference, image), 0.85) << "ratio " << ratio;
+  }
+}
+
+TEST(RegressionToWorkerIntegration, SchedulerEstimatesTrackWorkerLatency) {
+  // The scheduler's regression-estimated step latency must track the
+  // serving engine's actual step latency across batch compositions.
+  const auto engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+  const serving::Worker worker(0, engine);
+  const auto lm = sched::LatencyModel::FitOffline(engine.model_config,
+                                                  engine.mode);
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int batch = 1 + static_cast<int>(rng.NextBelow(8));
+    std::vector<double> ratios;
+    for (int i = 0; i < batch; ++i) {
+      ratios.push_back(0.02 + 0.6 * rng.NextDouble());
+    }
+    const double actual = worker.StepLatency(ratios).seconds();
+    const double estimated = lm.EstimateStepLatency(ratios).seconds();
+    EXPECT_NEAR(estimated, actual, 0.30 * actual + 0.003)
+        << "batch " << batch;
+  }
+}
+
+TEST(ClusterQualityIntegration, EndToEndLatencyAndQualityTogether) {
+  // One scenario through both halves: the cluster simulation's latency
+  // advantage and the numerics' quality, on the same request set.
+  trace::WorkloadSpec spec;
+  spec.num_requests = 30;
+  spec.rps = 1.5;
+  spec.denoise_steps = 10;
+  const auto requests = trace::GenerateWorkload(spec);
+
+  cluster::ClusterConfig flash;
+  flash.num_workers = 2;
+  flash.engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+  flash.engine.model_config.denoise_steps = 10;
+  cluster::ClusterConfig diffusers = flash;
+  diffusers.engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kDiffusers, model::ModelKind::kSdxl);
+  diffusers.engine.model_config.denoise_steps = 10;
+  diffusers.policy = sched::RoutePolicy::kRequestCount;
+
+  const auto flash_result = cluster::RunClusterSim(flash, requests);
+  const auto diffusers_result = cluster::RunClusterSim(diffusers, requests);
+  EXPECT_LT(flash_result.total_latency_s.Mean(),
+            diffusers_result.total_latency_s.Mean());
+
+  // Quality spot check on a few of the same requests.
+  const model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  const model::DiffusionModel m(numerics);
+  cache::ActivationStore store;
+  Rng rng(41);
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = requests[i];
+    const trace::Mask mask = trace::GenerateBlobMask(
+        numerics.grid_h, numerics.grid_w, r.mask_ratio, rng);
+    model::DiffusionModel::RunOptions exact;
+    const Matrix reference =
+        m.EditImage(r.template_id % 8, mask, r.id, exact);
+    model::DiffusionModel::RunOptions mask_aware;
+    mask_aware.mode = model::ComputeMode::kMaskAwareY;
+    mask_aware.cache = &store.GetOrRegister(m, r.template_id % 8);
+    mask_aware.mask = &mask;
+    const Matrix image =
+        m.EditImage(r.template_id % 8, mask, r.id, mask_aware);
+    EXPECT_GT(quality::Ssim(reference, image), 0.85);
+  }
+}
+
+TEST(CacheEngineWorkerIntegration, EvictionChurnStaysConsistent) {
+  // Heavy template churn against a tiny host tier: every request must still
+  // complete, promotions must be accounted, and host usage bounded.
+  const auto engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kFlashPS, model::ModelKind::kSdxl);
+  const auto spec = device::DeviceSpec::Get(engine.model_config.gpu);
+  const uint64_t bytes = engine.model_config.TemplateCacheStoreBytes();
+  cache::CacheEngine cache_engine(3 * bytes, spec);
+  for (int t = 0; t < 30; ++t) {
+    cache_engine.RegisterTemplate(t, bytes, TimePoint());
+  }
+  serving::Worker worker(0, engine);
+  worker.AttachCache(&cache_engine);
+
+  Rng rng(51);
+  TimePoint t;
+  for (uint64_t i = 0; i < 40; ++i) {
+    trace::Request r;
+    r.id = i;
+    r.template_id = static_cast<int>(rng.NextBelow(30));
+    r.mask_ratio = 0.05 + 0.4 * rng.NextDouble();
+    r.denoise_steps = 10;
+    t = t + Duration::Seconds(rng.Exponential(0.5));
+    worker.AdvanceTo(t);
+    worker.Enqueue(r, t);
+  }
+  worker.Drain();
+  EXPECT_EQ(worker.TakeCompleted().size(), 40u);
+  EXPECT_LE(cache_engine.host_bytes_used(), cache_engine.host_capacity());
+  EXPECT_GT(cache_engine.stats().disk_promotions, 0u);
+  EXPECT_GT(cache_engine.stats().evictions, 0u);
+}
+
+TEST(TeaCacheBatchGateIntegration, BatchedSkippingIsLessAggressive) {
+  const auto engine = serving::EngineConfig::ForSystem(
+      serving::SystemKind::kTeaCache, model::ModelKind::kSdxl);
+  const serving::Worker worker(0, engine);
+  EXPECT_GT(worker.EffectiveSteps(8), worker.EffectiveSteps(1));
+  EXPECT_LT(worker.EffectiveSteps(8), engine.model_config.denoise_steps);
+}
+
+}  // namespace
+}  // namespace flashps

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/common/log.h"
+
+namespace flashps {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LogTest, SuppressedLevelsDoNotEvaluateStreamArguments) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("payload");
+  };
+  FLASHPS_LOG(kDebug) << expensive();
+  FLASHPS_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);  // Short-circuited below the threshold.
+  FLASHPS_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  FLASHPS_LOG(kError) << [&evaluations] {
+    ++evaluations;
+    return 1;
+  }();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace flashps

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/device/device.h"
+#include "src/model/timing.h"
+#include "src/pipeline/pipeline.h"
+
+namespace flashps::pipeline {
+namespace {
+
+std::vector<Duration> Millis(std::initializer_list<int> values) {
+  std::vector<Duration> out;
+  for (const int v : values) {
+    out.push_back(Duration::Millis(v));
+  }
+  return out;
+}
+
+TEST(ExecutePlanTest, AllCachedComputeBoundHasNoBubbles) {
+  // Loads are much faster than compute: after the first block's load, the
+  // compute stream never stalls.
+  const auto cw = Millis({10, 10, 10});
+  const auto cwo = Millis({30, 30, 30});
+  const auto load = Millis({2, 2, 2});
+  const std::vector<bool> all(3, true);
+  const auto trace = ExecutePlan(cw, cwo, load, all);
+  // First compute waits for first load (2ms), then back-to-back.
+  EXPECT_EQ(trace.total.millis(), 32.0);
+  EXPECT_EQ(trace.compute_idle.millis(), 2.0);
+}
+
+TEST(ExecutePlanTest, LoadBoundPipelineHasBubbles) {
+  const auto cw = Millis({5, 5, 5});
+  const auto cwo = Millis({30, 30, 30});
+  const auto load = Millis({10, 10, 10});
+  const std::vector<bool> all(3, true);
+  const auto trace = ExecutePlan(cw, cwo, load, all);
+  // Compute of block i starts at load end (10i+10); last ends at 35.
+  EXPECT_EQ(trace.total.millis(), 35.0);
+  EXPECT_GT(trace.compute_idle.micros(), 0);
+}
+
+TEST(ExecutePlanTest, UncachedBlocksSkipLoads) {
+  const auto cw = Millis({5, 5});
+  const auto cwo = Millis({8, 8});
+  const auto load = Millis({100, 100});
+  const std::vector<bool> none(2, false);
+  const auto trace = ExecutePlan(cw, cwo, load, none);
+  EXPECT_EQ(trace.total.millis(), 16.0);
+  EXPECT_EQ(trace.compute_idle.micros(), 0);
+}
+
+TEST(PlanBubbleFreeTest, PrefersCacheWhenLoadsAreCheap) {
+  const auto cw = Millis({10, 10, 10, 10});
+  const auto cwo = Millis({40, 40, 40, 40});
+  const auto load = Millis({1, 1, 1, 1});
+  const auto plan = PlanBubbleFree(cw, cwo, load);
+  for (const bool c : plan.use_cache) {
+    EXPECT_TRUE(c);
+  }
+  EXPECT_EQ(plan.latency.millis(), 41.0);
+}
+
+TEST(PlanBubbleFreeTest, AvoidsCacheWhenLoadDominates) {
+  const auto cw = Millis({10, 10});
+  const auto cwo = Millis({12, 12});
+  const auto load = Millis({50, 50});
+  const auto plan = PlanBubbleFree(cw, cwo, load);
+  for (const bool c : plan.use_cache) {
+    EXPECT_FALSE(c);
+  }
+  EXPECT_EQ(plan.latency.millis(), 24.0);
+}
+
+TEST(PlanBubbleFreeTest, MixesWhenLoadIsModeratelyExpensive) {
+  // Caching one block saves 20ms compute at 25ms load; the pipeline can hide
+  // some loading behind other blocks' computation, so a mix wins.
+  const auto cw = Millis({5, 5, 5, 5, 5, 5});
+  const auto cwo = Millis({25, 25, 25, 25, 25, 25});
+  const auto load = Millis({30, 30, 30, 30, 30, 30});
+  const auto plan = PlanBubbleFree(cw, cwo, load);
+  int cached = 0;
+  for (const bool c : plan.use_cache) {
+    cached += c ? 1 : 0;
+  }
+  EXPECT_GT(cached, 0);
+  EXPECT_LT(cached, 6);
+  // Must beat both extremes.
+  const std::vector<bool> all(6, true);
+  const std::vector<bool> none(6, false);
+  EXPECT_LE(plan.latency, ExecutePlan(cw, cwo, load, all).total);
+  EXPECT_LE(plan.latency, ExecutePlan(cw, cwo, load, none).total);
+}
+
+TEST(PlanBubbleFreeTest, PlanLatencyMatchesExecution) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(12));
+    std::vector<Duration> cw;
+    std::vector<Duration> cwo;
+    std::vector<Duration> load;
+    for (int i = 0; i < n; ++i) {
+      const int w = 1 + static_cast<int>(rng.NextBelow(20));
+      cw.push_back(Duration::Millis(w));
+      cwo.push_back(Duration::Millis(w + 1 + static_cast<int>(rng.NextBelow(30))));
+      load.push_back(Duration::Millis(static_cast<int>(rng.NextBelow(40))));
+    }
+    const auto plan = PlanBubbleFree(cw, cwo, load);
+    const auto trace = ExecutePlan(cw, cwo, load, plan.use_cache);
+    EXPECT_EQ(plan.latency.micros(), trace.total.micros());
+  }
+}
+
+TEST(PlanBubbleFreeTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(10));
+    std::vector<Duration> cw;
+    std::vector<Duration> cwo;
+    std::vector<Duration> load;
+    for (int i = 0; i < n; ++i) {
+      const int w = 1 + static_cast<int>(rng.NextBelow(15));
+      cw.push_back(Duration::Millis(w));
+      cwo.push_back(Duration::Millis(w + static_cast<int>(rng.NextBelow(25))));
+      load.push_back(Duration::Millis(static_cast<int>(rng.NextBelow(30))));
+    }
+    const auto dp = PlanBubbleFree(cw, cwo, load);
+    const auto brute = PlanBruteForce(cw, cwo, load);
+    EXPECT_EQ(dp.latency.micros(), brute.latency.micros())
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(PlanBubbleFreeTest, EmptyAndSingleBlock) {
+  const auto empty = PlanBubbleFree({}, {}, {});
+  EXPECT_EQ(empty.latency.micros(), 0);
+
+  const auto cw = Millis({10});
+  const auto cwo = Millis({30});
+  const auto load_cheap = Millis({5});
+  const auto plan = PlanBubbleFree(cw, cwo, load_cheap);
+  EXPECT_TRUE(plan.use_cache[0]);
+  EXPECT_EQ(plan.latency.millis(), 15.0);  // Load then compute.
+
+  const auto load_dear = Millis({25});
+  const auto plan2 = PlanBubbleFree(cw, cwo, load_dear);
+  EXPECT_FALSE(plan2.use_cache[0]);
+  EXPECT_EQ(plan2.latency.millis(), 30.0);
+}
+
+TEST(ReferenceSchemesTest, OrderingNaiveGeStrawmanGeIdeal) {
+  const auto cw = Millis({10, 10, 10, 10});
+  const auto load = Millis({8, 8, 8, 8});
+  const Duration naive = NaiveSequentialLatency(cw, load);
+  const Duration strawman = StrawmanPipelineLatency(cw, load);
+  const Duration ideal = IdealLatency(cw);
+  EXPECT_EQ(naive.millis(), 72.0);
+  EXPECT_EQ(ideal.millis(), 40.0);
+  EXPECT_GE(naive, strawman);
+  EXPECT_GE(strawman, ideal);
+}
+
+TEST(PipelineOnRealModelTest, BubbleFreeNeverWorseAndBeatsStrawmanWhenLoadBinds) {
+  // Flux's per-step cache is large; at small mask ratios loading binds and
+  // the DP's selective caching beats always-caching (paper Fig. 9). At any
+  // ratio it can never be worse.
+  const auto config = model::TimingConfig::Get(model::ModelKind::kFlux);
+  const auto spec = device::DeviceSpec::Get(config.gpu);
+  bool strictly_better_somewhere = false;
+  for (const double m : {0.03, 0.05, 0.1, 0.2, 0.4}) {
+    const double ratios[] = {m};
+    const auto workload = model::BuildStepWorkload(
+        config, ratios, model::ComputeMode::kMaskAwareY);
+    const auto d = model::ComputeStepDurations(config, spec, workload);
+    const auto plan =
+        PlanBubbleFree(d.compute_with_cache, d.compute_without_cache, d.load);
+    const Duration strawman =
+        StrawmanPipelineLatency(d.compute_with_cache, d.load);
+    EXPECT_LE(plan.latency, strawman) << "m=" << m;
+    strictly_better_somewhere |= plan.latency < strawman;
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+}  // namespace
+}  // namespace flashps::pipeline

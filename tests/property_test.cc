@@ -1,0 +1,230 @@
+// Parameterized property-style sweeps over the core invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/model/flops.h"
+#include "src/model/timing.h"
+#include "src/pipeline/pipeline.h"
+#include "src/serving/worker.h"
+#include "src/trace/workload.h"
+
+namespace flashps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table 1 identities across the (L, H, m) space.
+// ---------------------------------------------------------------------------
+
+class FlopsProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(FlopsProperty, Table1Identities) {
+  const auto [tokens, hidden, m] = GetParam();
+  const double l = tokens;
+  const double h = hidden;
+  // KV caching accelerates everything by exactly 1/m.
+  EXPECT_NEAR(model::FlopsKvCacheBlock(l, h, m),
+              m * model::FlopsFullBlock(l, h),
+              1e-6 * model::FlopsFullBlock(l, h));
+  // Ordering: kv <= sparse <= y <= full for m <= 1 (sparse adds nothing over
+  // kv except a smaller attention term).
+  EXPECT_LE(model::FlopsSparseBlock(l, h, m), model::FlopsKvCacheBlock(l, h, m));
+  EXPECT_LE(model::FlopsKvCacheBlock(l, h, m), model::FlopsYCacheBlock(l, h, m));
+  EXPECT_LE(model::FlopsYCacheBlock(l, h, m), model::FlopsFullBlock(l, h));
+  // Cache shape (B, (1-m)L, H): bytes = (1-m)*L*H*2, within rounding.
+  const uint64_t bytes = model::YCacheLoadBytes(tokens, hidden, m, 2);
+  EXPECT_NEAR(static_cast<double>(bytes), (1.0 - m) * l * h * 2.0, h * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlopsProperty,
+    ::testing::Combine(::testing::Values(256, 1024, 4096),
+                       ::testing::Values(320, 1280),
+                       ::testing::Values(0.02, 0.11, 0.35, 0.8, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Pipeline DP invariants across random instances of varying size.
+// ---------------------------------------------------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, DpDominatesAllSingleStrategies) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Duration> cw;
+    std::vector<Duration> cwo;
+    std::vector<Duration> load;
+    for (int i = 0; i < n; ++i) {
+      const int w = 1 + static_cast<int>(rng.NextBelow(10));
+      cw.push_back(Duration::Millis(w));
+      cwo.push_back(Duration::Millis(w + static_cast<int>(rng.NextBelow(20))));
+      load.push_back(Duration::Millis(static_cast<int>(rng.NextBelow(25))));
+    }
+    const auto plan = pipeline::PlanBubbleFree(cw, cwo, load);
+    const std::vector<bool> all(n, true);
+    const std::vector<bool> none(n, false);
+    EXPECT_LE(plan.latency, pipeline::ExecutePlan(cw, cwo, load, all).total);
+    EXPECT_LE(plan.latency, pipeline::ExecutePlan(cw, cwo, load, none).total);
+    // The ideal (free loads) lower-bounds every plan; naive upper-bounds the
+    // all-cached execution.
+    EXPECT_GE(plan.latency, pipeline::IdealLatency(cw) - Duration::Micros(1));
+    EXPECT_GE(pipeline::NaiveSequentialLatency(cw, load),
+              pipeline::StrawmanPipelineLatency(cw, load));
+  }
+}
+
+TEST_P(PipelineProperty, CheaperLoadsNeverHurt) {
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  std::vector<Duration> cw;
+  std::vector<Duration> cwo;
+  std::vector<Duration> load;
+  for (int i = 0; i < n; ++i) {
+    const int w = 1 + static_cast<int>(rng.NextBelow(10));
+    cw.push_back(Duration::Millis(w));
+    cwo.push_back(Duration::Millis(w + 1 + static_cast<int>(rng.NextBelow(20))));
+    load.push_back(Duration::Millis(1 + static_cast<int>(rng.NextBelow(25))));
+  }
+  const auto base = pipeline::PlanBubbleFree(cw, cwo, load);
+  std::vector<Duration> cheaper = load;
+  for (auto& l : cheaper) {
+    l = l / 2;
+  }
+  const auto improved = pipeline::PlanBubbleFree(cw, cwo, cheaper);
+  EXPECT_LE(improved.latency, base.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Serving-engine conservation across policies and modes.
+// ---------------------------------------------------------------------------
+
+struct EngineCase {
+  serving::SystemKind system;
+  serving::BatchPolicy batching;
+};
+
+class WorkerConservation : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(WorkerConservation, EveryRequestCompletesExactlyOnceInOrderlyTime) {
+  const EngineCase param = GetParam();
+  serving::EngineConfig config =
+      serving::EngineConfig::ForSystem(param.system, model::ModelKind::kSdxl);
+  config.batching = param.batching;
+  config.model_config.denoise_steps = 8;
+  serving::Worker worker(0, config);
+
+  Rng rng(7);
+  TimePoint t;
+  constexpr int kRequests = 25;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    trace::Request r;
+    r.id = i;
+    r.template_id = static_cast<int>(i % 4);
+    r.mask_ratio = 0.02 + 0.7 * rng.NextDouble();
+    r.denoise_steps = 8;
+    t = t + Duration::Seconds(rng.Exponential(1.5));
+    worker.AdvanceTo(t);
+    worker.Enqueue(r, t);
+  }
+  const TimePoint end = worker.Drain();
+  const auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), static_cast<size_t>(kRequests));
+  std::vector<bool> seen(kRequests, false);
+  for (const auto& d : done) {
+    ASSERT_LT(d.request.id, kRequests);
+    EXPECT_FALSE(seen[d.request.id]);
+    seen[d.request.id] = true;
+    EXPECT_GE(d.exec_start, d.arrival);
+    EXPECT_GE(d.denoise_done, d.exec_start);
+    EXPECT_GE(d.completion, d.denoise_done);
+    EXPECT_LE(d.completion, end);
+    EXPECT_GE(d.interruptions, 0);
+  }
+  EXPECT_TRUE(worker.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyModes, WorkerConservation,
+    ::testing::Values(
+        EngineCase{serving::SystemKind::kFlashPS,
+                   serving::BatchPolicy::kContinuousDisaggregated},
+        EngineCase{serving::SystemKind::kFlashPS,
+                   serving::BatchPolicy::kContinuousNaive},
+        EngineCase{serving::SystemKind::kFlashPS,
+                   serving::BatchPolicy::kStatic},
+        EngineCase{serving::SystemKind::kDiffusers,
+                   serving::BatchPolicy::kStatic},
+        EngineCase{serving::SystemKind::kTeaCache,
+                   serving::BatchPolicy::kStatic},
+        EngineCase{serving::SystemKind::kFISEdit,
+                   serving::BatchPolicy::kStatic}));
+
+// ---------------------------------------------------------------------------
+// Step-latency monotonicity in ratio and batch for every mode.
+// ---------------------------------------------------------------------------
+
+class StepLatencyMonotone
+    : public ::testing::TestWithParam<model::ModelKind> {};
+
+TEST_P(StepLatencyMonotone, GrowsWithRatioAndBatch) {
+  const auto kind = GetParam();
+  const auto engine =
+      serving::EngineConfig::ForSystem(serving::SystemKind::kFlashPS, kind);
+  const serving::Worker worker(0, engine);
+  Duration prev;
+  for (double m = 0.1; m <= 0.9; m += 0.1) {
+    const Duration step = worker.StepLatency({m});
+    EXPECT_GE(step + Duration::Micros(200), prev) << "m=" << m;
+    prev = step;
+  }
+  // Adding a request never reduces step latency.
+  std::vector<double> batch;
+  prev = Duration::Zero();
+  for (int b = 1; b <= 8; ++b) {
+    batch.push_back(0.2);
+    const Duration step = worker.StepLatency(batch);
+    EXPECT_GT(step, prev);
+    prev = step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, StepLatencyMonotone,
+                         ::testing::Values(model::ModelKind::kSd21,
+                                           model::ModelKind::kSdxl,
+                                           model::ModelKind::kFlux));
+
+// ---------------------------------------------------------------------------
+// Mask generation properties across grid shapes.
+// ---------------------------------------------------------------------------
+
+class MaskGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MaskGridProperty, BlobAndRectRespectRatioOnAnyGrid) {
+  const auto [h, w] = GetParam();
+  Rng rng(h * 100 + w);
+  for (const double ratio : {0.1, 0.5, 0.9}) {
+    const trace::Mask blob = trace::GenerateBlobMask(h, w, ratio, rng);
+    EXPECT_EQ(blob.grid_h, h);
+    EXPECT_EQ(blob.grid_w, w);
+    EXPECT_EQ(static_cast<int>(blob.masked_tokens.size() +
+                               blob.unmasked_tokens.size()),
+              h * w);
+    EXPECT_NEAR(blob.ratio(), ratio, 2.0 / (h * w) + 0.01);
+    const trace::Mask rect = trace::GenerateRectMask(h, w, ratio, rng);
+    EXPECT_NEAR(rect.ratio(), ratio, 0.35);  // Rectangles quantize coarsely.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MaskGridProperty,
+                         ::testing::Combine(::testing::Values(4, 12, 31),
+                                            ::testing::Values(5, 12, 17)));
+
+}  // namespace
+}  // namespace flashps

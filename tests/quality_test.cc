@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/quality/metrics.h"
+
+namespace flashps::quality {
+namespace {
+
+Matrix RandomImage(int h, int w, uint64_t seed) {
+  Matrix img(h, w);
+  Rng rng(seed);
+  for (size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = static_cast<float>(rng.NextDouble());
+  }
+  return img;
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne) {
+  const Matrix img = RandomImage(48, 48, 1);
+  EXPECT_NEAR(Ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(SsimTest, IndependentNoiseScoresLow) {
+  const Matrix a = RandomImage(48, 48, 1);
+  const Matrix b = RandomImage(48, 48, 2);
+  EXPECT_LT(Ssim(a, b), 0.2);
+}
+
+TEST(SsimTest, MonotoneInNoiseLevel) {
+  const Matrix clean = RandomImage(48, 48, 3);
+  Rng rng(4);
+  auto noisy = [&](float level) {
+    Matrix out = clean;
+    for (size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = std::clamp(
+          out.data()[i] + level * static_cast<float>(rng.Normal()), 0.0f, 1.0f);
+    }
+    return out;
+  };
+  const double s_small = Ssim(clean, noisy(0.02f));
+  const double s_large = Ssim(clean, noisy(0.2f));
+  EXPECT_GT(s_small, 0.9);
+  EXPECT_GT(s_small, s_large);
+}
+
+TEST(SsimTest, SymmetricAndBounded) {
+  const Matrix a = RandomImage(32, 32, 5);
+  const Matrix b = RandomImage(32, 32, 6);
+  EXPECT_NEAR(Ssim(a, b), Ssim(b, a), 1e-12);
+  EXPECT_LE(Ssim(a, b), 1.0);
+  EXPECT_GE(Ssim(a, b), -1.0);
+}
+
+TEST(SsimTest, TinyImagesShrinkWindow) {
+  const Matrix a = RandomImage(6, 6, 7);
+  EXPECT_NEAR(Ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(PsnrTest, IdenticalAndKnownValues) {
+  const Matrix img = RandomImage(32, 32, 21);
+  EXPECT_DOUBLE_EQ(Psnr(img, img), 99.0);
+  // Uniform offset of 0.1: MSE = 0.01 -> PSNR = 20 dB.
+  Matrix shifted = img;
+  for (size_t i = 0; i < shifted.size(); ++i) {
+    shifted.data()[i] = img.data()[i] * 0.0f + 0.1f;
+  }
+  Matrix zeros(32, 32);
+  EXPECT_NEAR(Psnr(zeros, shifted), 20.0, 1e-5);
+}
+
+TEST(PsnrTest, MonotoneInNoise) {
+  const Matrix clean = RandomImage(32, 32, 22);
+  Rng rng(23);
+  auto noisy = [&](float level) {
+    Matrix out = clean;
+    for (size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] += level * static_cast<float>(rng.Normal());
+    }
+    return out;
+  };
+  EXPECT_GT(Psnr(clean, noisy(0.01f)), Psnr(clean, noisy(0.1f)));
+}
+
+TEST(SymmetricEigenTest, RecoversKnownSpectrum) {
+  // Diagonal matrix: eigenvalues are the diagonal.
+  std::vector<std::vector<double>> m = {
+      {3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  SymmetricEigen(m, evals, evecs);
+  std::sort(evals.begin(), evals.end());
+  EXPECT_NEAR(evals[0], 1.0, 1e-9);
+  EXPECT_NEAR(evals[1], 2.0, 1e-9);
+  EXPECT_NEAR(evals[2], 3.0, 1e-9);
+}
+
+TEST(SymmetricSqrtTest, SquaresBack) {
+  // Random SPD matrix A = B*B^T.
+  Rng rng(8);
+  const int n = 6;
+  std::vector<std::vector<double>> b(n, std::vector<double>(n));
+  for (auto& row : b) {
+    for (auto& v : row) {
+      v = rng.Normal();
+    }
+  }
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        a[i][j] += b[i][k] * b[j][k];
+      }
+    }
+  }
+  const auto root = SymmetricSqrt(a);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += root[i][k] * root[k][j];
+      }
+      EXPECT_NEAR(acc, a[i][j], 1e-6);
+    }
+  }
+}
+
+TEST(FrechetDistanceTest, ZeroForIdenticalStats) {
+  const std::vector<Matrix> imgs = {RandomImage(48, 48, 9),
+                                    RandomImage(48, 48, 10)};
+  const FeatureExtractor extractor;
+  const FeatureStats s = ComputeFeatureStats(imgs, extractor);
+  EXPECT_NEAR(FrechetDistance(s, s), 0.0, 1e-6);
+}
+
+TEST(FrechetDistanceTest, GrowsWithMeanShift) {
+  FeatureStats a;
+  a.mean = {0.0, 0.0};
+  a.cov = {{1.0, 0.0}, {0.0, 1.0}};
+  FeatureStats b = a;
+  b.mean = {1.0, 0.0};
+  FeatureStats c = a;
+  c.mean = {3.0, 0.0};
+  EXPECT_NEAR(FrechetDistance(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(FrechetDistance(a, c), 9.0, 1e-9);
+}
+
+TEST(FrechetDistanceTest, KnownGaussianCovarianceCase) {
+  // Same mean, covariances sigma1^2 I and sigma2^2 I:
+  // d^2 = dims * (sigma1 - sigma2)^2.
+  FeatureStats a;
+  a.mean = {0.0, 0.0};
+  a.cov = {{4.0, 0.0}, {0.0, 4.0}};
+  FeatureStats b = a;
+  b.cov = {{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(FrechetDistance(a, b), 2.0 * (2.0 - 1.0) * (2.0 - 1.0), 1e-9);
+}
+
+TEST(FidScoreTest, SimilarSetsScoreLowerThanDissimilar) {
+  std::vector<Matrix> ref;
+  std::vector<Matrix> close;
+  std::vector<Matrix> far;
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) {
+    Matrix base = RandomImage(48, 48, 100 + i);
+    ref.push_back(base);
+    Matrix perturbed = base;
+    for (size_t k = 0; k < perturbed.size(); ++k) {
+      perturbed.data()[k] = std::clamp(
+          perturbed.data()[k] + 0.02f * static_cast<float>(rng.Normal()),
+          0.0f, 1.0f);
+    }
+    close.push_back(perturbed);
+    Matrix unrelated = RandomImage(48, 48, 500 + i);
+    // Shift its mean so the feature distributions differ clearly.
+    for (size_t k = 0; k < unrelated.size(); ++k) {
+      unrelated.data()[k] = 0.5f + 0.5f * unrelated.data()[k];
+    }
+    far.push_back(unrelated);
+  }
+  const double fid_close = FidScore(close, ref);
+  const double fid_far = FidScore(far, ref);
+  EXPECT_LT(fid_close, fid_far);
+  EXPECT_GE(fid_close, 0.0);
+}
+
+TEST(ClipProxyTest, AlignedRegionScoresHigher) {
+  Rng rng(12);
+  const int patch = 4;
+  trace::Mask mask = trace::GenerateBlobMask(8, 8, 0.25, rng);
+  Matrix prompt_texture = RandomImage(32, 32, 13);
+
+  // Perfectly aligned: the image equals the prompt texture in the mask.
+  Matrix aligned = RandomImage(32, 32, 14);
+  for (const int t : mask.masked_tokens) {
+    const int gr = t / mask.grid_w;
+    const int gc = t % mask.grid_w;
+    for (int i = 0; i < patch; ++i) {
+      for (int j = 0; j < patch; ++j) {
+        aligned.at(gr * patch + i, gc * patch + j) =
+            prompt_texture.at(gr * patch + i, gc * patch + j);
+      }
+    }
+  }
+  const Matrix unaligned = RandomImage(32, 32, 15);
+
+  const double s_aligned = ClipProxyScore(aligned, prompt_texture, mask, patch);
+  const double s_unaligned =
+      ClipProxyScore(unaligned, prompt_texture, mask, patch);
+  EXPECT_NEAR(s_aligned, 32.0, 1e-6);  // Correlation 1 -> 16 * 2.
+  EXPECT_LT(s_unaligned, s_aligned);
+}
+
+}  // namespace
+}  // namespace flashps::quality

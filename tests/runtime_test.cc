@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/quality/metrics.h"
+#include "src/runtime/concurrent_queue.h"
+#include "src/runtime/online_server.h"
+#include "src/runtime/thread_pool.h"
+
+namespace flashps::runtime {
+namespace {
+
+TEST(ConcurrentQueueTest, FifoOrder) {
+  ConcurrentQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.TryPop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(ConcurrentQueueTest, CloseDrainsThenReturnsNullopt) {
+  ConcurrentQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_FALSE(q.Push(8));
+  EXPECT_EQ(*q.Pop(), 7);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ConcurrentQueueTest, DrainUpTo) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(i);
+  }
+  const auto batch = q.DrainUpTo(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 0);
+  EXPECT_EQ(batch[2], 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ConcurrentQueueTest, CrossThreadHandoff) {
+  ConcurrentQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      q.Push(i);
+    }
+    q.Close();
+  });
+  int count = 0;
+  int last = -1;
+  while (auto v = q.Pop()) {
+    EXPECT_EQ(*v, last + 1);
+    last = *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(pool.completed(), 50u);
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown();  // Idempotent.
+}
+
+class OnlineServerTest : public ::testing::Test {
+ protected:
+  static OnlineRequest MakeRequest(const model::NumericsConfig& numerics,
+                                   int i, Rng& rng) {
+    OnlineRequest r;
+    r.template_id = i % 3;
+    r.mask = trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w,
+                                     0.15 + 0.2 * rng.NextDouble(), rng);
+    r.prompt_seed = 900 + i;
+    return r;
+  }
+};
+
+TEST_F(OnlineServerTest, ServesRequestsEndToEnd) {
+  OnlineServer::Options options;
+  options.max_batch = 3;
+  OnlineServer server(options);
+  Rng rng(1);
+
+  std::vector<std::future<OnlineResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        server.Submit(MakeRequest(options.numerics, i, rng)));
+  }
+  std::set<uint64_t> ids;
+  for (auto& f : futures) {
+    OnlineResponse r = f.get();
+    EXPECT_TRUE(ids.insert(r.id).second);
+    EXPECT_EQ(r.image.rows(), options.numerics.image_h());
+    EXPECT_GE(r.total_ms(), 0.0);
+    EXPECT_LE(r.submitted, r.admitted);
+    EXPECT_LE(r.admitted, r.denoise_done);
+    EXPECT_LE(r.denoise_done, r.completed);
+  }
+  server.Stop();
+  EXPECT_EQ(server.completed_count(), 6u);
+}
+
+TEST_F(OnlineServerTest, MaskAwareOutputMatchesOfflineEngine) {
+  OnlineServer::Options options;
+  OnlineServer server(options);
+  Rng rng(2);
+  OnlineRequest request = MakeRequest(options.numerics, 1, rng);
+  const OnlineRequest copy = request;
+  OnlineResponse response = server.Submit(std::move(request)).get();
+  server.Stop();
+
+  // The offline engine with the same inputs must produce the same image.
+  const model::DiffusionModel& m = server.model();
+  cache::ActivationStore store;
+  model::DiffusionModel::RunOptions opts;
+  opts.mode = model::ComputeMode::kMaskAwareY;
+  opts.cache = &store.GetOrRegister(m, copy.template_id);
+  opts.mask = &copy.mask;
+  const Matrix offline =
+      m.EditImage(copy.template_id, copy.mask, copy.prompt_seed, opts);
+  EXPECT_DOUBLE_EQ(MeanAbsDiff(response.image, offline), 0.0);
+}
+
+TEST_F(OnlineServerTest, NonDisaggregatedAndFullComputeModes) {
+  OnlineServer::Options options;
+  options.disaggregate = false;
+  options.mask_aware = false;
+  OnlineServer server(options);
+  Rng rng(3);
+  auto f1 = server.Submit(MakeRequest(options.numerics, 0, rng));
+  auto f2 = server.Submit(MakeRequest(options.numerics, 1, rng));
+  EXPECT_GT(f1.get().image.rows(), 0);
+  EXPECT_GT(f2.get().image.rows(), 0);
+  server.Stop();
+  EXPECT_EQ(server.completed_count(), 2u);
+}
+
+TEST_F(OnlineServerTest, StopWithoutRequestsIsClean) {
+  OnlineServer::Options options;
+  OnlineServer server(options);
+  server.Stop();
+  EXPECT_EQ(server.completed_count(), 0u);
+}
+
+TEST_F(OnlineServerTest, SubmitAfterStopThrows) {
+  OnlineServer::Options options;
+  OnlineServer server(options);
+  server.Stop();
+  Rng rng(4);
+  EXPECT_THROW(server.Submit(MakeRequest(options.numerics, 0, rng)),
+               std::runtime_error);
+}
+
+TEST_F(OnlineServerTest, ContinuousBatchingInterleavesRequests) {
+  // A request submitted while another is in flight must be admitted before
+  // the first finishes (step-level join): its admission time precedes the
+  // first request's denoise_done.
+  OnlineServer::Options options;
+  options.max_batch = 2;
+  options.numerics.num_steps = 12;  // Long enough to observe interleaving.
+  OnlineServer server(options);
+  Rng rng(5);
+
+  auto f1 = server.Submit(MakeRequest(options.numerics, 0, rng));
+  // Give the first request a head start, then submit the second.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto f2 = server.Submit(MakeRequest(options.numerics, 1, rng));
+
+  const OnlineResponse r1 = f1.get();
+  const OnlineResponse r2 = f2.get();
+  EXPECT_LT(r2.admitted, r1.denoise_done)
+      << "second request should join the running batch mid-flight";
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace flashps::runtime

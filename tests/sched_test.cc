@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/latency_model.h"
+#include "src/sched/scheduler.h"
+
+namespace flashps::sched {
+namespace {
+
+using model::ComputeMode;
+using model::ModelKind;
+
+trace::Request MakeRequest(double ratio) {
+  trace::Request r;
+  r.mask_ratio = ratio;
+  r.denoise_steps = 50;
+  return r;
+}
+
+WorkerStatus MakeStatus(int id, std::vector<double> running,
+                        std::vector<double> waiting = {}) {
+  WorkerStatus s;
+  s.worker_id = id;
+  s.running_ratios = std::move(running);
+  s.waiting_ratios = std::move(waiting);
+  s.remaining_steps =
+      static_cast<int64_t>(s.running_ratios.size() + s.waiting_ratios.size()) *
+      25;
+  s.max_batch = 8;
+  s.has_slack =
+      s.running_ratios.size() + s.waiting_ratios.size() < 8;
+  return s;
+}
+
+TEST(LatencyModelTest, FitsWithHighR2) {
+  // Fig. 11: the linear FLOPs->latency regression fits with R^2 ~= 0.99.
+  for (const ModelKind kind :
+       {ModelKind::kSd21, ModelKind::kSdxl, ModelKind::kFlux}) {
+    const auto m = LatencyModel::FitOffline(model::TimingConfig::Get(kind),
+                                            ComputeMode::kMaskAwareY);
+    EXPECT_GT(m.compute_fit().r2, 0.98) << model::ToString(kind);
+    EXPECT_GT(m.compute_fit().slope, 0.0);
+    EXPECT_GT(m.load_fit().r2, 0.98) << model::ToString(kind);
+    EXPECT_GT(m.load_fit().slope, 0.0);
+  }
+}
+
+TEST(LatencyModelTest, EstimatesTrackTheDeviceModel) {
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  const auto spec = device::DeviceSpec::Get(config.gpu);
+  const auto m = LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY);
+  for (const double ratio : {0.05, 0.2, 0.5}) {
+    const std::vector<double> ratios = {ratio};
+    const auto workload =
+        model::BuildStepWorkload(config, ratios, ComputeMode::kMaskAwareY);
+    const auto truth = model::ComputeStepDurations(config, spec, workload);
+    const auto est = m.EstimateStepDurations(ratios);
+    ASSERT_EQ(est.compute_with_cache.size(), truth.compute_with_cache.size());
+    for (size_t b = 0; b < est.compute_with_cache.size(); ++b) {
+      const double t = truth.compute_with_cache[b].seconds();
+      const double e = est.compute_with_cache[b].seconds();
+      EXPECT_NEAR(e, t, 0.35 * t + 2e-4) << "ratio " << ratio;
+      EXPECT_NEAR(est.load[b].seconds(), truth.load[b].seconds(),
+                  0.05 * truth.load[b].seconds() + 1e-5);
+    }
+  }
+}
+
+TEST(LatencyModelTest, StepLatencyMonotoneInRatioAndBatch) {
+  const auto m = LatencyModel::FitOffline(
+      model::TimingConfig::Get(ModelKind::kSdxl), ComputeMode::kMaskAwareY);
+  const std::vector<double> small = {0.05};
+  const std::vector<double> large = {0.5};
+  EXPECT_LT(m.EstimateStepLatency(small), m.EstimateStepLatency(large));
+  const std::vector<double> batch2 = {0.2, 0.2};
+  const std::vector<double> batch1 = {0.2};
+  EXPECT_GT(m.EstimateStepLatency(batch2), m.EstimateStepLatency(batch1));
+  EXPECT_EQ(m.EstimateStepLatency({}).micros(), 0);
+}
+
+TEST(RoundRobinRouterTest, Cycles) {
+  RoundRobinRouter router;
+  std::vector<WorkerStatus> statuses = {MakeStatus(0, {}), MakeStatus(1, {}),
+                                        MakeStatus(2, {})};
+  const trace::Request r = MakeRequest(0.2);
+  EXPECT_EQ(router.Route(r, statuses), 0);
+  EXPECT_EQ(router.Route(r, statuses), 1);
+  EXPECT_EQ(router.Route(r, statuses), 2);
+  EXPECT_EQ(router.Route(r, statuses), 0);
+}
+
+TEST(FirstFitRouterTest, PicksFirstWorkerWithSlack) {
+  FirstFitRouter router;
+  WorkerStatus full = MakeStatus(0, std::vector<double>(8, 0.1));
+  full.has_slack = false;
+  WorkerStatus open1 = MakeStatus(1, {0.1});
+  WorkerStatus open2 = MakeStatus(2, {});
+  EXPECT_EQ(router.Route(MakeRequest(0.2), {full, open1, open2}), 1);
+  // All full: falls back to fewest outstanding.
+  WorkerStatus full2 = MakeStatus(1, std::vector<double>(8, 0.1),
+                                  {0.1, 0.1});
+  full2.has_slack = false;
+  WorkerStatus full3 = MakeStatus(2, std::vector<double>(8, 0.1));
+  full3.has_slack = false;
+  EXPECT_EQ(router.Route(MakeRequest(0.2), {full, full2, full3}), 0);
+}
+
+TEST(FirstFitRouterTest, ConcentratesLoadOnEarlyWorkers) {
+  // The §4.4 observation: first-fit piles requests onto the first workers
+  // while later ones idle.
+  FirstFitRouter router;
+  std::vector<WorkerStatus> statuses = {MakeStatus(0, {}), MakeStatus(1, {}),
+                                        MakeStatus(2, {})};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(router.Route(MakeRequest(0.2), statuses), 0);
+  }
+}
+
+TEST(RequestCountRouterTest, BalancesAssignmentCounts) {
+  // The baseline balances cumulative *assigned* requests (no runtime
+  // feedback), so over 9 routes each of 3 workers gets 3.
+  RequestCountRouter router;
+  std::vector<WorkerStatus> statuses = {MakeStatus(0, {}), MakeStatus(1, {}),
+                                        MakeStatus(2, {})};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9; ++i) {
+    ++counts[router.Route(MakeRequest(0.2), statuses)];
+  }
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 3);
+}
+
+TEST(TokenCountRouterTest, BalancesAssignedMaskedTokens) {
+  TokenCountRouter router(1000);
+  std::vector<WorkerStatus> statuses = {MakeStatus(0, {}), MakeStatus(1, {})};
+  // A huge-mask request lands on worker 0; the next several small-mask
+  // requests then all go to worker 1 until tokens even out.
+  EXPECT_EQ(router.Route(MakeRequest(0.8), statuses), 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(router.Route(MakeRequest(0.1), statuses), 1);
+  }
+  // 0.8*1000 vs 4*0.1*1000: worker 1 still lighter.
+  EXPECT_EQ(router.Route(MakeRequest(0.1), statuses), 1);
+}
+
+TEST(TokenCountRouterTest, IgnoresLoadCostOfSmallMasks) {
+  // The token signal treats tiny-mask requests as nearly free even though
+  // each still implies a large cache-loading cost — the blind spot §4.4
+  // calls out. Many tiny requests keep landing on the same worker.
+  TokenCountRouter router(1000);
+  std::vector<WorkerStatus> statuses = {MakeStatus(0, {}), MakeStatus(1, {})};
+  EXPECT_EQ(router.Route(MakeRequest(0.5), statuses), 0);
+  int to_worker1 = 0;
+  for (int i = 0; i < 10; ++i) {
+    to_worker1 += router.Route(MakeRequest(0.02), statuses) == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(to_worker1, 10);  // All pile onto worker 1.
+}
+
+TEST(MaskAwareRouterTest, CostGrowsWithLoad) {
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  MaskAwareRouter router(
+      LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY));
+  const trace::Request r = MakeRequest(0.2);
+  const double empty = router.CalcCost(r, MakeStatus(0, {}));
+  const double busy = router.CalcCost(r, MakeStatus(0, {0.3, 0.3, 0.3}));
+  EXPECT_GT(busy, empty);
+  const double overfull = router.CalcCost(
+      r, MakeStatus(0, {0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3},
+                    {0.3, 0.3, 0.3, 0.3}));
+  EXPECT_GT(overfull, busy);
+}
+
+TEST(MaskAwareRouterTest, AccountsForCacheLoadingOfSmallMasks) {
+  // The differentiator vs token-count (§4.4): small masks still impose large
+  // cache-loading work, which the DP-based cost sees. A worker stacked with
+  // tiny-mask requests (few masked tokens, heavy loads) must cost more than
+  // a worker with one moderate request.
+  const auto config = model::TimingConfig::Get(ModelKind::kFlux);
+  MaskAwareRouter router(
+      LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY));
+  std::vector<WorkerStatus> statuses = {
+      MakeStatus(0, {0.02, 0.02, 0.02, 0.02}), MakeStatus(1, {0.4})};
+  statuses[0].remaining_steps = 4 * 25;
+  statuses[1].remaining_steps = 25;
+  const int pick = router.Route(MakeRequest(0.1), statuses);
+  EXPECT_EQ(pick, 1);  // Token counting would say worker 0 is lighter.
+}
+
+TEST(MaskAwareRouterTest, PrefersWorkersWithSlack) {
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  MaskAwareRouter router(
+      LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY));
+  WorkerStatus full = MakeStatus(0, std::vector<double>(8, 0.05));
+  full.has_slack = false;
+  WorkerStatus slack = MakeStatus(1, {0.4, 0.4});
+  const int pick = router.Route(MakeRequest(0.2), {full, slack});
+  EXPECT_EQ(pick, 1);
+}
+
+TEST(MakeRouterTest, BuildsEveryPolicy) {
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  for (const RoutePolicy policy :
+       {RoutePolicy::kRoundRobin, RoutePolicy::kFirstFit,
+        RoutePolicy::kRequestCount, RoutePolicy::kTokenCount,
+        RoutePolicy::kMaskAware}) {
+    auto router = MakeRouter(policy, config, ComputeMode::kMaskAwareY);
+    ASSERT_NE(router, nullptr) << ToString(policy);
+    std::vector<WorkerStatus> statuses = {MakeStatus(0, {})};
+    EXPECT_EQ(router->Route(MakeRequest(0.2), statuses), 0);
+  }
+}
+
+}  // namespace
+}  // namespace flashps::sched

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/quality/metrics.h"
+#include "src/serving/service.h"
+
+namespace flashps::serving {
+namespace {
+
+ServiceConfig SmallServiceConfig(bool mask_aware = true) {
+  ServiceConfig config;
+  config.model = model::ModelKind::kSdxl;
+  config.num_workers = 2;
+  config.numerics = model::NumericsConfig::ForTests();
+  config.mask_aware = mask_aware;
+  return config;
+}
+
+std::vector<EditRequest> MakeSession(const model::NumericsConfig& numerics,
+                                     int n, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<EditRequest> session;
+  TimePoint t;
+  for (int i = 0; i < n; ++i) {
+    EditRequest r;
+    r.template_id = i % 3;
+    r.mask = trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w,
+                                     0.1 + 0.3 * rng.NextDouble(), rng);
+    r.prompt_seed = 100 + i;
+    r.arrival = t;
+    session.push_back(std::move(r));
+    t = t + Duration::Seconds(rng.Exponential(1.0));
+  }
+  return session;
+}
+
+TEST(ServiceTest, ServesAllRequestsWithImagesAndTimings) {
+  const ServiceConfig config = SmallServiceConfig();
+  Service service(config);
+  const auto session = MakeSession(config.numerics, 6);
+  const auto responses = service.Serve(session);
+  ASSERT_EQ(responses.size(), session.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].image.rows(), config.numerics.image_h());
+    EXPECT_EQ(responses[i].image.cols(), config.numerics.image_w());
+    EXPECT_GE(responses[i].timing.completion, responses[i].timing.arrival);
+    EXPECT_GE(responses[i].worker_id, 0);
+    EXPECT_LT(responses[i].worker_id, config.num_workers);
+    EXPECT_EQ(responses[i].timing.request.id, i);
+  }
+}
+
+TEST(ServiceTest, Deterministic) {
+  const ServiceConfig config = SmallServiceConfig();
+  const auto session = MakeSession(config.numerics, 5);
+  Service a(config);
+  Service b(config);
+  const auto ra = a.Serve(session);
+  const auto rb = b.Serve(session);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].worker_id, rb[i].worker_id);
+    EXPECT_EQ(ra[i].timing.completion.micros(),
+              rb[i].timing.completion.micros());
+    EXPECT_DOUBLE_EQ(MeanAbsDiff(ra[i].image, rb[i].image), 0.0);
+  }
+}
+
+TEST(ServiceTest, MaskAwareMatchesReferenceImages) {
+  const ServiceConfig config = SmallServiceConfig(true);
+  ServiceConfig reference_config = SmallServiceConfig(false);
+  Service flash(config);
+  Service reference(reference_config);
+  const auto session = MakeSession(config.numerics, 4);
+  const auto fast = flash.Serve(session);
+  const auto exact = reference.Serve(session);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_GT(quality::Ssim(fast[i].image, exact[i].image), 0.85) << i;
+  }
+}
+
+TEST(ServiceTest, MaskAwareServesFasterThanReference) {
+  const ServiceConfig config = SmallServiceConfig(true);
+  ServiceConfig reference_config = SmallServiceConfig(false);
+  Service flash(config);
+  Service reference(reference_config);
+  const auto session = MakeSession(config.numerics, 6);
+  const auto fast = flash.Serve(session);
+  const auto exact = reference.Serve(session);
+  double fast_total = 0.0;
+  double exact_total = 0.0;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    fast_total += fast[i].timing.total().seconds();
+    exact_total += exact[i].timing.total().seconds();
+  }
+  EXPECT_LT(fast_total, exact_total);
+}
+
+TEST(ServiceTest, SpreadsLoadAcrossWorkers) {
+  ServiceConfig config = SmallServiceConfig();
+  config.num_workers = 3;
+  Service service(config);
+  // Simultaneous burst: must not all land on one worker.
+  std::vector<EditRequest> burst = MakeSession(config.numerics, 9);
+  for (auto& r : burst) {
+    r.arrival = TimePoint();
+  }
+  const auto responses = service.Serve(burst);
+  std::set<int> used;
+  for (const auto& r : responses) {
+    used.insert(r.worker_id);
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+}  // namespace
+}  // namespace flashps::serving

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+#include "src/serving/worker.h"
+
+namespace flashps::serving {
+namespace {
+
+using model::ComputeMode;
+using model::ModelKind;
+
+trace::Request MakeRequest(uint64_t id, double ratio, double arrival_s,
+                           int steps = 0) {
+  trace::Request r;
+  r.id = id;
+  r.arrival = TimePoint::FromSeconds(arrival_s);
+  r.template_id = static_cast<int>(id % 8);
+  r.mask_ratio = ratio;
+  r.denoise_steps = steps;
+  return r;
+}
+
+EngineConfig SmallConfig(SystemKind system = SystemKind::kFlashPS) {
+  EngineConfig c = EngineConfig::ForSystem(system, ModelKind::kSdxl);
+  c.model_config.denoise_steps = 10;  // Keep virtual runs short.
+  return c;
+}
+
+TEST(EngineConfigTest, SystemPresetsMatchPaper) {
+  const auto flash = EngineConfig::ForSystem(SystemKind::kFlashPS,
+                                             ModelKind::kSdxl);
+  EXPECT_EQ(flash.mode, ComputeMode::kMaskAwareY);
+  EXPECT_EQ(flash.batching, BatchPolicy::kContinuousDisaggregated);
+  EXPECT_EQ(flash.max_batch, 8);
+
+  const auto sd21 = EngineConfig::ForSystem(SystemKind::kFlashPS,
+                                            ModelKind::kSd21);
+  EXPECT_EQ(sd21.max_batch, 4);  // §6.2.
+
+  const auto fisedit = EngineConfig::ForSystem(SystemKind::kFISEdit,
+                                               ModelKind::kSd21);
+  EXPECT_EQ(fisedit.max_batch, 1);
+  EXPECT_EQ(fisedit.mode, ComputeMode::kSparse);
+
+  const auto diffusers = EngineConfig::ForSystem(SystemKind::kDiffusers,
+                                                 ModelKind::kFlux);
+  EXPECT_EQ(diffusers.mode, ComputeMode::kFull);
+  EXPECT_EQ(diffusers.batching, BatchPolicy::kStatic);
+}
+
+TEST(WorkerTest, SingleRequestLifecycle) {
+  Worker worker(0, SmallConfig());
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  const TimePoint end = worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].request.id, 1u);
+  EXPECT_GT(done[0].total().seconds(), 0.0);
+  EXPECT_LE(done[0].completion, end);
+  EXPECT_GE(done[0].denoise_done, done[0].exec_start);
+  EXPECT_TRUE(worker.idle());
+}
+
+TEST(WorkerTest, StepLatencyScalesWithMaskRatio) {
+  Worker worker(0, SmallConfig());
+  const Duration small = worker.StepLatency({0.05});
+  const Duration large = worker.StepLatency({0.5});
+  EXPECT_LT(small, large);
+  EXPECT_EQ(worker.StepLatency({}).micros(), 0);
+}
+
+TEST(WorkerTest, MaskAwareFasterThanFullCompute) {
+  Worker flash(0, SmallConfig(SystemKind::kFlashPS));
+  Worker diffusers(1, SmallConfig(SystemKind::kDiffusers));
+  EXPECT_LT(flash.StepLatency({0.15}), diffusers.StepLatency({0.15}));
+}
+
+TEST(WorkerTest, StaticBatchingBlocksNewArrivals) {
+  EngineConfig config = SmallConfig(SystemKind::kDiffusers);
+  Worker worker(0, config);
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  // Arrives immediately after the first batch starts.
+  worker.AdvanceTo(TimePoint::FromSeconds(0.001));
+  worker.Enqueue(MakeRequest(2, 0.2, 0.001),
+                 TimePoint::FromSeconds(0.001));
+  worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 2u);
+  std::sort(done.begin(), done.end(), [](const auto& a, const auto& b) {
+    return a.request.id < b.request.id;
+  });
+  // Request 2 had to wait for the whole of request 1's inference.
+  EXPECT_GE(done[1].queueing().seconds(),
+            done[0].inference().seconds() * 0.9);
+}
+
+TEST(WorkerTest, ContinuousBatchingAdmitsWithinOneStep) {
+  EngineConfig config = SmallConfig(SystemKind::kFlashPS);
+  Worker worker(0, config);
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  worker.AdvanceTo(TimePoint::FromSeconds(0.3));
+  const TimePoint arrival = TimePoint::FromSeconds(0.3);
+  worker.Enqueue(MakeRequest(2, 0.2, 0.3), arrival);
+  worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 2u);
+  std::sort(done.begin(), done.end(), [](const auto& a, const auto& b) {
+    return a.request.id < b.request.id;
+  });
+  // Queueing is bounded by ~one step plus preprocessing, far below request
+  // 1's full inference time.
+  const double one_step = worker.StepLatency({0.2, 0.2}).seconds();
+  EXPECT_LE(done[1].queueing().seconds(),
+            one_step + config.model_config.pre_latency.seconds() + 0.05);
+  EXPECT_LT(done[1].queueing().seconds(), done[0].inference().seconds() / 2);
+}
+
+TEST(WorkerTest, NaiveContinuousInterruptsRunningRequests) {
+  EngineConfig naive = SmallConfig(SystemKind::kFlashPS);
+  naive.batching = BatchPolicy::kContinuousNaive;
+  Worker worker(0, naive);
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  // Three more requests arrive while request 1 runs.
+  for (uint64_t i = 2; i <= 4; ++i) {
+    const double t = 0.2 * static_cast<double>(i - 1);
+    worker.AdvanceTo(TimePoint::FromSeconds(t));
+    worker.Enqueue(MakeRequest(i, 0.2, t), TimePoint::FromSeconds(t));
+  }
+  worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 4u);
+  const auto first = std::find_if(done.begin(), done.end(), [](const auto& d) {
+    return d.request.id == 1;
+  });
+  ASSERT_NE(first, done.end());
+  EXPECT_GE(first->interruptions, 3);  // Interrupted by each admission.
+}
+
+TEST(WorkerTest, DisaggregationEliminatesInterruptions) {
+  Worker worker(0, SmallConfig(SystemKind::kFlashPS));
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  for (uint64_t i = 2; i <= 4; ++i) {
+    const double t = 0.2 * static_cast<double>(i - 1);
+    worker.AdvanceTo(TimePoint::FromSeconds(t));
+    worker.Enqueue(MakeRequest(i, 0.2, t), TimePoint::FromSeconds(t));
+  }
+  worker.Drain();
+  for (const auto& done : worker.TakeCompleted()) {
+    EXPECT_EQ(done.interruptions, 0);
+  }
+}
+
+TEST(WorkerTest, DisaggregatedFasterTailThanNaiveUnderChurn) {
+  // The §6.4 microbenchmark in miniature: same arrivals, same compute; only
+  // the batching policy differs.
+  auto run = [](BatchPolicy policy) {
+    EngineConfig config = SmallConfig(SystemKind::kFlashPS);
+    config.batching = policy;
+    Worker worker(0, config);
+    Rng rng(3);
+    TimePoint t;
+    for (uint64_t i = 0; i < 24; ++i) {
+      t = t + Duration::Seconds(rng.Exponential(2.0));
+      worker.AdvanceTo(t);
+      worker.Enqueue(MakeRequest(i, 0.1 + 0.3 * rng.NextDouble(), 0.0), t);
+    }
+    worker.Drain();
+    StatAccumulator latency;
+    for (const auto& done : worker.TakeCompleted()) {
+      latency.Add(done.total().seconds());
+    }
+    return latency.P95();
+  };
+  EXPECT_LT(run(BatchPolicy::kContinuousDisaggregated),
+            run(BatchPolicy::kContinuousNaive));
+}
+
+TEST(WorkerTest, TeaCacheRunsFewerSteps) {
+  EngineConfig tea = SmallConfig(SystemKind::kTeaCache);
+  Worker worker(0, tea);
+  EXPECT_LT(worker.EffectiveSteps(), tea.model_config.denoise_steps);
+  EXPECT_GE(worker.EffectiveSteps(), 1);
+
+  EngineConfig flash = SmallConfig(SystemKind::kFlashPS);
+  Worker flash_worker(0, flash);
+  EXPECT_EQ(flash_worker.EffectiveSteps(), flash.model_config.denoise_steps);
+}
+
+TEST(WorkerTest, CacheMissDelaysAdmissionButPrefetchesDuringQueue) {
+  EngineConfig config = SmallConfig(SystemKind::kFlashPS);
+  auto spec = device::DeviceSpec::Get(config.model_config.gpu);
+  cache::CacheEngine cache_engine(/*host_capacity=*/1ULL << 20, spec);
+  // Register three templates into a two-slot host tier so template 0 is
+  // evicted to disk before the request arrives.
+  cache_engine.RegisterTemplate(0, 1ULL << 19, TimePoint());
+  cache_engine.RegisterTemplate(1, 1ULL << 19, TimePoint());
+  cache_engine.RegisterTemplate(2, 1ULL << 19, TimePoint());  // Evicts 0.
+  ASSERT_EQ(cache_engine.Locate(0), cache::Tier::kDisk);
+
+  Worker worker(0, config);
+  worker.AttachCache(&cache_engine);
+  trace::Request r = MakeRequest(1, 0.2, 0.0);
+  r.template_id = 0;
+  worker.Enqueue(r, TimePoint());
+  worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 1u);
+  // Admission waited for the disk promotion.
+  const double promo_s = spec.DiskLatency(1ULL << 19).seconds();
+  EXPECT_GE(done[0].queueing().seconds(), promo_s * 0.5);
+}
+
+TEST(WorkerTest, RemainingStepsAndStatus) {
+  EngineConfig config = SmallConfig(SystemKind::kFlashPS);
+  Worker worker(0, config);
+  EXPECT_TRUE(worker.HasSlack());
+  worker.Enqueue(MakeRequest(1, 0.3, 0.0), TimePoint());
+  worker.Enqueue(MakeRequest(2, 0.4, 0.0), TimePoint());
+  EXPECT_EQ(worker.RemainingSteps(),
+            2 * static_cast<int64_t>(config.model_config.denoise_steps));
+  EXPECT_EQ(worker.waiting_count(), 2);
+  const auto waiting = worker.WaitingRatios();
+  ASSERT_EQ(waiting.size(), 2u);
+  EXPECT_DOUBLE_EQ(waiting[0], 0.3);
+  EXPECT_DOUBLE_EQ(waiting[1], 0.4);
+}
+
+TEST(WorkerTest, AdvanceToIsIdempotentForPastTimes) {
+  Worker worker(0, SmallConfig());
+  worker.Enqueue(MakeRequest(1, 0.2, 0.0), TimePoint());
+  worker.AdvanceTo(TimePoint::FromSeconds(1.0));
+  const TimePoint now = worker.now();
+  worker.AdvanceTo(TimePoint::FromSeconds(0.5));
+  EXPECT_EQ(worker.now(), now);
+}
+
+TEST(WorkerTest, CompletionsAreConservedAndOrdered) {
+  Worker worker(0, SmallConfig());
+  const int n = 12;
+  Rng rng(9);
+  TimePoint t;
+  for (uint64_t i = 0; i < n; ++i) {
+    t = t + Duration::Seconds(rng.Exponential(1.0));
+    worker.AdvanceTo(t);
+    worker.Enqueue(MakeRequest(i, 0.05 + 0.4 * rng.NextDouble(), 0.0), t);
+  }
+  worker.Drain();
+  const auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), static_cast<size_t>(n));
+  for (const auto& d : done) {
+    EXPECT_GE(d.exec_start, d.arrival);
+    EXPECT_GE(d.denoise_done, d.exec_start);
+    EXPECT_GE(d.completion, d.denoise_done);
+  }
+  // TakeCompleted drains.
+  EXPECT_TRUE(worker.TakeCompleted().empty());
+}
+
+TEST(WorkerTest, StaticBatchCompletesTogether) {
+  EngineConfig config = SmallConfig(SystemKind::kDiffusers);
+  config.max_batch = 4;
+  Worker worker(0, config);
+  for (uint64_t i = 0; i < 4; ++i) {
+    worker.Enqueue(MakeRequest(i, 0.1 + 0.1 * static_cast<double>(i), 0.0),
+                   TimePoint());
+  }
+  worker.Drain();
+  const auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 4u);
+  // All four left the denoise loop at the same instant (batch completes as
+  // a unit) and post-processing serialized after it.
+  for (size_t i = 1; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].denoise_done.micros(), done[0].denoise_done.micros());
+    EXPECT_GT(done[i].completion, done[i - 1].completion);
+  }
+}
+
+TEST(WorkerTest, RaggedBatchPaddingMakesMixedRatiosCostly) {
+  // Per the ragged-padding model, a batch mixing a tiny and a huge mask
+  // costs more than the sum of two homogeneous batches would suggest.
+  Worker worker(0, SmallConfig(SystemKind::kFlashPS));
+  const Duration mixed = worker.StepLatency({0.02, 0.8});
+  const Duration tiny_pair = worker.StepLatency({0.02, 0.02});
+  const Duration huge_pair = worker.StepLatency({0.8, 0.8});
+  const Duration avg = (tiny_pair + huge_pair) / 2;
+  EXPECT_GT(mixed, avg);
+}
+
+TEST(WorkerTest, PipelinePlannerNeverSlowerThanStrawman) {
+  EngineConfig planned = SmallConfig(SystemKind::kFlashPS);
+  EngineConfig strawman = planned;
+  strawman.use_pipeline_planner = false;
+  const Worker a(0, planned);
+  const Worker b(0, strawman);
+  for (const double m : {0.03, 0.1, 0.3, 0.7}) {
+    EXPECT_LE(a.StepLatency({m}), b.StepLatency({m})) << "m=" << m;
+  }
+}
+
+TEST(WorkerTest, FISEditRunsBatchOfOne) {
+  EngineConfig config = EngineConfig::ForSystem(SystemKind::kFISEdit,
+                                                ModelKind::kSd21);
+  config.model_config.denoise_steps = 5;
+  Worker worker(0, config);
+  worker.Enqueue(MakeRequest(1, 0.1, 0.0), TimePoint());
+  worker.Enqueue(MakeRequest(2, 0.1, 0.0), TimePoint());
+  worker.Drain();
+  auto done = worker.TakeCompleted();
+  ASSERT_EQ(done.size(), 2u);
+  std::sort(done.begin(), done.end(), [](const auto& a2, const auto& b2) {
+    return a2.request.id < b2.request.id;
+  });
+  // Strictly serialized: the second starts after the first fully finishes.
+  EXPECT_GE(done[1].exec_start, done[0].denoise_done);
+}
+
+}  // namespace
+}  // namespace flashps::serving

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix.h"
+
+namespace flashps {
+namespace {
+
+Matrix MakeSequential(int rows, int cols) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(r * cols + c + 1);
+    }
+  }
+  return m;
+}
+
+// Naive triple-loop reference for verifying the streaming implementation.
+Matrix MatMulReference(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < a.cols(); ++p) {
+        acc += a.at(i, p) * b.at(p, j);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(MatrixTest, BasicAccessors) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m.bytes(), 48u);
+  m.at(2, 3) = 5.0f;
+  EXPECT_EQ(m.at(2, 3), 5.0f);
+  EXPECT_EQ(m.row(2)[3], 5.0f);
+}
+
+TEST(MatrixTest, MatMulSmallKnown) {
+  Matrix a = MakeSequential(2, 3);  // [1 2 3; 4 5 6]
+  Matrix b = MakeSequential(3, 2);  // [1 2; 3 4; 5 6]
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 22.0f);
+  EXPECT_EQ(c.at(0, 1), 28.0f);
+  EXPECT_EQ(c.at(1, 0), 49.0f);
+  EXPECT_EQ(c.at(1, 1), 64.0f);
+}
+
+TEST(MatrixTest, MatMulMatchesReferenceOnRandom) {
+  Rng rng(5);
+  Matrix a(17, 23);
+  Matrix b(23, 11);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  const Matrix got = MatMul(a, b);
+  const Matrix want = MatMulReference(a, b);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4f);
+  }
+}
+
+TEST(MatrixTest, MatMulTransposedMatchesMatMul) {
+  Rng rng(6);
+  Matrix a(9, 14);
+  Matrix b(12, 14);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  // b^T explicitly.
+  Matrix bt(14, 12);
+  for (int r = 0; r < b.rows(); ++r) {
+    for (int c = 0; c < b.cols(); ++c) {
+      bt.at(c, r) = b.at(r, c);
+    }
+  }
+  const Matrix got = MatMulTransposed(a, b);
+  const Matrix want = MatMul(a, bt);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4f);
+  }
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  Rng rng(7);
+  Matrix m(8, 16);
+  m.FillNormal(rng, 3.0f);
+  SoftmaxRows(m);
+  for (int r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m.at(r, c), 0.0f);
+      sum += m.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(MatrixTest, SoftmaxIsShiftInvariantAndStable) {
+  Matrix a(1, 3);
+  a.at(0, 0) = 1000.0f;
+  a.at(0, 1) = 1001.0f;
+  a.at(0, 2) = 1002.0f;
+  SoftmaxRows(a);
+  Matrix b(1, 3);
+  b.at(0, 0) = 0.0f;
+  b.at(0, 1) = 1.0f;
+  b.at(0, 2) = 2.0f;
+  SoftmaxRows(b);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_TRUE(std::isfinite(a.at(0, c)));
+    EXPECT_NEAR(a.at(0, c), b.at(0, c), 1e-6f);
+  }
+}
+
+TEST(MatrixTest, LayerNormRowStats) {
+  Rng rng(8);
+  Matrix m(5, 64);
+  m.FillNormal(rng, 4.0f);
+  std::vector<float> gamma(64, 1.0f);
+  std::vector<float> beta(64, 0.0f);
+  const Matrix out = LayerNorm(m, gamma, beta);
+  for (int r = 0; r < out.rows(); ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      mean += out.at(r, c);
+    }
+    mean /= out.cols();
+    for (int c = 0; c < out.cols(); ++c) {
+      var += (out.at(r, c) - mean) * (out.at(r, c) - mean);
+    }
+    var /= out.cols();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(MatrixTest, LayerNormAppliesGainAndBias) {
+  Matrix m(1, 4);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 2.0f;
+  m.at(0, 2) = 3.0f;
+  m.at(0, 3) = 4.0f;
+  std::vector<float> gamma(4, 2.0f);
+  std::vector<float> beta(4, 5.0f);
+  const Matrix out = LayerNorm(m, gamma, beta);
+  double mean = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    mean += out.at(0, c);
+  }
+  EXPECT_NEAR(mean / 4.0, 5.0, 1e-4);  // Bias shifts the mean.
+}
+
+TEST(MatrixTest, GeluKnownValues) {
+  Matrix m(1, 3);
+  m.at(0, 0) = 0.0f;
+  m.at(0, 1) = 10.0f;
+  m.at(0, 2) = -10.0f;
+  GeluInPlace(m);
+  EXPECT_NEAR(m.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(m.at(0, 1), 10.0f, 1e-3f);
+  EXPECT_NEAR(m.at(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(MatrixTest, GatherScatterRoundTrip) {
+  Matrix m = MakeSequential(6, 3);
+  const std::vector<int> idx = {1, 3, 5};
+  Matrix g = GatherRows(m, idx);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.at(0, 0), m.at(1, 0));
+  EXPECT_EQ(g.at(2, 2), m.at(5, 2));
+
+  Matrix dst(6, 3);
+  ScatterRows(dst, g, idx);
+  for (const int r : idx) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(dst.at(r, c), m.at(r, c));
+    }
+  }
+  EXPECT_EQ(dst.at(0, 0), 0.0f);  // Untouched rows stay zero.
+}
+
+TEST(MatrixTest, CosineSimilarityProperties) {
+  Matrix m(3, 4);
+  for (int c = 0; c < 4; ++c) {
+    m.at(0, c) = static_cast<float>(c + 1);
+    m.at(1, c) = 2.0f * static_cast<float>(c + 1);  // Parallel to row 0.
+    m.at(2, c) = 0.0f;
+  }
+  m.at(2, 0) = 1.0f;
+  EXPECT_NEAR(CosineSimilarity(m, 0, m, 1), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(m, 0, m, 0), 1.0, 1e-6);
+  EXPECT_LT(CosineSimilarity(m, 0, m, 2), 0.5);
+}
+
+TEST(MatrixTest, MeanAbsDiffAndNorm) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  a.FillConstant(1.0f);
+  b.FillConstant(3.0f);
+  EXPECT_DOUBLE_EQ(MeanAbsDiff(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 2.0);
+}
+
+TEST(MatrixTest, AddOps) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  a.FillConstant(1.0f);
+  b.FillConstant(2.0f);
+  const Matrix c = Add(a, b);
+  EXPECT_EQ(c.at(1, 1), 3.0f);
+  AddInPlace(a, b);
+  EXPECT_EQ(a.at(0, 0), 3.0f);
+  ScaleInPlace(a, 0.5f);
+  EXPECT_EQ(a.at(0, 0), 1.5f);
+}
+
+}  // namespace
+}  // namespace flashps

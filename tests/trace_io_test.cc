@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/quality/metrics.h"
+#include "src/trace/workload.h"
+
+namespace flashps::trace {
+namespace {
+
+TEST(TraceCsvTest, RoundTripPreservesEveryField) {
+  WorkloadSpec spec;
+  spec.num_requests = 40;
+  spec.rps = 2.5;
+  const auto original = GenerateWorkload(spec);
+  const auto parsed = ParseTraceCsv(SerializeTraceCsv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, original[i].id);
+    EXPECT_EQ(parsed[i].arrival.micros(), original[i].arrival.micros());
+    EXPECT_EQ(parsed[i].template_id, original[i].template_id);
+    EXPECT_DOUBLE_EQ(parsed[i].mask_ratio, original[i].mask_ratio);
+    EXPECT_EQ(parsed[i].denoise_steps, original[i].denoise_steps);
+  }
+}
+
+TEST(TraceCsvTest, EmptyTraceIsHeaderOnly) {
+  const std::string csv = SerializeTraceCsv({});
+  EXPECT_EQ(csv, "id,arrival_us,template_id,mask_ratio,denoise_steps\n");
+  EXPECT_TRUE(ParseTraceCsv(csv).empty());
+}
+
+TEST(TraceCsvTest, RejectsMalformedRows) {
+  EXPECT_THROW(ParseTraceCsv("header\nnot,a,row\n"), std::runtime_error);
+  EXPECT_THROW(ParseTraceCsv("header\n1,2\n"), std::runtime_error);
+}
+
+TEST(TraceCsvTest, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("flashps_trace_" + std::to_string(::getpid()) + ".csv");
+  WorkloadSpec spec;
+  spec.num_requests = 10;
+  const auto original = GenerateWorkload(spec);
+  WriteTraceFile(path.string(), original);
+  const auto parsed = ReadTraceFile(path.string());
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_DOUBLE_EQ(parsed[7].mask_ratio, original[7].mask_ratio);
+  std::filesystem::remove(path);
+  EXPECT_THROW(ReadTraceFile(path.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flashps::trace

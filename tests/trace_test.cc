@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/trace/workload.h"
+
+namespace flashps::trace {
+namespace {
+
+TEST(MaskRatioDistributionTest, MeansMatchPaperFig3) {
+  Rng rng(1);
+  struct Case {
+    TraceKind kind;
+    double mean;
+  };
+  // Paper §2.2: average ratios 0.11 (production), 0.19 (public),
+  // 0.35 (VITON-HD).
+  for (const Case c : {Case{TraceKind::kProduction, 0.11},
+                       Case{TraceKind::kPublic, 0.19},
+                       Case{TraceKind::kVitonHd, 0.35}}) {
+    const MaskRatioDistribution dist(c.kind);
+    EXPECT_NEAR(dist.mean(), c.mean, 0.005) << ToString(c.kind);
+    StatAccumulator acc;
+    for (int i = 0; i < 30000; ++i) {
+      const double r = dist.Sample(rng);
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.0);
+      acc.Add(r);
+    }
+    EXPECT_NEAR(acc.Mean(), c.mean, 0.01) << ToString(c.kind);
+    // The paper stresses wide variation in individual ratios.
+    EXPECT_GT(acc.Stddev(), 0.05) << ToString(c.kind);
+  }
+}
+
+class BlobMaskTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlobMaskTest, RatioAndConnectivity) {
+  Rng rng(42);
+  const double ratio = GetParam();
+  const Mask mask = GenerateBlobMask(16, 16, ratio, rng);
+  EXPECT_EQ(mask.total_tokens(), 256);
+  EXPECT_NEAR(mask.ratio(), ratio, 1.5 / 256.0);
+
+  // Partition property: masked + unmasked = all tokens, disjoint.
+  std::set<int> all(mask.masked_tokens.begin(), mask.masked_tokens.end());
+  for (const int t : mask.unmasked_tokens) {
+    EXPECT_TRUE(all.insert(t).second);
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), 256);
+
+  // Connectivity: BFS from the first masked token reaches all of them.
+  std::set<int> masked(mask.masked_tokens.begin(), mask.masked_tokens.end());
+  std::vector<int> stack = {mask.masked_tokens.front()};
+  std::set<int> seen = {mask.masked_tokens.front()};
+  while (!stack.empty()) {
+    const int cell = stack.back();
+    stack.pop_back();
+    const int r = cell / 16;
+    const int c = cell % 16;
+    const int nbs[4] = {r > 0 ? cell - 16 : -1, r < 15 ? cell + 16 : -1,
+                        c > 0 ? cell - 1 : -1, c < 15 ? cell + 1 : -1};
+    for (const int nb : nbs) {
+      if (nb >= 0 && masked.count(nb) && !seen.count(nb)) {
+        seen.insert(nb);
+        stack.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), masked.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, BlobMaskTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.35, 0.5, 0.8,
+                                           0.99));
+
+TEST(BlobMaskTest, SortedTokenLists) {
+  Rng rng(3);
+  const Mask mask = GenerateBlobMask(12, 12, 0.3, rng);
+  EXPECT_TRUE(std::is_sorted(mask.masked_tokens.begin(),
+                             mask.masked_tokens.end()));
+  EXPECT_TRUE(std::is_sorted(mask.unmasked_tokens.begin(),
+                             mask.unmasked_tokens.end()));
+}
+
+TEST(RectMaskTest, RatioApproximatelyMet) {
+  Rng rng(4);
+  for (const double ratio : {0.1, 0.25, 0.5}) {
+    const Mask mask = GenerateRectMask(16, 16, ratio, rng);
+    EXPECT_NEAR(mask.ratio(), ratio, 0.08);
+  }
+}
+
+TEST(TemplateCatalogTest, PopularityIsSkewed) {
+  Rng rng(5);
+  const TemplateCatalog catalog(970, 1.1);
+  std::vector<int> counts(970, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const int t = catalog.SampleTemplate(rng);
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 970);
+    ++counts[t];
+  }
+  EXPECT_GT(counts[0], counts[500] * 5);
+}
+
+TEST(PoissonArrivalsTest, RateMatches) {
+  Rng rng(6);
+  PoissonArrivals arrivals(2.0, rng);
+  TimePoint last;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const TimePoint t = arrivals.Next();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+  // n arrivals at 2 rps should take ~n/2 seconds.
+  EXPECT_NEAR(last.seconds(), n / 2.0, n / 2.0 * 0.05);
+}
+
+TEST(BurstyArrivalsTest, StrictlyIncreasingAndRateBetweenPhases) {
+  Rng rng(7);
+  BurstyArrivals arrivals(1.0, 10.0, Duration::Seconds(5.0), rng);
+  TimePoint last;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const TimePoint t = arrivals.Next();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+  const double avg_rate = n / last.seconds();
+  EXPECT_GT(avg_rate, 1.0);
+  EXPECT_LT(avg_rate, 10.0);
+}
+
+TEST(GenerateWorkloadTest, DeterministicAndWellFormed) {
+  WorkloadSpec spec;
+  spec.num_requests = 500;
+  spec.rps = 3.0;
+  const auto a = GenerateWorkload(spec);
+  const auto b = GenerateWorkload(spec);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].arrival.micros(), b[i].arrival.micros());
+    EXPECT_EQ(a[i].template_id, b[i].template_id);
+    EXPECT_DOUBLE_EQ(a[i].mask_ratio, b[i].mask_ratio);
+    EXPECT_GT(a[i].mask_ratio, 0.0);
+    EXPECT_LT(a[i].mask_ratio, 1.0);
+    if (i > 0) {
+      EXPECT_GT(a[i].arrival, a[i - 1].arrival);
+    }
+  }
+}
+
+TEST(GenerateWorkloadTest, DifferentSeedsDiffer) {
+  WorkloadSpec spec;
+  spec.num_requests = 50;
+  auto a = GenerateWorkload(spec);
+  spec.seed = 43;
+  auto b = GenerateWorkload(spec);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].mask_ratio != b[i].mask_ratio;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace flashps::trace

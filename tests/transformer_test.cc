@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/transformer.h"
+
+namespace flashps::model {
+namespace {
+
+constexpr int kGrid = 6;
+constexpr int kTokens = kGrid * kGrid;
+constexpr int kHidden = 16;
+
+struct Fixture {
+  Fixture() : rng(101), weights(BlockWeights::Random(kHidden, rng)) {
+    bias = MakeDistanceBias(kGrid, kGrid, 0.4f);
+    Rng mask_rng(7);
+    mask = trace::GenerateBlobMask(kGrid, kGrid, 0.3, mask_rng);
+    x = Matrix(kTokens, kHidden);
+    Rng data_rng(11);
+    x.FillNormal(data_rng, 1.0f);
+  }
+  Rng rng;
+  BlockWeights weights;
+  Matrix bias;
+  trace::Mask mask;
+  Matrix x;
+};
+
+TEST(BlockWeightsTest, ShapesAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  const BlockWeights wa = BlockWeights::Random(kHidden, a);
+  const BlockWeights wb = BlockWeights::Random(kHidden, b);
+  EXPECT_EQ(wa.wq.rows(), kHidden);
+  EXPECT_EQ(wa.w1.cols(), 4 * kHidden);
+  EXPECT_EQ(wa.w2.rows(), 4 * kHidden);
+  for (size_t i = 0; i < wa.wq.size(); ++i) {
+    EXPECT_EQ(wa.wq.data()[i], wb.wq.data()[i]);
+  }
+}
+
+TEST(DistanceBiasTest, ZeroDiagonalSymmetricNegative) {
+  const Matrix bias = MakeDistanceBias(4, 5, 0.5f);
+  ASSERT_EQ(bias.rows(), 20);
+  for (int i = 0; i < bias.rows(); ++i) {
+    EXPECT_EQ(bias.at(i, i), 0.0f);
+    for (int j = 0; j < bias.cols(); ++j) {
+      EXPECT_LE(bias.at(i, j), 0.0f);
+      EXPECT_EQ(bias.at(i, j), bias.at(j, i));
+    }
+  }
+  // Adjacent cells are penalized less than distant ones.
+  EXPECT_GT(bias.at(0, 1), bias.at(0, 19));
+}
+
+TEST(BlockForwardFullTest, OutputFiniteAndBounded) {
+  Fixture f;
+  const Matrix y = BlockForwardFull(f.weights, f.x, f.bias);
+  ASSERT_EQ(y.rows(), kTokens);
+  ASSERT_EQ(y.cols(), kHidden);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+  // Residual structure keeps magnitudes in a sane band.
+  EXPECT_LT(FrobeniusNorm(y), 100.0 * FrobeniusNorm(f.x) + 100.0);
+}
+
+TEST(BlockForwardFullTest, ExportsKV) {
+  Fixture f;
+  Matrix k;
+  Matrix v;
+  const Matrix y = BlockForwardFull(f.weights, f.x, f.bias, &k, &v);
+  EXPECT_EQ(k.rows(), kTokens);
+  EXPECT_EQ(v.rows(), kTokens);
+  EXPECT_GT(FrobeniusNorm(k), 0.0);
+  (void)y;
+}
+
+TEST(BlockForwardMaskedYTest, ExactWhenCacheComesFromSameInput) {
+  // If the cached Y was produced by a full pass over the *same* input, the
+  // mask-aware flow reproduces the full output exactly: unmasked rows are
+  // replenished verbatim and masked rows see identical K/V.
+  Fixture f;
+  const Matrix y_full = BlockForwardFull(f.weights, f.x, f.bias);
+  const Matrix y_masked =
+      BlockForwardMaskedY(f.weights, f.x, f.bias, f.mask, y_full);
+  for (size_t i = 0; i < y_full.size(); ++i) {
+    EXPECT_NEAR(y_masked.data()[i], y_full.data()[i], 2e-4f);
+  }
+}
+
+TEST(BlockForwardMaskedKVTest, MatchesYFlowWithConsistentCache) {
+  // With K/V caches recorded from the same registration input that produced
+  // the cached Y, the two mask-aware flows are numerically equivalent
+  // (§3.1: the alternative differs in cost, not in result).
+  Fixture f;
+  // Registration pass over a slightly different input (the template).
+  Matrix x_reg = f.x;
+  Rng perturb(13);
+  for (const int t : f.mask.masked_tokens) {
+    for (int j = 0; j < kHidden; ++j) {
+      x_reg.at(t, j) += static_cast<float>(perturb.Normal(0.0, 0.5));
+    }
+  }
+  Matrix k_reg;
+  Matrix v_reg;
+  const Matrix y_reg = BlockForwardFull(f.weights, x_reg, f.bias, &k_reg, &v_reg);
+
+  // Request pass input: unmasked rows replenished from registration, masked
+  // rows carry the request's fresh content.
+  Matrix x_in = x_reg;
+  for (const int t : f.mask.masked_tokens) {
+    for (int j = 0; j < kHidden; ++j) {
+      x_in.at(t, j) = f.x.at(t, j);
+    }
+  }
+  const Matrix via_y =
+      BlockForwardMaskedY(f.weights, x_in, f.bias, f.mask, y_reg);
+  const Matrix via_kv = BlockForwardMaskedKV(f.weights, x_in, f.bias, f.mask,
+                                             y_reg, k_reg, v_reg);
+  for (size_t i = 0; i < via_y.size(); ++i) {
+    EXPECT_NEAR(via_y.data()[i], via_kv.data()[i], 2e-4f);
+  }
+}
+
+TEST(BlockForwardMaskedYTest, UnmaskedRowsComeFromCache) {
+  Fixture f;
+  Matrix fake_cache(kTokens, kHidden);
+  fake_cache.FillConstant(42.0f);
+  const Matrix y =
+      BlockForwardMaskedY(f.weights, f.x, f.bias, f.mask, fake_cache);
+  for (const int t : f.mask.unmasked_tokens) {
+    for (int j = 0; j < kHidden; ++j) {
+      EXPECT_EQ(y.at(t, j), 42.0f);
+    }
+  }
+  // Masked rows are computed, not copied.
+  bool any_differs = false;
+  for (const int t : f.mask.masked_tokens) {
+    for (int j = 0; j < kHidden; ++j) {
+      any_differs |= y.at(t, j) != 42.0f;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BlockForwardSparseTest, ShapeAndFiniteness) {
+  Fixture f;
+  const Matrix xm = GatherRows(f.x, f.mask.masked_tokens);
+  const int n = xm.rows();
+  Matrix sub_bias(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      sub_bias.at(i, j) =
+          f.bias.at(f.mask.masked_tokens[i], f.mask.masked_tokens[j]);
+    }
+  }
+  const Matrix y = BlockForwardSparse(f.weights, xm, sub_bias);
+  ASSERT_EQ(y.rows(), n);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+TEST(AttentionMatrixTest, RowsAreDistributions) {
+  Fixture f;
+  const Matrix attn = AttentionMatrix(f.weights, f.x, f.bias);
+  ASSERT_EQ(attn.rows(), kTokens);
+  ASSERT_EQ(attn.cols(), kTokens);
+  for (int i = 0; i < attn.rows(); ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < attn.cols(); ++j) {
+      EXPECT_GE(attn.at(i, j), 0.0f);
+      sum += attn.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(AttentionMatrixTest, DistanceBiasInducesLocality) {
+  // With the distance bias, average attention to near tokens exceeds
+  // attention to far tokens — the property behind Fig. 6-Right.
+  Fixture f;
+  const Matrix attn = AttentionMatrix(f.weights, f.x, f.bias);
+  double near = 0.0;
+  double far = 0.0;
+  int near_n = 0;
+  int far_n = 0;
+  for (int i = 0; i < kTokens; ++i) {
+    const int ri = i / kGrid;
+    const int ci = i % kGrid;
+    for (int j = 0; j < kTokens; ++j) {
+      const int rj = j / kGrid;
+      const int cj = j % kGrid;
+      const double dist = std::hypot(ri - rj, ci - cj);
+      if (dist <= 1.5) {
+        near += attn.at(i, j);
+        ++near_n;
+      } else if (dist >= 4.0) {
+        far += attn.at(i, j);
+        ++far_n;
+      }
+    }
+  }
+  EXPECT_GT(near / near_n, 2.0 * far / far_n);
+}
+
+}  // namespace
+}  // namespace flashps::model
