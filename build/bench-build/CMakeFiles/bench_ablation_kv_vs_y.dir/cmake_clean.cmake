@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_kv_vs_y"
+  "../bench/bench_ablation_kv_vs_y.pdb"
+  "CMakeFiles/bench_ablation_kv_vs_y.dir/bench_ablation_kv_vs_y.cc.o"
+  "CMakeFiles/bench_ablation_kv_vs_y.dir/bench_ablation_kv_vs_y.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kv_vs_y.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_regression"
+  "../bench/bench_fig11_regression.pdb"
+  "CMakeFiles/bench_fig11_regression.dir/bench_fig11_regression.cc.o"
+  "CMakeFiles/bench_fig11_regression.dir/bench_fig11_regression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

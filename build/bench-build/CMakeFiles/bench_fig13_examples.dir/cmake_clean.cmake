@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_examples"
+  "../bench/bench_fig13_examples.pdb"
+  "CMakeFiles/bench_fig13_examples.dir/bench_fig13_examples.cc.o"
+  "CMakeFiles/bench_fig13_examples.dir/bench_fig13_examples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

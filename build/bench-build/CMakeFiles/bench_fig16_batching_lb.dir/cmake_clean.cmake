@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_batching_lb"
+  "../bench/bench_fig16_batching_lb.pdb"
+  "CMakeFiles/bench_fig16_batching_lb.dir/bench_fig16_batching_lb.cc.o"
+  "CMakeFiles/bench_fig16_batching_lb.dir/bench_fig16_batching_lb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_batching_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

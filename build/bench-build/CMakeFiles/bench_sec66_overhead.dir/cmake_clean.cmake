@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec66_overhead"
+  "../bench/bench_sec66_overhead.pdb"
+  "CMakeFiles/bench_sec66_overhead.dir/bench_sec66_overhead.cc.o"
+  "CMakeFiles/bench_sec66_overhead.dir/bench_sec66_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec7_discussion"
+  "../bench/bench_sec7_discussion.pdb"
+  "CMakeFiles/bench_sec7_discussion.dir/bench_sec7_discussion.cc.o"
+  "CMakeFiles/bench_sec7_discussion.dir/bench_sec7_discussion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

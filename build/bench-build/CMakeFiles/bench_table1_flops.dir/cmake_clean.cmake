@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_flops"
+  "../bench/bench_table1_flops.pdb"
+  "CMakeFiles/bench_table1_flops.dir/bench_table1_flops.cc.o"
+  "CMakeFiles/bench_table1_flops.dir/bench_table1_flops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

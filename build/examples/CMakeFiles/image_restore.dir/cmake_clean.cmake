@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_restore.dir/image_restore.cpp.o"
+  "CMakeFiles/image_restore.dir/image_restore.cpp.o.d"
+  "image_restore"
+  "image_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_tryon.dir/virtual_tryon.cpp.o"
+  "CMakeFiles/virtual_tryon.dir/virtual_tryon.cpp.o.d"
+  "virtual_tryon"
+  "virtual_tryon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_tryon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("trace")
+subdirs("device")
+subdirs("model")
+subdirs("cache")
+subdirs("pipeline")
+subdirs("quality")
+subdirs("serving")
+subdirs("sched")
+subdirs("cluster")
+subdirs("runtime")

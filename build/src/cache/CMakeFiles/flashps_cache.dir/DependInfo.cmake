@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/activation_store.cc" "src/cache/CMakeFiles/flashps_cache.dir/activation_store.cc.o" "gcc" "src/cache/CMakeFiles/flashps_cache.dir/activation_store.cc.o.d"
+  "/root/repo/src/cache/cache_engine.cc" "src/cache/CMakeFiles/flashps_cache.dir/cache_engine.cc.o" "gcc" "src/cache/CMakeFiles/flashps_cache.dir/cache_engine.cc.o.d"
+  "/root/repo/src/cache/disk_store.cc" "src/cache/CMakeFiles/flashps_cache.dir/disk_store.cc.o" "gcc" "src/cache/CMakeFiles/flashps_cache.dir/disk_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flashps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flashps_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/flashps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flashps_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_cache.dir/activation_store.cc.o"
+  "CMakeFiles/flashps_cache.dir/activation_store.cc.o.d"
+  "CMakeFiles/flashps_cache.dir/cache_engine.cc.o"
+  "CMakeFiles/flashps_cache.dir/cache_engine.cc.o.d"
+  "CMakeFiles/flashps_cache.dir/disk_store.cc.o"
+  "CMakeFiles/flashps_cache.dir/disk_store.cc.o.d"
+  "libflashps_cache.a"
+  "libflashps_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

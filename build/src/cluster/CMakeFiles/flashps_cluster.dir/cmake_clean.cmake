@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_cluster.dir/simulation.cc.o"
+  "CMakeFiles/flashps_cluster.dir/simulation.cc.o.d"
+  "libflashps_cluster.a"
+  "libflashps_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_common.dir/log.cc.o"
+  "CMakeFiles/flashps_common.dir/log.cc.o.d"
+  "CMakeFiles/flashps_common.dir/rng.cc.o"
+  "CMakeFiles/flashps_common.dir/rng.cc.o.d"
+  "CMakeFiles/flashps_common.dir/stats.cc.o"
+  "CMakeFiles/flashps_common.dir/stats.cc.o.d"
+  "libflashps_common.a"
+  "libflashps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

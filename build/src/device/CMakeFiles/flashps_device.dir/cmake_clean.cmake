@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_device.dir/device.cc.o"
+  "CMakeFiles/flashps_device.dir/device.cc.o.d"
+  "libflashps_device.a"
+  "libflashps_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

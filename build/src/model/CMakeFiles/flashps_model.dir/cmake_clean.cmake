@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_model.dir/diffusion_model.cc.o"
+  "CMakeFiles/flashps_model.dir/diffusion_model.cc.o.d"
+  "CMakeFiles/flashps_model.dir/flops.cc.o"
+  "CMakeFiles/flashps_model.dir/flops.cc.o.d"
+  "CMakeFiles/flashps_model.dir/timing.cc.o"
+  "CMakeFiles/flashps_model.dir/timing.cc.o.d"
+  "CMakeFiles/flashps_model.dir/transformer.cc.o"
+  "CMakeFiles/flashps_model.dir/transformer.cc.o.d"
+  "libflashps_model.a"
+  "libflashps_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

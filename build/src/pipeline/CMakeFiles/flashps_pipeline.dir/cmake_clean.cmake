@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/flashps_pipeline.dir/pipeline.cc.o.d"
+  "libflashps_pipeline.a"
+  "libflashps_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_quality.dir/metrics.cc.o"
+  "CMakeFiles/flashps_quality.dir/metrics.cc.o.d"
+  "libflashps_quality.a"
+  "libflashps_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_runtime.dir/online_server.cc.o"
+  "CMakeFiles/flashps_runtime.dir/online_server.cc.o.d"
+  "CMakeFiles/flashps_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/flashps_runtime.dir/thread_pool.cc.o.d"
+  "libflashps_runtime.a"
+  "libflashps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_sched.dir/latency_model.cc.o"
+  "CMakeFiles/flashps_sched.dir/latency_model.cc.o.d"
+  "CMakeFiles/flashps_sched.dir/scheduler.cc.o"
+  "CMakeFiles/flashps_sched.dir/scheduler.cc.o.d"
+  "libflashps_sched.a"
+  "libflashps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

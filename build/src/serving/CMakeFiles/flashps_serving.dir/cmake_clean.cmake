@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_serving.dir/service.cc.o"
+  "CMakeFiles/flashps_serving.dir/service.cc.o.d"
+  "CMakeFiles/flashps_serving.dir/worker.cc.o"
+  "CMakeFiles/flashps_serving.dir/worker.cc.o.d"
+  "libflashps_serving.a"
+  "libflashps_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

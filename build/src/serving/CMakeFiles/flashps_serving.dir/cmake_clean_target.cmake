@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflashps_serving.a"
+)

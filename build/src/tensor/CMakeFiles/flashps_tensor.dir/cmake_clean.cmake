@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_tensor.dir/matrix.cc.o"
+  "CMakeFiles/flashps_tensor.dir/matrix.cc.o.d"
+  "libflashps_tensor.a"
+  "libflashps_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

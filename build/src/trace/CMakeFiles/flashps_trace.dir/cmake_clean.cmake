@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashps_trace.dir/auto_mask.cc.o"
+  "CMakeFiles/flashps_trace.dir/auto_mask.cc.o.d"
+  "CMakeFiles/flashps_trace.dir/workload.cc.o"
+  "CMakeFiles/flashps_trace.dir/workload.cc.o.d"
+  "libflashps_trace.a"
+  "libflashps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_mask_test.dir/auto_mask_test.cc.o"
+  "CMakeFiles/auto_mask_test.dir/auto_mask_test.cc.o.d"
+  "auto_mask_test"
+  "auto_mask_test.pdb"
+  "auto_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/flashps_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/flashps_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flashps_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flashps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flashps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flashps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_model_test.dir/diffusion_model_test.cc.o"
+  "CMakeFiles/diffusion_model_test.dir/diffusion_model_test.cc.o.d"
+  "diffusion_model_test"
+  "diffusion_model_test.pdb"
+  "diffusion_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flops_test.dir/flops_test.cc.o"
+  "CMakeFiles/flops_test.dir/flops_test.cc.o.d"
+  "flops_test"
+  "flops_test.pdb"
+  "flops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
