@@ -1,0 +1,285 @@
+// Real-concurrency gateway SLO comparison (the wall-clock counterpart of
+// Fig. 16-Right): all five routing policies dispatch the same skewed-mask
+// open-loop arrival trace onto real OnlineServer workers; we report
+// per-policy p50/p99 end-to-end latency and SLO attainment.
+//
+// The trace is deliberately bimodal (mostly small masks with a heavy-mask
+// minority), the regime where count-based balancing misplaces the expensive
+// requests and the paper's mask-aware Algorithm 2 routing wins. Writes
+// BENCH_gateway.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gateway/gateway.h"
+
+namespace {
+
+using namespace flashps;
+
+constexpr int kWorkers = 2;
+constexpr int kRequests = 48;
+constexpr int kSteps = 12;
+constexpr uint64_t kMaskSeed = 2024;
+// Attainment on one 64-request trace is noisy (one request is ~1.6%);
+// aggregate over several independent traces of the same distribution. With
+// five traces and the policy order rotated per trace, every policy runs
+// exactly once in every position, so slow host phases hit all policies
+// evenly and the median discards outlier runs.
+constexpr int kSeedCount = 7;
+
+gateway::GatewayOptions BaseOptions() {
+  gateway::GatewayOptions options;
+  options.num_workers = kWorkers;
+  options.worker.numerics = model::NumericsConfig::ForTests();
+  options.worker.numerics.num_steps = kSteps;
+  options.worker.max_batch = 3;
+  options.worker.cpu_lanes = 2;
+  // Rank policies on the same offered load: track SLO attainment but do not
+  // reject up front, so every policy serves the identical request set.
+  options.admission_control = false;
+  return options;
+}
+
+// Bimodal skewed-mask trace: 80% light edits (ratio ~0.03-0.08), 20% heavy
+// edits (ratio ~0.8-0.95), Poisson arrivals at `rps`. The wide cost gap
+// (roughly 8x per step) is the regime where balancing request *counts*
+// leaves large work imbalances whenever the heavy minority clusters by
+// chance, while mask-aware routing balances estimated work exactly.
+std::vector<trace::Request> SkewedTrace(double rps, uint64_t seed) {
+  Rng rng(seed);
+  trace::PoissonArrivals arrivals(rps, rng.Split());
+  std::vector<trace::Request> requests;
+  requests.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    trace::Request r;
+    r.id = static_cast<uint64_t>(i);
+    r.arrival = arrivals.Next();
+    r.template_id = static_cast<int>(rng.NextBelow(3));
+    r.mask_ratio = (rng.NextDouble() < 0.8) ? rng.Uniform(0.03, 0.08)
+                                            : rng.Uniform(0.8, 0.95);
+    r.denoise_steps = kSteps;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+struct HostCalibration {
+  double solo_ms = 0.0;          // Mean unloaded end-to-end latency (r=0.3).
+  double fixed_ms = 0.0;         // Non-denoise overhead (pre/post/dispatch).
+  double mean_denoise_ms = 0.0;  // Expected per-request denoise cost of the
+                                 // trace mix, from the profiled regression.
+  sched::LatencyModel model;     // Wall-clock-profiled step-cost regression.
+
+  // Estimated unloaded end-to-end latency for one request of `ratio` — the
+  // basis for slowdown-normalized per-request SLOs.
+  double SoloMs(double ratio) const {
+    const std::vector<double> one{ratio};
+    return fixed_ms + kSteps * model.EstimateStepLatency(one).millis();
+  }
+};
+
+// Probes this host: solo latency anchors the SLO scale; the profiled latency
+// model gives per-ratio step costs (for per-request SLO budgets) and the
+// denoise-thread capacity that the arrival rate is set against.
+HostCalibration Calibrate() {
+  gateway::GatewayOptions options = BaseOptions();
+  options.policy = sched::RoutePolicy::kRoundRobin;
+  gateway::Gateway probe(options);
+  Rng rng(3);
+  StatAccumulator ms;
+  for (int i = 0; i < 4; ++i) {
+    runtime::OnlineRequest request;
+    request.template_id = i % 3;
+    request.mask = trace::GenerateBlobMask(options.worker.numerics.grid_h,
+                                           options.worker.numerics.grid_w,
+                                           0.3, rng);
+    request.prompt_seed = 100 + i;
+    auto result = probe.Submit(std::move(request));
+    ms.Add(result.future.get().total_ms());
+  }
+  HostCalibration cal;
+  cal.model = probe.latency_model();
+  cal.solo_ms = ms.Mean();
+  const std::vector<double> probe_ratio{0.3};
+  cal.fixed_ms = std::max(
+      0.0, cal.solo_ms -
+               kSteps * cal.model.EstimateStepLatency(probe_ratio).millis());
+  const std::vector<double> light{0.055};
+  const std::vector<double> heavy{0.875};
+  cal.mean_denoise_ms =
+      kSteps * (0.8 * cal.model.EstimateStepLatency(light).millis() +
+                0.2 * cal.model.EstimateStepLatency(heavy).millis());
+  probe.Stop();
+  return cal;
+}
+
+// Replays the trace open-loop with slowdown-normalized SLOs: each request's
+// deadline budget is `slo_mult` times its own estimated unloaded latency
+// (the serving-literature "SLO scale"). Lights get proportionally tight
+// budgets, so parking a light behind a heavy batch — the mistake count-based
+// balancing makes systematically on skewed traces — costs attainment even
+// when heavies alone would still make their looser deadlines.
+gateway::MetricsSnapshot RunPolicy(sched::RoutePolicy policy,
+                                   const std::vector<trace::Request>& requests,
+                                   const HostCalibration& cal,
+                                   double slo_mult) {
+  gateway::GatewayOptions options = BaseOptions();
+  options.policy = policy;
+  gateway::Gateway gw(options);
+  Rng rng(kMaskSeed);
+  gw.ResetArrivalEpoch();
+  for (const auto& r : requests) {
+    runtime::OnlineRequest online =
+        gateway::MakeOnlineRequest(r, options.worker.numerics, rng);
+    online.slo =
+        Duration::Seconds(slo_mult * cal.SoloMs(r.mask_ratio) / 1000.0);
+    gw.SubmitAt(std::move(online), r.arrival - TimePoint());
+  }
+  gw.Drain();
+  gateway::MetricsSnapshot metrics = gw.Metrics();
+  gw.Stop();
+  return metrics;
+}
+
+struct PolicyAggregate {
+  sched::RoutePolicy policy;
+  std::vector<gateway::MetricsSnapshot> runs;
+
+  // Median per-trace attainment: robust to a single run degraded by host
+  // noise (the bench shares one machine with everything else on it).
+  double Attainment() const {
+    std::vector<double> per_run;
+    per_run.reserve(runs.size());
+    for (const auto& m : runs) {
+      per_run.push_back(m.SloAttainment());
+    }
+    if (per_run.empty()) {
+      return 1.0;
+    }
+    std::sort(per_run.begin(), per_run.end());
+    return per_run[per_run.size() / 2];
+  }
+  double MeanP50() const { return Mean([](const auto& m) { return m.end_to_end.p50_ms; }); }
+  double MeanP99() const { return Mean([](const auto& m) { return m.end_to_end.p99_ms; }); }
+  double MeanQueueP99() const { return Mean([](const auto& m) { return m.queueing.p99_ms; }); }
+
+  template <typename F>
+  double Mean(F field) const {
+    double sum = 0.0;
+    for (const auto& m : runs) {
+      sum += field(m);
+    }
+    return runs.empty() ? 0.0 : sum / static_cast<double>(runs.size());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Gateway SLO comparison — real threads, open-loop skewed-mask trace",
+      "§4.4/Fig. 16: count-based balancing misplaces heavy-mask requests; "
+      "mask-aware routing attains the SLO at least as often");
+
+  const HostCalibration cal = Calibrate();
+  // Offered load: a fraction of the denoise-thread capacity (the routed
+  // resource) — near the knee, where backlog builds intermittently and
+  // placement of the heavy-mask minority decides the tail. Each request's
+  // SLO is `slo_mult` times its own estimated unloaded latency (slowdown-
+  // normalized). Both are overridable for exploration:
+  //   bench_gateway_slo [utilization] [slo_multiplier]
+  double util = argc > 1 ? std::atof(argv[1]) : 0.30;
+  double slo_mult = argc > 2 ? std::atof(argv[2]) : 5.0;
+  if (util <= 0.0 || util > 1.0) {
+    std::fprintf(stderr, "invalid utilization '%s', using 0.30\n",
+                 argc > 1 ? argv[1] : "");
+    util = 0.30;
+  }
+  if (slo_mult <= 1.0) {
+    std::fprintf(stderr, "invalid SLO multiplier '%s', using 5.0\n",
+                 argc > 2 ? argv[2] : "");
+    slo_mult = 5.0;
+  }
+  const double rps = util * kWorkers * 1000.0 / cal.mean_denoise_ms;
+  std::printf("solo %.1f ms (fixed %.1f ms), mean denoise %.1f ms -> %.0f%% "
+              "denoise utilization = %.1f rps, SLO = %.1fx per-request solo "
+              "(light %.0f ms / heavy %.0f ms), %d traces x %d requests, "
+              "%d workers\n\n",
+              cal.solo_ms, cal.fixed_ms, cal.mean_denoise_ms, 100.0 * util,
+              rps, slo_mult, slo_mult * cal.SoloMs(0.055),
+              slo_mult * cal.SoloMs(0.875), kSeedCount, kRequests, kWorkers);
+
+  const std::vector<sched::RoutePolicy> policies = {
+      sched::RoutePolicy::kRoundRobin, sched::RoutePolicy::kFirstFit,
+      sched::RoutePolicy::kRequestCount, sched::RoutePolicy::kTokenCount,
+      sched::RoutePolicy::kMaskAware};
+  std::vector<PolicyAggregate> results;
+  for (const auto policy : policies) {
+    results.push_back(PolicyAggregate{policy, {}});
+  }
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    const std::vector<trace::Request> requests =
+        SkewedTrace(rps, /*seed=*/7 + static_cast<uint64_t>(seed));
+    // Rotate the execution order so no policy always runs first (cold) or
+    // last (after the host has drifted).
+    for (size_t i = 0; i < policies.size(); ++i) {
+      const size_t p = (i + static_cast<size_t>(seed)) % policies.size();
+      results[p].runs.push_back(RunPolicy(policies[p], requests, cal, slo_mult));
+    }
+  }
+
+  bench::PrintRow({"policy", "p50(ms)", "p99(ms)", "queue p99", "attainment"},
+                  16);
+  double best_baseline = 0.0;
+  double mask_aware = 0.0;
+  for (const auto& r : results) {
+    bench::PrintRow({sched::ToString(r.policy), bench::Fmt(r.MeanP50(), 1),
+                     bench::Fmt(r.MeanP99(), 1),
+                     bench::Fmt(r.MeanQueueP99(), 1),
+                     bench::Fmt(r.Attainment(), 3)},
+                    16);
+    if (r.policy == sched::RoutePolicy::kMaskAware) {
+      mask_aware = r.Attainment();
+    } else {
+      best_baseline = std::max(best_baseline, r.Attainment());
+    }
+  }
+  std::printf("\nmask-aware attainment %.3f vs best baseline %.3f (%s)\n",
+              mask_aware, best_baseline,
+              mask_aware >= best_baseline ? "OK: >= best baseline"
+                                          : "below best baseline");
+
+  std::ostringstream json;
+  json << "{\"workers\":" << kWorkers << ",\"requests\":" << kRequests
+       << ",\"traces\":" << kSeedCount << ",\"slo_multiplier\":" << slo_mult
+       << ",\"slo_light_ms\":" << slo_mult * cal.SoloMs(0.055)
+       << ",\"slo_heavy_ms\":" << slo_mult * cal.SoloMs(0.875)
+       << ",\"arrival_rps\":" << rps << ",\"policies\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) {
+      json << ",";
+    }
+    json << "{\"policy\":\"" << sched::ToString(results[i].policy)
+         << "\",\"attainment\":" << results[i].Attainment()
+         << ",\"p50_ms\":" << results[i].MeanP50()
+         << ",\"p99_ms\":" << results[i].MeanP99() << ",\"runs\":[";
+    for (size_t r = 0; r < results[i].runs.size(); ++r) {
+      if (r > 0) {
+        json << ",";
+      }
+      json << results[i].runs[r].ToJson();
+    }
+    json << "]}";
+  }
+  json << "]}";
+  std::ofstream out("BENCH_gateway.json");
+  out << json.str() << "\n";
+  std::printf("wrote BENCH_gateway.json\n");
+  return 0;
+}

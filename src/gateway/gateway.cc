@@ -1,0 +1,357 @@
+#include "src/gateway/gateway.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/cache/activation_store.h"
+
+namespace flashps::gateway {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+}  // namespace
+
+std::string ToString(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kRejectedSlo:
+      return "rejected-slo";
+    case SubmitStatus::kShedOverload:
+      return "shed-overload";
+    case SubmitStatus::kRejectedShutdown:
+      return "rejected-shutdown";
+  }
+  return "?";
+}
+
+runtime::OnlineRequest MakeOnlineRequest(const trace::Request& request,
+                                         const model::NumericsConfig& numerics,
+                                         Rng& rng) {
+  runtime::OnlineRequest out;
+  out.template_id = request.template_id;
+  out.mask = trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w,
+                                     request.mask_ratio, rng);
+  out.prompt_seed = request.id + 1;
+  return out;
+}
+
+Gateway::Gateway(GatewayOptions options)
+    : options_(std::move(options)),
+      admission_(sched::LatencyModel(), AdmissionController::Options{}),
+      metrics_(std::max(1, options_.num_workers)),
+      epoch_(std::chrono::steady_clock::now()) {
+  workers_.reserve(std::max(1, options_.num_workers));
+  for (int i = 0; i < std::max(1, options_.num_workers); ++i) {
+    workers_.push_back(std::make_unique<WorkerHandle>(i, options_.worker));
+  }
+  // Fit the routing/admission regression on timed real denoise steps, so
+  // routing costs and admission budgets have this host's cost shape (not the
+  // GPU device-model constants, whose fixed/variable split is different).
+  ProfileHost();
+  admission_ = AdmissionController(
+      latency_model_,
+      AdmissionController::Options{
+          .wall_seconds_per_model_second =
+              options_.wall_seconds_per_model_second > 0.0
+                  ? options_.wall_seconds_per_model_second
+                  : 1.0,
+          .max_queue_depth = options_.max_queue_depth});
+  if (options_.policy == sched::RoutePolicy::kMaskAware) {
+    // Algorithm 2 on the profiled model (not the offline device-model fit),
+    // with the serialized-batch cost reading that matches OnlineServer's
+    // step-level batching on one denoise thread.
+    router_ = std::make_unique<sched::MaskAwareRouter>(
+        latency_model_, /*serialized_batches=*/true, per_request_overhead_s_);
+  } else {
+    router_ = sched::MakeRouter(options_.policy, options_.timing,
+                                options_.worker.mask_aware
+                                    ? model::ComputeMode::kMaskAwareY
+                                    : model::ComputeMode::kFull);
+  }
+  collector_ = std::thread([this] { CollectorLoop(); });
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+Gateway::~Gateway() { Stop(); }
+
+void Gateway::ProfileHost() {
+  // The paper fits its regressions on profiled (FLOPs, latency) samples of
+  // the real system; do the same here. One single-request denoise step per
+  // mask ratio, warm-started, timed over two steps. x is the Table 1
+  // whole-step FLOPs under the worker's compute mode; the per-member math
+  // serializes on the denoise thread, so batches are linear in these
+  // per-request samples by construction.
+  const model::DiffusionModel& m = workers_.front()->server().model();
+  const model::ComputeMode mode = options_.worker.mask_aware
+                                      ? model::ComputeMode::kMaskAwareY
+                                      : model::ComputeMode::kFull;
+  cache::ActivationStore store;
+  Rng rng(0x9A7E);
+  std::vector<double> tflops;
+  std::vector<double> seconds;
+  double overhead_s = 0.0;
+  int overhead_samples = 0;
+  const int total_steps = std::max(1, options_.worker.numerics.num_steps);
+  const int warm = total_steps > 1 ? 1 : 0;
+  const int timed = std::max(1, std::min(2, total_steps - warm));
+  for (const double target : {0.05, 0.15, 0.3, 0.5, 0.7, 0.9}) {
+    auto mask = trace::GenerateBlobMask(options_.worker.numerics.grid_h,
+                                        options_.worker.numerics.grid_w,
+                                        target, rng);
+    // Pre-processing, timed: the same template-encode + latent-init the
+    // worker's CPU lanes run per request.
+    const auto pre0 = std::chrono::steady_clock::now();
+    const Matrix tmpl = m.EncodeTemplate(0);
+    Matrix latent = m.InitEditLatent(tmpl, mask, /*prompt_seed=*/1);
+    const auto pre1 = std::chrono::steady_clock::now();
+    model::DiffusionModel::RunOptions opts;
+    opts.mode = mode;
+    if (options_.worker.mask_aware) {
+      opts.cache = &store.GetOrRegister(m, 0);
+      opts.mask = &mask;
+    }
+    latent = m.RunStepRange(std::move(latent), opts, 0, warm);
+    const auto t0 = std::chrono::steady_clock::now();
+    latent = m.RunStepRange(std::move(latent), opts, warm, warm + timed);
+    const auto t1 = std::chrono::steady_clock::now();
+    // Post-processing, timed: the per-request decode.
+    const Matrix image = m.DecodeLatent(latent);
+    const auto t2 = std::chrono::steady_clock::now();
+    (void)image;
+    overhead_s += std::chrono::duration<double>(pre1 - pre0).count() +
+                  std::chrono::duration<double>(t2 - t1).count();
+    ++overhead_samples;
+
+    const std::vector<double> ratios{mask.ratio()};
+    const auto workload =
+        model::BuildStepWorkload(options_.timing, ratios, mode);
+    double flops = workload.non_tf_flops;
+    for (const auto& block : workload.blocks) {
+      flops += options_.worker.mask_aware ? block.flops_with_cache
+                                          : block.flops_without_cache;
+    }
+    tflops.push_back(flops / 1e12);
+    seconds.push_back(std::chrono::duration<double>(t1 - t0).count() / timed);
+  }
+  latency_model_ = sched::LatencyModel::FitProfiled(options_.timing, mode,
+                                                    tflops, seconds);
+  per_request_overhead_s_ =
+      overhead_samples > 0 ? overhead_s / overhead_samples : 0.0;
+}
+
+std::vector<sched::WorkerStatus> Gateway::WorkerStatuses() const {
+  std::vector<sched::WorkerStatus> statuses;
+  statuses.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    statuses.push_back(worker->Status());
+  }
+  return statuses;
+}
+
+SubmitResult Gateway::Submit(runtime::OnlineRequest request) {
+  std::shared_lock<std::shared_mutex> gate(submit_gate_);
+  metrics_.RecordSubmitted();
+
+  SubmitResult result;
+  if (!accepting_.load()) {
+    metrics_.RecordRejectedShutdown();
+    result.status = SubmitStatus::kRejectedShutdown;
+    return result;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  if (request.deadline == kNoDeadline) {
+    // Per-request budget takes precedence over the gateway-wide default, so
+    // open-loop drivers can attach slowdown-normalized SLOs.
+    const Duration budget =
+        request.slo > Duration::Zero() ? request.slo : options_.slo;
+    if (budget > Duration::Zero()) {
+      request.deadline = now + std::chrono::microseconds(budget.micros());
+    }
+  }
+
+  // The request as the schedulers see it.
+  trace::Request probe;
+  probe.mask_ratio = request.mask.ratio();
+  probe.denoise_steps = options_.worker.numerics.num_steps;
+
+  const std::vector<sched::WorkerStatus> statuses = WorkerStatuses();
+
+  if (options_.admission_control) {
+    std::optional<double> budget_s;
+    if (request.deadline != kNoDeadline) {
+      budget_s = std::chrono::duration<double>(request.deadline - now).count();
+    }
+    const AdmissionController::Verdict verdict =
+        admission_.Evaluate(probe, statuses, budget_s);
+    result.estimated_wall_s = verdict.estimated_wall_s;
+    if (verdict.decision == AdmissionController::Decision::kRejectSlo) {
+      metrics_.RecordRejectedSlo();
+      result.status = SubmitStatus::kRejectedSlo;
+      return result;
+    }
+    if (verdict.decision == AdmissionController::Decision::kShedOverload) {
+      metrics_.RecordShedOverload();
+      result.status = SubmitStatus::kShedOverload;
+      return result;
+    }
+  }
+
+  int worker_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    worker_id = router_->Route(probe, statuses);
+  }
+  worker_id = std::clamp(worker_id, 0, num_workers() - 1);
+
+  Pending pending;
+  pending.worker_id = worker_id;
+  std::future<runtime::OnlineResponse> caller_future =
+      pending.caller_promise.get_future();
+  inflight_.fetch_add(1);
+  try {
+    pending.worker_future = workers_[worker_id]->Submit(std::move(request));
+  } catch (const std::exception&) {
+    // Worker already stopping (we lost a shutdown race despite the gate).
+    inflight_.fetch_sub(1);
+    metrics_.RecordRejectedShutdown();
+    result.status = SubmitStatus::kRejectedShutdown;
+    return result;
+  }
+  metrics_.RecordAccepted(worker_id);
+  completions_.Push(std::move(pending));
+
+  result.status = SubmitStatus::kAccepted;
+  result.worker_id = worker_id;
+  result.future = std::move(caller_future);
+  return result;
+}
+
+void Gateway::SubmitAt(runtime::OnlineRequest request, Duration offset) {
+  const auto due = epoch_ + std::chrono::microseconds(offset.micros());
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (timer_stop_) {
+      // Scheduled after shutdown: account for it like any late arrival.
+      metrics_.RecordSubmitted();
+      metrics_.RecordRejectedShutdown();
+      return;
+    }
+    timer_pending_.fetch_add(1);
+    timed_.push(Timed{due, timer_seq_++, std::move(request)});
+  }
+  timer_cv_.notify_one();
+}
+
+void Gateway::ReplayTrace(const std::vector<trace::Request>& requests,
+                          uint64_t mask_seed) {
+  Rng rng(mask_seed);
+  ResetArrivalEpoch();
+  for (const auto& request : requests) {
+    SubmitAt(MakeOnlineRequest(request, options_.worker.numerics, rng),
+             request.arrival - TimePoint());
+  }
+}
+
+void Gateway::ResetArrivalEpoch() {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Gateway::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  for (;;) {
+    if (timed_.empty()) {
+      if (timer_stop_) {
+        return;
+      }
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const auto due = timed_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < due && !timer_stop_) {
+      timer_cv_.wait_until(lock, due);
+      continue;
+    }
+    // Dispatch (shutdown dispatches everything left; Submit() rejects it
+    // with an explicit status once accepting_ is off).
+    Timed item = std::move(const_cast<Timed&>(timed_.top()));
+    timed_.pop();
+    lock.unlock();
+    Submit(std::move(item.request));
+    timer_pending_.fetch_sub(1);
+    lock.lock();
+  }
+}
+
+void Gateway::Drain() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (timed_.empty() && timer_pending_.load() == 0 &&
+          inflight_.load() == 0) {
+        return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Gateway::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_.load()) {
+    return;
+  }
+
+  {
+    // Exclusive gate: after this block no Submit() is mid-dispatch.
+    std::unique_lock<std::shared_mutex> gate(submit_gate_);
+    accepting_.store(false);
+  }
+
+  // Wake the timer; it dispatches whatever is scheduled (each arrival is
+  // rejected with a shutdown status now — counted, never dropped) and exits.
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) {
+    timer_.join();
+  }
+
+  // Drain accepted work, then retire the collector and the workers.
+  while (inflight_.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  completions_.Close();
+  if (collector_.joinable()) {
+    collector_.join();
+  }
+  for (auto& worker : workers_) {
+    worker->Stop();
+  }
+  stopped_.store(true);
+}
+
+void Gateway::CollectorLoop() {
+  while (auto pending = completions_.Pop()) {
+    try {
+      runtime::OnlineResponse response = pending->worker_future.get();
+      metrics_.RecordCompleted(pending->worker_id, response.queueing_ms(),
+                               response.denoise_ms(), response.post_ms(),
+                               response.total_ms(), response.has_deadline(),
+                               response.met_deadline());
+      pending->caller_promise.set_value(std::move(response));
+    } catch (...) {
+      pending->caller_promise.set_exception(std::current_exception());
+    }
+    inflight_.fetch_sub(1);
+  }
+}
+
+}  // namespace flashps::gateway

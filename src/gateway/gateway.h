@@ -1,0 +1,212 @@
+// Real-concurrency multi-worker serving gateway (the paper's §5 cluster
+// frontend, on real threads instead of the virtual clock).
+//
+// The gateway owns N runtime::OnlineServer workers, publishes a live
+// sched::WorkerStatus per worker from their batch snapshots, and dispatches
+// every incoming request through a pluggable sched::Router — all five
+// RoutePolicy values (round-robin, first-fit, request-count, token-count,
+// mask-aware Algorithm 2) run unchanged against wall clocks. On top of
+// dispatch it layers the production-serving pieces the paper assumes:
+//
+//  - open-loop arrivals: SubmitAt() schedules a request at an offset from
+//    the arrival epoch, and ReplayTrace() drives a trace::Workload
+//    (Poisson/bursty arrival processes) through it;
+//  - per-request deadlines with SLO admission control: a default SLO is
+//    stamped on deadline-less requests, and requests whose best-case drain
+//    estimate (sched::LatencyModel, wall-clock calibrated) misses their
+//    budget are rejected with a distinct status, never silently dropped;
+//  - graceful Drain()/Stop() and a lock-protected MetricsRegistry
+//    (admission counters, queueing/denoise/post/e2e latency percentiles,
+//    SLO attainment, per-worker utilization) exported as JSON.
+#ifndef FLASHPS_SRC_GATEWAY_GATEWAY_H_
+#define FLASHPS_SRC_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/gateway/admission.h"
+#include "src/gateway/metrics.h"
+#include "src/gateway/worker_handle.h"
+#include "src/runtime/concurrent_queue.h"
+#include "src/runtime/online_server.h"
+#include "src/sched/scheduler.h"
+#include "src/trace/workload.h"
+
+namespace flashps::gateway {
+
+struct GatewayOptions {
+  int num_workers = 2;
+  // Per-worker server options (every worker gets the same configuration,
+  // and with it an identical seeded model — any worker can serve any
+  // template).
+  runtime::OnlineServer::Options worker;
+  sched::RoutePolicy policy = sched::RoutePolicy::kMaskAware;
+  // Timing config backing the regression latency model used by mask-aware
+  // routing and admission control.
+  model::TimingConfig timing = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  // Default SLO stamped on requests that carry no deadline; Zero() disables.
+  Duration slo = Duration::Zero();
+  // When false, deadlines are still stamped and tracked (SLO attainment in
+  // the metrics) but no request is rejected up front.
+  bool admission_control = true;
+  // Cluster-wide waiting-depth cap for deadline-less requests.
+  size_t max_queue_depth = std::numeric_limits<size_t>::max();
+  // Extra safety multiplier on the (already wall-clock) profiled admission
+  // estimates. <= 0 means 1.0. The routing/admission latency model is fitted
+  // at startup on timed denoise steps of a real worker, so its estimates are
+  // native wall-clock — no model-second conversion is needed.
+  double wall_seconds_per_model_second = 0.0;
+};
+
+enum class SubmitStatus {
+  kAccepted,
+  kRejectedSlo,       // Admission control: SLO infeasible.
+  kShedOverload,      // Admission control: queue depth cap.
+  kRejectedShutdown,  // Gateway stopping/stopped.
+};
+
+std::string ToString(SubmitStatus status);
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kRejectedShutdown;
+  int worker_id = -1;
+  // Best-case wall-clock drain estimate from admission (seconds).
+  double estimated_wall_s = 0.0;
+  // Valid iff status == kAccepted.
+  std::future<runtime::OnlineResponse> future;
+
+  bool accepted() const { return status == SubmitStatus::kAccepted; }
+};
+
+class Gateway {
+ public:
+  explicit Gateway(GatewayOptions options);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // Synchronous dispatch: admission → routing → worker submission. Never
+  // throws on shutdown; the outcome is always reported in the result status
+  // (and counted in the metrics).
+  SubmitResult Submit(runtime::OnlineRequest request);
+
+  // Open-loop arrival: schedules Submit() at `offset` after the arrival
+  // epoch (set at construction; ResetArrivalEpoch() restarts it). Offsets
+  // already in the past dispatch immediately. Results are observable via
+  // the metrics registry.
+  void SubmitAt(runtime::OnlineRequest request, Duration offset);
+
+  // Replays a generated workload open-loop: each trace request's arrival
+  // time becomes a SubmitAt() offset, its mask ratio a blob mask drawn with
+  // `mask_seed`. Resets the arrival epoch to now.
+  void ReplayTrace(const std::vector<trace::Request>& requests,
+                   uint64_t mask_seed);
+
+  void ResetArrivalEpoch();
+
+  // Blocks until every scheduled arrival has dispatched and every accepted
+  // request has completed. The gateway keeps accepting afterwards.
+  void Drain();
+
+  // Graceful shutdown: stops accepting (pending scheduled arrivals are
+  // counted rejected_shutdown), drains accepted work, joins all gateway
+  // threads and workers. Idempotent.
+  void Stop();
+
+  std::vector<sched::WorkerStatus> WorkerStatuses() const;
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  std::string MetricsJson() const { return metrics_.ToJson(); }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const GatewayOptions& options() const { return options_; }
+  // The safety multiplier admission applies to its profiled estimates
+  // (for tests/benches).
+  double wall_scale() const { return admission_.wall_scale(); }
+  // The wall-clock-profiled regression model behind routing and admission.
+  const sched::LatencyModel& latency_model() const { return latency_model_; }
+  // Mean profiled pre+post (non-denoise) cost of one request, seconds.
+  double per_request_overhead_s() const { return per_request_overhead_s_; }
+
+ private:
+  struct Pending {
+    int worker_id = -1;
+    std::future<runtime::OnlineResponse> worker_future;
+    std::promise<runtime::OnlineResponse> caller_promise;
+  };
+  struct Timed {
+    std::chrono::steady_clock::time_point due;
+    uint64_t seq = 0;
+    runtime::OnlineRequest request;
+    bool operator>(const Timed& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  void CollectorLoop();
+  void TimerLoop();
+  // Times real denoise steps across the mask-ratio range on worker 0's model
+  // and fits the routing/admission regression on the wall-clock samples (the
+  // paper's profiling methodology, run against this host's engine). Also
+  // times pre/post-processing once to fill per_request_overhead_s_.
+  void ProfileHost();
+
+  GatewayOptions options_;
+  std::vector<std::unique_ptr<WorkerHandle>> workers_;
+  sched::LatencyModel latency_model_;
+  // Mean profiled pre+post (non-denoise) cost of one request, seconds.
+  double per_request_overhead_s_ = 0.0;
+  AdmissionController admission_;
+  MetricsRegistry metrics_;
+
+  // Routers keep per-policy state (round-robin cursor, assignment tallies);
+  // dispatch serializes on this mutex.
+  std::mutex route_mu_;
+  std::unique_ptr<sched::Router> router_;
+
+  // Completion harvesting: accepted requests are handed to a collector
+  // thread that waits on the worker future, records metrics, and fulfils
+  // the caller-visible future.
+  runtime::ConcurrentQueue<Pending> completions_;
+  std::thread collector_;
+  std::atomic<uint64_t> inflight_{0};
+
+  // Open-loop arrival timer. timer_pending_ counts scheduled arrivals from
+  // SubmitAt() until their dispatch (or shutdown flush) finishes, so Drain()
+  // cannot slip between a pop and the Submit() it feeds.
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<Timed>> timed_;
+  std::chrono::steady_clock::time_point epoch_;
+  uint64_t timer_seq_ = 0;
+  bool timer_stop_ = false;
+  std::atomic<uint64_t> timer_pending_{0};
+  std::thread timer_;
+
+  // Submissions run under a shared lock; Stop() flips accepting_ under the
+  // exclusive lock, so no Submit() is mid-dispatch once the flip is visible
+  // and the inflight/completions accounting below it is race-free.
+  std::shared_mutex submit_gate_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mu_;
+};
+
+// Converts a generated trace request into a runtime request: the mask ratio
+// becomes a connected blob mask on the worker's latent grid.
+runtime::OnlineRequest MakeOnlineRequest(const trace::Request& request,
+                                         const model::NumericsConfig& numerics,
+                                         Rng& rng);
+
+}  // namespace flashps::gateway
+
+#endif  // FLASHPS_SRC_GATEWAY_GATEWAY_H_

@@ -1,0 +1,18 @@
+#include "src/gateway/worker_handle.h"
+
+namespace flashps::gateway {
+
+sched::WorkerStatus WorkerHandle::Status() const {
+  const runtime::BatchSnapshot snap = server_.Snapshot();
+  sched::WorkerStatus status;
+  status.worker_id = worker_id_;
+  status.running_ratios = snap.running_ratios;
+  status.running_remaining_steps = snap.running_remaining;
+  status.waiting_ratios = snap.waiting_ratios;
+  status.remaining_steps = snap.remaining_steps;
+  status.max_batch = snap.max_batch;
+  status.has_slack = snap.has_slack();
+  return status;
+}
+
+}  // namespace flashps::gateway

@@ -25,6 +25,21 @@ class ConcurrentQueue {
     return true;
   }
 
+  // Like Push(), but hands the item back when the queue is closed so the
+  // caller can dispose of it (e.g. fail the promise it carries) instead of
+  // losing it to the queue's local scope.
+  std::optional<T> PushOrReturn(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return std::optional<T>(std::move(item));
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return std::nullopt;
+  }
+
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);

@@ -1,5 +1,6 @@
 #include "src/runtime/online_server.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace flashps::runtime {
@@ -31,8 +32,70 @@ void OnlineServer::Postprocess(InFlightPtr item) {
   response.admitted = item->admitted;
   response.denoise_done = item->denoise_done;
   response.completed = std::chrono::steady_clock::now();
+  response.deadline = item->request.deadline;
   completed_.fetch_add(1);
   item->promise.set_value(std::move(response));
+}
+
+void OnlineServer::Reject(InFlightPtr item) {
+  // A request that lost the race with Stop(): keep the accepted/completed
+  // accounting balanced so Stop() never waits on work that will not run,
+  // and fail the caller's future explicitly.
+  StatusRetire(item->id);
+  completed_.fetch_add(1);
+  item->promise.set_exception(std::make_exception_ptr(
+      std::runtime_error("OnlineServer: shutting down")));
+}
+
+void OnlineServer::StatusMarkWaiting(uint64_t id, double ratio) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  waiting_status_[id] = ratio;
+}
+
+void OnlineServer::StatusMarkRunning(uint64_t id) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  auto it = waiting_status_.find(id);
+  RunningState state;
+  if (it != waiting_status_.end()) {
+    state.ratio = it->second;
+    waiting_status_.erase(it);
+  }
+  running_status_[id] = state;
+}
+
+void OnlineServer::StatusUpdateSteps(uint64_t id, int steps_done) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  auto it = running_status_.find(id);
+  if (it != running_status_.end()) {
+    it->second.steps_done = steps_done;
+  }
+}
+
+void OnlineServer::StatusRetire(uint64_t id) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  waiting_status_.erase(id);
+  running_status_.erase(id);
+}
+
+BatchSnapshot OnlineServer::Snapshot() const {
+  const int total_steps = options_.numerics.num_steps;
+  BatchSnapshot snap;
+  snap.max_batch = options_.max_batch;
+  std::lock_guard<std::mutex> lock(status_mu_);
+  snap.running_ratios.reserve(running_status_.size());
+  snap.running_remaining.reserve(running_status_.size());
+  for (const auto& [id, state] : running_status_) {
+    const int remaining = std::max(0, total_steps - state.steps_done);
+    snap.running_ratios.push_back(state.ratio);
+    snap.running_remaining.push_back(remaining);
+    snap.remaining_steps += remaining;
+  }
+  snap.waiting_ratios.reserve(waiting_status_.size());
+  for (const auto& [id, ratio] : waiting_status_) {
+    snap.waiting_ratios.push_back(ratio);
+    snap.remaining_steps += total_steps;
+  }
+  return snap;
 }
 
 std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
@@ -44,6 +107,7 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
   item->request = std::move(request);
   item->submitted = std::chrono::steady_clock::now();
   std::future<OnlineResponse> future = item->promise.get_future();
+  StatusMarkWaiting(item->id, item->request.mask.ratio());
   accepted_.fetch_add(1);
 
   if (options_.disaggregate) {
@@ -53,17 +117,22 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
     const bool ok = cpu_pool_->Submit([this, raw] {
       InFlightPtr owned(raw);
       Preprocess(*owned);
-      ready_.Push(std::move(owned));
+      if (auto rejected = ready_.PushOrReturn(std::move(owned))) {
+        Reject(std::move(*rejected));
+      }
     });
     if (!ok) {
-      InFlightPtr owned(raw);
-      owned->promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("OnlineServer: shutting down")));
+      Reject(InFlightPtr(raw));
     }
   } else {
     // Strawman: raw request goes straight to the denoise thread, which will
     // pay the pre-processing inline (interrupting the running batch).
-    ready_.Push(std::move(item));
+    if (auto rejected = ready_.PushOrReturn(std::move(item))) {
+      // Lost the race with Stop(): the queue closed between the stopping_
+      // check and the push. Surface the rejection through the future —
+      // never a silent broken promise.
+      Reject(std::move(*rejected));
+    }
   }
   return future;
 }
@@ -93,6 +162,7 @@ void OnlineServer::DenoiseLoop() {
         store_.GetOrRegister(model_, inflight->request.template_id);
       }
       inflight->admitted = std::chrono::steady_clock::now();
+      StatusMarkRunning(inflight->id);
       batch.push_back(std::move(inflight));
     }
     if (batch.empty()) {
@@ -113,6 +183,7 @@ void OnlineServer::DenoiseLoop() {
                                            member->steps_done,
                                            member->steps_done + 1);
       ++member->steps_done;
+      StatusUpdateSteps(member->id, member->steps_done);
     }
 
     // Retire finished members.
@@ -124,6 +195,7 @@ void OnlineServer::DenoiseLoop() {
       InFlightPtr done = std::move(*it);
       it = batch.erase(it);
       done->denoise_done = std::chrono::steady_clock::now();
+      StatusRetire(done->id);
       if (options_.disaggregate) {
         InFlight* raw = done.release();
         cpu_pool_->Submit([this, raw] { Postprocess(InFlightPtr(raw)); });

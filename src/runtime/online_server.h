@@ -16,10 +16,14 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/cache/activation_store.h"
+#include "src/common/time.h"
 #include "src/model/diffusion_model.h"
 #include "src/runtime/concurrent_queue.h"
 #include "src/runtime/thread_pool.h"
@@ -30,6 +34,16 @@ struct OnlineRequest {
   int template_id = 0;
   trace::Mask mask;
   uint64_t prompt_seed = 0;
+  // Completion deadline (SLO) the caller wants; max() means "none". The
+  // server itself never drops a late request — deadlines are carried through
+  // so the gateway's admission control and metrics can act on them.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  // Relative SLO budget, stamped into `deadline` at dispatch time by the
+  // gateway when no absolute deadline is set; Zero() means "none". Lets
+  // open-loop drivers attach per-request (e.g. slowdown-normalized) SLOs
+  // without knowing the dispatch wall-clock in advance.
+  Duration slo = Duration::Zero();
 };
 
 struct OnlineResponse {
@@ -39,14 +53,50 @@ struct OnlineResponse {
   std::chrono::steady_clock::time_point admitted;      // Joined the batch.
   std::chrono::steady_clock::time_point denoise_done;  // Left the batch.
   std::chrono::steady_clock::time_point completed;     // Post done.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 
   double queueing_ms() const {
     return std::chrono::duration<double, std::milli>(admitted - submitted)
         .count();
   }
+  double denoise_ms() const {
+    return std::chrono::duration<double, std::milli>(denoise_done - admitted)
+        .count();
+  }
+  double post_ms() const {
+    return std::chrono::duration<double, std::milli>(completed - denoise_done)
+        .count();
+  }
   double total_ms() const {
     return std::chrono::duration<double, std::milli>(completed - submitted)
         .count();
+  }
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+  bool met_deadline() const { return completed <= deadline; }
+};
+
+// Point-in-time view of a server's load, shaped for the routers: mask ratios
+// of the batch members currently denoising, mask ratios of accepted requests
+// not yet admitted (in pre-processing or queued), and the total outstanding
+// denoising steps. This is the live counterpart of the virtual-time
+// sched::WorkerStatus the cluster simulation publishes.
+struct BatchSnapshot {
+  std::vector<double> running_ratios;
+  // Remaining denoise steps per running member, parallel to running_ratios.
+  std::vector<int> running_remaining;
+  std::vector<double> waiting_ratios;
+  int64_t remaining_steps = 0;
+  int max_batch = 0;
+
+  // Room in the running batch that queued work will not already consume:
+  // waiting requests are admitted the moment a slot opens, so they count
+  // against the slack a router can still use.
+  bool has_slack() const {
+    return static_cast<int>(running_ratios.size() + waiting_ratios.size()) <
+           max_batch;
   }
 };
 
@@ -75,7 +125,12 @@ class OnlineServer {
   // Completes all accepted requests, then joins every thread. Idempotent.
   void Stop();
 
+  // Thread-safe load snapshot for routing/admission decisions.
+  BatchSnapshot Snapshot() const;
+
+  uint64_t accepted_count() const { return accepted_.load(); }
   uint64_t completed_count() const { return completed_.load(); }
+  const Options& options() const { return options_; }
   const model::DiffusionModel& model() const { return model_; }
 
  private:
@@ -96,6 +151,14 @@ class OnlineServer {
   void Preprocess(InFlight& item) const;
   // Decodes and fulfills the promise (the CPU-bound "post-processing").
   void Postprocess(InFlightPtr item);
+  // Fails a request that lost the submit/Stop race (counts it completed).
+  void Reject(InFlightPtr item);
+
+  // Status-table transitions backing Snapshot().
+  void StatusMarkWaiting(uint64_t id, double ratio);
+  void StatusMarkRunning(uint64_t id);
+  void StatusUpdateSteps(uint64_t id, int steps_done);
+  void StatusRetire(uint64_t id);
 
   Options options_;
   model::DiffusionModel model_;
@@ -107,6 +170,17 @@ class OnlineServer {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<bool> stopping_{false};
+
+  // Live load table: accepted-but-not-admitted requests (waiting) and batch
+  // members (running, with their progress). Written on the submit path and
+  // the denoise thread; read by Snapshot() from arbitrary threads.
+  struct RunningState {
+    double ratio = 0.0;
+    int steps_done = 0;
+  };
+  mutable std::mutex status_mu_;
+  std::map<uint64_t, double> waiting_status_;
+  std::map<uint64_t, RunningState> running_status_;
 };
 
 }  // namespace flashps::runtime

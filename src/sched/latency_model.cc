@@ -58,6 +58,26 @@ LatencyModel LatencyModel::FitOffline(const model::TimingConfig& config,
   return m;
 }
 
+LatencyModel LatencyModel::FitProfiled(const model::TimingConfig& config,
+                                       model::ComputeMode mode,
+                                       const std::vector<double>& step_tflops,
+                                       const std::vector<double>& step_seconds) {
+  LatencyModel m;
+  m.config_ = config;
+  m.mode_ = mode;
+  const LinearFit step_fit = FitLinear(step_tflops, step_seconds);
+  // EstimateStepDurations applies the fit once per block group plus once for
+  // the non-transformer work; spreading the whole-step intercept across
+  // those terms makes the per-step estimate reproduce the fitted line.
+  const double terms =
+      static_cast<double>(config.EffectiveGroups().size()) + 1.0;
+  m.compute_fit_.slope = step_fit.slope;
+  m.compute_fit_.intercept = step_fit.intercept / terms;
+  m.compute_fit_.r2 = step_fit.r2;
+  m.load_fit_ = LinearFit{};  // Loads are inside the measured step.
+  return m;
+}
+
 model::StepDurations LatencyModel::EstimateStepDurations(
     std::span<const double> mask_ratios) const {
   const auto workload = model::BuildStepWorkload(config_, mask_ratios, mode_);

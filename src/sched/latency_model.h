@@ -27,6 +27,20 @@ class LatencyModel {
   static LatencyModel FitOffline(const model::TimingConfig& config,
                                  model::ComputeMode mode);
 
+  // Fits the compute regression from caller-provided profiled samples of a
+  // *real* engine: step_tflops[i] is the whole-step TFLOPs of a profiled
+  // batch (per Table 1 accounting under `mode`), step_seconds[i] its
+  // measured wall-clock latency. This is the paper's actual methodology —
+  // the offline sweep above substitutes for it only when no live engine is
+  // available. The fitted whole-step line is distributed across the
+  // config's block groups so EstimateStepDurations/EstimateStepLatency keep
+  // working; load time is folded into compute (a real engine's measured
+  // step includes its cache gathers).
+  static LatencyModel FitProfiled(const model::TimingConfig& config,
+                                  model::ComputeMode mode,
+                                  const std::vector<double>& step_tflops,
+                                  const std::vector<double>& step_seconds);
+
   // Per-block duration estimates for a hypothetical batch, suitable for
   // Algorithm 1 / Algorithm 2.
   model::StepDurations EstimateStepDurations(

@@ -86,8 +86,9 @@ int TokenCountRouter::Route(const trace::Request& request,
   return best;
 }
 
-double MaskAwareRouter::CalcCost(const trace::Request& request,
-                                 const WorkerStatus& status) const {
+double EstimateDrainSeconds(const LatencyModel& latency_model,
+                            const trace::Request& request,
+                            const WorkerStatus& status) {
   // Hypothetical batch: everything outstanding plus the new request.
   std::vector<double> ratios = status.running_ratios;
   ratios.insert(ratios.end(), status.waiting_ratios.begin(),
@@ -97,7 +98,7 @@ double MaskAwareRouter::CalcCost(const trace::Request& request,
   // Estimated per-step pipeline latency of that batch (Algorithm 1 over
   // regression-estimated durations), amortized per request, times the steps
   // outstanding — an estimate of how long the worker takes to drain.
-  const Duration step = latency_model_.EstimateStepLatency(ratios);
+  const Duration step = latency_model.EstimateStepLatency(ratios);
   const double steps_outstanding =
       static_cast<double>(status.remaining_steps) +
       static_cast<double>(request.denoise_steps);
@@ -107,6 +108,73 @@ double MaskAwareRouter::CalcCost(const trace::Request& request,
                         static_cast<double>(std::max(1, status.max_batch)));
   return step.seconds() * steps_outstanding /
          static_cast<double>(ratios.size()) * waves;
+}
+
+double MaskAwareRouter::CalcCost(const trace::Request& request,
+                                 const WorkerStatus& status) const {
+  if (!serialized_batches_) {
+    return EstimateDrainSeconds(latency_model_, request, status);
+  }
+  // Serialized-batch engine: one denoise thread runs every batch member's
+  // step math back to back, so a worker's remaining wall-clock work is the
+  // sum of per-request step costs times their remaining steps. The cost of
+  // a placement is the worker's remaining work after accepting the request
+  // — join-shortest-workload in estimated seconds, the live decaying
+  // counterpart of token-count's cumulative mask balance.
+  auto step_cost_s = [this](double ratio) {
+    const std::vector<double> one{ratio};
+    return latency_model_.EstimateStepLatency(one).seconds();
+  };
+
+  double backlog_work_s = 0.0;
+  int64_t running_rem = 0;
+  if (status.running_remaining_steps.size() == status.running_ratios.size()) {
+    // Live publishers report per-member progress: exact remaining work.
+    for (size_t i = 0; i < status.running_ratios.size(); ++i) {
+      backlog_work_s += step_cost_s(status.running_ratios[i]) *
+                        static_cast<double>(status.running_remaining_steps[i]);
+      running_rem += status.running_remaining_steps[i];
+    }
+    const int64_t waiting_total =
+        std::max<int64_t>(0, status.remaining_steps - running_rem);
+    const size_t n_wait = status.waiting_ratios.size();
+    for (size_t i = 0; i < n_wait; ++i) {
+      backlog_work_s += step_cost_s(status.waiting_ratios[i]) *
+                        (static_cast<double>(waiting_total) /
+                         static_cast<double>(n_wait));
+    }
+  } else {
+    // Aggregate-only publisher: spread remaining_steps uniformly.
+    std::vector<double> ratios = status.running_ratios;
+    ratios.insert(ratios.end(), status.waiting_ratios.begin(),
+                  status.waiting_ratios.end());
+    if (!ratios.empty()) {
+      const double batch_step_s =
+          latency_model_.EstimateStepLatency(ratios).seconds();
+      backlog_work_s = batch_step_s *
+                       static_cast<double>(status.remaining_steps) /
+                       static_cast<double>(ratios.size());
+    }
+  }
+
+  // Co-batch penalty: once admitted, every one of the request's steps also
+  // waits for the running batch's step math (and inflates theirs in turn).
+  // This is what steers lights away from heavy batches and spreads heavies
+  // apart even when the pure work balance would tie.
+  const double running_step_s =
+      status.running_ratios.empty()
+          ? 0.0
+          : latency_model_.EstimateStepLatency(status.running_ratios).seconds();
+  const double own_steps = static_cast<double>(request.denoise_steps);
+  // Non-denoise load: every outstanding request still owes pre/post work on
+  // the worker's CPU lanes, which the step regression cannot see.
+  const double overhead_s =
+      per_request_overhead_s_ *
+      static_cast<double>(status.running_ratios.size() +
+                          status.waiting_ratios.size());
+  return backlog_work_s + overhead_s +
+         step_cost_s(request.mask_ratio) * own_steps +
+         running_step_s * own_steps;
 }
 
 int MaskAwareRouter::Route(const trace::Request& request,
@@ -134,6 +202,26 @@ int MaskAwareRouter::Route(const trace::Request& request,
       best = s;
     }
   }
+  if (serialized_batches_) {
+    // Near-ties (within 5%) carry no cost signal; picking the first
+    // candidate would pile them onto worker 0 like first-fit. Fall back to
+    // the fewest-assigned worker among the near-tied so indifferent
+    // decisions stay count-balanced.
+    const WorkerStatus* pick = best;
+    int64_t fewest = std::numeric_limits<int64_t>::max();
+    for (const WorkerStatus* s : candidates) {
+      if (CalcCost(request, *s) > best_cost * 1.05) {
+        continue;
+      }
+      const int64_t count = assigned_[s->worker_id];
+      if (count < fewest) {
+        fewest = count;
+        pick = s;
+      }
+    }
+    best = pick;
+  }
+  ++assigned_[best->worker_id];
   return best->worker_id;
 }
 

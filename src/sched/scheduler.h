@@ -28,6 +28,11 @@ struct WorkerStatus {
   int64_t remaining_steps = 0;
   int max_batch = 8;
   bool has_slack = true;
+  // Per-running-request remaining denoise steps, parallel to
+  // running_ratios. Optional: publishers that only track the aggregate
+  // (the virtual-time sim) leave it empty and routers fall back to
+  // remaining_steps.
+  std::vector<int> running_remaining_steps;
 };
 
 enum class RoutePolicy {
@@ -92,22 +97,58 @@ class TokenCountRouter : public Router {
   std::map<int, double> assigned_tokens_;
 };
 
+// Estimated time (seconds) for a worker in state `status` to drain all its
+// outstanding work plus `request`: Algorithm 1 pipeline latency of the
+// hypothetical batch, amortized per request, times the outstanding steps,
+// times the serialization waves beyond batch capacity. Shared by Algorithm 2
+// routing (below) and the gateway's SLO admission control, which compares it
+// against a request's deadline budget.
+double EstimateDrainSeconds(const LatencyModel& latency_model,
+                            const trace::Request& request,
+                            const WorkerStatus& status);
+
 // Algorithm 2.
+//
+// Two cost readings, selected by `serialized_batches`:
+//  - false (default, the virtual-time cluster sim): the new request's own
+//    estimated drain time, EstimateDrainSeconds above. Matches a pipelined
+//    engine where batch members share each step's latency.
+//  - true (the live gateway's OnlineServer workers): batch members' step
+//    math serializes on one denoise thread, so placing a request both waits
+//    behind the worker's whole backlog each step AND slows every co-batched
+//    request by its own per-step cost. The cost is that marginal total:
+//    own completion plus the slowdown imposed on the worker's outstanding
+//    steps. This is what makes heavy-mask requests cluster away from lights
+//    instead of chasing the emptiest worker into their batches.
 class MaskAwareRouter : public Router {
  public:
-  explicit MaskAwareRouter(LatencyModel latency_model)
-      : latency_model_(std::move(latency_model)) {}
+  // `per_request_overhead_s` (serialized mode only): estimated non-denoise
+  // cost per request — pre/post-processing on the worker's CPU lanes. Charged
+  // per outstanding request so that piling cheap-denoise requests onto one
+  // worker still reads as load; without it, a queue of light-mask requests
+  // looks nearly free and the router parks every light behind it.
+  explicit MaskAwareRouter(LatencyModel latency_model,
+                           bool serialized_batches = false,
+                           double per_request_overhead_s = 0.0)
+      : latency_model_(std::move(latency_model)),
+        serialized_batches_(serialized_batches),
+        per_request_overhead_s_(per_request_overhead_s) {}
 
   int Route(const trace::Request& request,
             const std::vector<WorkerStatus>& statuses) override;
 
   // Exposed for tests/benches: the cost score of placing `request` on a
-  // worker in the given state (estimated drain time, seconds).
+  // worker in the given state (seconds; see the class comment for the two
+  // readings).
   double CalcCost(const trace::Request& request,
                   const WorkerStatus& status) const;
 
  private:
   LatencyModel latency_model_;
+  bool serialized_batches_ = false;
+  double per_request_overhead_s_ = 0.0;
+  // Near-tie fallback state (serialized mode): assignments per worker.
+  std::map<int, int64_t> assigned_;
 };
 
 std::unique_ptr<Router> MakeRouter(RoutePolicy policy,

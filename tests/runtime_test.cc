@@ -173,6 +173,138 @@ TEST_F(OnlineServerTest, SubmitAfterStopThrows) {
                std::runtime_error);
 }
 
+TEST_F(OnlineServerTest, StopWithInFlightSubmissionsResolvesAllFutures) {
+  OnlineServer::Options options;
+  options.max_batch = 2;
+  OnlineServer server(options);
+  Rng rng(6);
+  std::vector<std::future<OnlineResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(MakeRequest(options.numerics, i, rng)));
+  }
+  // Stop with everything still in flight: it must wait for all accepted
+  // requests, and every future must resolve (no broken promises).
+  server.Stop();
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(server.completed_count(), 8u);
+}
+
+TEST_F(OnlineServerTest, ConcurrentSubmitAndStopNeverLosesARequest) {
+  OnlineServer::Options options;
+  options.max_batch = 2;
+  OnlineServer server(options);
+  Rng rng(7);
+
+  std::vector<std::future<OnlineResponse>> futures;
+  std::atomic<bool> go{false};
+  std::atomic<int> rejected_at_submit{0};
+  std::thread submitter([&] {
+    Rng thread_rng(8);
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 32; ++i) {
+      try {
+        auto f = server.Submit(MakeRequest(options.numerics, i, thread_rng));
+        futures.push_back(std::move(f));
+      } catch (const std::runtime_error&) {
+        rejected_at_submit.fetch_add(1);  // Submit after Stop() observed it.
+      }
+    }
+  });
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.Stop();
+  submitter.join();
+
+  // Every future the submitter received resolves with a value or an explicit
+  // shutdown error — never a silent drop or a broken promise.
+  int resolved = 0;
+  int failed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++resolved;
+    } catch (const std::runtime_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(resolved + failed + rejected_at_submit.load(), 32);
+  EXPECT_EQ(server.completed_count(), futures.size());
+}
+
+TEST_F(OnlineServerTest, SnapshotTracksOutstandingWork) {
+  OnlineServer::Options options;
+  options.max_batch = 2;
+  options.numerics.num_steps = 16;
+  OnlineServer server(options);
+  Rng rng(9);
+
+  std::vector<std::future<OnlineResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.Submit(MakeRequest(options.numerics, i, rng)));
+  }
+
+  // While requests are in flight, some snapshot must show outstanding work,
+  // with invariants: running <= max_batch, remaining steps bounded by
+  // outstanding * num_steps.
+  bool saw_load = false;
+  for (int poll = 0; poll < 2000 && !saw_load; ++poll) {
+    const BatchSnapshot snap = server.Snapshot();
+    EXPECT_LE(snap.running_ratios.size(), 2u);
+    EXPECT_LE(snap.remaining_steps,
+              static_cast<int64_t>(snap.running_ratios.size() +
+                                   snap.waiting_ratios.size()) *
+                  options.numerics.num_steps);
+    for (const double r : snap.running_ratios) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.0);
+    }
+    if (snap.remaining_steps > 0) {
+      saw_load = true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_EQ(server.Snapshot().max_batch, 2);
+
+  for (auto& f : futures) {
+    f.get();
+  }
+  server.Stop();
+  // Drained: the snapshot is empty again.
+  const BatchSnapshot snap = server.Snapshot();
+  EXPECT_TRUE(snap.running_ratios.empty());
+  EXPECT_TRUE(snap.waiting_ratios.empty());
+  EXPECT_EQ(snap.remaining_steps, 0);
+  EXPECT_TRUE(snap.has_slack());
+}
+
+TEST_F(OnlineServerTest, DeadlinePlumbsThroughToResponse) {
+  OnlineServer::Options options;
+  OnlineServer server(options);
+  Rng rng(10);
+
+  OnlineRequest with_deadline = MakeRequest(options.numerics, 0, rng);
+  with_deadline.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  OnlineRequest without_deadline = MakeRequest(options.numerics, 1, rng);
+
+  auto f1 = server.Submit(std::move(with_deadline));
+  auto f2 = server.Submit(std::move(without_deadline));
+  const OnlineResponse r1 = f1.get();
+  const OnlineResponse r2 = f2.get();
+  server.Stop();
+
+  EXPECT_TRUE(r1.has_deadline());
+  EXPECT_TRUE(r1.met_deadline());  // An hour is plenty.
+  EXPECT_FALSE(r2.has_deadline());
+  EXPECT_TRUE(r2.met_deadline());  // max() deadline is never missed.
+  EXPECT_GE(r1.denoise_ms(), 0.0);
+  EXPECT_GE(r1.post_ms(), 0.0);
+}
+
 TEST_F(OnlineServerTest, ContinuousBatchingInterleavesRequests) {
   // A request submitted while another is in flight must be admitted before
   // the first finishes (step-level join): its admission time precedes the

@@ -198,6 +198,71 @@ TEST(MaskAwareRouterTest, PrefersWorkersWithSlack) {
   EXPECT_EQ(pick, 1);
 }
 
+TEST(LatencyModelTest, FitProfiledRecoversWallClockSamples) {
+  // The gateway fits the routing regression on timed (TFLOPs, seconds)
+  // samples of the real engine. A perfectly linear sample set must be
+  // recovered exactly: whole-step estimates reproduce y = a*x + b.
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  const double slope = 0.004;      // s per TFLOP
+  const double intercept = 0.010;  // s per step
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const double x : {1.0, 2.0, 4.0, 8.0}) {
+    xs.push_back(x);
+    ys.push_back(slope * x + intercept);
+  }
+  const auto m =
+      LatencyModel::FitProfiled(config, ComputeMode::kMaskAwareY, xs, ys);
+  EXPECT_GT(m.compute_fit().r2, 0.999);
+  // A single-request step's estimate matches the sample line at that
+  // request's whole-step TFLOPs.
+  const std::vector<double> ratios{0.3};
+  const auto workload =
+      model::BuildStepWorkload(config, ratios, ComputeMode::kMaskAwareY);
+  double flops = workload.non_tf_flops;
+  for (const auto& block : workload.blocks) {
+    flops += block.flops_with_cache;
+  }
+  const double expected = slope * (flops / 1e12) + intercept;
+  EXPECT_NEAR(m.EstimateStepLatency(ratios).seconds(), expected,
+              0.02 * expected);
+}
+
+TEST(MaskAwareRouterTest, SerializedCostAddsCoBatchPenalty) {
+  // Serialized-batch reading: a request pays for the running batch's step
+  // math every one of its own steps, so a worker running a heavy mask is
+  // costlier for a light request than an idle worker with the same modeled
+  // backlog level.
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  auto m = LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY);
+  MaskAwareRouter router(m, /*serialized_batches=*/true);
+  WorkerStatus idle = MakeStatus(0, {});
+  WorkerStatus heavy = MakeStatus(1, {0.9});
+  heavy.running_remaining_steps = {25};
+  const trace::Request light = MakeRequest(0.05);
+  EXPECT_LT(router.CalcCost(light, idle), router.CalcCost(light, heavy));
+  EXPECT_EQ(router.Route(light, {idle, heavy}), 0);
+}
+
+TEST(MaskAwareRouterTest, SerializedCostChargesPerRequestOverhead) {
+  // With a profiled per-request overhead, a deep queue of cheap-denoise
+  // requests still reads as load: the worker with more outstanding requests
+  // costs more even when its modeled denoise backlog is smaller.
+  const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
+  auto m = LatencyModel::FitOffline(config, ComputeMode::kMaskAwareY);
+  MaskAwareRouter no_overhead(m, /*serialized_batches=*/true);
+  MaskAwareRouter with_overhead(m, /*serialized_batches=*/true,
+                                /*per_request_overhead_s=*/10.0);
+  WorkerStatus piled = MakeStatus(0, {0.05, 0.05}, {0.05, 0.05, 0.05});
+  WorkerStatus single_heavy = MakeStatus(1, {0.9});
+  single_heavy.running_remaining_steps = {25};
+  const trace::Request light = MakeRequest(0.05);
+  EXPECT_GT(with_overhead.CalcCost(light, piled) -
+                no_overhead.CalcCost(light, piled),
+            with_overhead.CalcCost(light, single_heavy) -
+                no_overhead.CalcCost(light, single_heavy));
+}
+
 TEST(MakeRouterTest, BuildsEveryPolicy) {
   const auto config = model::TimingConfig::Get(ModelKind::kSdxl);
   for (const RoutePolicy policy :
