@@ -2,12 +2,33 @@
 // *shape* claims behind Fig. 15-Left on actual hardware: transformer-block
 // wall-clock under mask-aware computation scales ~linearly with the mask
 // ratio, and the KV-cached flow undercuts the Y-cached flow.
+//
+// On top of the Fig. 15 suite this binary measures the blocked/threaded
+// kernel layer itself: naive-vs-blocked GEMM at the SDXL block shapes and
+// 1/2/4-thread scaling of GEMM and BlockForwardFull. Regardless of the
+// google-benchmark output, main() always finishes by hand-timing those
+// kernels (median of repeated samples) and writing BENCH_kernels.json to
+// the working directory; pass --json-only to skip the google-benchmark
+// pass and emit only the JSON.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <iterator>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "src/common/parallel_for.h"
 #include "src/model/diffusion_model.h"
 #include "src/model/transformer.h"
+#include "src/tensor/naive.h"
 
 namespace flashps {
 namespace {
@@ -118,7 +139,216 @@ void BM_AttentionMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionMatrix)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Blocked kernel layer: naive vs blocked GEMM, and thread scaling.
+
+struct GemmShape {
+  const char* name;
+  int m;
+  int k;
+  int n;
+};
+
+// The three GEMM shapes one SDXL transformer block actually issues
+// (tokens=256, hidden=64, ff=256): QKV/out projections, FF up, and
+// scores·V / FF down.
+constexpr GemmShape kSdxlShapes[] = {
+    {"qkv_256x64x64", 256, 64, 64},
+    {"ff1_256x64x256", 256, 64, 256},
+    {"ff2_256x256x64", 256, 256, 64},
+};
+
+Matrix BenchMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillNormal(rng, 1.0f);
+  return m;
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const GemmShape& s = kSdxlShapes[state.range(0)];
+  const Matrix a = BenchMatrix(s.m, s.k, 1);
+  const Matrix b = BenchMatrix(s.k, s.n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive::MatMul(a, b));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_GemmNaive)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const GemmShape& s = kSdxlShapes[state.range(0)];
+  const Matrix a = BenchMatrix(s.m, s.k, 1);
+  const Matrix b = BenchMatrix(s.k, s.n, 2);
+  ComputeThreadsScope scope(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_GemmBlocked)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBlockedThreads(benchmark::State& state) {
+  const GemmShape& s = kSdxlShapes[1];  // ff1: the largest of the three.
+  const Matrix a = BenchMatrix(s.m, s.k, 1);
+  const Matrix b = BenchMatrix(s.k, s.n, 2);
+  ComputeThreadsScope scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_GemmBlockedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlockFullThreads(benchmark::State& state) {
+  const auto& f = Fixture();
+  ComputeThreadsScope scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::BlockForwardFull(*f.weights, f.x, f.bias));
+  }
+}
+BENCHMARK(BM_BlockFullThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: hand-timed medians, independent of google-benchmark.
+
+// Median per-call milliseconds over `samples` timed batches. The batch size
+// is calibrated once so each sample spans >= ~20 ms of wall clock.
+double MedianCallMs(const std::function<void()>& fn, int samples = 5) {
+  using Clock = std::chrono::steady_clock;
+  auto time_batch = [&](int iters) {
+    const auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    const auto stop = Clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+  };
+  int iters = 1;
+  double ms = time_batch(1);
+  while (ms < 20.0 && iters < (1 << 20)) {
+    iters *= 2;
+    ms = time_batch(iters);
+  }
+  std::vector<double> per_call(static_cast<size_t>(samples));
+  for (auto& sample : per_call) {
+    sample = time_batch(iters) / iters;
+  }
+  std::sort(per_call.begin(), per_call.end());
+  return per_call[per_call.size() / 2];
+}
+
+void WriteKernelsJson() {
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(6);
+  json << "{\n";
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n";
+
+  // Naive vs blocked, single thread, at the SDXL block shapes.
+  json << "  \"gemm_naive_vs_blocked\": [\n";
+  double worst_speedup = 1e30;
+  for (size_t i = 0; i < std::size(kSdxlShapes); ++i) {
+    const GemmShape& s = kSdxlShapes[i];
+    const Matrix a = BenchMatrix(s.m, s.k, 1);
+    const Matrix b = BenchMatrix(s.k, s.n, 2);
+    const double naive_ms = MedianCallMs([&] {
+      benchmark::DoNotOptimize(naive::MatMul(a, b));
+    });
+    ComputeThreadsScope scope(1);
+    const double blocked_ms = MedianCallMs([&] {
+      benchmark::DoNotOptimize(MatMul(a, b));
+    });
+    const double speedup = naive_ms / blocked_ms;
+    worst_speedup = std::min(worst_speedup, speedup);
+    json << "    {\"shape\": \"" << s.name << "\", \"naive_ms\": " << naive_ms
+         << ", \"blocked_ms\": " << blocked_ms << ", \"speedup\": " << speedup
+         << "}" << (i + 1 < std::size(kSdxlShapes) ? "," : "") << "\n";
+    std::cerr << "gemm " << s.name << ": naive " << naive_ms << " ms, blocked "
+              << blocked_ms << " ms, speedup " << speedup << "x\n";
+  }
+  json << "  ],\n";
+  json << "  \"gemm_min_speedup\": " << worst_speedup << ",\n";
+
+  // Thread scaling of the blocked GEMM (ff1 shape) and of a whole
+  // transformer-block forward. On a host with a single online core the
+  // fan-out threads time-share it, so scale_2t ~= 1.0 by construction;
+  // hardware_threads above records the ceiling this host imposes.
+  const GemmShape& s = kSdxlShapes[1];
+  const Matrix a = BenchMatrix(s.m, s.k, 1);
+  const Matrix b = BenchMatrix(s.k, s.n, 2);
+  double gemm_ms[3] = {0, 0, 0};
+  const int counts[3] = {1, 2, 4};
+  json << "  \"gemm_thread_scaling\": [\n";
+  for (int i = 0; i < 3; ++i) {
+    ComputeThreadsScope scope(counts[i]);
+    gemm_ms[i] = MedianCallMs([&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    json << "    {\"threads\": " << counts[i] << ", \"shape\": \"" << s.name
+         << "\", \"ms\": " << gemm_ms[i] << "}" << (i < 2 ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"gemm_scale_2t\": " << gemm_ms[0] / gemm_ms[1] << ",\n";
+
+  const auto& f = Fixture();
+  double block_ms[3] = {0, 0, 0};
+  json << "  \"block_forward_thread_scaling\": [\n";
+  for (int i = 0; i < 3; ++i) {
+    ComputeThreadsScope scope(counts[i]);
+    block_ms[i] = MedianCallMs([&] {
+      benchmark::DoNotOptimize(
+          model::BlockForwardFull(*f.weights, f.x, f.bias));
+    });
+    json << "    {\"threads\": " << counts[i] << ", \"ms\": " << block_ms[i]
+         << "}" << (i < 2 ? "," : "") << "\n";
+    std::cerr << "block_forward t=" << counts[i] << ": " << block_ms[i]
+              << " ms\n";
+  }
+  json << "  ],\n";
+  json << "  \"block_forward_scale_2t\": " << block_ms[0] / block_ms[1]
+       << "\n";
+  json << "}\n";
+
+  std::ofstream out("BENCH_kernels.json");
+  out << json.str();
+  std::cerr << "wrote BENCH_kernels.json\n";
+}
+
 }  // namespace
 }  // namespace flashps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  // Strip --json-only before google-benchmark sees (and rejects) it.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!json_only) {
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  flashps::WriteKernelsJson();
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the concurrency gauntlet for the kernel layer:
+#   1. configure + build + full ctest (the roadmap's tier-1 gate);
+#   2. emit BENCH_kernels.json from the kernel microbenchmarks;
+#   3. rebuild the threaded suites under ThreadSanitizer and run them.
+# Run from anywhere; operates on the repo root it lives in.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo}"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== kernel bench: BENCH_kernels.json =="
+cmake --build build -j --target bench_kernels >/dev/null
+./build/bench/bench_kernels --json-only
+echo "BENCH_kernels.json -> ${repo}/BENCH_kernels.json"
+
+echo "== tsan: build threaded suites =="
+cmake -B build-tsan -S . -DFLASHPS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target \
+  kernel_equivalence_test runtime_test gateway_test common_test >/dev/null
+
+echo "== tsan: run threaded suites =="
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator)'
+
+echo "== all checks passed =="

@@ -1,0 +1,107 @@
+// Minimal thread-safe blocking queue. Lives in common so both the serving
+// runtime and the kernel-layer fan-out pool can share it; the original
+// flashps::runtime name remains valid via src/runtime/concurrent_queue.h.
+#ifndef FLASHPS_SRC_COMMON_CONCURRENT_QUEUE_H_
+#define FLASHPS_SRC_COMMON_CONCURRENT_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace flashps {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  // Pushes an item and wakes one waiter. Returns false after Close().
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Like Push(), but hands the item back when the queue is closed so the
+  // caller can dispose of it (e.g. fail the promise it carries) instead of
+  // losing it to the queue's local scope.
+  std::optional<T> PushOrReturn(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return std::optional<T>(std::move(item));
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return std::nullopt;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;  // Closed and drained.
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Drains up to `max_items` currently queued items without blocking.
+  std::vector<T> DrainUpTo(size_t max_items) {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!items_.empty() && out.size() < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  // After Close(), Push() fails and Pop() returns nullopt once drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flashps
+
+#endif  // FLASHPS_SRC_COMMON_CONCURRENT_QUEUE_H_

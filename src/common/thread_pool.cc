@@ -1,8 +1,8 @@
-#include "src/runtime/thread_pool.h"
+#include "src/common/thread_pool.h"
 
 #include <cassert>
 
-namespace flashps::runtime {
+namespace flashps {
 
 ThreadPool::ThreadPool(int num_threads) {
   assert(num_threads > 0);
@@ -45,4 +45,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace flashps::runtime
+}  // namespace flashps

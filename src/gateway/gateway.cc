@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/cache/activation_store.h"
+#include "src/common/parallel_for.h"
 
 namespace flashps::gateway {
 
@@ -83,7 +84,10 @@ void Gateway::ProfileHost() {
   // mask ratio, warm-started, timed over two steps. x is the Table 1
   // whole-step FLOPs under the worker's compute mode; the per-member math
   // serializes on the denoise thread, so batches are linear in these
-  // per-request samples by construction.
+  // per-request samples by construction. Profiling runs under the workers'
+  // compute-thread budget so the fitted model prices the kernels exactly as
+  // the denoise threads will execute them.
+  ComputeThreadsScope compute_scope(options_.worker.compute_threads);
   const model::DiffusionModel& m = workers_.front()->server().model();
   const model::ComputeMode mode = options_.worker.mask_aware
                                       ? model::ComputeMode::kMaskAwareY

@@ -260,9 +260,7 @@ DiffusionModel::RunResult DiffusionModel::RunDenoise(
       accumulated_change = 0.0;
       ++result.computed_steps;
     }
-    for (size_t i = 0; i < latent.size(); ++i) {
-      latent.data()[i] += config_.residual_scale * eps.data()[i];
-    }
+    AxpyInPlace(latent, config_.residual_scale, eps);
   }
   result.final_latent = std::move(latent);
   return result;
@@ -282,9 +280,7 @@ Matrix DiffusionModel::RunStepRange(Matrix latent, const RunOptions& options,
     Matrix h0 = latent;
     AddRowBroadcast(h0, TimestepEmbedding(s));
     const Matrix eps = StepEpsilon(h0, s, options, use_cache);
-    for (size_t i = 0; i < latent.size(); ++i) {
-      latent.data()[i] += config_.residual_scale * eps.data()[i];
-    }
+    AxpyInPlace(latent, config_.residual_scale, eps);
   }
   return latent;
 }

@@ -1,7 +1,10 @@
 #include "src/model/transformer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "src/common/parallel_for.h"
 
 namespace flashps::model {
 
@@ -18,14 +21,19 @@ Matrix RandomWeight(int rows, int cols, Rng& rng) {
 // empty) to `scores` whose columns span all tokens.
 void AddBiasRows(Matrix& scores, const Matrix& bias,
                  const std::vector<int>* q_rows) {
-  for (int i = 0; i < scores.rows(); ++i) {
-    const int src_row = q_rows == nullptr ? i : (*q_rows)[i];
-    const float* b = bias.row(src_row);
-    float* s = scores.row(i);
-    for (int j = 0; j < scores.cols(); ++j) {
-      s[j] += b[j];
+  const int cols = scores.cols();
+  const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 14) / (cols + 1));
+  ParallelFor(scores.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const int row = static_cast<int>(i);
+      const int src_row = q_rows == nullptr ? row : (*q_rows)[row];
+      const float* b = bias.row(src_row);
+      float* s = scores.row(row);
+      for (int j = 0; j < cols; ++j) {
+        s[j] += b[j];
+      }
     }
-  }
+  });
 }
 
 // The token-wise tail of a block given the attention output rows: residual
@@ -92,8 +100,10 @@ Matrix BlockForwardFull(const BlockWeights& w, const Matrix& x,
   AddBiasRows(scores, attn_bias, nullptr);
   SoftmaxRows(scores);
   Matrix attn = MatMul(MatMul(scores, v), w.wo);
+  // Both projections are dead after `attn`; move them out instead of
+  // deep-copying K.
   if (k_out != nullptr) {
-    *k_out = k;
+    *k_out = std::move(k);
   }
   if (v_out != nullptr) {
     *v_out = std::move(v);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/parallel_for.h"
+
 namespace flashps::runtime {
 
 OnlineServer::OnlineServer(Options options)
@@ -138,6 +140,9 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
 }
 
 void OnlineServer::DenoiseLoop() {
+  // Kernel-level parallelism for everything this thread computes (denoise
+  // steps, cache registration, and — in the strawman — inline pre/post).
+  ComputeThreadsScope compute_scope(options_.compute_threads);
   std::vector<InFlightPtr> batch;
   const int total_steps = options_.numerics.num_steps;
 

@@ -110,6 +110,11 @@ class OnlineServer {
     // denoise thread (the Fig. 10-Top strawman).
     bool disaggregate = true;
     int cpu_lanes = 2;
+    // Intra-op kernel parallelism for the denoise thread: GEMM row panels,
+    // LayerNorm/softmax rows and GeLU are fanned out across this many
+    // threads (shared ParallelFor pool; 1 = the seed's serial kernels).
+    // Results are bitwise-independent of this setting.
+    int compute_threads = 1;
   };
 
   explicit OnlineServer(Options options);

@@ -1,41 +1,14 @@
-// Fixed-size worker pool for the disaggregated pre/post-processing lanes.
+// Compatibility shim: ThreadPool moved to src/common so the kernel layer's
+// ParallelFor fan-out can reuse it. The runtime-qualified name stays valid
+// for existing callers.
 #ifndef FLASHPS_SRC_RUNTIME_THREAD_POOL_H_
 #define FLASHPS_SRC_RUNTIME_THREAD_POOL_H_
 
-#include <atomic>
-#include <functional>
-#include <thread>
-#include <vector>
-
-#include "src/runtime/concurrent_queue.h"
+#include "src/common/thread_pool.h"
 
 namespace flashps::runtime {
 
-class ThreadPool {
- public:
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  // Enqueues a task; returns false after Shutdown().
-  bool Submit(std::function<void()> task);
-
-  // Drains outstanding tasks and joins the workers. Idempotent.
-  void Shutdown();
-
-  // Tasks executed so far (for tests/metrics).
-  uint64_t completed() const { return completed_.load(); }
-
- private:
-  void WorkerLoop();
-
-  ConcurrentQueue<std::function<void()>> tasks_;
-  std::vector<std::thread> workers_;
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<bool> shutdown_{false};
-};
+using ::flashps::ThreadPool;
 
 }  // namespace flashps::runtime
 

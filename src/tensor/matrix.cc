@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/parallel_for.h"
 
 namespace flashps {
 
@@ -13,68 +18,294 @@ void Matrix::FillNormal(Rng& rng, float stddev) {
 
 void Matrix::FillConstant(float v) { std::fill(data_.begin(), data_.end(), v); }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (int i = 0; i < m; ++i) {
-    float* out_row = out.row(i);
-    const float* a_row = a.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* b_row = b.row(p);
-      for (int j = 0; j < n; ++j) {
-        out_row[j] += av * b_row[j];
+namespace {
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM core. MatMul and MatMulTransposed share it: B (or B^T) is
+// packed into kNr-wide column panels, and a kMr x kNr register-tiled
+// micro-kernel accumulates C over k. The packed inner loop over the panel
+// lanes is branch-free with unit stride, which the compiler auto-vectorizes;
+// remainder rows/columns fall back to the generic tile.
+// ---------------------------------------------------------------------------
+
+constexpr int kMr = 4;    // C rows per micro-kernel tile.
+constexpr int kNr = 8;    // Panel width (vector lanes of the inner loop).
+constexpr int kKc = 512;  // k-block height: one packed panel stays in L1.
+// Serial fast path: below this many multiply-adds a fan-out/join costs more
+// than the math it parallelizes.
+constexpr int64_t kGemmParallelFlops = 1 << 18;
+// Serial fast path for row-wise/element-wise kernels, in elements per chunk.
+constexpr int64_t kRowwiseGrainElems = 1 << 13;
+constexpr int64_t kElemwiseGrainElems = 1 << 15;
+
+int NumPanels(int n) { return (n + kNr - 1) / kNr; }
+
+// Packs b[k0:k1) x [0:n) into column panels: panel j holds columns
+// [j*kNr, j*kNr + kNr) in k-major order, zero-padded past n.
+void PackPanels(const Matrix& b, int k0, int k1, int n,
+                std::vector<float>& packed) {
+  const int kc = k1 - k0;
+  const int panels = NumPanels(n);
+  packed.assign(static_cast<size_t>(panels) * kc * kNr, 0.0f);
+  for (int panel = 0; panel < panels; ++panel) {
+    const int j0 = panel * kNr;
+    const int jw = std::min(kNr, n - j0);
+    float* dst = packed.data() + static_cast<size_t>(panel) * kc * kNr;
+    for (int p = 0; p < kc; ++p) {
+      const float* src = b.row(k0 + p) + j0;
+      for (int c = 0; c < jw; ++c) {
+        dst[p * kNr + c] = src[c];
       }
     }
   }
+}
+
+// Same panel layout, but the packed "columns" are rows of b — packing b^T
+// without materializing it. b is (n, k).
+void PackPanelsTransposed(const Matrix& b, int k0, int k1, int n,
+                          std::vector<float>& packed) {
+  const int kc = k1 - k0;
+  const int panels = NumPanels(n);
+  packed.assign(static_cast<size_t>(panels) * kc * kNr, 0.0f);
+  for (int panel = 0; panel < panels; ++panel) {
+    const int j0 = panel * kNr;
+    const int jw = std::min(kNr, n - j0);
+    float* dst = packed.data() + static_cast<size_t>(panel) * kc * kNr;
+    for (int c = 0; c < jw; ++c) {
+      const float* src = b.row(j0 + c) + k0;
+      for (int p = 0; p < kc; ++p) {
+        dst[p * kNr + c] = src[p];
+      }
+    }
+  }
+}
+
+// Forced inlining lets the micro-kernels be re-compiled inside each
+// ISA-targeted GemmRowRange wrapper below, so one source vectorizes at
+// SSE2, AVX2+FMA, and AVX-512 widths.
+#define FLASHPS_ALWAYS_INLINE inline __attribute__((always_inline))
+
+// One panel-width vector lane: the micro-kernel is written directly in GCC
+// vector extensions rather than left to the loop auto-vectorizer, whose
+// choices at the wider ISA levels (re-vectorizing the tile as spilled
+// zmm temporaries) measured slower than its own SSE2 code. The extension
+// lowers to whatever the enclosing function's target allows — two xmm
+// mul+adds at baseline, one ymm FMA per row at x86-64-v3/v4.
+typedef float VecNr __attribute__((vector_size(kNr * sizeof(float))));
+
+FLASHPS_ALWAYS_INLINE VecNr LoadVec(const float* p) {
+  VecNr v;
+  __builtin_memcpy(&v, p, sizeof(VecNr));
+  return v;
+}
+
+FLASHPS_ALWAYS_INLINE void StoreVec(float* p, VecNr v) {
+  __builtin_memcpy(p, &v, sizeof(VecNr));
+}
+
+// Scalar-vector binop form so the broadcast lowers to one vbroadcastss
+// (an explicit lane loop compiles to a vinsertps chain on GCC 12).
+FLASHPS_ALWAYS_INLINE VecNr Splat(float s) { return s + VecNr{}; }
+
+// C[rows i0..i0+mr) x [panel columns j0..j0+jw) += A-rows * packed-panel.
+// The accumulator tile lives in registers across the whole k-block.
+template <int MR>
+FLASHPS_ALWAYS_INLINE void MicroKernel(const float* a_rows[],
+                                       const float* panel, int kc,
+                                       float* c_rows[], int jw) {
+  VecNr acc[MR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const VecNr bp = LoadVec(panel + p * kNr);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] += Splat(a_rows[r][p]) * bp;
+    }
+  }
+  if (jw == kNr) {
+    for (int r = 0; r < MR; ++r) {
+      StoreVec(c_rows[r], LoadVec(c_rows[r]) + acc[r]);
+    }
+  } else {
+    for (int r = 0; r < MR; ++r) {
+      for (int c = 0; c < jw; ++c) {
+        c_rows[r][c] += acc[r][c];
+      }
+    }
+  }
+}
+
+// Remainder tile with runtime row count (mr < kMr).
+FLASHPS_ALWAYS_INLINE void MicroKernelEdge(int mr, const float* a_rows[],
+                                           const float* panel, int kc,
+                                           float* c_rows[], int jw) {
+  VecNr acc[kMr] = {};
+  for (int p = 0; p < kc; ++p) {
+    const VecNr bp = LoadVec(panel + p * kNr);
+    for (int r = 0; r < mr; ++r) {
+      acc[r] += Splat(a_rows[r][p]) * bp;
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    for (int c = 0; c < jw; ++c) {
+      c_rows[r][c] += acc[r][c];
+    }
+  }
+}
+
+// One k-block pass over the row range [i0, i1): row tiles of kMr against
+// every packed panel. Ranges from ParallelFor are grain-aligned with grain a
+// multiple of kMr, so the tile decomposition — and with it the result bits —
+// does not depend on the thread count.
+FLASHPS_ALWAYS_INLINE void GemmRowRangeImpl(const Matrix& a,
+                                            const std::vector<float>& packed,
+                                            int k0, int kc, int n, Matrix& out,
+                                            int64_t i0, int64_t i1) {
+  const int panels = NumPanels(n);
+  const float* a_rows[kMr];
+  float* c_rows[kMr];
+  for (int64_t i = i0; i < i1; i += kMr) {
+    const int mr = static_cast<int>(std::min<int64_t>(kMr, i1 - i));
+    for (int r = 0; r < mr; ++r) {
+      a_rows[r] = a.row(static_cast<int>(i) + r) + k0;
+    }
+    for (int panel = 0; panel < panels; ++panel) {
+      const int j0 = panel * kNr;
+      const int jw = std::min(kNr, n - j0);
+      const float* pp = packed.data() + static_cast<size_t>(panel) * kc * kNr;
+      for (int r = 0; r < mr; ++r) {
+        c_rows[r] = out.row(static_cast<int>(i) + r) + j0;
+      }
+      if (mr == kMr) {
+        MicroKernel<kMr>(a_rows, pp, kc, c_rows, jw);
+      } else {
+        MicroKernelEdge(mr, a_rows, pp, kc, c_rows, jw);
+      }
+    }
+  }
+}
+
+// Runtime ISA dispatch. The portable build targets baseline x86-64 (SSE2,
+// no FMA), which leaves most of a modern core idle; instead of shipping
+// per-host binaries, the row-range kernel is compiled three times — baseline,
+// x86-64-v3 (AVX2+FMA), x86-64-v4 (AVX-512) — and the widest level the CPU
+// reports is picked once per process. Explicit function-pointer dispatch
+// (not ifunc/target_clones) keeps sanitizer builds and static init simple.
+// The choice is process-wide and thread-count-independent, so the bitwise
+// invariance guarantee above is unaffected.
+using GemmRowRangeFn = void (*)(const Matrix&, const std::vector<float>&, int,
+                                int, int, Matrix&, int64_t, int64_t);
+
+void GemmRowRangeGeneric(const Matrix& a, const std::vector<float>& packed,
+                         int k0, int kc, int n, Matrix& out, int64_t i0,
+                         int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define FLASHPS_GEMM_MULTIVERSION 1
+__attribute__((target("arch=x86-64-v3"))) void GemmRowRangeV3(
+    const Matrix& a, const std::vector<float>& packed, int k0, int kc, int n,
+    Matrix& out, int64_t i0, int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+}
+
+__attribute__((target("arch=x86-64-v4"))) void GemmRowRangeV4(
+    const Matrix& a, const std::vector<float>& packed, int k0, int kc, int n,
+    Matrix& out, int64_t i0, int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+}
+#endif
+
+GemmRowRangeFn ResolveGemmRowRange() {
+#ifdef FLASHPS_GEMM_MULTIVERSION
+  // FLASHPS_ISA=generic|v3|v4 pins the dispatch (perf debugging; the bench
+  // uses it to compare ISA levels on one host).
+  const char* pin = std::getenv("FLASHPS_ISA");
+  if (pin != nullptr) {
+    if (std::strcmp(pin, "generic") == 0) {
+      return GemmRowRangeGeneric;
+    }
+    if (std::strcmp(pin, "v3") == 0 && __builtin_cpu_supports("x86-64-v3")) {
+      return GemmRowRangeV3;
+    }
+    if (std::strcmp(pin, "v4") == 0 && __builtin_cpu_supports("x86-64-v4")) {
+      return GemmRowRangeV4;
+    }
+  }
+  if (__builtin_cpu_supports("x86-64-v4")) {
+    return GemmRowRangeV4;
+  }
+  if (__builtin_cpu_supports("x86-64-v3")) {
+    return GemmRowRangeV3;
+  }
+#endif
+  return GemmRowRangeGeneric;
+}
+
+Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool b_transposed) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b_transposed ? b.rows() : b.cols();
+  Matrix out(m, n);
+  if (m == 0 || n == 0 || k == 0) {
+    return out;
+  }
+  std::vector<float> packed;
+  for (int k0 = 0; k0 < k; k0 += kKc) {
+    const int kc = std::min(kKc, k - k0);
+    if (b_transposed) {
+      PackPanelsTransposed(b, k0, k0 + kc, n, packed);
+    } else {
+      PackPanels(b, k0, k0 + kc, n, packed);
+    }
+    // Rows per chunk sized so each chunk carries at least kGemmParallelFlops
+    // work, rounded to the row-tile height for thread-count-invariant tiling.
+    int64_t grain =
+        std::max<int64_t>(kMr, kGemmParallelFlops / (2LL * kc * n + 1));
+    grain = ((grain + kMr - 1) / kMr) * kMr;
+    static const GemmRowRangeFn gemm_row_range = ResolveGemmRowRange();
+    ParallelFor(m, grain, [&](int64_t i0, int64_t i1) {
+      gemm_row_range(a, packed, k0, kc, n, out, i0, i1);
+    });
+  }
   return out;
+}
+
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  return GemmBlocked(a, b, /*b_transposed=*/false);
 }
 
 Matrix MatMulTransposed(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a.row(i);
-    float* out_row = out.row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* b_row = b.row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        acc += a_row[p] * b_row[p];
-      }
-      out_row[j] = acc;
-    }
-  }
-  return out;
+  return GemmBlocked(a, b, /*b_transposed=*/true);
 }
 
 void SoftmaxRows(Matrix& m) {
-  for (int i = 0; i < m.rows(); ++i) {
-    float* row = m.row(i);
-    float mx = row[0];
-    for (int j = 1; j < m.cols(); ++j) {
-      mx = std::max(mx, row[j]);
-    }
-    float sum = 0.0f;
-    for (int j = 0; j < m.cols(); ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < m.cols(); ++j) {
-      row[j] *= inv;
-    }
+  if (m.rows() == 0 || m.cols() == 0) {
+    return;
   }
+  const int cols = m.cols();
+  const int64_t grain = std::max<int64_t>(1, kRowwiseGrainElems / cols);
+  ParallelFor(m.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* row = m.row(static_cast<int>(i));
+      float mx = row[0];
+      for (int j = 1; j < cols; ++j) {
+        mx = std::max(mx, row[j]);
+      }
+      float sum = 0.0f;
+      for (int j = 0; j < cols; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < cols; ++j) {
+        row[j] *= inv;
+      }
+    }
+  });
 }
 
 Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
@@ -83,35 +314,46 @@ Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
   assert(static_cast<int>(beta.size()) == x.cols());
   Matrix out(x.rows(), x.cols());
   const int c = x.cols();
-  for (int i = 0; i < x.rows(); ++i) {
-    const float* in_row = x.row(i);
-    float* out_row = out.row(i);
-    float mean = 0.0f;
-    for (int j = 0; j < c; ++j) {
-      mean += in_row[j];
-    }
-    mean /= static_cast<float>(c);
-    float var = 0.0f;
-    for (int j = 0; j < c; ++j) {
-      const float d = in_row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(c);
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    for (int j = 0; j < c; ++j) {
-      out_row[j] = (in_row[j] - mean) * inv_std * gamma[j] + beta[j];
-    }
+  if (x.rows() == 0 || c == 0) {
+    return out;
   }
+  const int64_t grain = std::max<int64_t>(1, kRowwiseGrainElems / c);
+  ParallelFor(x.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* in_row = x.row(static_cast<int>(i));
+      float* out_row = out.row(static_cast<int>(i));
+      float mean = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        mean += in_row[j];
+      }
+      mean /= static_cast<float>(c);
+      float var = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        const float d = in_row[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(c);
+      const float inv_std = 1.0f / std::sqrt(var + eps);
+      for (int j = 0; j < c; ++j) {
+        out_row[j] = (in_row[j] - mean) * inv_std * gamma[j] + beta[j];
+      }
+    }
+  });
   return out;
 }
 
 void GeluInPlace(Matrix& m) {
   constexpr float kSqrt2OverPi = 0.7978845608f;
-  for (size_t i = 0; i < m.size(); ++i) {
-    const float x = m.data()[i];
-    const float t = std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
-    m.data()[i] = 0.5f * x * (1.0f + t);
-  }
+  float* data = m.data();
+  ParallelFor(static_cast<int64_t>(m.size()), kRowwiseGrainElems,
+              [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                  const float x = data[i];
+                  const float t =
+                      std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
+                  data[i] = 0.5f * x * (1.0f + t);
+                }
+              });
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
@@ -134,6 +376,18 @@ void ScaleInPlace(Matrix& m, float k) {
   for (size_t i = 0; i < m.size(); ++i) {
     m.data()[i] *= k;
   }
+}
+
+void AxpyInPlace(Matrix& y, float alpha, const Matrix& x) {
+  assert(y.rows() == x.rows() && y.cols() == x.cols());
+  float* yd = y.data();
+  const float* xd = x.data();
+  ParallelFor(static_cast<int64_t>(y.size()), kElemwiseGrainElems,
+              [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                  yd[i] += alpha * xd[i];
+                }
+              });
 }
 
 Matrix GatherRows(const Matrix& m, const std::vector<int>& indices) {

@@ -56,6 +56,13 @@ class Matrix {
   std::vector<float> data_;
 };
 
+// The kernels below are cache-blocked and register-tiled, and split row
+// panels across threads via ParallelFor when the calling thread has a
+// compute-thread budget (see src/common/parallel_for.h). Outputs are
+// bitwise-identical at every thread count; they can differ from the scalar
+// naive:: reference kernels only by FMA-contraction rounding. Small inputs
+// take a serial fast path, so tiny mats never pay dispatch overhead.
+
 // out = a * b. Shapes: (m,k) x (k,n) -> (m,n).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
@@ -76,6 +83,9 @@ void GeluInPlace(Matrix& m);
 Matrix Add(const Matrix& a, const Matrix& b);
 void AddInPlace(Matrix& a, const Matrix& b);
 void ScaleInPlace(Matrix& m, float k);
+
+// y += alpha * x (same shape). The denoise loop's latent update.
+void AxpyInPlace(Matrix& y, float alpha, const Matrix& x);
 
 // Gathers the given rows into a new (indices.size(), cols) matrix.
 Matrix GatherRows(const Matrix& m, const std::vector<int>& indices);

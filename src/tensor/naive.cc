@@ -1,0 +1,106 @@
+#include "src/tensor/naive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashps::naive {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out.row(i);
+    const float* a_row = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      const float* b_row = b.row(p);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+void SoftmaxRows(Matrix& m) {
+  for (int i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i);
+    float mx = row[0];
+    for (int j = 1; j < m.cols(); ++j) {
+      mx = std::max(mx, row[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < m.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < m.cols(); ++j) {
+      row[j] *= inv;
+    }
+  }
+}
+
+Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, float eps) {
+  assert(static_cast<int>(gamma.size()) == x.cols());
+  assert(static_cast<int>(beta.size()) == x.cols());
+  Matrix out(x.rows(), x.cols());
+  const int c = x.cols();
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* in_row = x.row(i);
+    float* out_row = out.row(i);
+    float mean = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      mean += in_row[j];
+    }
+    mean /= static_cast<float>(c);
+    float var = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      const float d = in_row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(c);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    for (int j = 0; j < c; ++j) {
+      out_row[j] = (in_row[j] - mean) * inv_std * gamma[j] + beta[j];
+    }
+  }
+  return out;
+}
+
+void GeluInPlace(Matrix& m) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  for (size_t i = 0; i < m.size(); ++i) {
+    const float x = m.data()[i];
+    const float t = std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
+    m.data()[i] = 0.5f * x * (1.0f + t);
+  }
+}
+
+}  // namespace flashps::naive

@@ -1,0 +1,34 @@
+// Reference implementations of the hot tensor kernels: the seed repo's
+// single-threaded scalar loops, kept verbatim (minus the data-dependent
+// zero-skip branch the dense MatMul once carried). The blocked/threaded
+// kernels in matrix.h are validated against these in the kernel-equivalence
+// suite, and bench_kernels measures blocked-vs-naive speedups against them.
+// Never call these from serving paths.
+#ifndef FLASHPS_SRC_TENSOR_NAIVE_H_
+#define FLASHPS_SRC_TENSOR_NAIVE_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace flashps::naive {
+
+// out = a * b. Shapes: (m,k) x (k,n) -> (m,n). i-k-j scalar loop.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// out = a * b^T. Shapes: (m,k) x (n,k) -> (m,n). Scalar dot products.
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b);
+
+// Row-wise softmax in place, one row at a time.
+void SoftmaxRows(Matrix& m);
+
+// Row-wise LayerNorm with per-channel gain/bias.
+Matrix LayerNorm(const Matrix& x, const std::vector<float>& gamma,
+                 const std::vector<float>& beta, float eps = 1e-5f);
+
+// Element-wise GeLU (tanh approximation) in place.
+void GeluInPlace(Matrix& m);
+
+}  // namespace flashps::naive
+
+#endif  // FLASHPS_SRC_TENSOR_NAIVE_H_

@@ -402,6 +402,40 @@ TEST(GatewayTest, StopIsIdempotentAndDrainAfterStopReturns) {
   gateway.Drain();
 }
 
+TEST(GatewayTest, MultiThreadedWorkersServeAndStayDeterministic) {
+  // Workers exploiting intra-op parallelism (compute_threads > 1) must
+  // behave exactly like serial workers: same completions, same images.
+  // scripts/check.sh runs this under TSan, racing the ParallelFor pool
+  // against the gateway's own threads.
+  Matrix images[2];
+  const int thread_counts[2] = {1, 2};
+  for (int variant = 0; variant < 2; ++variant) {
+    GatewayOptions options = SmallGateway(sched::RoutePolicy::kRoundRobin);
+    options.worker.compute_threads = thread_counts[variant];
+    Gateway gateway(options);
+    Rng rng(21);
+    runtime::OnlineRequest request =
+        MakeRequest(gateway.options().worker.numerics, 1, rng);
+    SubmitResult pinned = gateway.Submit(request);
+    ASSERT_TRUE(pinned.accepted());
+    images[variant] = pinned.future.get().image;
+    // A burst on top, to exercise fan-out under batching.
+    std::vector<SubmitResult> burst;
+    for (int i = 0; i < 4; ++i) {
+      burst.push_back(gateway.Submit(
+          MakeRequest(gateway.options().worker.numerics, i, rng)));
+    }
+    for (auto& r : burst) {
+      ASSERT_TRUE(r.accepted());
+      r.future.get();
+    }
+    gateway.Drain();
+    EXPECT_EQ(gateway.Metrics().completed, 5u);
+    gateway.Stop();
+  }
+  EXPECT_EQ(MeanAbsDiff(images[0], images[1]), 0.0);
+}
+
 TEST(GatewayTest, SubmitStatusNamesAreDistinct) {
   std::set<std::string> names;
   for (const auto s :

@@ -327,5 +327,24 @@ TEST_F(OnlineServerTest, ContinuousBatchingInterleavesRequests) {
   server.Stop();
 }
 
+TEST_F(OnlineServerTest, ComputeThreadsProduceIdenticalImages) {
+  // The parallel kernels are bitwise thread-count-invariant, so the denoise
+  // output must not depend on the intra-op budget.
+  Matrix images[2];
+  const int thread_counts[2] = {1, 4};
+  for (int variant = 0; variant < 2; ++variant) {
+    OnlineServer::Options options;
+    options.compute_threads = thread_counts[variant];
+    OnlineServer server(options);
+    Rng rng(9);
+    OnlineResponse r =
+        server.Submit(MakeRequest(options.numerics, 2, rng)).get();
+    images[variant] = std::move(r.image);
+    server.Stop();
+  }
+  ASSERT_EQ(images[0].rows(), images[1].rows());
+  EXPECT_EQ(MeanAbsDiff(images[0], images[1]), 0.0);
+}
+
 }  // namespace
 }  // namespace flashps::runtime
