@@ -1,0 +1,126 @@
+// flashps_served: the FlashPS serving daemon.
+//
+// Exposes a configured gateway::Gateway on a TCP port speaking the
+// src/net wire protocol. Remote clients (net::Client, bench_net_loadgen)
+// submit editing requests and receive admission status, per-stage
+// latencies, and the output latent checksum; a metrics frame returns the
+// gateway's MetricsJson(). SIGINT/SIGTERM triggers a graceful drain:
+// stop admitting, finish in-flight requests, flush replies, then exit.
+//
+//   flashps_served --port=7411 --workers=2 --steps=8 --max-batch=4
+//                  --policy=mask-aware --slo-ms=0 --stats-every-s=10
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/net/tcp_server.h"
+
+using namespace flashps;
+
+namespace {
+
+std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signum) { g_signal = signum; }
+
+// --key=value flag helpers (the daemon keeps argv parsing dependency-free).
+bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *out = argv[i] + prefix.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+long FlagLong(int argc, char** argv, const char* key, long fallback) {
+  std::string value;
+  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
+                                            : fallback;
+}
+
+sched::RoutePolicy ParsePolicy(const std::string& name) {
+  if (name == "round-robin") return sched::RoutePolicy::kRoundRobin;
+  if (name == "first-fit") return sched::RoutePolicy::kFirstFit;
+  if (name == "request-count") return sched::RoutePolicy::kRequestCount;
+  if (name == "token-count") return sched::RoutePolicy::kTokenCount;
+  return sched::RoutePolicy::kMaskAware;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gateway::GatewayOptions options;
+  options.num_workers = static_cast<int>(FlagLong(argc, argv, "workers", 2));
+  options.worker.numerics = model::NumericsConfig::ForTests();
+  options.worker.numerics.num_steps =
+      static_cast<int>(FlagLong(argc, argv, "steps", 8));
+  options.worker.max_batch =
+      static_cast<int>(FlagLong(argc, argv, "max-batch", 4));
+  options.worker.compute_threads =
+      static_cast<int>(FlagLong(argc, argv, "compute-threads", 1));
+  std::string policy_name = "mask-aware";
+  FlagValue(argc, argv, "policy", &policy_name);
+  options.policy = ParsePolicy(policy_name);
+  const long slo_ms = FlagLong(argc, argv, "slo-ms", 0);
+  options.slo = Duration::Millis(slo_ms);
+  options.admission_control = slo_ms > 0;
+
+  net::TcpServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(FlagLong(argc, argv, "port", 7411));
+  server_options.max_inflight_per_conn =
+      static_cast<int>(FlagLong(argc, argv, "max-inflight", 32));
+
+  std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "
+              "slo %ld ms\n",
+              options.num_workers, options.worker.numerics.num_steps,
+              policy_name.c_str(), slo_ms);
+  gateway::Gateway gateway(options);
+  net::TcpServer server(gateway, server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "flashps_served: cannot listen on port %u\n",
+                 server_options.port);
+    return 1;
+  }
+  std::printf("flashps_served: listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const long stats_every_s = FlagLong(argc, argv, "stats-every-s", 0);
+  auto last_stats = std::chrono::steady_clock::now();
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_every_s > 0 &&
+        std::chrono::steady_clock::now() - last_stats >=
+            std::chrono::seconds(stats_every_s)) {
+      last_stats = std::chrono::steady_clock::now();
+      const net::TcpServerStats stats = server.Stats();
+      std::printf("flashps_served: conns=%llu frames=%llu responses=%llu "
+                  "inflight=%llu\n",
+                  static_cast<unsigned long long>(stats.connections_accepted),
+                  static_cast<unsigned long long>(stats.frames_received),
+                  static_cast<unsigned long long>(stats.responses_sent),
+                  static_cast<unsigned long long>(server.inflight()));
+      std::fflush(stdout);
+    }
+  }
+
+  // Graceful drain: refuse new work, finish what is in flight, flush the
+  // remaining replies, then tear everything down.
+  std::printf("\nflashps_served: signal %d, draining...\n",
+              static_cast<int>(g_signal));
+  gateway.StopAccepting();
+  server.Stop();
+  gateway.Drain();
+  std::printf("flashps_served: final metrics\n%s\n",
+              gateway.MetricsJson().c_str());
+  gateway.Stop();
+  return 0;
+}

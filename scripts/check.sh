@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the concurrency gauntlet for the kernel layer:
+# Tier-1 verification plus the concurrency and memory gauntlets:
 #   1. configure + build + full ctest (the roadmap's tier-1 gate);
 #   2. emit BENCH_kernels.json from the kernel microbenchmarks;
-#   3. rebuild the threaded suites under ThreadSanitizer and run them.
+#   3. rebuild the threaded suites under ThreadSanitizer and run them;
+#   4. rebuild the net + gateway suites under AddressSanitizer and run
+#      them (malformed-frame handling must be memory-clean, not just
+#      not-crash).
 # Run from anywhere; operates on the repo root it lives in.
 set -euo pipefail
 
@@ -24,10 +27,20 @@ echo "BENCH_kernels.json -> ${repo}/BENCH_kernels.json"
 echo "== tsan: build threaded suites =="
 cmake -B build-tsan -S . -DFLASHPS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
-  kernel_equivalence_test runtime_test gateway_test common_test >/dev/null
+  kernel_equivalence_test runtime_test gateway_test common_test \
+  net_test net_integration_test >/dev/null
 
 echo "== tsan: run threaded suites =="
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator)'
+  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration)'
+
+echo "== asan: build net + gateway suites =="
+cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
+cmake --build build-asan -j --target \
+  net_test net_integration_test gateway_test >/dev/null
+
+echo "== asan: run net + gateway suites =="
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R '^(Serde|Wire|TcpServer|NetIntegration|Gateway)'
 
 echo "== all checks passed =="

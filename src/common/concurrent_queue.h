@@ -1,6 +1,6 @@
-// Minimal thread-safe blocking queue. Lives in common so both the serving
-// runtime and the kernel-layer fan-out pool can share it; the original
-// flashps::runtime name remains valid via src/runtime/concurrent_queue.h.
+// Minimal thread-safe blocking queue. Lives in common so the serving
+// runtime, the kernel-layer fan-out pool, and the network frontier can all
+// share it.
 #ifndef FLASHPS_SRC_COMMON_CONCURRENT_QUEUE_H_
 #define FLASHPS_SRC_COMMON_CONCURRENT_QUEUE_H_
 

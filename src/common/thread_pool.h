@@ -1,7 +1,5 @@
 // Fixed-size worker pool. Used by the serving runtime for the disaggregated
-// pre/post-processing lanes and by the kernel layer's ParallelFor fan-out;
-// the original flashps::runtime name remains valid via
-// src/runtime/thread_pool.h.
+// pre/post-processing lanes and by the kernel layer's ParallelFor fan-out.
 #ifndef FLASHPS_SRC_COMMON_THREAD_POOL_H_
 #define FLASHPS_SRC_COMMON_THREAD_POOL_H_
 

@@ -305,6 +305,13 @@ void Gateway::Drain() {
   }
 }
 
+void Gateway::StopAccepting() {
+  // Exclusive gate: once this returns no Submit() is mid-dispatch, so
+  // every later submission observes the flip.
+  std::unique_lock<std::shared_mutex> gate(submit_gate_);
+  accepting_.store(false);
+}
+
 void Gateway::Stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (stopped_.load()) {

@@ -33,10 +33,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/concurrent_queue.h"
 #include "src/gateway/admission.h"
 #include "src/gateway/metrics.h"
 #include "src/gateway/worker_handle.h"
-#include "src/runtime/concurrent_queue.h"
 #include "src/runtime/online_server.h"
 #include "src/sched/scheduler.h"
 #include "src/trace/workload.h"
@@ -118,6 +118,13 @@ class Gateway {
   // request has completed. The gateway keeps accepting afterwards.
   void Drain();
 
+  // Drain hook for network frontends: stops admitting new requests (every
+  // later Submit() reports kRejectedShutdown) while in-flight work keeps
+  // running and completes. Follow with Drain() + Stop() for a graceful
+  // shutdown sequence. Idempotent; Stop() implies it.
+  void StopAccepting();
+  bool accepting() const { return accepting_.load(); }
+
   // Graceful shutdown: stops accepting (pending scheduled arrivals are
   // counted rejected_shutdown), drains accepted work, joins all gateway
   // threads and workers. Idempotent.
@@ -176,7 +183,7 @@ class Gateway {
   // Completion harvesting: accepted requests are handed to a collector
   // thread that waits on the worker future, records metrics, and fulfils
   // the caller-visible future.
-  runtime::ConcurrentQueue<Pending> completions_;
+  ConcurrentQueue<Pending> completions_;
   std::thread collector_;
   std::atomic<uint64_t> inflight_{0};
 

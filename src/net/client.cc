@@ -1,0 +1,221 @@
+#include "src/net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <thread>
+#include <utility>
+
+namespace flashps::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 4096;
+
+}  // namespace
+
+Client::Client(std::string host, uint16_t port, ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Client::~Client() { Close(); }
+
+bool Client::Connect() {
+  if (connected()) {
+    return true;
+  }
+  std::chrono::milliseconds backoff = options_.connect_backoff;
+  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    fd_ = ConnectTcp(host_, port_);
+    if (fd_.valid()) {
+      last_error_ = WireError::kOk;
+      return true;
+    }
+  }
+  last_error_ = WireError::kConnectionClosed;
+  return false;
+}
+
+void Client::Close() {
+  fd_.Reset();
+  inbuf_.clear();
+}
+
+bool Client::SendFrame(const std::vector<uint8_t>& frame) {
+  if (!connected()) {
+    last_error_ = WireError::kConnectionClosed;
+    return false;
+  }
+  if (!SendAll(fd_.get(), frame.data(), frame.size())) {
+    last_error_ = WireError::kConnectionClosed;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+uint64_t Client::Send(const WireRequest& request) {
+  const uint64_t seq = next_seq_++;
+  if (!SendFrame(EncodeSubmit(seq, request))) {
+    return 0;
+  }
+  return seq;
+}
+
+bool Client::PumpOnce(std::chrono::milliseconds budget) {
+  if (!connected()) {
+    last_error_ = WireError::kConnectionClosed;
+    return false;
+  }
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready =
+      ::poll(&pfd, 1, static_cast<int>(budget.count()));
+  if (ready <= 0) {
+    return true;  // Nothing arrived within the budget; not an error.
+  }
+  uint8_t chunk[kReadChunk];
+  const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+    last_error_ = WireError::kConnectionClosed;
+    Close();
+    return false;
+  }
+  if (n > 0) {
+    inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+  }
+  size_t offset = 0;
+  for (;;) {
+    ParsedFrame frame;
+    size_t consumed = 0;
+    const WireError err = TryParseFrame(inbuf_.data() + offset,
+                                        inbuf_.size() - offset, &frame,
+                                        &consumed);
+    if (err == WireError::kNeedMore) {
+      break;
+    }
+    if (err != WireError::kOk) {
+      last_error_ = err;
+      Close();
+      return false;
+    }
+    offset += consumed;
+    switch (frame.type()) {
+      case FrameType::kSubmitResult: {
+        WireResponse response;
+        if (!DecodeSubmitResult(frame, &response)) {
+          last_error_ = WireError::kMalformedPayload;
+          Close();
+          return false;
+        }
+        responses_[frame.header.seq] = response;
+        break;
+      }
+      case FrameType::kMetricsReport:
+        metrics_[frame.header.seq] = std::string(frame.payload.begin(),
+                                                 frame.payload.end());
+        break;
+      case FrameType::kError: {
+        // The server names the reason and will close on us; surface the
+        // distinct code to the caller.
+        WireErrorBody body;
+        last_error_ = DecodeError(frame, &body)
+                          ? static_cast<WireError>(body.code)
+                          : WireError::kMalformedPayload;
+        Close();
+        return false;
+      }
+      default:
+        last_error_ = WireError::kBadType;
+        Close();
+        return false;
+    }
+  }
+  if (offset > 0) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  return true;
+}
+
+void Client::Pump(std::chrono::milliseconds budget) { PumpOnce(budget); }
+
+std::optional<WireResponse> Client::TryTake(uint64_t seq) {
+  auto it = responses_.find(seq);
+  if (it == responses_.end()) {
+    return std::nullopt;
+  }
+  WireResponse response = it->second;
+  responses_.erase(it);
+  return response;
+}
+
+std::optional<WireResponse> Client::Await(
+    uint64_t seq, std::optional<std::chrono::milliseconds> timeout) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        timeout.value_or(options_.default_timeout);
+  for (;;) {
+    if (auto response = TryTake(seq)) {
+      return response;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return std::nullopt;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<WireResponse> Client::Call(
+    const WireRequest& request,
+    std::optional<std::chrono::milliseconds> timeout) {
+  const uint64_t seq = Send(request);
+  if (seq == 0) {
+    return std::nullopt;
+  }
+  return Await(seq, timeout);
+}
+
+std::optional<std::string> Client::QueryMetrics(
+    std::optional<std::chrono::milliseconds> timeout) {
+  const uint64_t seq = next_seq_++;
+  if (!SendFrame(EncodeMetricsQuery(seq))) {
+    return std::nullopt;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        timeout.value_or(options_.default_timeout);
+  for (;;) {
+    auto it = metrics_.find(seq);
+    if (it != metrics_.end()) {
+      std::string json = std::move(it->second);
+      metrics_.erase(it);
+      return json;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return std::nullopt;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace flashps::net

@@ -1,0 +1,98 @@
+// Remote client for the FlashPS wire protocol.
+//
+// Single-threaded by design: one blocking socket, one read buffer, and a
+// response map keyed by correlation id. Pipelining falls out of that —
+// Send() fires any number of requests down the connection without
+// waiting, the server replies in completion order, and Await(seq) pumps
+// the socket until the wanted reply (which may arrive after others)
+// shows up or the per-call timeout lapses. Instances are not thread-safe;
+// drive one client per thread.
+//
+// Connect() retries with exponential backoff (connect_attempts /
+// connect_backoff), so a client can be started before its daemon and
+// still win the race.
+#ifndef FLASHPS_SRC_NET_CLIENT_H_
+#define FLASHPS_SRC_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/socket_util.h"
+#include "src/net/wire.h"
+
+namespace flashps::net {
+
+struct ClientOptions {
+  int connect_attempts = 1;
+  // First retry delay; doubles per attempt (50, 100, 200, ... ms).
+  std::chrono::milliseconds connect_backoff{50};
+  std::chrono::milliseconds default_timeout{30000};
+};
+
+class Client {
+ public:
+  Client(std::string host, uint16_t port, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects (with backoff retries). True when the socket is up.
+  bool Connect();
+  void Close();
+  bool connected() const { return fd_.valid(); }
+
+  // Pipelined fire-and-forget submit. Returns the correlation id to pass
+  // to Await()/TryTake(), or 0 on failure (see last_error()).
+  uint64_t Send(const WireRequest& request);
+
+  // Blocks until the reply for `seq` arrives or `timeout` lapses (the
+  // Options default when omitted). Pumps the socket, so replies for other
+  // sequences are banked for their own Await() calls.
+  std::optional<WireResponse> Await(
+      uint64_t seq, std::optional<std::chrono::milliseconds> timeout = {});
+
+  // Send + Await in one call.
+  std::optional<WireResponse> Call(
+      const WireRequest& request,
+      std::optional<std::chrono::milliseconds> timeout = {});
+
+  // Fetches the daemon's MetricsJson() via a metrics frame.
+  std::optional<std::string> QueryMetrics(
+      std::optional<std::chrono::milliseconds> timeout = {});
+
+  // Drains whatever the socket has ready, waiting at most `budget` for
+  // the first byte. Use between open-loop sends to harvest replies early.
+  void Pump(std::chrono::milliseconds budget);
+
+  // Takes an already-received reply without touching the socket.
+  std::optional<WireResponse> TryTake(uint64_t seq);
+
+  WireError last_error() const { return last_error_; }
+  size_t banked_responses() const { return responses_.size(); }
+
+ private:
+  // Reads once (bounded by `budget` waiting for readability) and parses
+  // every complete frame into the response maps. False when the
+  // connection is gone or the stream is unframeable.
+  bool PumpOnce(std::chrono::milliseconds budget);
+  bool SendFrame(const std::vector<uint8_t>& frame);
+
+  std::string host_;
+  uint16_t port_;
+  ClientOptions options_;
+  UniqueFd fd_;
+  uint64_t next_seq_ = 1;
+  std::vector<uint8_t> inbuf_;
+  std::map<uint64_t, WireResponse> responses_;
+  std::map<uint64_t, std::string> metrics_;
+  WireError last_error_ = WireError::kOk;
+};
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_CLIENT_H_

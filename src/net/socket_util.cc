@@ -1,0 +1,138 @@
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace flashps::net {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+UniqueFd OpenListener(uint16_t port, int backlog, uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd.get(), backlog) != 0 || !SetNonBlocking(fd.get())) {
+    return UniqueFd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return UniqueFd();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd ConnectTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0) {
+    return UniqueFd();
+  }
+  UniqueFd fd;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      continue;
+    }
+    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(candidate.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one));
+      fd = std::move(candidate);
+      break;
+    }
+  }
+  ::freeaddrinfo(result);
+  return fd;
+}
+
+bool WakePipe::Open() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return false;
+  }
+  read_end.Reset(fds[0]);
+  write_end.Reset(fds[1]);
+  return SetNonBlocking(fds[0]) && SetNonBlocking(fds[1]);
+}
+
+void WakePipe::Wake() const {
+  const char byte = 1;
+  // Non-blocking: a full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] const ssize_t n = ::write(write_end.get(), &byte, 1);
+}
+
+void WakePipe::Drain() const {
+  char buf[64];
+  while (::read(read_end.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+bool SendAll(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int count = 0;
+  while (::readdir(dir) != nullptr) {
+    ++count;
+  }
+  ::closedir(dir);
+  // Subtract ".", "..", and the DIR's own fd.
+  return count - 3;
+}
+
+}  // namespace flashps::net

@@ -1,0 +1,73 @@
+// Thin POSIX socket helpers shared by the TCP server and client: RAII fd
+// ownership, listener/connect setup, and the self-pipe used to wake a
+// poll() loop from another thread. Linux/POSIX only (the only platform the
+// reproduction targets); nothing here knows about the wire protocol.
+#ifndef FLASHPS_SRC_NET_SOCKET_UTIL_H_
+#define FLASHPS_SRC_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace flashps::net {
+
+// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.Release()) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      Reset(o.Release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Opens a non-blocking listener on 127.0.0.1:`port` (0 = ephemeral) with
+// SO_REUSEADDR. On success fills `*bound_port` with the actual port.
+// Returns an invalid fd on failure.
+UniqueFd OpenListener(uint16_t port, int backlog, uint16_t* bound_port);
+
+// Blocking TCP connect to host:port (numeric IP or hostname). Returns an
+// invalid fd on failure.
+UniqueFd ConnectTcp(const std::string& host, uint16_t port);
+
+bool SetNonBlocking(int fd);
+
+// A pipe whose read end a poll() loop watches; writing one byte wakes it.
+struct WakePipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+
+  bool Open();
+  // Async-signal- and thread-safe wake; coalesces (a full pipe is fine).
+  void Wake() const;
+  // Drains pending wake bytes (called by the poll loop).
+  void Drain() const;
+};
+
+// Writes all of [data, data+size) to a blocking socket, retrying on EINTR
+// and suppressing SIGPIPE. Returns false once the peer is gone.
+bool SendAll(int fd, const void* data, size_t size);
+
+// Counts open file descriptors of this process (via /proc/self/fd); -1 if
+// unavailable. Used by tests to assert the server leaks no sockets.
+int CountOpenFds();
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_SOCKET_UTIL_H_

@@ -1,0 +1,545 @@
+#include "src/net/tcp_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace flashps::net {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 50;
+constexpr size_t kReadChunk = 4096;
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+constexpr size_t kMaxWritePerEvent = 256 * 1024;
+// Sentinel ids in the pollfd index for the two non-connection fds.
+constexpr uint64_t kWakeId = 0;
+constexpr uint64_t kListenerId = ~0ull;
+
+}  // namespace
+
+TcpServer::TcpServer(gateway::Gateway& gateway, TcpServerOptions options)
+    : gateway_(gateway), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+bool TcpServer::Start() {
+  listener_ = OpenListener(options_.port, options_.backlog, &port_);
+  if (!listener_.valid() || !wake_.Open()) {
+    return false;
+  }
+  running_.store(true);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  completer_thread_ = std::thread([this] { CompleterLoop(); });
+  return true;
+}
+
+TcpServerStats TcpServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TcpServer::CountWireError(WireError error) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (error) {
+    case WireError::kBadMagic:
+      ++stats_.bad_magic;
+      break;
+    case WireError::kBadVersion:
+      ++stats_.bad_version;
+      break;
+    case WireError::kBadType:
+      ++stats_.bad_type;
+      break;
+    case WireError::kOversizedFrame:
+      ++stats_.oversized;
+      break;
+    case WireError::kMalformedPayload:
+      ++stats_.malformed;
+      break;
+    case WireError::kTruncatedFrame:
+      ++stats_.truncated;
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpServer::QueueBytes(Conn& conn, const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(conn.out_mu);
+  conn.outbuf.insert(conn.outbuf.end(), bytes.begin(), bytes.end());
+}
+
+bool TcpServer::DeliverToConn(uint64_t conn_id,
+                              const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return false;
+  }
+  QueueBytes(*it->second, bytes);
+  return true;
+}
+
+void TcpServer::AcceptNewConnections() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or a transient error; poll() will retry.
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd.Reset(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_[conn->id] = std::move(conn);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void TcpServer::HandleReadable(Conn& conn) {
+  size_t total = 0;
+  while (total < kMaxReadPerEvent) {
+    uint8_t chunk[kReadChunk];
+    const ssize_t n = ::recv(conn.fd.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), chunk, chunk + n);
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    // EOF or a hard error: no more bytes will ever arrive.
+    conn.read_closed = true;
+    break;
+  }
+  ParseFrames(conn);
+}
+
+void TcpServer::ParseFrames(Conn& conn) {
+  size_t offset = 0;
+  bool partial = false;
+  while (!conn.close_after_flush) {
+    if (conn.inflight.load() >= options_.max_inflight_per_conn) {
+      // Back-pressure: stop consuming; POLLIN interest drops until the
+      // completer retires some of this connection's requests.
+      if (!conn.stalled) {
+        conn.stalled = true;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.backpressure_stalls;
+      }
+      break;
+    }
+    conn.stalled = false;
+    ParsedFrame frame;
+    size_t consumed = 0;
+    const WireError err = TryParseFrame(conn.inbuf.data() + offset,
+                                        conn.inbuf.size() - offset, &frame,
+                                        &consumed);
+    if (err == WireError::kNeedMore) {
+      partial = conn.inbuf.size() - offset > 0;
+      break;
+    }
+    if (err != WireError::kOk) {
+      CountWireError(err);
+      QueueBytes(conn, EncodeError(0, err, ToString(err)));
+      conn.close_after_flush = true;
+      // Whatever follows the bad bytes is unframeable; drop it.
+      conn.inbuf.clear();
+      HandleWritable(conn);
+      return;
+    }
+    offset += consumed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_received;
+    }
+    DispatchFrame(conn, frame);
+  }
+  if (offset > 0) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  if (conn.read_closed && partial) {
+    // The peer closed with a frame prefix buffered: a truncated frame,
+    // counted distinctly. Those bytes can never complete.
+    CountWireError(WireError::kTruncatedFrame);
+    conn.inbuf.clear();
+  }
+  HandleWritable(conn);
+}
+
+void TcpServer::DispatchFrame(Conn& conn, const ParsedFrame& frame) {
+  switch (frame.type()) {
+    case FrameType::kSubmit:
+      HandleSubmit(conn, frame);
+      return;
+    case FrameType::kMetricsQuery: {
+      QueueBytes(conn,
+                 EncodeMetricsReport(frame.header.seq, gateway_.MetricsJson()));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses_sent;
+      return;
+    }
+    default: {
+      // Structurally valid but not a client-to-server type.
+      CountWireError(WireError::kBadType);
+      QueueBytes(conn, EncodeError(frame.header.seq, WireError::kBadType,
+                                   "frame type not valid for this direction"));
+      conn.close_after_flush = true;
+      return;
+    }
+  }
+}
+
+void TcpServer::HandleSubmit(Conn& conn, const ParsedFrame& frame) {
+  WireRequest request;
+  std::string error;
+  if (!DecodeSubmit(frame, &request, &error)) {
+    CountWireError(WireError::kMalformedPayload);
+    QueueBytes(conn, EncodeError(frame.header.seq,
+                                 WireError::kMalformedPayload, error));
+    conn.close_after_flush = true;
+    return;
+  }
+  WireResponse rejection;
+  if (draining_.load()) {
+    rejection.status =
+        static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
+  } else {
+    gateway::SubmitResult result = gateway_.Submit(std::move(request.request));
+    if (result.accepted()) {
+      conn.inflight.fetch_add(1);
+      total_inflight_.fetch_add(1);
+      PendingCompletion pending;
+      pending.conn_id = conn.id;
+      pending.seq = frame.header.seq;
+      pending.worker_id = result.worker_id;
+      pending.estimated_wall_us =
+          static_cast<int64_t>(result.estimated_wall_s * 1e6);
+      pending.future = std::move(result.future);
+      completions_.Push(std::move(pending));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.submits_accepted;
+      return;
+    }
+    rejection.status = static_cast<uint8_t>(result.status);
+    rejection.estimated_wall_us =
+        static_cast<int64_t>(result.estimated_wall_s * 1e6);
+  }
+  QueueBytes(conn, EncodeSubmitResult(frame.header.seq, rejection));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.submits_rejected;
+  ++stats_.responses_sent;
+}
+
+void TcpServer::HandleWritable(Conn& conn) {
+  size_t written = 0;
+  while (written < kMaxWritePerEvent) {
+    std::vector<uint8_t> chunk;
+    {
+      std::lock_guard<std::mutex> lock(conn.out_mu);
+      if (conn.outbuf.empty()) {
+        return;
+      }
+      const size_t n = std::min(conn.outbuf.size(), kReadChunk * 8);
+      chunk.assign(conn.outbuf.begin(),
+                   conn.outbuf.begin() + static_cast<ptrdiff_t>(n));
+    }
+    const ssize_t n =
+        ::send(conn.fd.get(), chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      std::lock_guard<std::mutex> lock(conn.out_mu);
+      conn.outbuf.erase(conn.outbuf.begin(),
+                        conn.outbuf.begin() + static_cast<ptrdiff_t>(n));
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    // Peer is gone; nothing queued can ever be delivered.
+    conn.read_closed = true;
+    conn.close_after_flush = true;
+    std::lock_guard<std::mutex> lock(conn.out_mu);
+    conn.outbuf.clear();
+    return;
+  }
+}
+
+bool TcpServer::ShouldClose(const Conn& conn) const {
+  if (conn.read_closed) {
+    // EOF means the peer is gone — clients hold their socket open until
+    // every reply lands and never half-close. Retire the connection now;
+    // the completer counts whatever it still owed as orphaned.
+    return true;
+  }
+  if (!conn.close_after_flush) {
+    return false;
+  }
+  if (conn.inflight.load() > 0) {
+    return false;  // Replies still owed; the completer will deliver them.
+  }
+  std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(conn.out_mu));
+  return conn.outbuf.empty();
+}
+
+void TcpServer::PollLoop() {
+  bool listener_open = true;
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> ids;
+  for (;;) {
+    if (poll_stop_.load()) {
+      break;
+    }
+    if (draining_.load() && listener_open) {
+      listener_.Reset();
+      listener_open = false;
+    }
+    fds.clear();
+    ids.clear();
+    fds.push_back({wake_.read_end.get(), POLLIN, 0});
+    ids.push_back(kWakeId);
+    if (listener_open) {
+      fds.push_back({listener_.get(), POLLIN, 0});
+      ids.push_back(kListenerId);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        short events = 0;
+        const bool can_read = !conn->read_closed && !conn->close_after_flush &&
+                              !draining_.load() &&
+                              conn->inflight.load() <
+                                  options_.max_inflight_per_conn;
+        if (can_read) {
+          events |= POLLIN;
+        }
+        {
+          std::lock_guard<std::mutex> out_lock(conn->out_mu);
+          if (!conn->outbuf.empty()) {
+            events |= POLLOUT;
+          }
+        }
+        fds.push_back({conn->fd.get(), events, 0});
+        ids.push_back(id);
+      }
+    }
+    ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      if (revents == 0) {
+        continue;
+      }
+      if (ids[i] == kWakeId) {
+        wake_.Drain();
+        continue;
+      }
+      if (ids[i] == kListenerId) {
+        if (!draining_.load()) {
+          AcceptNewConnections();
+        }
+        continue;
+      }
+      Conn* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(ids[i]);
+        if (it != conns_.end()) {
+          conn = it->second.get();
+        }
+      }
+      if (conn == nullptr) {
+        continue;
+      }
+      if (revents & POLLERR) {
+        conn->read_closed = true;
+        conn->close_after_flush = true;
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->outbuf.clear();
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) {
+        HandleReadable(*conn);
+      }
+      if (revents & POLLOUT) {
+        HandleWritable(*conn);
+      }
+    }
+
+    // Re-parse buffered frames for connections whose in-flight count
+    // dropped below the cap (the completer wakes us for this), flush
+    // anything newly queued, and retire dead connections.
+    std::vector<uint64_t> closable;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        if (!conn->close_after_flush && !conn->inbuf.empty() &&
+            conn->inflight.load() < options_.max_inflight_per_conn) {
+          ParseFrames(*conn);
+        }
+        HandleWritable(*conn);
+        if (ShouldClose(*conn)) {
+          closable.push_back(id);
+        }
+      }
+      for (const uint64_t id : closable) {
+        conns_.erase(id);
+      }
+    }
+    if (!closable.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.connections_closed += closable.size();
+    }
+  }
+  // Shutdown: close everything still open.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.connections_closed += conns_.size();
+  }
+  conns_.clear();
+  listener_.Reset();
+}
+
+void TcpServer::CompleterLoop() {
+  std::vector<PendingCompletion> pending;
+  for (;;) {
+    if (completer_abandon_.load()) {
+      return;
+    }
+    if (pending.empty()) {
+      auto item = completions_.Pop();  // Blocks; nullopt once closed+drained.
+      if (!item.has_value()) {
+        return;
+      }
+      pending.push_back(std::move(*item));
+    }
+    while (auto more = completions_.TryPop()) {
+      pending.push_back(std::move(*more));
+    }
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      progressed = true;
+      WireResponse response;
+      response.worker_id = it->worker_id;
+      response.estimated_wall_us = it->estimated_wall_us;
+      try {
+        runtime::OnlineResponse done = it->future.get();
+        response.status =
+            static_cast<uint8_t>(gateway::SubmitStatus::kAccepted);
+        response.queueing_us = static_cast<int64_t>(done.queueing_ms() * 1e3);
+        response.denoise_us = static_cast<int64_t>(done.denoise_ms() * 1e3);
+        response.post_us = static_cast<int64_t>(done.post_ms() * 1e3);
+        response.e2e_us = static_cast<int64_t>(done.total_ms() * 1e3);
+        response.latent_checksum = LatentChecksum(done.image);
+      } catch (const std::exception&) {
+        // The worker died under the request (shutdown race).
+        response.status =
+            static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
+      }
+      const bool delivered =
+          DeliverToConn(it->conn_id, EncodeSubmitResult(it->seq, response));
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto conn_it = conns_.find(it->conn_id);
+        if (conn_it != conns_.end()) {
+          conn_it->second->inflight.fetch_sub(1);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (delivered) {
+          ++stats_.responses_sent;
+        } else {
+          ++stats_.orphaned_completions;
+        }
+      }
+      total_inflight_.fetch_sub(1);
+      wake_.Wake();
+      it = pending.erase(it);
+    }
+    if (!pending.empty() && !progressed) {
+      // Futures resolve on gateway threads; a short nap keeps this scan
+      // cheap without adding meaningful completion latency.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+}
+
+void TcpServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  if (!running_.load()) {
+    return;
+  }
+
+  draining_.store(true);
+  wake_.Wake();
+
+  // Drain: let accepted requests finish and their replies flush, bounded
+  // by the configured timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_timeout;
+  while (total_inflight_.load() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto unflushed = [this] {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      std::lock_guard<std::mutex> out_lock(conn->out_mu);
+      if (!conn->outbuf.empty()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (unflushed() && std::chrono::steady_clock::now() < deadline) {
+    wake_.Wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  if (total_inflight_.load() > 0) {
+    // Drain deadline expired with unresolved futures; don't wait on them.
+    completer_abandon_.store(true);
+  }
+  completions_.Close();
+  if (completer_thread_.joinable()) {
+    completer_thread_.join();
+  }
+  poll_stop_.store(true);
+  wake_.Wake();
+  if (poll_thread_.joinable()) {
+    poll_thread_.join();
+  }
+  running_.store(false);
+}
+
+}  // namespace flashps::net

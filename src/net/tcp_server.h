@@ -1,0 +1,171 @@
+// TCP serving frontier over a gateway::Gateway.
+//
+// Threading model (two threads + the gateway's own):
+//
+//   poll thread      one poll() loop owning the listener, the wake pipe,
+//                    and every connection fd (all non-blocking). It reads,
+//                    frames, and validates incoming bytes, answers
+//                    rejections and metrics queries inline, and flushes
+//                    per-connection write buffers.
+//   completer thread waits on the gateway futures of accepted requests
+//                    (completion order, not submission order), encodes
+//                    result frames into the owning connection's write
+//                    buffer, and wakes the poll loop via the pipe.
+//
+// Back-pressure: each connection may have at most
+// `max_inflight_per_conn` accepted requests outstanding. At the cap the
+// poll loop stops reading that connection (its POLLIN interest is
+// dropped and buffered frames stay unparsed), so pressure propagates to
+// the client through TCP flow control instead of unbounded queueing.
+//
+// Failure policy: any malformed frame (bad magic/version/type, size cap,
+// malformed payload) gets a kError frame naming the distinct WireError,
+// then the connection closes after the write buffer flushes. A peer that
+// disconnects mid-request never wedges the server: its in-flight
+// completions are counted `orphaned_completions` and dropped.
+//
+// Stop() is a graceful drain: the listener closes, reading stops,
+// accepted requests finish, replies flush (bounded by
+// `drain_timeout`), then every fd closes and both threads join.
+#ifndef FLASHPS_SRC_NET_TCP_SERVER_H_
+#define FLASHPS_SRC_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/concurrent_queue.h"
+#include "src/gateway/gateway.h"
+#include "src/net/socket_util.h"
+#include "src/net/wire.h"
+
+namespace flashps::net {
+
+struct TcpServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port via port().
+  int backlog = 64;
+  // Bounded in-flight accepted requests per connection (back-pressure cap).
+  int max_inflight_per_conn = 32;
+  // Upper bound on Stop()'s wait for in-flight work and unflushed replies.
+  std::chrono::milliseconds drain_timeout{10000};
+};
+
+// Monotonic counters; every protocol failure mode is distinct.
+struct TcpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t submits_accepted = 0;
+  uint64_t submits_rejected = 0;  // Valid frames the gateway turned away.
+  uint64_t bad_magic = 0;
+  uint64_t bad_version = 0;
+  uint64_t bad_type = 0;
+  uint64_t oversized = 0;
+  uint64_t malformed = 0;
+  uint64_t truncated = 0;  // Peer closed with a partial frame buffered.
+  uint64_t orphaned_completions = 0;
+  uint64_t backpressure_stalls = 0;
+};
+
+class TcpServer {
+ public:
+  // The gateway must outlive the server.
+  TcpServer(gateway::Gateway& gateway, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens, and spawns the threads. False if the port is taken.
+  bool Start();
+  // Graceful drain then full shutdown. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  TcpServerStats Stats() const;
+  // Accepted requests whose replies have not been written out yet.
+  uint64_t inflight() const { return total_inflight_.load(); }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    UniqueFd fd;
+    std::vector<uint8_t> inbuf;
+    // Reply bytes; appended by both threads under out_mu, drained by the
+    // poll thread.
+    std::mutex out_mu;
+    std::deque<uint8_t> outbuf;
+    std::atomic<int> inflight{0};
+    // Poll-thread-only state.
+    bool read_closed = false;
+    bool close_after_flush = false;
+    bool stalled = false;  // At the in-flight cap (for stall accounting).
+  };
+
+  struct PendingCompletion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    int worker_id = -1;
+    int64_t estimated_wall_us = 0;
+    std::future<runtime::OnlineResponse> future;
+  };
+
+  void PollLoop();
+  void CompleterLoop();
+  void AcceptNewConnections();
+  // Reads available bytes; returns false once the connection is dead.
+  void HandleReadable(Conn& conn);
+  void HandleWritable(Conn& conn);
+  void ParseFrames(Conn& conn);
+  void DispatchFrame(Conn& conn, const ParsedFrame& frame);
+  void HandleSubmit(Conn& conn, const ParsedFrame& frame);
+  // Appends bytes to a connection's write buffer (any thread).
+  void QueueBytes(Conn& conn, const std::vector<uint8_t>& bytes);
+  // Completer-side delivery by connection id; false if the peer is gone.
+  bool DeliverToConn(uint64_t conn_id, const std::vector<uint8_t>& bytes);
+  void CountWireError(WireError error);
+  bool ShouldClose(const Conn& conn) const;
+
+  gateway::Gateway& gateway_;
+  TcpServerOptions options_;
+  uint16_t port_ = 0;
+
+  UniqueFd listener_;
+  WakePipe wake_;
+  std::thread poll_thread_;
+  std::thread completer_thread_;
+
+  // Connection registry: mutated only by the poll thread; the lock makes
+  // completer-side lookups safe against removal.
+  mutable std::mutex conns_mu_;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  ConcurrentQueue<PendingCompletion> completions_;
+  std::atomic<uint64_t> total_inflight_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> poll_stop_{false};
+  // Set when the drain deadline expires: the completer abandons futures
+  // that never resolved instead of scanning them forever.
+  std::atomic<bool> completer_abandon_{false};
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mu_;
+  TcpServerStats stats_;
+};
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_TCP_SERVER_H_

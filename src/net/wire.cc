@@ -1,0 +1,235 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+namespace flashps::net {
+
+namespace {
+
+constexpr int32_t kMaxDenoiseSteps = 1000;
+
+void AppendHeader(ByteWriter& w, FrameType type, uint64_t seq,
+                  uint32_t payload_len) {
+  w.U32(kWireMagic);
+  w.U16(kWireVersion);
+  w.U16(static_cast<uint16_t>(type));
+  w.U64(seq);
+  w.U32(payload_len);
+}
+
+bool ValidFrameType(uint16_t type) {
+  return type >= static_cast<uint16_t>(FrameType::kSubmit) &&
+         type <= static_cast<uint16_t>(FrameType::kError);
+}
+
+}  // namespace
+
+std::string ToString(WireError error) {
+  switch (error) {
+    case WireError::kOk:
+      return "ok";
+    case WireError::kNeedMore:
+      return "need-more";
+    case WireError::kBadMagic:
+      return "bad-magic";
+    case WireError::kBadVersion:
+      return "bad-version";
+    case WireError::kBadType:
+      return "bad-type";
+    case WireError::kOversizedFrame:
+      return "oversized-frame";
+    case WireError::kMalformedPayload:
+      return "malformed-payload";
+    case WireError::kTruncatedFrame:
+      return "truncated-frame";
+    case WireError::kTimeout:
+      return "timeout";
+    case WireError::kConnectionClosed:
+      return "connection-closed";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  ByteWriter w(out);
+  AppendHeader(w, type, seq, static_cast<uint32_t>(payload.size()));
+  w.Bytes(payload.data(), payload.size());
+  return out;
+}
+
+std::vector<uint8_t> EncodeSubmit(uint64_t seq, const WireRequest& request) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U8(request.engine_mode);
+  w.I32(request.denoise_steps);
+  runtime::AppendOnlineRequest(request.request, payload);
+  return EncodeFrame(FrameType::kSubmit, seq, payload);
+}
+
+std::vector<uint8_t> EncodeSubmitResult(uint64_t seq,
+                                        const WireResponse& response) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U8(response.status);
+  w.I32(response.worker_id);
+  w.I64(response.estimated_wall_us);
+  w.I64(response.queueing_us);
+  w.I64(response.denoise_us);
+  w.I64(response.post_us);
+  w.I64(response.e2e_us);
+  w.U64(response.latent_checksum);
+  return EncodeFrame(FrameType::kSubmitResult, seq, payload);
+}
+
+std::vector<uint8_t> EncodeMetricsQuery(uint64_t seq) {
+  return EncodeFrame(FrameType::kMetricsQuery, seq, {});
+}
+
+std::vector<uint8_t> EncodeMetricsReport(uint64_t seq,
+                                         const std::string& json) {
+  std::vector<uint8_t> payload(json.begin(), json.end());
+  return EncodeFrame(FrameType::kMetricsReport, seq, payload);
+}
+
+std::vector<uint8_t> EncodeError(uint64_t seq, WireError code,
+                                 const std::string& message) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.U8(static_cast<uint8_t>(code));
+  w.String(message);
+  return EncodeFrame(FrameType::kError, seq, payload);
+}
+
+WireError TryParseFrame(const uint8_t* data, size_t size, ParsedFrame* out,
+                        size_t* consumed) {
+  // Reject garbage as early as possible: the magic is checked the moment
+  // four bytes exist, before waiting for a full header.
+  if (size >= 4) {
+    ByteReader magic_probe(data, size);
+    if (magic_probe.U32() != kWireMagic) {
+      return WireError::kBadMagic;
+    }
+  }
+  if (size < kFrameHeaderBytes) {
+    return WireError::kNeedMore;
+  }
+  ByteReader r(data, size);
+  FrameHeader header;
+  header.magic = r.U32();
+  header.version = r.U16();
+  header.type = r.U16();
+  header.seq = r.U64();
+  header.payload_len = r.U32();
+  if (header.version != kWireVersion) {
+    return WireError::kBadVersion;
+  }
+  if (!ValidFrameType(header.type)) {
+    return WireError::kBadType;
+  }
+  if (header.payload_len > kMaxPayloadBytes) {
+    return WireError::kOversizedFrame;
+  }
+  if (size < kFrameHeaderBytes + header.payload_len) {
+    return WireError::kNeedMore;
+  }
+  out->header = header;
+  out->payload.assign(data + kFrameHeaderBytes,
+                      data + kFrameHeaderBytes + header.payload_len);
+  *consumed = kFrameHeaderBytes + header.payload_len;
+  return WireError::kOk;
+}
+
+bool DecodeSubmit(const ParsedFrame& frame, WireRequest* out,
+                  std::string* error) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  WireRequest request;
+  request.engine_mode = r.U8();
+  request.denoise_steps = r.I32();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "submit payload shorter than its header";
+    return false;
+  }
+  if (request.engine_mode > 1) {
+    if (error != nullptr) *error = "unknown engine mode";
+    return false;
+  }
+  if (request.denoise_steps <= 0 ||
+      request.denoise_steps > kMaxDenoiseSteps) {
+    if (error != nullptr) *error = "denoise step count out of range";
+    return false;
+  }
+  if (!runtime::ReadOnlineRequest(r, &request.request, error)) {
+    return false;
+  }
+  if (r.remaining() != 0) {
+    if (error != nullptr) *error = "trailing bytes after submit payload";
+    return false;
+  }
+  *out = std::move(request);
+  return true;
+}
+
+bool DecodeSubmitResult(const ParsedFrame& frame, WireResponse* out) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  WireResponse response;
+  response.status = r.U8();
+  response.worker_id = r.I32();
+  response.estimated_wall_us = r.I64();
+  response.queueing_us = r.I64();
+  response.denoise_us = r.I64();
+  response.post_us = r.I64();
+  response.e2e_us = r.I64();
+  response.latent_checksum = r.U64();
+  if (!r.ok() || r.remaining() != 0) {
+    return false;
+  }
+  *out = response;
+  return true;
+}
+
+bool DecodeError(const ParsedFrame& frame, WireErrorBody* out) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  WireErrorBody body;
+  body.code = r.U8();
+  body.message = r.String();
+  if (!r.ok()) {
+    return false;
+  }
+  *out = std::move(body);
+  return true;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t LatentChecksum(const Matrix& m) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix = [&hash](uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= static_cast<uint8_t>(v >> shift);
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<uint32_t>(m.rows()));
+  mix(static_cast<uint32_t>(m.cols()));
+  const size_t n = m.size();
+  const float* data = m.data();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    mix(bits);
+  }
+  return hash;
+}
+
+}  // namespace flashps::net

@@ -1,0 +1,159 @@
+// The FlashPS wire protocol: length-prefixed binary frames over TCP.
+//
+// Every frame is a fixed 20-byte header followed by a typed payload, all
+// integers explicit little-endian (src/common/bytes.h) — nothing is ever
+// reinterpret_cast off a socket buffer:
+//
+//   offset  size  field
+//        0     4  magic    "FPS1" (0x31535046 LE)
+//        4     2  version  kWireVersion
+//        6     2  type     FrameType
+//        8     8  seq      correlation id, echoed verbatim in the reply
+//       16     4  len      payload bytes, <= kMaxPayloadBytes
+//
+// Request pipelining works by seq: a client may have many frames in
+// flight on one connection and match replies by correlation id — replies
+// are written in completion order, not submission order. Frames failing
+// any header check (magic, version, type, size cap) or any payload check
+// are rejected with a distinct WireError; the peer receives a kError frame
+// where possible and the connection is closed. The per-frame size cap
+// bounds both decoder memory and read-buffer growth.
+#ifndef FLASHPS_SRC_NET_WIRE_H_
+#define FLASHPS_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gateway/gateway.h"
+#include "src/runtime/serde.h"
+#include "src/tensor/matrix.h"
+
+namespace flashps::net {
+
+inline constexpr uint32_t kWireMagic = 0x31535046u;  // "FPS1" on the wire.
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+// Hard cap on one frame's payload: bounds decoder allocations and makes
+// oversized/garbage length fields detectable before any buffering happens.
+inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+enum class FrameType : uint16_t {
+  kSubmit = 1,         // client -> server: WireRequest
+  kSubmitResult = 2,   // server -> client: WireResponse
+  kMetricsQuery = 3,   // client -> server: empty payload
+  kMetricsReport = 4,  // server -> client: MetricsJson() bytes
+  kError = 5,          // server -> client: WireErrorBody
+};
+
+// Every way a frame or a call can fail, each distinct. kNeedMore is the
+// one non-error: the stream decoder has a plausible prefix and wants more
+// bytes.
+enum class WireError : uint8_t {
+  kOk = 0,
+  kNeedMore = 1,
+  kBadMagic = 2,
+  kBadVersion = 3,
+  kBadType = 4,
+  kOversizedFrame = 5,
+  kMalformedPayload = 6,
+  kTruncatedFrame = 7,    // Peer closed mid-frame.
+  kTimeout = 8,           // Client-side per-call deadline.
+  kConnectionClosed = 9,  // Client-side: socket gone.
+};
+
+std::string ToString(WireError error);
+
+struct FrameHeader {
+  uint32_t magic = kWireMagic;
+  uint16_t version = kWireVersion;
+  uint16_t type = 0;
+  uint64_t seq = 0;
+  uint32_t payload_len = 0;
+};
+
+struct ParsedFrame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+
+  FrameType type() const { return static_cast<FrameType>(header.type); }
+};
+
+// One editing request as it travels: the runtime request (template id,
+// mask, relative SLO — see src/runtime/serde.h for its layout) plus two
+// advisory fields the serving side validates but does not obey (the
+// daemon's gateway configuration is authoritative for both).
+struct WireRequest {
+  uint8_t engine_mode = 1;  // 0 = full recompute, 1 = mask-aware.
+  int32_t denoise_steps = 50;
+  runtime::OnlineRequest request;
+};
+
+// The reply to one WireRequest: the gateway's admission outcome, the
+// worker it ran on, per-stage latencies, and a checksum of the output
+// latent image so remote callers can assert end-to-end bit-equality
+// without shipping the pixels.
+struct WireResponse {
+  uint8_t status = 0;  // gateway::SubmitStatus.
+  int32_t worker_id = -1;
+  int64_t estimated_wall_us = 0;
+  int64_t queueing_us = 0;
+  int64_t denoise_us = 0;
+  int64_t post_us = 0;
+  int64_t e2e_us = 0;
+  uint64_t latent_checksum = 0;
+
+  gateway::SubmitStatus submit_status() const {
+    return static_cast<gateway::SubmitStatus>(status);
+  }
+  bool accepted() const {
+    return submit_status() == gateway::SubmitStatus::kAccepted;
+  }
+};
+
+struct WireErrorBody {
+  uint8_t code = 0;  // WireError.
+  std::string message;
+};
+
+// --- frame assembly -------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t seq,
+                                 const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeSubmit(uint64_t seq, const WireRequest& request);
+std::vector<uint8_t> EncodeSubmitResult(uint64_t seq,
+                                        const WireResponse& response);
+std::vector<uint8_t> EncodeMetricsQuery(uint64_t seq);
+std::vector<uint8_t> EncodeMetricsReport(uint64_t seq,
+                                         const std::string& json);
+std::vector<uint8_t> EncodeError(uint64_t seq, WireError code,
+                                 const std::string& message);
+
+// Incremental stream decode: inspects the prefix of [data, data+size).
+// Returns kOk with `*out` and `*consumed` filled when one whole valid
+// frame is available; kNeedMore when the prefix is valid but incomplete;
+// a distinct error as soon as the header is provably bad (nothing is
+// consumed on error — the connection is unrecoverable and must close).
+WireError TryParseFrame(const uint8_t* data, size_t size, ParsedFrame* out,
+                        size_t* consumed);
+
+// --- payload decode -------------------------------------------------------
+
+// Each returns false on malformed payloads (and fills `error` when
+// non-null); the frame-level result is then kMalformedPayload.
+bool DecodeSubmit(const ParsedFrame& frame, WireRequest* out,
+                  std::string* error);
+bool DecodeSubmitResult(const ParsedFrame& frame, WireResponse* out);
+bool DecodeError(const ParsedFrame& frame, WireErrorBody* out);
+
+// --- checksums ------------------------------------------------------------
+
+// FNV-1a over arbitrary bytes; stable across hosts.
+uint64_t Fnv1a64(const void* data, size_t size);
+// Checksum of a latent/image matrix: shape plus the float bit patterns,
+// each float hashed as its little-endian IEEE-754 encoding.
+uint64_t LatentChecksum(const Matrix& m);
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_WIRE_H_

@@ -23,10 +23,10 @@
 #include <vector>
 
 #include "src/cache/activation_store.h"
+#include "src/common/concurrent_queue.h"
+#include "src/common/thread_pool.h"
 #include "src/common/time.h"
 #include "src/model/diffusion_model.h"
-#include "src/runtime/concurrent_queue.h"
-#include "src/runtime/thread_pool.h"
 
 namespace flashps::runtime {
 

@@ -1,0 +1,90 @@
+#include "src/runtime/serde.h"
+
+namespace flashps::runtime {
+
+namespace {
+
+bool FailWith(ByteReader& reader, std::string* error, const char* reason) {
+  reader.Fail();
+  if (error != nullptr) {
+    *error = reason;
+  }
+  return false;
+}
+
+}  // namespace
+
+void AppendOnlineRequest(const OnlineRequest& request,
+                         std::vector<uint8_t>& out) {
+  ByteWriter w(out);
+  w.I32(request.template_id);
+  w.U64(request.prompt_seed);
+  w.I64(request.slo.micros());
+  w.I32(request.mask.grid_h);
+  w.I32(request.mask.grid_w);
+  w.U32(static_cast<uint32_t>(request.mask.masked_tokens.size()));
+  for (const int token : request.mask.masked_tokens) {
+    w.U32(static_cast<uint32_t>(token));
+  }
+}
+
+bool ReadOnlineRequest(ByteReader& reader, OnlineRequest* out,
+                       std::string* error) {
+  OnlineRequest request;
+  request.template_id = reader.I32();
+  request.prompt_seed = reader.U64();
+  const int64_t slo_us = reader.I64();
+  request.mask.grid_h = reader.I32();
+  request.mask.grid_w = reader.I32();
+  const uint32_t n_masked = reader.U32();
+  if (!reader.ok()) {
+    return FailWith(reader, error, "request payload shorter than its header");
+  }
+  if (request.template_id < 0) {
+    return FailWith(reader, error, "negative template id");
+  }
+  if (slo_us < 0) {
+    return FailWith(reader, error, "negative relative SLO");
+  }
+  request.slo = Duration::Micros(slo_us);
+  if (request.mask.grid_h <= 0 || request.mask.grid_h > kMaxGridSide ||
+      request.mask.grid_w <= 0 || request.mask.grid_w > kMaxGridSide) {
+    return FailWith(reader, error, "mask grid out of range");
+  }
+  const uint32_t tokens =
+      static_cast<uint32_t>(request.mask.grid_h) *
+      static_cast<uint32_t>(request.mask.grid_w);
+  if (n_masked > tokens) {
+    return FailWith(reader, error, "more masked tokens than grid cells");
+  }
+  request.mask.masked_tokens.reserve(n_masked);
+  int64_t prev = -1;
+  for (uint32_t i = 0; i < n_masked; ++i) {
+    const uint32_t token = reader.U32();
+    if (!reader.ok()) {
+      return FailWith(reader, error, "masked token list truncated");
+    }
+    if (token >= tokens || static_cast<int64_t>(token) <= prev) {
+      return FailWith(reader, error,
+                      "masked token ids not strictly increasing in range");
+    }
+    prev = token;
+    request.mask.masked_tokens.push_back(static_cast<int>(token));
+  }
+  // Rebuild the unmasked complement so the mask is consistent by
+  // construction.
+  request.mask.unmasked_tokens.reserve(tokens - n_masked);
+  size_t next_masked = 0;
+  for (uint32_t token = 0; token < tokens; ++token) {
+    if (next_masked < request.mask.masked_tokens.size() &&
+        request.mask.masked_tokens[next_masked] == static_cast<int>(token)) {
+      ++next_masked;
+    } else {
+      request.mask.unmasked_tokens.push_back(static_cast<int>(token));
+    }
+  }
+  *out = std::move(request);
+  return true;
+}
+
+}  // namespace flashps::runtime

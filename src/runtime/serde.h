@@ -1,0 +1,49 @@
+// Wire (de)serialization of runtime::OnlineRequest.
+//
+// The payload layout (all integers little-endian, see src/common/bytes.h):
+//
+//   template_id   i32
+//   prompt_seed   u64
+//   slo_us        i64   relative SLO budget; 0 = none
+//   grid_h        i32   latent token grid height, (0, kMaxGridSide]
+//   grid_w        i32   latent token grid width,  (0, kMaxGridSide]
+//   n_masked      u32   <= grid_h * grid_w
+//   masked[i]     u32   token ids, strictly increasing, < grid_h * grid_w
+//
+// Only the masked token list travels; the decoder rebuilds the unmasked
+// complement, so a request can never arrive with an inconsistent mask.
+// Decoding validates every field and reports a human-readable reason on
+// failure — a malformed request is rejected, never partially applied.
+// Absolute deadlines are deliberately not serialized: they are stamped
+// server-side from the relative SLO at dispatch (clocks differ across
+// hosts).
+#ifndef FLASHPS_SRC_RUNTIME_SERDE_H_
+#define FLASHPS_SRC_RUNTIME_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/runtime/online_server.h"
+
+namespace flashps::runtime {
+
+// Upper bound on either latent grid side accepted off the wire. Generous
+// next to real diffusion latents (<= 128) while keeping the worst-case
+// token list bounded.
+inline constexpr int kMaxGridSide = 512;
+
+// Appends the request payload to `out`.
+void AppendOnlineRequest(const OnlineRequest& request,
+                         std::vector<uint8_t>& out);
+
+// Reads one request payload from `reader`. Returns false (and fills
+// `error` when non-null) on short input or any validation failure; the
+// reader is left failed so callers composing larger decodes see it too.
+bool ReadOnlineRequest(ByteReader& reader, OnlineRequest* out,
+                       std::string* error);
+
+}  // namespace flashps::runtime
+
+#endif  // FLASHPS_SRC_RUNTIME_SERDE_H_

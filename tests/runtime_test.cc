@@ -3,10 +3,10 @@
 #include <atomic>
 #include <set>
 
+#include "src/common/concurrent_queue.h"
+#include "src/common/thread_pool.h"
 #include "src/quality/metrics.h"
-#include "src/runtime/concurrent_queue.h"
 #include "src/runtime/online_server.h"
-#include "src/runtime/thread_pool.h"
 
 namespace flashps::runtime {
 namespace {
