@@ -1,0 +1,236 @@
+// Shared cache-tier microbenchmark: RemoteActivationStore against an
+// in-process flashps_cached node over loopback TCP.
+//
+// Three legs, mirroring a fleet's lifecycle (EXPERIMENTS.md §cache-rpc):
+//
+//   cold   — the first worker of a fleet: every template misses the node,
+//            registers locally, and publishes the record back. Measures
+//            the register+publish cost and bytes shipped per template.
+//   warm   — a freshly started worker joining a warm fleet: every
+//            template is resident on the node, so the whole record
+//            arrives over the wire. Measures fetch p50/p99 and the
+//            speedup over local registration.
+//   sweep  — a Zipf-like template-reuse trace replayed through fronts of
+//            increasing LRU capacity: hit rate climbs with capacity until
+//            the working set fits and RPCs vanish.
+//
+// Client and node byte counters are reconciled at the end (bytes put ==
+// bytes stored, bytes fetched == bytes served) and everything is written
+// to BENCH_cache_rpc.json.
+//
+//   bench_cache_rpc --templates=12 --steps=4 --trace-len=96
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cache/remote_store.h"
+#include "src/common/rng.h"
+#include "src/model/diffusion_model.h"
+#include "src/net/cache_node.h"
+#include "src/net/tcp_server.h"
+
+using namespace flashps;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *out = argv[i] + prefix.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+long FlagLong(int argc, char** argv, const char* key, long fallback) {
+  std::string value;
+  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
+                                            : fallback;
+}
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+cache::RemoteStoreOptions StoreOptions(uint16_t port, size_t lru_capacity) {
+  cache::RemoteStoreOptions options;
+  options.port = port;
+  options.lru_capacity = lru_capacity;
+  options.connect_attempts = 2;
+  return options;
+}
+
+// A skewed reuse trace: popular templates dominate, the tail recurs
+// rarely — the regime where a small LRU front pays off.
+std::vector<int> ZipfTrace(int length, int templates, Rng& rng) {
+  const ZipfSampler sampler(templates, /*s=*/1.0);
+  std::vector<int> trace;
+  trace.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    trace.push_back(sampler.Sample(rng));
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int templates = static_cast<int>(FlagLong(argc, argv, "templates", 12));
+  const int steps = static_cast<int>(FlagLong(argc, argv, "steps", 4));
+  const int trace_len =
+      static_cast<int>(FlagLong(argc, argv, "trace-len", 96));
+  const uint64_t seed = static_cast<uint64_t>(FlagLong(argc, argv, "seed", 7));
+
+  bench::PrintHeader(
+      "bench_cache_rpc — shared cache tier over the wire protocol",
+      "templates are reused ~35k times fleet-wide (§3), so one cache node "
+      "amortizes activation registration across every worker");
+
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = steps;
+  model::DiffusionModel model(numerics);
+
+  net::CacheNode node;
+  net::TcpServer server(node.Service());
+  if (!server.Start()) {
+    std::fprintf(stderr, "cannot start loopback cache node\n");
+    return 1;
+  }
+  const uint16_t port = server.port();
+  std::printf("cache node on 127.0.0.1:%u, %d templates, %d steps\n\n", port,
+              templates, steps);
+
+  // --- cold leg: first worker populates the node -------------------------
+  auto cold = std::make_unique<cache::RemoteActivationStore>(
+      StoreOptions(port, /*lru_capacity=*/0));
+  const auto cold_start = Clock::now();
+  for (int t = 0; t < templates; ++t) {
+    cold->Acquire(model, t, /*record_kv=*/false);
+  }
+  const double cold_ms = MsSince(cold_start);
+  const cache::RemoteStoreStats cold_stats = cold->Stats();
+
+  // --- warm leg: a fresh worker fetches everything remotely --------------
+  auto warm = std::make_unique<cache::RemoteActivationStore>(
+      StoreOptions(port, /*lru_capacity=*/0));
+  const auto warm_start = Clock::now();
+  for (int t = 0; t < templates; ++t) {
+    warm->Acquire(model, t, /*record_kv=*/false);
+  }
+  const double warm_ms = MsSince(warm_start);
+  const cache::RemoteStoreStats warm_stats = warm->Stats();
+
+  // Local baseline: registration cost with no cache tier at all.
+  cache::ActivationStore local;
+  const auto local_start = Clock::now();
+  for (int t = 0; t < templates; ++t) {
+    local.Acquire(model, t + templates, /*record_kv=*/false);
+  }
+  const double local_ms = MsSince(local_start);
+
+  bench::PrintRow({"leg", "wall ms", "per-tmpl ms", "hit rate"}, 16);
+  bench::PrintRow({"cold (register+put)", bench::Fmt(cold_ms, 1),
+                   bench::Fmt(cold_ms / templates, 2), "0.00"},
+                  16);
+  bench::PrintRow({"warm (remote fetch)", bench::Fmt(warm_ms, 1),
+                   bench::Fmt(warm_ms / templates, 2), "1.00"},
+                  16);
+  bench::PrintRow({"local (no tier)", bench::Fmt(local_ms, 1),
+                   bench::Fmt(local_ms / templates, 2), "-"},
+                  16);
+  std::printf("\nwarm fetch p50 %.0f us, p99 %.0f us, %llu bytes/record\n",
+              warm_stats.fetch_p50_us, warm_stats.fetch_p99_us,
+              static_cast<unsigned long long>(warm_stats.remote_bytes_fetched /
+                                             templates));
+
+  // --- hit-rate sweep over the LRU front capacity ------------------------
+  Rng rng(seed);
+  const std::vector<int> trace = ZipfTrace(trace_len, templates, rng);
+  struct SweepPoint {
+    size_t capacity;
+    uint64_t front_hits;
+    uint64_t remote_hits;
+    double hit_rate;
+    double wall_ms;
+  };
+  std::vector<SweepPoint> sweep;
+  std::printf("\nfront LRU sweep, %d-acquire Zipf trace over %d templates:\n",
+              trace_len, templates);
+  bench::PrintRow({"capacity", "front hits", "remote", "hit rate", "wall ms"},
+                  12);
+  for (size_t capacity : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    auto store = std::make_unique<cache::RemoteActivationStore>(
+        StoreOptions(port, capacity));
+    const auto start = Clock::now();
+    for (int t : trace) {
+      store->Acquire(model, t, /*record_kv=*/false);
+    }
+    SweepPoint point;
+    point.capacity = capacity;
+    point.wall_ms = MsSince(start);
+    const cache::RemoteStoreStats stats = store->Stats();
+    point.front_hits = stats.front_hits;
+    point.remote_hits = stats.remote_hits;
+    point.hit_rate = static_cast<double>(stats.front_hits) / trace.size();
+    sweep.push_back(point);
+    bench::PrintRow({std::to_string(capacity),
+                     std::to_string(point.front_hits),
+                     std::to_string(point.remote_hits),
+                     bench::Fmt(point.hit_rate, 2),
+                     bench::Fmt(point.wall_ms, 1)},
+                    12);
+  }
+
+  // --- reconcile client-side byte counters with the node's ---------------
+  const net::CacheNodeStats node_stats = node.Stats();
+  const bool put_ok =
+      node_stats.bytes_stored == cold_stats.remote_bytes_put;
+  std::printf("\nreconcile: node stored %llu bytes vs client put %llu (%s), "
+              "node served %llu bytes across all legs\n",
+              static_cast<unsigned long long>(node_stats.bytes_stored),
+              static_cast<unsigned long long>(cold_stats.remote_bytes_put),
+              put_ok ? "ok" : "MISMATCH",
+              static_cast<unsigned long long>(node_stats.bytes_served));
+
+  std::ostringstream json;
+  json << "{\"templates\":" << templates << ",\"steps\":" << steps
+       << ",\"trace_len\":" << trace_len
+       << ",\"cold\":{\"wall_ms\":" << cold_ms
+       << ",\"remote_misses\":" << cold_stats.remote_misses
+       << ",\"puts_ok\":" << cold_stats.puts_ok
+       << ",\"bytes_put\":" << cold_stats.remote_bytes_put
+       << "},\"warm\":{\"wall_ms\":" << warm_ms
+       << ",\"remote_hits\":" << warm_stats.remote_hits
+       << ",\"bytes_fetched\":" << warm_stats.remote_bytes_fetched
+       << ",\"fetch_p50_us\":" << warm_stats.fetch_p50_us
+       << ",\"fetch_p99_us\":" << warm_stats.fetch_p99_us
+       << "},\"local_baseline_ms\":" << local_ms << ",\"sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) json << ",";
+    json << "{\"capacity\":" << sweep[i].capacity
+         << ",\"front_hits\":" << sweep[i].front_hits
+         << ",\"remote_hits\":" << sweep[i].remote_hits
+         << ",\"hit_rate\":" << sweep[i].hit_rate
+         << ",\"wall_ms\":" << sweep[i].wall_ms << "}";
+  }
+  json << "],\"node\":" << node.MetricsJson()
+       << ",\"reconciled\":" << (put_ok ? "true" : "false") << "}";
+  std::ofstream out("BENCH_cache_rpc.json");
+  out << json.str() << "\n";
+  std::printf("wrote BENCH_cache_rpc.json\n");
+
+  server.Stop();
+  return put_ok ? 0 : 2;
+}

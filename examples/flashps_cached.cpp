@@ -1,0 +1,93 @@
+// flashps_cached: the shared cache-tier daemon.
+//
+// Exposes a net::CacheNode on a TCP port through TcpServer's service
+// mode: the same poll loop, back-pressure, and graceful drain as
+// flashps_served, with every cache fetch/put answered inline on the poll
+// thread (the handlers are memcpy-scale). Workers configured with
+// --cache-host/--cache-port fetch template activations here instead of
+// re-registering them per process; a metrics frame (or SIGINT/SIGTERM at
+// exit) reports the node's hit/miss/byte/eviction counters.
+//
+//   flashps_cached --port=7412 --max-bytes=0 --stats-every-s=10
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/net/cache_node.h"
+
+using namespace flashps;
+
+namespace {
+
+std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signum) { g_signal = signum; }
+
+// --key=value flag helpers (the daemon keeps argv parsing dependency-free).
+bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *out = argv[i] + prefix.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+long FlagLong(int argc, char** argv, const char* key, long fallback) {
+  std::string value;
+  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
+                                            : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::CacheNodeOptions node_options;
+  node_options.max_bytes =
+      static_cast<size_t>(FlagLong(argc, argv, "max-bytes", 0));
+
+  net::TcpServerOptions server_options;
+  server_options.port =
+      static_cast<uint16_t>(FlagLong(argc, argv, "port", 7412));
+  server_options.max_inflight_per_conn =
+      static_cast<int>(FlagLong(argc, argv, "max-inflight", 64));
+
+  net::CacheNode node(node_options);
+  net::TcpServer server(node.Service(), server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "flashps_cached: cannot listen on port %u\n",
+                 server_options.port);
+    return 1;
+  }
+  std::printf("flashps_cached: listening on 127.0.0.1:%u (max-bytes=%zu)\n",
+              server.port(), node_options.max_bytes);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const long stats_every_s = FlagLong(argc, argv, "stats-every-s", 0);
+  auto last_stats = std::chrono::steady_clock::now();
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_every_s > 0 &&
+        std::chrono::steady_clock::now() - last_stats >=
+            std::chrono::seconds(stats_every_s)) {
+      last_stats = std::chrono::steady_clock::now();
+      std::printf("flashps_cached: %s\n", node.MetricsJson().c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\nflashps_cached: signal %d, draining...\n",
+              static_cast<int>(g_signal));
+  server.Stop();
+  std::printf("flashps_cached: final metrics\n%s\n",
+              node.MetricsJson().c_str());
+  return 0;
+}

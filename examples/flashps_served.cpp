@@ -7,15 +7,25 @@
 // gateway's MetricsJson(). SIGINT/SIGTERM triggers a graceful drain:
 // stop admitting, finish in-flight requests, flush replies, then exit.
 //
+// With --cache-host/--cache-port set, the worker fleet shares a
+// flashps_cached node: template activations are fetched over the wire
+// (through each request's RemoteActivationStore LRU front) instead of
+// being re-registered per process, and the final metrics include the
+// remote store's hit/miss/fallback counters. Without the flags the fleet
+// shares one in-process store — never a worker-private cache either way.
+//
 //   flashps_served --port=7411 --workers=2 --steps=8 --max-batch=4
 //                  --policy=mask-aware --slo-ms=0 --stats-every-s=10
+//                  [--cache-host=127.0.0.1 --cache-port=7412]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "src/cache/remote_store.h"
 #include "src/net/tcp_server.h"
 
 using namespace flashps;
@@ -71,15 +81,33 @@ int main(int argc, char** argv) {
   options.slo = Duration::Millis(slo_ms);
   options.admission_control = slo_ms > 0;
 
+  // Cache tier: with a cache node configured, every worker shares one
+  // RemoteActivationStore (the shared_ptr is copied into each worker's
+  // options); otherwise the fleet shares one in-process local store.
+  std::string cache_host;
+  const bool use_cache_node = FlagValue(argc, argv, "cache-host", &cache_host);
+  if (use_cache_node) {
+    cache::RemoteStoreOptions remote;
+    remote.host = cache_host;
+    remote.port =
+        static_cast<uint16_t>(FlagLong(argc, argv, "cache-port", 7412));
+    options.worker.activation_source =
+        std::make_shared<cache::RemoteActivationStore>(remote);
+  } else {
+    options.worker.activation_source =
+        std::make_shared<cache::ActivationStore>();
+  }
+
   net::TcpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(FlagLong(argc, argv, "port", 7411));
   server_options.max_inflight_per_conn =
       static_cast<int>(FlagLong(argc, argv, "max-inflight", 32));
 
   std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "
-              "slo %ld ms\n",
+              "slo %ld ms, cache %s\n",
               options.num_workers, options.worker.numerics.num_steps,
-              policy_name.c_str(), slo_ms);
+              policy_name.c_str(), slo_ms,
+              use_cache_node ? cache_host.c_str() : "local");
   gateway::Gateway gateway(options);
   net::TcpServer server(gateway, server_options);
   if (!server.Start()) {

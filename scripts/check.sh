@@ -28,19 +28,21 @@ echo "== tsan: build threaded suites =="
 cmake -B build-tsan -S . -DFLASHPS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   kernel_equivalence_test runtime_test gateway_test common_test \
-  net_test net_integration_test >/dev/null
+  net_test net_integration_test cache_rpc_test cache_rpc_integration_test \
+  >/dev/null
 
 echo "== tsan: run threaded suites =="
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration)'
+  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc)'
 
-echo "== asan: build net + gateway suites =="
+echo "== asan: build net + gateway + cache-rpc suites =="
 cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target \
-  net_test net_integration_test gateway_test >/dev/null
+  net_test net_integration_test gateway_test cache_rpc_test \
+  cache_rpc_integration_test >/dev/null
 
-echo "== asan: run net + gateway suites =="
+echo "== asan: run net + gateway + cache-rpc suites =="
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R '^(Serde|Wire|TcpServer|NetIntegration|Gateway)'
+  -R '^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc)'
 
 echo "== all checks passed =="

@@ -1,18 +1,48 @@
 // In-memory store of real activation records keyed by template, used by the
-// numerics path (examples, quality benchmarks). The timing path uses
-// CacheEngine, which manages the same caches as byte-sized resources in
-// virtual time; this class holds the actual matrices.
+// numerics path (examples, quality benchmarks) and — through the
+// ActivationSource interface — by the online serving tier, where the
+// records may instead come from a shared cache node over the wire
+// (cache::RemoteActivationStore). The timing path uses CacheEngine, which
+// manages the same caches as byte-sized resources in virtual time; this
+// class holds the actual matrices.
 #ifndef FLASHPS_SRC_CACHE_ACTIVATION_STORE_H_
 #define FLASHPS_SRC_CACHE_ACTIVATION_STORE_H_
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "src/model/diffusion_model.h"
 
 namespace flashps::cache {
 
-class ActivationStore {
+// Where a worker's template activations come from. The serving runtime
+// programs against this, so the backing store can be the worker-local
+// ActivationStore below or a RemoteActivationStore fronting a shared
+// cache node — the denoise loop cannot tell the difference.
+//
+// Acquire() returns a shared_ptr pin: the caller holds the record for the
+// lifetime of its request, so a source that evicts (LRU fronts, remote
+// stores) can drop its own reference without invalidating in-flight work.
+class ActivationSource {
+ public:
+  virtual ~ActivationSource() = default;
+
+  // Returns the template's activation record, obtaining it however the
+  // source does (local registration pass, remote fetch, ...). Never
+  // returns null: every source must degrade to local registration rather
+  // than fail the request.
+  virtual std::shared_ptr<const model::ActivationRecord> Acquire(
+      const model::DiffusionModel& m, int template_id, bool record_kv) = 0;
+
+  // Flat JSON of the source's counters, spliced into serving metrics.
+  virtual std::string MetricsJson() const = 0;
+};
+
+// The worker-local source: records live in this process, registered on
+// first use, never evicted.
+class ActivationStore : public ActivationSource {
  public:
   // Returns the template's activation record, running a registration pass on
   // first use (the paper's observation: templates are reused ~35k times, so
@@ -21,14 +51,30 @@ class ActivationStore {
                                                int template_id,
                                                bool record_kv = false);
 
+  // ActivationSource: same records, pinned. Thread-safe like the rest of
+  // this class (one mutex; registration runs under it, which is fine —
+  // concurrent workers sharing one local store serialize registration
+  // exactly like the single-owner case they replaced).
+  std::shared_ptr<const model::ActivationRecord> Acquire(
+      const model::DiffusionModel& m, int template_id,
+      bool record_kv) override;
+  std::string MetricsJson() const override;
+
   bool Contains(int template_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return records_.contains(template_id);
   }
-  size_t size() const { return records_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
   size_t TotalBytes() const;
 
  private:
-  std::unordered_map<int, std::unique_ptr<model::ActivationRecord>> records_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<model::ActivationRecord>> records_;
+  uint64_t registrations_ = 0;  // Under mu_.
+  uint64_t local_hits_ = 0;     // Under mu_.
 };
 
 }  // namespace flashps::cache

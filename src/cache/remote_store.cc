@@ -1,0 +1,183 @@
+#include "src/cache/remote_store.h"
+
+#include <sstream>
+#include <utility>
+
+namespace flashps::cache {
+
+RemoteActivationStore::RemoteActivationStore(RemoteStoreOptions options)
+    : options_(std::move(options)) {
+  net::CacheClientOptions copts;
+  copts.connect_attempts = options_.connect_attempts;
+  copts.connect_backoff = options_.connect_backoff;
+  copts.call_timeout = options_.call_timeout;
+  client_ = std::make_unique<net::CacheClient>(options_.host, options_.port,
+                                               copts);
+}
+
+RemoteActivationStore::~RemoteActivationStore() = default;
+
+void RemoteActivationStore::InstallFront(
+    int template_id, std::shared_ptr<const model::ActivationRecord> record) {
+  if (options_.lru_capacity == 0) {
+    return;
+  }
+  auto it = front_.find(template_id);
+  if (it != front_.end()) {
+    // Upgrade/refresh in place (e.g. a K/V record replacing a Y-only one).
+    it->second.record = std::move(record);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (front_.size() >= options_.lru_capacity) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    front_.erase(victim);
+  }
+  FrontEntry entry;
+  entry.record = std::move(record);
+  lru_.push_front(template_id);
+  entry.lru_it = lru_.begin();
+  front_.emplace(template_id, std::move(entry));
+}
+
+std::shared_ptr<const model::ActivationRecord>
+RemoteActivationStore::Acquire(const model::DiffusionModel& m,
+                               int template_id, bool record_kv) {
+  const int64_t flight_key =
+      static_cast<int64_t>(template_id) * 2 + (record_kv ? 1 : 0);
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto fit = front_.find(template_id);
+    if (fit != front_.end() &&
+        (!record_kv || fit->second.record->has_kv())) {
+      ++stats_.front_hits;
+      lru_.splice(lru_.begin(), lru_, fit->second.lru_it);
+      return fit->second.record;
+    }
+    auto flit = flights_.find(flight_key);
+    if (flit != flights_.end()) {
+      // Someone is already fetching this key; share their result.
+      ++stats_.singleflight_waits;
+      flight = flit->second;
+      cv_.wait(lock, [&] { return flight->done; });
+      return flight->result;
+    }
+    flight = std::make_shared<Flight>();
+    flights_.emplace(flight_key, flight);
+  }
+
+  std::shared_ptr<const model::ActivationRecord> record =
+      FetchOrRegister(m, template_id, record_kv);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InstallFront(template_id, record);
+    flight->result = record;
+    flight->done = true;
+    flights_.erase(flight_key);
+  }
+  cv_.notify_all();
+  return record;
+}
+
+std::shared_ptr<const model::ActivationRecord>
+RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
+                                       int template_id, bool record_kv) {
+  std::lock_guard<std::mutex> rpc_lock(rpc_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  bool try_remote = now >= degraded_until_;
+
+  if (try_remote) {
+    const auto t0 = std::chrono::steady_clock::now();
+    net::FetchRecordResult fetched = client_->FetchRecord(
+        template_id, m.config().num_steps, m.config().num_blocks, record_kv);
+    if (fetched.transport_ok) {
+      consecutive_failures_ = 0;
+      if (fetched.complete) {
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.remote_hits;
+        stats_.remote_bytes_fetched += fetched.bytes;
+        fetch_us_.Add(static_cast<double>(us));
+        return fetched.record;
+      }
+      // Reachable node, record not resident: register locally and publish
+      // it so the next worker in the fleet hits.
+      auto record = std::make_shared<model::ActivationRecord>(
+          m.Register(template_id, record_kv));
+      uint64_t put_bytes = 0;
+      bool put_ok = false;
+      if (options_.put_on_miss) {
+        net::PutRecordResult put = client_->PutRecord(template_id, *record);
+        put_ok = put.transport_ok;
+        put_bytes = put.bytes;
+        if (!put_ok) {
+          ++consecutive_failures_;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.remote_misses;
+      ++stats_.local_registrations;
+      if (put_ok) {
+        ++stats_.puts_ok;
+        stats_.remote_bytes_put += put_bytes;
+      }
+      return record;
+    }
+    // Transport failure: count toward the circuit breaker.
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= options_.max_consecutive_failures) {
+      degraded_until_ =
+          std::chrono::steady_clock::now() + options_.degrade_cooldown;
+      consecutive_failures_ = 0;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degrade_trips;
+    }
+  }
+
+  // Degraded (circuit open) or the fetch transport just died: the worker
+  // must never fail a request because the cache tier is down.
+  auto record = std::make_shared<model::ActivationRecord>(
+      m.Register(template_id, record_kv));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fallbacks;
+  ++stats_.local_registrations;
+  return record;
+}
+
+RemoteStoreStats RemoteActivationStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoteStoreStats out = stats_;
+  out.front_size = front_.size();
+  if (!fetch_us_.empty()) {
+    out.fetch_p50_us = fetch_us_.P50();
+    out.fetch_p99_us = fetch_us_.P99();
+  }
+  return out;
+}
+
+std::string RemoteActivationStore::MetricsJson() const {
+  const RemoteStoreStats s = Stats();
+  std::ostringstream os;
+  os << "{\"kind\":\"remote\""
+     << ",\"front_hits\":" << s.front_hits
+     << ",\"remote_hits\":" << s.remote_hits
+     << ",\"remote_misses\":" << s.remote_misses
+     << ",\"fallbacks\":" << s.fallbacks
+     << ",\"singleflight_waits\":" << s.singleflight_waits
+     << ",\"local_registrations\":" << s.local_registrations
+     << ",\"puts_ok\":" << s.puts_ok
+     << ",\"degrade_trips\":" << s.degrade_trips
+     << ",\"remote_bytes_fetched\":" << s.remote_bytes_fetched
+     << ",\"remote_bytes_put\":" << s.remote_bytes_put
+     << ",\"front_size\":" << s.front_size
+     << ",\"fetch_p50_us\":" << s.fetch_p50_us
+     << ",\"fetch_p99_us\":" << s.fetch_p99_us << "}";
+  return os.str();
+}
+
+}  // namespace flashps::cache

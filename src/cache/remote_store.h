@@ -1,0 +1,143 @@
+// ActivationSource backed by a shared cache node over the wire protocol.
+//
+// Layered exactly as the issue's state machine describes:
+//
+//   1. in-process LRU front   — a hit costs no RPC at all; capacity is a
+//                               record count (the hot templates of one
+//                               worker, not the fleet's whole corpus).
+//   2. single-flight dedup    — concurrent Acquire()s of the same
+//                               (template, kv) key collapse into one
+//                               fetch; late arrivals block on the flight
+//                               and share its result.
+//   3. remote fetch           — the whole record is fetched from the cache
+//                               node, pipelined one matrix per frame,
+//                               every payload checksum-verified.
+//   4. fallback               — a remote miss registers locally and (best
+//                               effort) publishes the record back to the
+//                               node so the next worker hits. A transport
+//                               failure registers locally too; after
+//                               `max_consecutive_failures` of those in a
+//                               row the circuit opens and fetches are
+//                               skipped outright for `degrade_cooldown`,
+//                               then one probe is allowed again.
+//
+// The invariant the serving tier relies on: Acquire() NEVER fails — a
+// worker must never fail a request because the cache tier is down; the
+// worst case is local-registration latency, observable in the fallback
+// counters.
+#ifndef FLASHPS_SRC_CACHE_REMOTE_STORE_H_
+#define FLASHPS_SRC_CACHE_REMOTE_STORE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cache/activation_store.h"
+#include "src/common/stats.h"
+#include "src/net/cache_client.h"
+
+namespace flashps::cache {
+
+struct RemoteStoreOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // In-process front capacity, in records (0 = front disabled).
+  size_t lru_capacity = 64;
+  // Bounded connect retry with exponential backoff, then degrade.
+  int connect_attempts = 2;
+  std::chrono::milliseconds connect_backoff{50};
+  // Deadline for one whole-record fetch or put.
+  std::chrono::milliseconds call_timeout{5000};
+  // Circuit breaker: this many consecutive transport failures open the
+  // circuit; while open, Acquire() goes straight to local registration.
+  int max_consecutive_failures = 3;
+  std::chrono::milliseconds degrade_cooldown{1000};
+  // Publish locally registered records back to the node on a remote miss.
+  bool put_on_miss = true;
+};
+
+// Counter snapshot; `front_hits + remote_hits + remote_misses + fallbacks`
+// equals the number of non-coalesced Acquire() calls.
+struct RemoteStoreStats {
+  uint64_t front_hits = 0;
+  uint64_t remote_hits = 0;    // Whole records fetched remotely.
+  uint64_t remote_misses = 0;  // Node reachable but record not resident.
+  uint64_t fallbacks = 0;      // Transport down or circuit open.
+  uint64_t singleflight_waits = 0;
+  uint64_t local_registrations = 0;  // Misses + fallbacks that registered.
+  uint64_t puts_ok = 0;        // Records published back successfully.
+  uint64_t degrade_trips = 0;  // Times the circuit opened.
+  uint64_t remote_bytes_fetched = 0;
+  uint64_t remote_bytes_put = 0;
+  uint64_t front_size = 0;
+  double fetch_p50_us = 0.0;  // Over successful remote record fetches.
+  double fetch_p99_us = 0.0;
+};
+
+class RemoteActivationStore : public ActivationSource {
+ public:
+  explicit RemoteActivationStore(RemoteStoreOptions options);
+  ~RemoteActivationStore() override;
+
+  RemoteActivationStore(const RemoteActivationStore&) = delete;
+  RemoteActivationStore& operator=(const RemoteActivationStore&) = delete;
+
+  // Never fails; see the fallback ladder above. Thread-safe.
+  std::shared_ptr<const model::ActivationRecord> Acquire(
+      const model::DiffusionModel& m, int template_id,
+      bool record_kv) override;
+
+  RemoteStoreStats Stats() const;
+  std::string MetricsJson() const;
+
+ private:
+  // Front key: a record registered with K/V satisfies both kv-ness
+  // levels, so the front holds one record per template and upgrades in
+  // place when a kv-wanting Acquire() replaces a Y-only record.
+  struct FrontEntry {
+    std::shared_ptr<const model::ActivationRecord> record;
+    std::list<int>::iterator lru_it;
+  };
+
+  // One in-progress fetch; waiters block on cv_ until done.
+  struct Flight {
+    bool done = false;
+    std::shared_ptr<const model::ActivationRecord> result;
+  };
+
+  // The fetch/fallback ladder (no front lock held). Serialized on
+  // rpc_mu_: one client, one connection, one call at a time — the
+  // single-flight layer already coalesced the hot path.
+  std::shared_ptr<const model::ActivationRecord> FetchOrRegister(
+      const model::DiffusionModel& m, int template_id, bool record_kv);
+  // Under mu_: install into the front, evicting LRU tails.
+  void InstallFront(int template_id,
+                    std::shared_ptr<const model::ActivationRecord> record);
+
+  RemoteStoreOptions options_;
+
+  // Front + flights + counters.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, FrontEntry> front_;
+  std::list<int> lru_;  // Front = most recently used.
+  // Keyed by template_id * 2 + record_kv.
+  std::map<int64_t, std::shared_ptr<Flight>> flights_;
+  RemoteStoreStats stats_;
+  StatAccumulator fetch_us_;
+
+  // Transport: client + circuit-breaker state.
+  std::mutex rpc_mu_;
+  std::unique_ptr<net::CacheClient> client_;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point degraded_until_{};
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_REMOTE_STORE_H_

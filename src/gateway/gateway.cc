@@ -146,6 +146,17 @@ void Gateway::ProfileHost() {
       overhead_samples > 0 ? overhead_s / overhead_samples : 0.0;
 }
 
+std::string Gateway::MetricsJson() const {
+  std::string json = metrics_.ToJson();
+  if (options_.worker.activation_source != nullptr && !json.empty() &&
+      json.back() == '}') {
+    json.insert(json.size() - 1, ",\"activation_source\":" +
+                                     options_.worker.activation_source
+                                         ->MetricsJson());
+  }
+  return json;
+}
+
 std::vector<sched::WorkerStatus> Gateway::WorkerStatuses() const {
   std::vector<sched::WorkerStatus> statuses;
   statuses.reserve(workers_.size());

@@ -132,7 +132,10 @@ class Gateway {
 
   std::vector<sched::WorkerStatus> WorkerStatuses() const;
   MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
-  std::string MetricsJson() const { return metrics_.ToJson(); }
+  // Registry JSON, plus an "activation_source" object when the fleet is
+  // configured with a shared source (local or remote cache tier) — so one
+  // daemon metrics query reports serving and cache-tier counters together.
+  std::string MetricsJson() const;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const GatewayOptions& options() const { return options_; }

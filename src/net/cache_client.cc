@@ -1,0 +1,353 @@
+#include "src/net/cache_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <thread>
+#include <utility>
+
+namespace flashps::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 4096;
+
+}  // namespace
+
+CacheClient::CacheClient(std::string host, uint16_t port,
+                         CacheClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+CacheClient::~CacheClient() { Close(); }
+
+bool CacheClient::Connect() {
+  if (connected()) {
+    return true;
+  }
+  std::chrono::milliseconds backoff = options_.connect_backoff;
+  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    fd_ = ConnectTcp(host_, port_);
+    if (fd_.valid()) {
+      last_error_ = WireError::kOk;
+      return true;
+    }
+  }
+  last_error_ = WireError::kConnectionClosed;
+  return false;
+}
+
+void CacheClient::Close() {
+  fd_.Reset();
+  inbuf_.clear();
+  replies_.clear();
+  metrics_.clear();
+}
+
+bool CacheClient::SendFrame(const std::vector<uint8_t>& frame) {
+  if (!connected()) {
+    last_error_ = WireError::kConnectionClosed;
+    return false;
+  }
+  if (!SendAll(fd_.get(), frame.data(), frame.size())) {
+    last_error_ = WireError::kConnectionClosed;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool CacheClient::PumpOnce(std::chrono::milliseconds budget) {
+  if (!connected()) {
+    last_error_ = WireError::kConnectionClosed;
+    return false;
+  }
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(budget.count()));
+  if (ready <= 0) {
+    return true;  // Nothing arrived within the budget; not an error.
+  }
+  uint8_t chunk[kReadChunk];
+  const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+    last_error_ = WireError::kConnectionClosed;
+    Close();
+    return false;
+  }
+  if (n > 0) {
+    inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+  }
+  size_t offset = 0;
+  for (;;) {
+    ParsedFrame frame;
+    size_t consumed = 0;
+    const WireError err = TryParseFrame(inbuf_.data() + offset,
+                                        inbuf_.size() - offset, &frame,
+                                        &consumed);
+    if (err == WireError::kNeedMore) {
+      break;
+    }
+    if (err != WireError::kOk) {
+      last_error_ = err;
+      Close();
+      return false;
+    }
+    offset += consumed;
+    switch (frame.type()) {
+      case FrameType::kCacheHit: {
+        CacheReply reply;
+        reply.hit = true;
+        std::string error;
+        // The decoder verifies the payload against its checksum; a
+        // corrupted matrix never reaches the reply bank.
+        if (!DecodeCacheHit(frame, &reply.body, &error)) {
+          last_error_ = WireError::kMalformedPayload;
+          Close();
+          return false;
+        }
+        replies_[frame.header.seq] = std::move(reply);
+        break;
+      }
+      case FrameType::kCacheMiss: {
+        CacheReply reply;
+        CacheMissBody body;
+        if (!DecodeCacheMiss(frame, &body)) {
+          last_error_ = WireError::kMalformedPayload;
+          Close();
+          return false;
+        }
+        reply.hit = false;
+        reply.body.key = body.key;
+        replies_[frame.header.seq] = std::move(reply);
+        break;
+      }
+      case FrameType::kMetricsReport:
+        metrics_[frame.header.seq] =
+            std::string(frame.payload.begin(), frame.payload.end());
+        break;
+      case FrameType::kError: {
+        WireErrorBody body;
+        last_error_ = DecodeError(frame, &body)
+                          ? static_cast<WireError>(body.code)
+                          : WireError::kMalformedPayload;
+        Close();
+        return false;
+      }
+      default:
+        last_error_ = WireError::kBadType;
+        Close();
+        return false;
+    }
+  }
+  if (offset > 0) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  return true;
+}
+
+FetchRecordResult CacheClient::FetchRecord(int template_id, int steps,
+                                           int blocks, bool want_kv) {
+  FetchRecordResult result;
+  if (!Connect()) {
+    return result;
+  }
+  auto record = std::make_shared<model::ActivationRecord>();
+  record->steps.resize(static_cast<size_t>(steps));
+  for (auto& step : record->steps) {
+    step.y.resize(static_cast<size_t>(blocks));
+    if (want_kv) {
+      step.k.resize(static_cast<size_t>(blocks));
+      step.v.resize(static_cast<size_t>(blocks));
+    }
+  }
+  // Fire every fetch before awaiting any reply.
+  std::map<uint64_t, CacheKey> outstanding;
+  const int kinds = want_kv ? 3 : 1;
+  for (int step = 0; step < steps; ++step) {
+    for (int block = 0; block < blocks; ++block) {
+      for (int kind = 0; kind < kinds; ++kind) {
+        CacheKey key;
+        key.template_id = template_id;
+        key.step = step;
+        key.block = block;
+        key.kind = static_cast<uint8_t>(kind);
+        const uint64_t seq = next_seq_++;
+        if (!SendFrame(EncodeCacheFetch(seq, key))) {
+          return result;
+        }
+        outstanding.emplace(seq, key);
+      }
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.call_timeout;
+  while (!outstanding.empty()) {
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      auto rit = replies_.find(it->first);
+      if (rit == replies_.end()) {
+        ++it;
+        continue;
+      }
+      if (rit->second.hit) {
+        const CacheKey& key = it->second;
+        auto& step = record->steps[static_cast<size_t>(key.step)];
+        Matrix& slot = key.kind == kCacheKindY
+                           ? step.y[static_cast<size_t>(key.block)]
+                           : key.kind == kCacheKindK
+                                 ? step.k[static_cast<size_t>(key.block)]
+                                 : step.v[static_cast<size_t>(key.block)];
+        result.bytes += rit->second.body.data.bytes();
+        slot = std::move(rit->second.body.data);
+        ++result.hits;
+      } else {
+        ++result.misses;
+      }
+      replies_.erase(rit);
+      it = outstanding.erase(it);
+    }
+    if (outstanding.empty()) {
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return result;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return result;
+    }
+  }
+  result.transport_ok = true;
+  result.complete = result.misses == 0;
+  if (result.complete) {
+    result.record = std::move(record);
+  }
+  return result;
+}
+
+PutRecordResult CacheClient::PutRecord(
+    int template_id, const model::ActivationRecord& record) {
+  PutRecordResult result;
+  if (!Connect()) {
+    return result;
+  }
+  const bool has_kv = record.has_kv();
+  // seq -> checksum the ack must echo back.
+  std::map<uint64_t, uint64_t> outstanding;
+  auto fire = [&](int step, int block, uint8_t kind,
+                  const Matrix& m) -> bool {
+    CacheKey key;
+    key.template_id = template_id;
+    key.step = step;
+    key.block = block;
+    key.kind = kind;
+    const uint64_t seq = next_seq_++;
+    if (!SendFrame(EncodeCachePut(seq, key, m))) {
+      return false;
+    }
+    outstanding.emplace(seq, LatentChecksum(m));
+    result.bytes += m.bytes();
+    return true;
+  };
+  for (size_t step = 0; step < record.steps.size(); ++step) {
+    const auto& acts = record.steps[step];
+    for (size_t block = 0; block < acts.y.size(); ++block) {
+      if (!fire(static_cast<int>(step), static_cast<int>(block), kCacheKindY,
+                acts.y[block])) {
+        return result;
+      }
+      if (has_kv) {
+        if (!fire(static_cast<int>(step), static_cast<int>(block),
+                  kCacheKindK, acts.k[block]) ||
+            !fire(static_cast<int>(step), static_cast<int>(block),
+                  kCacheKindV, acts.v[block])) {
+          return result;
+        }
+      }
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.call_timeout;
+  while (!outstanding.empty()) {
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      auto rit = replies_.find(it->first);
+      if (rit == replies_.end()) {
+        ++it;
+        continue;
+      }
+      // The ack must be a payload-less hit echoing the checksum of the
+      // bytes we shipped; anything else means the entry did not land.
+      if (!rit->second.hit || rit->second.body.has_payload() ||
+          rit->second.body.checksum != it->second) {
+        last_error_ = WireError::kMalformedPayload;
+        replies_.erase(rit);
+        return result;
+      }
+      ++result.puts;
+      replies_.erase(rit);
+      it = outstanding.erase(it);
+    }
+    if (outstanding.empty()) {
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return result;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return result;
+    }
+  }
+  result.transport_ok = true;
+  return result;
+}
+
+std::optional<std::string> CacheClient::QueryMetrics(
+    std::optional<std::chrono::milliseconds> timeout) {
+  if (!Connect()) {
+    return std::nullopt;
+  }
+  const uint64_t seq = next_seq_++;
+  if (!SendFrame(EncodeMetricsQuery(seq))) {
+    return std::nullopt;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        timeout.value_or(options_.call_timeout);
+  for (;;) {
+    auto it = metrics_.find(seq);
+    if (it != metrics_.end()) {
+      std::string json = std::move(it->second);
+      metrics_.erase(it);
+      return json;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return std::nullopt;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace flashps::net

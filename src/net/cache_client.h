@@ -1,0 +1,112 @@
+// Client for the cache tier: fetches and stores whole activation records
+// against a flashps_cached node, one matrix per wire frame.
+//
+// Like net::Client, this is single-threaded by design — one blocking
+// socket, pipelined frames matched to replies by correlation id. A record
+// of S steps x B blocks is S*B fetches (3x that with K/V), all fired
+// before the first reply is awaited, so a whole-record fetch costs one
+// round trip plus the transfer, not S*B round trips.
+//
+// Every payload that arrives is checksum-verified by the wire decoder
+// before it is placed into the record, and every put acknowledgement is
+// checked against the checksum of the bytes that were sent — a corrupted
+// matrix can neither enter a record nor be believed stored.
+#ifndef FLASHPS_SRC_NET_CACHE_CLIENT_H_
+#define FLASHPS_SRC_NET_CACHE_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/diffusion_model.h"
+#include "src/net/socket_util.h"
+#include "src/net/wire.h"
+
+namespace flashps::net {
+
+struct CacheClientOptions {
+  int connect_attempts = 1;
+  // First retry delay; doubles per attempt.
+  std::chrono::milliseconds connect_backoff{50};
+  // Deadline for one whole-record fetch or put (all frames + all replies).
+  std::chrono::milliseconds call_timeout{5000};
+};
+
+// Outcome of one whole-record fetch. `transport_ok` distinguishes "the
+// node answered" from "the socket/protocol died mid-call": misses with a
+// healthy transport mean the record simply is not resident yet, while a
+// dead transport means the caller should count a fallback and consider
+// the node unreachable.
+struct FetchRecordResult {
+  bool transport_ok = false;
+  bool complete = false;  // Every key hit; `record` holds the whole record.
+  std::shared_ptr<model::ActivationRecord> record;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes = 0;  // Payload bytes received in hits.
+};
+
+struct PutRecordResult {
+  bool transport_ok = false;  // Every matrix acked with a matching checksum.
+  uint64_t puts = 0;
+  uint64_t bytes = 0;  // Payload bytes shipped.
+};
+
+class CacheClient {
+ public:
+  CacheClient(std::string host, uint16_t port, CacheClientOptions options = {});
+  ~CacheClient();
+
+  CacheClient(const CacheClient&) = delete;
+  CacheClient& operator=(const CacheClient&) = delete;
+
+  bool Connect();
+  void Close();
+  bool connected() const { return fd_.valid(); }
+
+  // Fetches every matrix of one template's record: `steps` x `blocks` Y
+  // matrices, plus K and V when `want_kv`. Pipelined; blocks until every
+  // reply lands or the call deadline lapses.
+  FetchRecordResult FetchRecord(int template_id, int steps, int blocks,
+                                bool want_kv);
+
+  // Stores every matrix of `record` under its content address. Pipelined;
+  // blocks until every ack lands.
+  PutRecordResult PutRecord(int template_id,
+                            const model::ActivationRecord& record);
+
+  // Fetches the cache node's MetricsJson().
+  std::optional<std::string> QueryMetrics(
+      std::optional<std::chrono::milliseconds> timeout = {});
+
+  WireError last_error() const { return last_error_; }
+
+ private:
+  struct CacheReply {
+    bool hit = false;
+    CacheHitBody body;  // Valid when hit.
+  };
+
+  bool SendFrame(const std::vector<uint8_t>& frame);
+  // One bounded read + parse pass banking cache replies by seq. False when
+  // the connection died or the stream is unframeable.
+  bool PumpOnce(std::chrono::milliseconds budget);
+
+  std::string host_;
+  uint16_t port_;
+  CacheClientOptions options_;
+  UniqueFd fd_;
+  uint64_t next_seq_ = 1;
+  std::vector<uint8_t> inbuf_;
+  std::map<uint64_t, CacheReply> replies_;
+  std::map<uint64_t, std::string> metrics_;
+  WireError last_error_ = WireError::kOk;
+};
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_CACHE_CLIENT_H_

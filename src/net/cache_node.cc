@@ -1,0 +1,141 @@
+#include "src/net/cache_node.h"
+
+#include <sstream>
+#include <utility>
+
+namespace flashps::net {
+
+CacheNode::CacheNode(CacheNodeOptions options) : options_(options) {}
+
+void CacheNode::Touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+void CacheNode::EvictToFit(size_t incoming) {
+  if (options_.max_bytes == 0) {
+    return;
+  }
+  while (!lru_.empty() && resident_bytes_ + incoming > options_.max_bytes) {
+    const CacheKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.data.bytes();
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+InlineReply CacheNode::Handle(const ParsedFrame& frame) {
+  InlineReply reply;
+  const uint64_t seq = frame.header.seq;
+  switch (frame.type()) {
+    case FrameType::kCacheFetch: {
+      CacheFetchBody body;
+      std::string error;
+      if (!DecodeCacheFetch(frame, &body, &error)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.bad_frames;
+        reply.frame = EncodeError(seq, WireError::kMalformedPayload, error);
+        reply.close_connection = true;
+        return reply;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(body.key);
+      if (it == entries_.end()) {
+        ++stats_.fetch_misses;
+        reply.frame = EncodeCacheMiss(seq, body.key);
+        return reply;
+      }
+      Touch(it->second);
+      ++stats_.fetch_hits;
+      stats_.bytes_served += it->second.data.bytes();
+      reply.frame = EncodeCacheHit(seq, body.key, it->second.checksum,
+                                   &it->second.data);
+      return reply;
+    }
+    case FrameType::kCachePut: {
+      CachePutBody body;
+      std::string error;
+      // DecodeCachePut verifies the declared checksum against the decoded
+      // bytes, so corruption in flight never becomes a resident entry.
+      if (!DecodeCachePut(frame, &body, &error)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.bad_frames;
+        reply.frame = EncodeError(seq, WireError::kMalformedPayload, error);
+        reply.close_connection = true;
+        return reply;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      const size_t incoming = body.data.bytes();
+      auto it = entries_.find(body.key);
+      if (it != entries_.end()) {
+        ++stats_.put_overwrites;
+        resident_bytes_ -= it->second.data.bytes();
+        lru_.erase(it->second.lru_it);
+        entries_.erase(it);
+      }
+      EvictToFit(incoming);
+      Entry entry;
+      entry.checksum = body.checksum;
+      entry.data = std::move(body.data);
+      lru_.push_front(body.key);
+      entry.lru_it = lru_.begin();
+      resident_bytes_ += incoming;
+      entries_.emplace(body.key, std::move(entry));
+      ++stats_.puts;
+      stats_.bytes_stored += incoming;
+      // Payload-less hit: the ack echoing the key + the checksum now
+      // resident on the node.
+      reply.frame = EncodeCacheHit(seq, body.key, body.checksum, nullptr);
+      return reply;
+    }
+    case FrameType::kMetricsQuery: {
+      reply.frame = EncodeMetricsReport(seq, MetricsJson());
+      return reply;
+    }
+    default: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.bad_frames;
+      reply.frame = EncodeError(seq, WireError::kBadType,
+                                "frame type not valid for a cache node");
+      reply.close_connection = true;
+      return reply;
+    }
+  }
+}
+
+InlineService CacheNode::Service() {
+  return [this](const ParsedFrame& frame) { return Handle(frame); };
+}
+
+bool CacheNode::Contains(const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+CacheNodeStats CacheNode::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheNodeStats out = stats_;
+  out.entries = entries_.size();
+  out.resident_bytes = resident_bytes_;
+  return out;
+}
+
+std::string CacheNode::MetricsJson() const {
+  const CacheNodeStats s = Stats();
+  std::ostringstream os;
+  os << "{\"cache_node\":{"
+     << "\"fetch_hits\":" << s.fetch_hits
+     << ",\"fetch_misses\":" << s.fetch_misses
+     << ",\"puts\":" << s.puts
+     << ",\"put_overwrites\":" << s.put_overwrites
+     << ",\"bad_frames\":" << s.bad_frames
+     << ",\"bytes_served\":" << s.bytes_served
+     << ",\"bytes_stored\":" << s.bytes_stored
+     << ",\"evictions\":" << s.evictions
+     << ",\"entries\":" << s.entries
+     << ",\"resident_bytes\":" << s.resident_bytes << "}}";
+  return os.str();
+}
+
+}  // namespace flashps::net

@@ -1,0 +1,98 @@
+// The shared cache node: the server side of the cache tier.
+//
+// A CacheNode is a thread-safe content-addressed store of activation
+// matrices, keyed by CacheKey (template, step, block, kind) — the unit the
+// paper's §3 cache is indexed by. It answers the cache-tier wire frames:
+//
+//   kCacheFetch  -> kCacheHit (matrix + checksum) or kCacheMiss
+//   kCachePut    -> checksum-verified store, acked by a payload-less
+//                   kCacheHit; a put whose bytes fail their declared
+//                   FNV-1a checksum is rejected as kMalformedPayload
+//   kMetricsQuery-> kMetricsReport carrying MetricsJson()
+//   anything else-> kError(kBadType): a cache node serves no submits
+//
+// Handle() is pure request->reply; Service() adapts it to TcpServer's
+// InlineService so flashps_cached reuses the whole serving frontier (poll
+// loop, back-pressure, drain, error taxonomy) with memcpy-scale handlers.
+//
+// Capacity: `max_bytes` (0 = unbounded) bounds resident payload bytes with
+// LRU eviction — fetch hits and put upserts both refresh recency, so a hot
+// fleet's working set stays resident while one-shot templates age out.
+#ifndef FLASHPS_SRC_NET_CACHE_NODE_H_
+#define FLASHPS_SRC_NET_CACHE_NODE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/net/tcp_server.h"
+#include "src/net/wire.h"
+#include "src/tensor/matrix.h"
+
+namespace flashps::net {
+
+struct CacheNodeOptions {
+  // Resident payload-byte cap; 0 = unbounded. Exceeding it evicts the
+  // least-recently-used entries until the new entry fits.
+  size_t max_bytes = 0;
+};
+
+// Monotonic counters plus the current residency snapshot.
+struct CacheNodeStats {
+  uint64_t fetch_hits = 0;
+  uint64_t fetch_misses = 0;
+  uint64_t puts = 0;          // Admitted puts (including overwrites).
+  uint64_t put_overwrites = 0;
+  uint64_t bad_frames = 0;    // Malformed payloads + wrong-direction types.
+  uint64_t bytes_served = 0;  // Payload bytes shipped in fetch hits.
+  uint64_t bytes_stored = 0;  // Payload bytes admitted by puts.
+  uint64_t evictions = 0;
+  uint64_t entries = 0;        // Resident entries right now.
+  uint64_t resident_bytes = 0;  // Resident payload bytes right now.
+};
+
+class CacheNode {
+ public:
+  explicit CacheNode(CacheNodeOptions options = {});
+
+  CacheNode(const CacheNode&) = delete;
+  CacheNode& operator=(const CacheNode&) = delete;
+
+  // Answers one parsed frame (any thread). The reply's close flag is set
+  // exactly when the reply is a kError frame.
+  InlineReply Handle(const ParsedFrame& frame);
+
+  // Adapter for TcpServer's service mode. The node must outlive the server.
+  InlineService Service();
+
+  // Direct (non-wire) accessors for tests and the daemon's final dump.
+  bool Contains(const CacheKey& key) const;
+  CacheNodeStats Stats() const;
+  // Flat JSON of Stats(), served to kMetricsQuery.
+  std::string MetricsJson() const;
+
+ private:
+  struct Entry {
+    Matrix data;
+    uint64_t checksum = 0;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  // All under mu_. Touch() moves a key to the LRU front; EvictToFit()
+  // drops tail entries until `incoming` more bytes fit under max_bytes.
+  void Touch(Entry& entry);
+  void EvictToFit(size_t incoming);
+
+  CacheNodeOptions options_;
+  mutable std::mutex mu_;
+  std::map<CacheKey, Entry> entries_;
+  std::list<CacheKey> lru_;  // Front = most recently used.
+  size_t resident_bytes_ = 0;
+  CacheNodeStats stats_;
+};
+
+}  // namespace flashps::net
+
+#endif  // FLASHPS_SRC_NET_CACHE_NODE_H_

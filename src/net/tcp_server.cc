@@ -22,7 +22,10 @@ constexpr uint64_t kListenerId = ~0ull;
 }  // namespace
 
 TcpServer::TcpServer(gateway::Gateway& gateway, TcpServerOptions options)
-    : gateway_(gateway), options_(options) {}
+    : gateway_(&gateway), options_(options) {}
+
+TcpServer::TcpServer(InlineService service, TcpServerOptions options)
+    : service_(std::move(service)), options_(options) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -183,15 +186,43 @@ void TcpServer::ParseFrames(Conn& conn) {
 }
 
 void TcpServer::DispatchFrame(Conn& conn, const ParsedFrame& frame) {
+  if (service_) {
+    // Service mode: the backend answers every client-to-server frame
+    // synchronously; its handlers are memcpy-scale, so no completer.
+    InlineReply reply = service_(frame);
+    if (reply.close_connection) {
+      // The service replies with a kError frame on protocol failures;
+      // mirror the gateway path's malformed-payload accounting and policy.
+      CountWireError(WireError::kMalformedPayload);
+      conn.close_after_flush = true;
+    }
+    QueueBytes(conn, reply.frame);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.service_replies;
+    ++stats_.responses_sent;
+    return;
+  }
   switch (frame.type()) {
     case FrameType::kSubmit:
       HandleSubmit(conn, frame);
       return;
     case FrameType::kMetricsQuery: {
-      QueueBytes(conn,
-                 EncodeMetricsReport(frame.header.seq, gateway_.MetricsJson()));
+      QueueBytes(conn, EncodeMetricsReport(frame.header.seq,
+                                           gateway_->MetricsJson()));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.responses_sent;
+      return;
+    }
+    case FrameType::kCacheFetch:
+    case FrameType::kCachePut: {
+      // Structurally valid cache-tier frames sent to a serving daemon
+      // that has no cache service behind it.
+      CountWireError(WireError::kBadType);
+      QueueBytes(conn,
+                 EncodeError(frame.header.seq, WireError::kBadType,
+                             "cache frame sent to a daemon with no cache "
+                             "service"));
+      conn.close_after_flush = true;
       return;
     }
     default: {
@@ -220,7 +251,7 @@ void TcpServer::HandleSubmit(Conn& conn, const ParsedFrame& frame) {
     rejection.status =
         static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
   } else {
-    gateway::SubmitResult result = gateway_.Submit(std::move(request.request));
+    gateway::SubmitResult result = gateway_->Submit(std::move(request.request));
     if (result.accepted()) {
       conn.inflight.fetch_add(1);
       total_inflight_.fetch_add(1);

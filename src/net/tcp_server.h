@@ -1,4 +1,16 @@
-// TCP serving frontier over a gateway::Gateway.
+// TCP frontier for the FlashPS wire protocol, serving one of two backends:
+//
+//   gateway mode   (TcpServer(gateway, ...)) — the serving daemon: submit
+//                  frames dispatch through gateway::Gateway and complete
+//                  asynchronously; metrics queries return the gateway's
+//                  registry JSON. This is flashps_served.
+//   service mode   (TcpServer(service, ...)) — every valid client-to-server
+//                  frame (cache fetch/put, metrics query, even submits) is
+//                  answered *synchronously* on the poll thread by the
+//                  pluggable InlineService. This is how flashps_cached
+//                  reuses the whole server — poll loop, back-pressure,
+//                  drain, error taxonomy — for the shared cache tier, whose
+//                  handlers are memcpy-scale and need no completer.
 //
 // Threading model (two threads + the gateway's own):
 //
@@ -34,6 +46,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -57,6 +70,19 @@ struct TcpServerOptions {
   std::chrono::milliseconds drain_timeout{10000};
 };
 
+// The synchronous reply of an InlineService to one frame: the encoded
+// reply frame, plus whether the connection should close after it flushes
+// (set for protocol errors, mirroring the gateway path's policy).
+struct InlineReply {
+  std::vector<uint8_t> frame;
+  bool close_connection = false;
+};
+
+// A backend that answers each frame inline on the poll thread. Must be
+// cheap (no blocking, no heavy compute) and thread-compatible with being
+// called from exactly one thread.
+using InlineService = std::function<InlineReply(const ParsedFrame&)>;
+
 // Monotonic counters; every protocol failure mode is distinct.
 struct TcpServerStats {
   uint64_t connections_accepted = 0;
@@ -65,6 +91,7 @@ struct TcpServerStats {
   uint64_t responses_sent = 0;
   uint64_t submits_accepted = 0;
   uint64_t submits_rejected = 0;  // Valid frames the gateway turned away.
+  uint64_t service_replies = 0;   // Frames answered by the InlineService.
   uint64_t bad_magic = 0;
   uint64_t bad_version = 0;
   uint64_t bad_type = 0;
@@ -77,8 +104,12 @@ struct TcpServerStats {
 
 class TcpServer {
  public:
-  // The gateway must outlive the server.
+  // Gateway mode. The gateway must outlive the server.
   TcpServer(gateway::Gateway& gateway, TcpServerOptions options = {});
+  // Service mode: `service` answers every valid frame inline on the poll
+  // thread (no completer dispatch). Anything the service must outlive the
+  // server too.
+  TcpServer(InlineService service, TcpServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -135,7 +166,10 @@ class TcpServer {
   void CountWireError(WireError error);
   bool ShouldClose(const Conn& conn) const;
 
-  gateway::Gateway& gateway_;
+  // Exactly one backend is set: gateway mode (gateway_ != nullptr) or
+  // service mode (service_ is callable).
+  gateway::Gateway* gateway_ = nullptr;
+  InlineService service_;
   TcpServerOptions options_;
   uint16_t port_ = 0;
 

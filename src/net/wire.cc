@@ -19,7 +19,93 @@ void AppendHeader(ByteWriter& w, FrameType type, uint64_t seq,
 
 bool ValidFrameType(uint16_t type) {
   return type >= static_cast<uint16_t>(FrameType::kSubmit) &&
-         type <= static_cast<uint16_t>(FrameType::kError);
+         type <= static_cast<uint16_t>(FrameType::kCacheMiss);
+}
+
+// Upper bound on either dimension of a matrix accepted off the wire.
+// Generous next to real activation shapes (tokens <= kMaxGridSide^2 would
+// overflow the frame cap long before this), but keeps rows*cols arithmetic
+// safely inside 32 bits.
+constexpr uint32_t kMaxMatrixSide = 1u << 20;
+
+void AppendCacheKey(ByteWriter& w, const CacheKey& key) {
+  w.I32(key.template_id);
+  w.I32(key.step);
+  w.I32(key.block);
+  w.U8(key.kind);
+}
+
+CacheKey ReadCacheKey(ByteReader& r) {
+  CacheKey key;
+  key.template_id = r.I32();
+  key.step = r.I32();
+  key.block = r.I32();
+  key.kind = r.U8();
+  return key;
+}
+
+bool ValidCacheKey(const CacheKey& key, std::string* error) {
+  if (key.template_id < 0 || key.step < 0 || key.block < 0) {
+    if (error != nullptr) *error = "cache key field negative";
+    return false;
+  }
+  if (key.kind > kCacheKindV) {
+    if (error != nullptr) *error = "cache key kind out of range";
+    return false;
+  }
+  return true;
+}
+
+// Matrices travel as rows, cols, then each float's IEEE-754 bit pattern as
+// an explicit little-endian u32 — the same byte-by-byte discipline as every
+// other wire integer.
+void AppendMatrixLe(ByteWriter& w, const Matrix& m) {
+  w.U32(static_cast<uint32_t>(m.rows()));
+  w.U32(static_cast<uint32_t>(m.cols()));
+  const float* data = m.data();
+  const size_t n = m.size();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    w.U32(bits);
+  }
+}
+
+// Reads the float body of a matrix whose shape header was already consumed.
+bool ReadMatrixBody(ByteReader& r, uint32_t rows, uint32_t cols, Matrix* out,
+                    std::string* error) {
+  if (rows == 0 || cols == 0 || rows > kMaxMatrixSide ||
+      cols > kMaxMatrixSide) {
+    if (error != nullptr) *error = "matrix dimensions out of range";
+    return false;
+  }
+  const uint64_t floats = static_cast<uint64_t>(rows) * cols;
+  if (floats * sizeof(float) > r.remaining()) {
+    if (error != nullptr) *error = "matrix payload shorter than its shape";
+    return false;
+  }
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  float* data = m.data();
+  for (uint64_t i = 0; i < floats; ++i) {
+    const uint32_t bits = r.U32();
+    std::memcpy(&data[i], &bits, sizeof(bits));
+  }
+  if (!r.ok()) {
+    if (error != nullptr) *error = "matrix payload truncated";
+    return false;
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool ReadMatrixLe(ByteReader& r, Matrix* out, std::string* error) {
+  const uint32_t rows = r.U32();
+  const uint32_t cols = r.U32();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "matrix header shorter than declared";
+    return false;
+  }
+  return ReadMatrixBody(r, rows, cols, out, error);
 }
 
 }  // namespace
@@ -199,6 +285,140 @@ bool DecodeError(const ParsedFrame& frame, WireErrorBody* out) {
     return false;
   }
   *out = std::move(body);
+  return true;
+}
+
+std::vector<uint8_t> EncodeCacheFetch(uint64_t seq, const CacheKey& key) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  AppendCacheKey(w, key);
+  return EncodeFrame(FrameType::kCacheFetch, seq, payload);
+}
+
+std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
+                                    const Matrix& data) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  AppendCacheKey(w, key);
+  w.U64(LatentChecksum(data));
+  AppendMatrixLe(w, data);
+  return EncodeFrame(FrameType::kCachePut, seq, payload);
+}
+
+std::vector<uint8_t> EncodeCacheHit(uint64_t seq, const CacheKey& key,
+                                    uint64_t checksum, const Matrix* data) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  AppendCacheKey(w, key);
+  w.U64(checksum);
+  if (data != nullptr) {
+    AppendMatrixLe(w, *data);
+  } else {
+    // A put acknowledgement: shape 0x0, no floats.
+    w.U32(0);
+    w.U32(0);
+  }
+  return EncodeFrame(FrameType::kCacheHit, seq, payload);
+}
+
+std::vector<uint8_t> EncodeCacheMiss(uint64_t seq, const CacheKey& key) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  AppendCacheKey(w, key);
+  return EncodeFrame(FrameType::kCacheMiss, seq, payload);
+}
+
+bool DecodeCacheFetch(const ParsedFrame& frame, CacheFetchBody* out,
+                      std::string* error) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  CacheFetchBody body;
+  body.key = ReadCacheKey(r);
+  if (!r.ok() || r.remaining() != 0) {
+    if (error != nullptr) *error = "cache fetch payload malformed";
+    return false;
+  }
+  if (!ValidCacheKey(body.key, error)) {
+    return false;
+  }
+  *out = body;
+  return true;
+}
+
+bool DecodeCachePut(const ParsedFrame& frame, CachePutBody* out,
+                    std::string* error) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  CachePutBody body;
+  body.key = ReadCacheKey(r);
+  body.checksum = r.U64();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "cache put payload shorter than its header";
+    return false;
+  }
+  if (!ValidCacheKey(body.key, error)) {
+    return false;
+  }
+  if (!ReadMatrixLe(r, &body.data, error)) {
+    return false;
+  }
+  if (r.remaining() != 0) {
+    if (error != nullptr) *error = "trailing bytes after cache put payload";
+    return false;
+  }
+  if (LatentChecksum(body.data) != body.checksum) {
+    if (error != nullptr) *error = "cache put checksum mismatch";
+    return false;
+  }
+  *out = std::move(body);
+  return true;
+}
+
+bool DecodeCacheHit(const ParsedFrame& frame, CacheHitBody* out,
+                    std::string* error) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  CacheHitBody body;
+  body.key = ReadCacheKey(r);
+  body.checksum = r.U64();
+  const uint32_t rows = r.U32();
+  const uint32_t cols = r.U32();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "cache hit payload shorter than its header";
+    return false;
+  }
+  if (!ValidCacheKey(body.key, error)) {
+    return false;
+  }
+  if (rows == 0 && cols == 0) {
+    // Put acknowledgement: no payload follows.
+    if (r.remaining() != 0) {
+      if (error != nullptr) *error = "trailing bytes after cache put ack";
+      return false;
+    }
+    *out = std::move(body);
+    return true;
+  }
+  if (!ReadMatrixBody(r, rows, cols, &body.data, error)) {
+    return false;
+  }
+  if (r.remaining() != 0) {
+    if (error != nullptr) *error = "trailing bytes after cache hit payload";
+    return false;
+  }
+  if (LatentChecksum(body.data) != body.checksum) {
+    if (error != nullptr) *error = "cache hit checksum mismatch";
+    return false;
+  }
+  *out = std::move(body);
+  return true;
+}
+
+bool DecodeCacheMiss(const ParsedFrame& frame, CacheMissBody* out) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  CacheMissBody body;
+  body.key = ReadCacheKey(r);
+  if (!r.ok() || r.remaining() != 0) {
+    return false;
+  }
+  *out = body;
   return true;
 }
 

@@ -18,6 +18,11 @@
 // are rejected with a distinct WireError; the peer receives a kError frame
 // where possible and the connection is closed. The per-frame size cap
 // bounds both decoder memory and read-buffer growth.
+//
+// Two services speak this protocol (one per daemon, both over TcpServer):
+// the *serving* tier (submit / metrics frames, flashps_served) and the
+// *cache* tier (cache fetch / put frames, flashps_cached) — the shared
+// cache node that serves template activations to a whole worker fleet.
 #ifndef FLASHPS_SRC_NET_WIRE_H_
 #define FLASHPS_SRC_NET_WIRE_H_
 
@@ -38,28 +43,80 @@ inline constexpr size_t kFrameHeaderBytes = 20;
 // oversized/garbage length fields detectable before any buffering happens.
 inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
 
+// Every frame type, each documented with its direction and payload. "client"
+// is whichever peer opened the connection; "server" is the daemon behind
+// TcpServer (a serving gateway or a cache node).
 enum class FrameType : uint16_t {
-  kSubmit = 1,         // client -> server: WireRequest
-  kSubmitResult = 2,   // server -> client: WireResponse
-  kMetricsQuery = 3,   // client -> server: empty payload
-  kMetricsReport = 4,  // server -> client: MetricsJson() bytes
-  kError = 5,          // server -> client: WireErrorBody
+  // client -> server: one editing request (WireRequest: engine mode, step
+  // count, and the serialized runtime::OnlineRequest). Answered by exactly
+  // one kSubmitResult carrying the same seq.
+  kSubmit = 1,
+  // server -> client: the outcome of one kSubmit (WireResponse: admission
+  // status, worker id, per-stage latencies, output latent checksum).
+  // Written in completion order, not submission order.
+  kSubmitResult = 2,
+  // client -> server: empty payload; asks the daemon for its metrics JSON.
+  kMetricsQuery = 3,
+  // server -> client: MetricsJson() bytes of the daemon (gateway registry
+  // for flashps_served, cache-node counters for flashps_cached).
+  kMetricsReport = 4,
+  // server -> client: WireErrorBody naming the distinct WireError that
+  // doomed the connection; the server closes after flushing it.
+  kError = 5,
+  // client -> cache node: CacheFetchBody — one content-addressed activation
+  // matrix, keyed by (template_id, step, block, kind). Answered by
+  // kCacheHit (payload attached) or kCacheMiss.
+  kCacheFetch = 6,
+  // client -> cache node: CachePutBody — stores one activation matrix under
+  // its content address, FNV-1a checksum verified server-side before the
+  // entry is admitted. Acknowledged by a payload-less kCacheHit echoing the
+  // key and the stored checksum.
+  kCachePut = 7,
+  // cache node -> client: CacheHitBody. Reply to a kCacheFetch that found
+  // the entry (matrix payload attached) or to a kCachePut that stored it
+  // (no payload; rows == cols == 0). Always carries the entry's checksum.
+  kCacheHit = 8,
+  // cache node -> client: CacheMissBody — the fetched key is not resident.
+  // The worker falls back to local registration (and usually puts the
+  // freshly computed record so the next worker hits).
+  kCacheMiss = 9,
 };
 
-// Every way a frame or a call can fail, each distinct. kNeedMore is the
-// one non-error: the stream decoder has a plausible prefix and wants more
-// bytes.
+// Every way a frame or a call can fail, each distinct, each produced by
+// exactly the condition documented here. kNeedMore is the one non-error:
+// the stream decoder has a plausible prefix and wants more bytes.
 enum class WireError : uint8_t {
+  // No failure; the parse/call succeeded.
   kOk = 0,
+  // Stream decoder: the buffered prefix is valid but shorter than one whole
+  // frame — read more bytes and retry. Never sent on the wire.
   kNeedMore = 1,
+  // The first four bytes are not "FPS1": the peer is not speaking this
+  // protocol (or the stream desynchronized). Checked the moment four bytes
+  // exist, before waiting for a full header.
   kBadMagic = 2,
+  // Header version field != kWireVersion: an incompatible peer release.
   kBadVersion = 3,
+  // Header type field names no FrameType, or a structurally valid type
+  // arrived in the wrong direction (e.g. a kSubmitResult sent *to* a
+  // server, or a cache frame sent to a daemon with no cache service).
   kBadType = 4,
+  // Header length field exceeds kMaxPayloadBytes: rejected before any
+  // payload buffering happens (bounds decoder memory against garbage).
   kOversizedFrame = 5,
+  // The frame parsed but its payload failed a typed decode — short fields,
+  // out-of-range values, trailing bytes, or a cache-put whose payload bytes
+  // do not hash to the checksum it declared.
   kMalformedPayload = 6,
-  kTruncatedFrame = 7,    // Peer closed mid-frame.
-  kTimeout = 8,           // Client-side per-call deadline.
-  kConnectionClosed = 9,  // Client-side: socket gone.
+  // Peer closed the connection with a partial frame still buffered: those
+  // bytes can never complete. Counted server-side.
+  kTruncatedFrame = 7,
+  // Client-side: the per-call deadline lapsed before the matching reply
+  // arrived.
+  kTimeout = 8,
+  // Client-side: the socket is gone — connect failed after its bounded
+  // retries, the peer hung up, or a send hit a dead connection.
+  kConnectionClosed = 9,
 };
 
 std::string ToString(WireError error);
@@ -116,6 +173,70 @@ struct WireErrorBody {
   std::string message;
 };
 
+// --- cache-tier frames ----------------------------------------------------
+
+// The content address of one cached activation matrix: which template, which
+// denoising step, which transformer block, and which of the per-block
+// matrices (the paper's §3 cache holds the Y output per (step, block); the
+// Fig. 7 KV alternative additionally holds K and V). One address maps to
+// exactly one matrix in model::ActivationRecord:
+//   kind 0 -> record.steps[step].y[block]
+//   kind 1 -> record.steps[step].k[block]
+//   kind 2 -> record.steps[step].v[block]
+struct CacheKey {
+  int32_t template_id = 0;
+  int32_t step = 0;
+  int32_t block = 0;
+  uint8_t kind = 0;  // 0 = Y, 1 = K, 2 = V.
+
+  bool operator==(const CacheKey& o) const {
+    return template_id == o.template_id && step == o.step &&
+           block == o.block && kind == o.kind;
+  }
+  bool operator<(const CacheKey& o) const {
+    if (template_id != o.template_id) return template_id < o.template_id;
+    if (step != o.step) return step < o.step;
+    if (block != o.block) return block < o.block;
+    return kind < o.kind;
+  }
+};
+
+inline constexpr uint8_t kCacheKindY = 0;
+inline constexpr uint8_t kCacheKindK = 1;
+inline constexpr uint8_t kCacheKindV = 2;
+
+// Payload of kCacheFetch: just the key.
+struct CacheFetchBody {
+  CacheKey key;
+};
+
+// Payload of kCachePut: the key, the matrix, and the sender's FNV-1a
+// checksum of the matrix (LatentChecksum: shape + float bit patterns). The
+// node recomputes and rejects a mismatch as kMalformedPayload, so a bit
+// flipped in flight can never become a resident cache entry.
+struct CachePutBody {
+  CacheKey key;
+  uint64_t checksum = 0;
+  Matrix data;
+};
+
+// Payload of kCacheHit: fetch replies carry the matrix; put acks carry only
+// the key + checksum (rows == cols == 0, no data). The checksum always
+// describes the entry as resident on the node, so the client can verify the
+// bytes it received (or confirm what it stored) end to end.
+struct CacheHitBody {
+  CacheKey key;
+  uint64_t checksum = 0;
+  Matrix data;  // Empty (0x0) for a put acknowledgement.
+
+  bool has_payload() const { return data.rows() > 0 && data.cols() > 0; }
+};
+
+// Payload of kCacheMiss: the key that was not resident.
+struct CacheMissBody {
+  CacheKey key;
+};
+
 // --- frame assembly -------------------------------------------------------
 
 std::vector<uint8_t> EncodeFrame(FrameType type, uint64_t seq,
@@ -128,6 +249,14 @@ std::vector<uint8_t> EncodeMetricsReport(uint64_t seq,
                                          const std::string& json);
 std::vector<uint8_t> EncodeError(uint64_t seq, WireError code,
                                  const std::string& message);
+std::vector<uint8_t> EncodeCacheFetch(uint64_t seq, const CacheKey& key);
+// Computes the checksum itself (LatentChecksum of `data`).
+std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
+                                    const Matrix& data);
+// `data` may be null: a payload-less put acknowledgement.
+std::vector<uint8_t> EncodeCacheHit(uint64_t seq, const CacheKey& key,
+                                    uint64_t checksum, const Matrix* data);
+std::vector<uint8_t> EncodeCacheMiss(uint64_t seq, const CacheKey& key);
 
 // Incremental stream decode: inspects the prefix of [data, data+size).
 // Returns kOk with `*out` and `*consumed` filled when one whole valid
@@ -145,13 +274,24 @@ bool DecodeSubmit(const ParsedFrame& frame, WireRequest* out,
                   std::string* error);
 bool DecodeSubmitResult(const ParsedFrame& frame, WireResponse* out);
 bool DecodeError(const ParsedFrame& frame, WireErrorBody* out);
+bool DecodeCacheFetch(const ParsedFrame& frame, CacheFetchBody* out,
+                      std::string* error);
+// Validates the declared checksum against the decoded matrix bytes; a
+// mismatch is a malformed payload (it means corruption in flight).
+bool DecodeCachePut(const ParsedFrame& frame, CachePutBody* out,
+                    std::string* error);
+bool DecodeCacheHit(const ParsedFrame& frame, CacheHitBody* out,
+                    std::string* error);
+bool DecodeCacheMiss(const ParsedFrame& frame, CacheMissBody* out);
 
 // --- checksums ------------------------------------------------------------
 
 // FNV-1a over arbitrary bytes; stable across hosts.
 uint64_t Fnv1a64(const void* data, size_t size);
-// Checksum of a latent/image matrix: shape plus the float bit patterns,
-// each float hashed as its little-endian IEEE-754 encoding.
+// Checksum of a latent/image/activation matrix: shape plus the float bit
+// patterns, each float hashed as its little-endian IEEE-754 encoding. This
+// is the one checksum used everywhere a matrix travels: submit-result
+// latents, cache puts, and cache hits.
 uint64_t LatentChecksum(const Matrix& m);
 
 }  // namespace flashps::net

@@ -9,6 +9,9 @@ namespace flashps::runtime {
 
 OnlineServer::OnlineServer(Options options)
     : options_(std::move(options)), model_(options_.numerics) {
+  source_ = options_.activation_source != nullptr
+                ? options_.activation_source
+                : std::make_shared<cache::ActivationStore>();
   if (options_.disaggregate) {
     cpu_pool_ = std::make_unique<ThreadPool>(options_.cpu_lanes);
   }
@@ -163,8 +166,13 @@ void OnlineServer::DenoiseLoop() {
         Preprocess(*inflight);  // Interrupts the running batch.
       }
       if (options_.mask_aware) {
-        // Registration is idempotent and denoise-thread-local.
-        store_.GetOrRegister(model_, inflight->request.template_id);
+        // Acquire once per request and pin for its lifetime: a local
+        // source registers on first use; a remote source fetches from the
+        // cache node (or falls back to local registration — admission
+        // never fails because the cache tier is down).
+        inflight->cache =
+            source_->Acquire(model_, inflight->request.template_id,
+                             /*record_kv=*/false);
       }
       inflight->admitted = std::chrono::steady_clock::now();
       StatusMarkRunning(inflight->id);
@@ -181,7 +189,7 @@ void OnlineServer::DenoiseLoop() {
     for (auto& member : batch) {
       model::DiffusionModel::RunOptions opts = run_options;
       if (options_.mask_aware) {
-        opts.cache = &store_.GetOrRegister(model_, member->request.template_id);
+        opts.cache = member->cache.get();
         opts.mask = &member->request.mask;
       }
       member->latent = model_.RunStepRange(std::move(member->latent), opts,

@@ -115,6 +115,13 @@ class OnlineServer {
     // threads (shared ParallelFor pool; 1 = the seed's serial kernels).
     // Results are bitwise-independent of this setting.
     int compute_threads = 1;
+    // Where template activations come from. Null (the default) keeps the
+    // seed behavior: a private in-process ActivationStore. A
+    // cache::RemoteActivationStore here puts the worker on the shared
+    // cache tier; a shared_ptr to one local store puts a whole fleet on
+    // one in-process store. Either way the denoise loop is identical —
+    // records are acquired once per request and pinned until it retires.
+    std::shared_ptr<cache::ActivationSource> activation_source;
   };
 
   explicit OnlineServer(Options options);
@@ -137,12 +144,20 @@ class OnlineServer {
   uint64_t completed_count() const { return completed_.load(); }
   const Options& options() const { return options_; }
   const model::DiffusionModel& model() const { return model_; }
+  // The resolved source (the configured one, or the private local store).
+  const std::shared_ptr<cache::ActivationSource>& activation_source() const {
+    return source_;
+  }
 
  private:
   struct InFlight {
     uint64_t id = 0;
     OnlineRequest request;
     Matrix latent;
+    // Pinned activation record for the request's lifetime: an evicting
+    // source (remote store LRU front) can drop its reference without
+    // invalidating a batch member mid-denoise.
+    std::shared_ptr<const model::ActivationRecord> cache;
     int steps_done = 0;
     std::promise<OnlineResponse> promise;
     std::chrono::steady_clock::time_point submitted;
@@ -167,7 +182,11 @@ class OnlineServer {
 
   Options options_;
   model::DiffusionModel model_;
-  cache::ActivationStore store_;  // Touched only by the denoise thread.
+  // The resolved activation source: options_.activation_source when set
+  // (possibly shared across a fleet or remote), else a private local
+  // store. Acquire() happens only on the denoise thread, but the source
+  // itself may be shared, so it must be thread-safe (all of ours are).
+  std::shared_ptr<cache::ActivationSource> source_;
   ConcurrentQueue<InFlightPtr> ready_;
   std::unique_ptr<ThreadPool> cpu_pool_;
   std::thread denoise_thread_;

@@ -1,0 +1,507 @@
+// Cache-tier RPC units: the cache frame codec, the CacheNode store
+// semantics, the CacheClient whole-record transfer over a loopback
+// TcpServer in service mode, and the RemoteActivationStore ladder (LRU
+// front, single-flight, miss-publish, fallback, circuit breaker).
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cache/remote_store.h"
+#include "src/net/cache_client.h"
+#include "src/net/cache_node.h"
+#include "src/net/tcp_server.h"
+
+namespace flashps::net {
+namespace {
+
+// Pulls `"key":<integer>` out of a flat metrics JSON string.
+uint64_t JsonCounter(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return ~0ull;
+  }
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+Matrix TestMatrix(int rows, int cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  m.FillNormal(rng, 1.0f);
+  return m;
+}
+
+CacheKey TestKey(int template_id = 7, int step = 1, int block = 2,
+                 uint8_t kind = kCacheKindY) {
+  CacheKey key;
+  key.template_id = template_id;
+  key.step = step;
+  key.block = block;
+  key.kind = kind;
+  return key;
+}
+
+ParsedFrame Parse(const std::vector<uint8_t>& bytes) {
+  ParsedFrame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(TryParseFrame(bytes.data(), bytes.size(), &frame, &consumed),
+            WireError::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+bool MatricesEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         LatentChecksum(a) == LatentChecksum(b);
+}
+
+bool RecordsEqual(const model::ActivationRecord& a,
+                  const model::ActivationRecord& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (size_t s = 0; s < a.steps.size(); ++s) {
+    const auto& as = a.steps[s];
+    const auto& bs = b.steps[s];
+    if (as.y.size() != bs.y.size() || as.k.size() != bs.k.size() ||
+        as.v.size() != bs.v.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < as.y.size(); ++i) {
+      if (!MatricesEqual(as.y[i], bs.y[i])) return false;
+    }
+    for (size_t i = 0; i < as.k.size(); ++i) {
+      if (!MatricesEqual(as.k[i], bs.k[i])) return false;
+    }
+    for (size_t i = 0; i < as.v.size(); ++i) {
+      if (!MatricesEqual(as.v[i], bs.v[i])) return false;
+    }
+  }
+  return true;
+}
+
+// --- codec ----------------------------------------------------------------
+
+TEST(CacheRpcWireTest, FetchRoundTrip) {
+  const CacheKey key = TestKey(42, 3, 1, kCacheKindK);
+  const ParsedFrame frame = Parse(EncodeCacheFetch(99, key));
+  EXPECT_EQ(frame.type(), FrameType::kCacheFetch);
+  EXPECT_EQ(frame.header.seq, 99u);
+  CacheFetchBody body;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheFetch(frame, &body, &error)) << error;
+  EXPECT_EQ(body.key, key);
+}
+
+TEST(CacheRpcWireTest, PutRoundTripCarriesChecksum) {
+  const Matrix m = TestMatrix(6, 5, 1);
+  const ParsedFrame frame = Parse(EncodeCachePut(7, TestKey(), m));
+  CachePutBody body;
+  std::string error;
+  ASSERT_TRUE(DecodeCachePut(frame, &body, &error)) << error;
+  EXPECT_EQ(body.key, TestKey());
+  EXPECT_EQ(body.checksum, LatentChecksum(m));
+  EXPECT_TRUE(MatricesEqual(body.data, m));
+}
+
+TEST(CacheRpcWireTest, HitRoundTripWithPayload) {
+  const Matrix m = TestMatrix(4, 4, 2);
+  const ParsedFrame frame =
+      Parse(EncodeCacheHit(3, TestKey(), LatentChecksum(m), &m));
+  CacheHitBody body;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheHit(frame, &body, &error)) << error;
+  EXPECT_TRUE(body.has_payload());
+  EXPECT_TRUE(MatricesEqual(body.data, m));
+}
+
+TEST(CacheRpcWireTest, HitRoundTripPutAckHasNoPayload) {
+  const ParsedFrame frame =
+      Parse(EncodeCacheHit(3, TestKey(), 0xabcdu, nullptr));
+  CacheHitBody body;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheHit(frame, &body, &error)) << error;
+  EXPECT_FALSE(body.has_payload());
+  EXPECT_EQ(body.checksum, 0xabcdu);
+}
+
+TEST(CacheRpcWireTest, MissRoundTrip) {
+  const ParsedFrame frame = Parse(EncodeCacheMiss(11, TestKey(5, 0, 0)));
+  CacheMissBody body;
+  ASSERT_TRUE(DecodeCacheMiss(frame, &body));
+  EXPECT_EQ(body.key, TestKey(5, 0, 0));
+}
+
+TEST(CacheRpcWireTest, CorruptedPutPayloadFailsItsChecksum) {
+  const Matrix m = TestMatrix(6, 5, 3);
+  std::vector<uint8_t> bytes = EncodeCachePut(7, TestKey(), m);
+  bytes.back() ^= 0x01;  // Flip one bit of the last float.
+  const ParsedFrame frame = Parse(bytes);
+  CachePutBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCachePut(frame, &body, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(CacheRpcWireTest, TrailingBytesRejected) {
+  const std::vector<uint8_t> encoded = EncodeCacheFetch(1, TestKey());
+  std::vector<uint8_t> payload(encoded.begin() + kFrameHeaderBytes,
+                               encoded.end());
+  payload.push_back(0);  // One stray byte after the key.
+  const ParsedFrame frame = Parse(EncodeFrame(FrameType::kCacheFetch, 1,
+                                              payload));
+  CacheFetchBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCacheFetch(frame, &body, &error));
+}
+
+TEST(CacheRpcWireTest, NegativeKeyFieldsRejected) {
+  const ParsedFrame frame = Parse(EncodeCacheFetch(1, TestKey(-1, 0, 0)));
+  CacheFetchBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCacheFetch(frame, &body, &error));
+}
+
+// --- node -----------------------------------------------------------------
+
+TEST(CacheRpcNodeTest, PutThenFetchHitsWithSameBytes) {
+  CacheNode node;
+  const Matrix m = TestMatrix(8, 6, 4);
+  const CacheKey key = TestKey();
+
+  InlineReply ack = node.Handle(Parse(EncodeCachePut(1, key, m)));
+  EXPECT_FALSE(ack.close_connection);
+  CacheHitBody ack_body;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheHit(Parse(ack.frame), &ack_body, &error)) << error;
+  EXPECT_FALSE(ack_body.has_payload());
+  EXPECT_EQ(ack_body.checksum, LatentChecksum(m));
+
+  InlineReply hit = node.Handle(Parse(EncodeCacheFetch(2, key)));
+  CacheHitBody hit_body;
+  ASSERT_TRUE(DecodeCacheHit(Parse(hit.frame), &hit_body, &error)) << error;
+  EXPECT_TRUE(MatricesEqual(hit_body.data, m));
+
+  const CacheNodeStats stats = node.Stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.fetch_hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes_served, m.bytes());
+}
+
+TEST(CacheRpcNodeTest, FetchMissForAbsentKey) {
+  CacheNode node;
+  InlineReply reply = node.Handle(Parse(EncodeCacheFetch(1, TestKey())));
+  CacheMissBody body;
+  ASSERT_TRUE(DecodeCacheMiss(Parse(reply.frame), &body));
+  EXPECT_EQ(body.key, TestKey());
+  EXPECT_EQ(node.Stats().fetch_misses, 1u);
+}
+
+TEST(CacheRpcNodeTest, CorruptedPutIsRejectedNotStored) {
+  CacheNode node;
+  std::vector<uint8_t> bytes = EncodeCachePut(1, TestKey(), TestMatrix(4, 4, 5));
+  bytes.back() ^= 0x01;
+  InlineReply reply = node.Handle(Parse(bytes));
+  EXPECT_TRUE(reply.close_connection);
+  WireErrorBody error_body;
+  ASSERT_TRUE(DecodeError(Parse(reply.frame), &error_body));
+  EXPECT_EQ(static_cast<WireError>(error_body.code),
+            WireError::kMalformedPayload);
+  EXPECT_FALSE(node.Contains(TestKey()));
+  EXPECT_EQ(node.Stats().bad_frames, 1u);
+}
+
+TEST(CacheRpcNodeTest, SubmitFrameIsWrongDirection) {
+  CacheNode node;
+  WireRequest request;
+  InlineReply reply = node.Handle(Parse(EncodeSubmit(1, request)));
+  EXPECT_TRUE(reply.close_connection);
+  WireErrorBody error_body;
+  ASSERT_TRUE(DecodeError(Parse(reply.frame), &error_body));
+  EXPECT_EQ(static_cast<WireError>(error_body.code), WireError::kBadType);
+}
+
+TEST(CacheRpcNodeTest, LruEvictsUnderByteCap) {
+  const Matrix m = TestMatrix(8, 8, 6);  // 256 bytes each.
+  CacheNodeOptions options;
+  options.max_bytes = 2 * m.bytes();
+  CacheNode node(options);
+  node.Handle(Parse(EncodeCachePut(1, TestKey(1, 0, 0), m)));
+  node.Handle(Parse(EncodeCachePut(2, TestKey(2, 0, 0), m)));
+  // Touch key 1 so key 2 is the LRU victim.
+  node.Handle(Parse(EncodeCacheFetch(3, TestKey(1, 0, 0))));
+  node.Handle(Parse(EncodeCachePut(4, TestKey(3, 0, 0), m)));
+  EXPECT_TRUE(node.Contains(TestKey(1, 0, 0)));
+  EXPECT_FALSE(node.Contains(TestKey(2, 0, 0)));
+  EXPECT_TRUE(node.Contains(TestKey(3, 0, 0)));
+  const CacheNodeStats stats = node.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.resident_bytes, options.max_bytes);
+}
+
+TEST(CacheRpcNodeTest, MetricsJsonCarriesCounters) {
+  CacheNode node;
+  const Matrix m = TestMatrix(4, 4, 7);
+  node.Handle(Parse(EncodeCachePut(1, TestKey(), m)));
+  node.Handle(Parse(EncodeCacheFetch(2, TestKey())));
+  node.Handle(Parse(EncodeCacheFetch(3, TestKey(9, 9, 9))));
+  const std::string json = node.MetricsJson();
+  EXPECT_EQ(JsonCounter(json, "puts"), 1u);
+  EXPECT_EQ(JsonCounter(json, "fetch_hits"), 1u);
+  EXPECT_EQ(JsonCounter(json, "fetch_misses"), 1u);
+  EXPECT_EQ(JsonCounter(json, "entries"), 1u);
+}
+
+// --- client over loopback -------------------------------------------------
+
+class CacheRpcClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<TcpServer>(node_.Service());
+    ASSERT_TRUE(server_->Start());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  CacheNode node_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(CacheRpcClientTest, PutRecordThenFetchRecordIsBitwiseIdentical) {
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 2;
+  model::DiffusionModel model(numerics);
+  const model::ActivationRecord record = model.Register(5, /*record_kv=*/true);
+
+  CacheClient client("127.0.0.1", server_->port());
+  PutRecordResult put = client.PutRecord(5, record);
+  ASSERT_TRUE(put.transport_ok) << ToString(client.last_error());
+  const uint64_t matrices =
+      static_cast<uint64_t>(numerics.num_steps) * numerics.num_blocks * 3;
+  EXPECT_EQ(put.puts, matrices);
+
+  FetchRecordResult fetched =
+      client.FetchRecord(5, numerics.num_steps, numerics.num_blocks,
+                         /*want_kv=*/true);
+  ASSERT_TRUE(fetched.transport_ok) << ToString(client.last_error());
+  ASSERT_TRUE(fetched.complete);
+  EXPECT_EQ(fetched.hits, matrices);
+  EXPECT_EQ(fetched.misses, 0u);
+  ASSERT_NE(fetched.record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*fetched.record, record));
+  EXPECT_EQ(fetched.bytes, put.bytes);
+}
+
+TEST_F(CacheRpcClientTest, FetchOfAbsentRecordMissesEveryKey) {
+  CacheClient client("127.0.0.1", server_->port());
+  FetchRecordResult fetched = client.FetchRecord(1, 2, 3, /*want_kv=*/false);
+  ASSERT_TRUE(fetched.transport_ok);
+  EXPECT_FALSE(fetched.complete);
+  EXPECT_EQ(fetched.record, nullptr);
+  EXPECT_EQ(fetched.misses, 6u);
+  EXPECT_EQ(fetched.hits, 0u);
+}
+
+TEST_F(CacheRpcClientTest, KvFetchOfYOnlyRecordIsIncomplete) {
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 2;
+  model::DiffusionModel model(numerics);
+  const model::ActivationRecord record = model.Register(5, /*record_kv=*/false);
+
+  CacheClient client("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.PutRecord(5, record).transport_ok);
+  FetchRecordResult fetched =
+      client.FetchRecord(5, numerics.num_steps, numerics.num_blocks,
+                         /*want_kv=*/true);
+  ASSERT_TRUE(fetched.transport_ok);
+  EXPECT_FALSE(fetched.complete);
+  const uint64_t per_kind =
+      static_cast<uint64_t>(numerics.num_steps) * numerics.num_blocks;
+  EXPECT_EQ(fetched.hits, per_kind);        // Y resident.
+  EXPECT_EQ(fetched.misses, 2 * per_kind);  // K and V absent.
+}
+
+TEST_F(CacheRpcClientTest, MetricsQueryReconcilesWithClientCounts) {
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 2;
+  model::DiffusionModel model(numerics);
+  CacheClient client("127.0.0.1", server_->port());
+  PutRecordResult put =
+      client.PutRecord(9, model.Register(9, /*record_kv=*/false));
+  ASSERT_TRUE(put.transport_ok);
+  FetchRecordResult fetched =
+      client.FetchRecord(9, numerics.num_steps, numerics.num_blocks, false);
+  ASSERT_TRUE(fetched.complete);
+
+  auto metrics = client.QueryMetrics();
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(JsonCounter(*metrics, "puts"), put.puts);
+  EXPECT_EQ(JsonCounter(*metrics, "fetch_hits"), fetched.hits);
+  EXPECT_EQ(JsonCounter(*metrics, "bytes_served"), fetched.bytes);
+  EXPECT_EQ(JsonCounter(*metrics, "bytes_stored"), put.bytes);
+}
+
+TEST_F(CacheRpcClientTest, ConnectToDeadPortFailsAfterBoundedRetries) {
+  server_->Stop();
+  CacheClientOptions options;
+  options.connect_attempts = 2;
+  options.connect_backoff = std::chrono::milliseconds(1);
+  CacheClient client("127.0.0.1", server_->port(), options);
+  FetchRecordResult fetched = client.FetchRecord(1, 1, 1, false);
+  EXPECT_FALSE(fetched.transport_ok);
+  EXPECT_EQ(client.last_error(), WireError::kConnectionClosed);
+}
+
+// --- remote store ---------------------------------------------------------
+
+class CacheRpcRemoteStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<TcpServer>(node_.Service());
+    ASSERT_TRUE(server_->Start());
+    numerics_ = model::NumericsConfig::ForTests();
+    numerics_.num_steps = 2;
+    model_ = std::make_unique<model::DiffusionModel>(numerics_);
+  }
+  void TearDown() override { server_->Stop(); }
+
+  cache::RemoteStoreOptions StoreOptions() {
+    cache::RemoteStoreOptions options;
+    options.host = "127.0.0.1";
+    options.port = server_->port();
+    options.connect_attempts = 1;
+    options.connect_backoff = std::chrono::milliseconds(1);
+    return options;
+  }
+
+  CacheNode node_;
+  std::unique_ptr<TcpServer> server_;
+  model::NumericsConfig numerics_;
+  std::unique_ptr<model::DiffusionModel> model_;
+};
+
+TEST_F(CacheRpcRemoteStoreTest, MissRegistersLocallyAndPublishes) {
+  cache::RemoteActivationStore store(StoreOptions());
+  auto record = store.Acquire(*model_, 3, /*record_kv=*/false);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*record, model_->Register(3, false)));
+
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.remote_misses, 1u);
+  EXPECT_EQ(stats.local_registrations, 1u);
+  EXPECT_EQ(stats.puts_ok, 1u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  // The record is now resident on the node.
+  EXPECT_EQ(node_.Stats().puts,
+            static_cast<uint64_t>(numerics_.num_steps) * numerics_.num_blocks);
+  EXPECT_EQ(node_.Stats().bytes_stored, stats.remote_bytes_put);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, SecondStoreFetchesRemotelyBitwise) {
+  cache::RemoteActivationStore first(StoreOptions());
+  auto published = first.Acquire(*model_, 3, false);
+
+  // A fresh store (fresh LRU front) — like a new worker process joining.
+  cache::RemoteActivationStore second(StoreOptions());
+  auto fetched = second.Acquire(*model_, 3, false);
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_TRUE(RecordsEqual(*fetched, *published));
+
+  const cache::RemoteStoreStats stats = second.Stats();
+  EXPECT_EQ(stats.remote_hits, 1u);
+  EXPECT_EQ(stats.remote_misses, 0u);
+  EXPECT_EQ(stats.local_registrations, 0u);
+  EXPECT_EQ(stats.remote_bytes_fetched, node_.Stats().bytes_served);
+  EXPECT_GT(stats.fetch_p99_us, 0.0);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, FrontHitCostsNoRpc) {
+  cache::RemoteActivationStore store(StoreOptions());
+  auto first = store.Acquire(*model_, 3, false);
+  const uint64_t fetches_after_first =
+      node_.Stats().fetch_hits + node_.Stats().fetch_misses;
+  auto second = store.Acquire(*model_, 3, false);
+  EXPECT_EQ(first.get(), second.get());  // Same pinned record.
+  EXPECT_EQ(store.Stats().front_hits, 1u);
+  EXPECT_EQ(node_.Stats().fetch_hits + node_.Stats().fetch_misses,
+            fetches_after_first);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, SingleFlightCoalescesConcurrentAcquires) {
+  cache::RemoteActivationStore store(StoreOptions());
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const model::ActivationRecord>> records(
+      kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { records[i] = store.Acquire(*model_, 11, false); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(records[0].get(), records[i].get());
+  }
+  const cache::RemoteStoreStats stats = store.Stats();
+  // Exactly one thread went remote; the rest either joined its flight or
+  // hit the front after it completed.
+  EXPECT_EQ(stats.remote_hits + stats.remote_misses, 1u);
+  EXPECT_EQ(stats.front_hits + stats.singleflight_waits,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST_F(CacheRpcRemoteStoreTest, KvUpgradeReplacesYOnlyFrontEntry) {
+  cache::RemoteActivationStore store(StoreOptions());
+  auto y_only = store.Acquire(*model_, 3, /*record_kv=*/false);
+  EXPECT_FALSE(y_only->has_kv());
+  auto with_kv = store.Acquire(*model_, 3, /*record_kv=*/true);
+  EXPECT_TRUE(with_kv->has_kv());
+  // And the upgraded record now satisfies Y-only acquires from the front.
+  auto again = store.Acquire(*model_, 3, /*record_kv=*/false);
+  EXPECT_EQ(again.get(), with_kv.get());
+}
+
+TEST_F(CacheRpcRemoteStoreTest, UnreachableNodeFallsBackLocally) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  server_->Stop();  // Nothing listens on the port now.
+  cache::RemoteActivationStore store(options);
+  auto record = store.Acquire(*model_, 3, false);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*record, model_->Register(3, false)));
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.local_registrations, 1u);
+  EXPECT_EQ(stats.remote_hits, 0u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, CircuitBreakerSkipsFetchWhileOpen) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.max_consecutive_failures = 1;
+  options.degrade_cooldown = std::chrono::hours(1);
+  server_->Stop();
+  cache::RemoteActivationStore store(options);
+  store.Acquire(*model_, 1, false);  // Trips the breaker.
+  store.Acquire(*model_, 2, false);  // Served while the circuit is open.
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.degrade_trips, 1u);
+  EXPECT_EQ(stats.fallbacks, 2u);
+  EXPECT_EQ(stats.local_registrations, 2u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, MetricsJsonCarriesTheLadderCounters) {
+  cache::RemoteActivationStore store(StoreOptions());
+  store.Acquire(*model_, 3, false);  // remote miss -> register + publish
+  store.Acquire(*model_, 3, false);  // front hit
+  const std::string json = store.MetricsJson();
+  EXPECT_EQ(JsonCounter(json, "front_hits"), 1u);
+  EXPECT_EQ(JsonCounter(json, "remote_misses"), 1u);
+  EXPECT_EQ(JsonCounter(json, "puts_ok"), 1u);
+  EXPECT_EQ(JsonCounter(json, "front_size"), 1u);
+  EXPECT_NE(json.find("\"kind\":\"remote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flashps::net
