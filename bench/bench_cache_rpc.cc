@@ -12,13 +12,23 @@
 //            speedup over local registration.
 //   sweep  — a Zipf-like template-reuse trace replayed through fronts of
 //            increasing LRU capacity: hit rate climbs with capacity until
-//            the working set fits and RPCs vanish.
+//            the working set fits and RPCs vanish. Each point reports the
+//            foreground fetch p50/p99 alongside the wall clock.
+//   prefetch — the same trace and capacities, with a queue-ahead window
+//            hinting the next --queue-ahead templates to the async
+//            prefetch pipeline while the foreground consumes the current
+//            one (Algorithm 1's load/compute overlap on the network
+//            tier). Reports the fraction of the prefetch-off gap to the
+//            warm leg that pipelining recovers, and the foreground
+//            remote-fetch stalls after warmup (near zero when the window
+//            keeps ahead of consumption).
 //
 // Client and node byte counters are reconciled at the end (bytes put ==
 // bytes stored, bytes fetched == bytes served) and everything is written
 // to BENCH_cache_rpc.json.
 //
 //   bench_cache_rpc --templates=12 --steps=4 --trace-len=96
+//                   --queue-ahead=8 --prefetch-workers=3
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -164,11 +174,14 @@ int main(int argc, char** argv) {
     uint64_t remote_hits;
     double hit_rate;
     double wall_ms;
+    double fetch_p50_us;
+    double fetch_p99_us;
   };
   std::vector<SweepPoint> sweep;
   std::printf("\nfront LRU sweep, %d-acquire Zipf trace over %d templates:\n",
               trace_len, templates);
-  bench::PrintRow({"capacity", "front hits", "remote", "hit rate", "wall ms"},
+  bench::PrintRow({"capacity", "front hits", "remote", "hit rate", "wall ms",
+                   "p50 us", "p99 us"},
                   12);
   for (size_t capacity : {1ul, 2ul, 4ul, 8ul, 16ul}) {
     auto store = std::make_unique<cache::RemoteActivationStore>(
@@ -184,12 +197,102 @@ int main(int argc, char** argv) {
     point.front_hits = stats.front_hits;
     point.remote_hits = stats.remote_hits;
     point.hit_rate = static_cast<double>(stats.front_hits) / trace.size();
+    point.fetch_p50_us = stats.fetch_p50_us;
+    point.fetch_p99_us = stats.fetch_p99_us;
     sweep.push_back(point);
     bench::PrintRow({std::to_string(capacity),
                      std::to_string(point.front_hits),
                      std::to_string(point.remote_hits),
                      bench::Fmt(point.hit_rate, 2),
-                     bench::Fmt(point.wall_ms, 1)},
+                     bench::Fmt(point.wall_ms, 1),
+                     bench::Fmt(point.fetch_p50_us, 0),
+                     bench::Fmt(point.fetch_p99_us, 0)},
+                    12);
+  }
+
+  // --- prefetch leg: same trace, queue-ahead pipeline on -----------------
+  //
+  // The driver hints trace[i+1 .. i+W] before consuming trace[i], the way
+  // the gateway hints queued requests ahead of admission; the background
+  // workers overlap those whole-record fetches with the foreground's
+  // consumption. Foreground stalls (ladder trips: remote fetches and
+  // fallbacks) after the warmup quarter gauge the steady state — a
+  // working pipeline keeps them near zero.
+  const int queue_ahead =
+      static_cast<int>(FlagLong(argc, argv, "queue-ahead", 8));
+  const int prefetch_workers =
+      static_cast<int>(FlagLong(argc, argv, "prefetch-workers", 3));
+  struct PrefetchPoint {
+    size_t capacity;
+    double wall_ms;
+    uint64_t front_hits;
+    uint64_t prefetch_issued;
+    uint64_t prefetch_coalesced;
+    uint64_t prefetch_wasted;
+    uint64_t foreground_stalls;  // remote_hits + remote_misses + fallbacks
+    uint64_t steady_stalls;      // ... after the first quarter of the trace
+    double gap_closed;           // Of (off_wall - warm_ms), 1.0 = all of it.
+    double prefetch_p50_us;
+    double prefetch_p99_us;
+  };
+  std::vector<PrefetchPoint> prefetch_sweep;
+  std::printf("\nprefetch pipeline, same trace, window %d, %d workers:\n",
+              queue_ahead, prefetch_workers);
+  bench::PrintRow({"capacity", "wall ms", "gap closed", "issued", "coalesced",
+                   "stalls", "steady"},
+                  12);
+  const auto stalls_of = [](const cache::RemoteStoreStats& s) {
+    return s.remote_hits + s.remote_misses + s.fallbacks;
+  };
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const size_t capacity = sweep[i].capacity;
+    cache::RemoteStoreOptions options = StoreOptions(port, capacity);
+    options.prefetch_workers = prefetch_workers;
+    options.connection_pool = prefetch_workers + 1;
+    options.prefetch_queue_cap = static_cast<size_t>(queue_ahead) * 2;
+    auto store = std::make_unique<cache::RemoteActivationStore>(options);
+    const int warmup = trace_len / 4;
+    uint64_t stalls_at_warmup = 0;
+    const auto start = Clock::now();
+    for (int j = 0; j < trace_len; ++j) {
+      // Re-hint the whole lookahead window every step (the gateway hints
+      // every submitted request the same way): issue-time dedup makes the
+      // repeats free, and a record an undersized front evicted after its
+      // first hint gets re-fetched before its request arrives instead of
+      // stalling the foreground.
+      const int limit = j + 1 + queue_ahead < trace_len
+                            ? j + 1 + queue_ahead
+                            : trace_len;
+      for (int k = j + 1; k < limit; ++k) {
+        store->Prefetch(model, trace[static_cast<size_t>(k)], false);
+      }
+      store->Acquire(model, trace[static_cast<size_t>(j)], false);
+      if (j + 1 == warmup) {
+        stalls_at_warmup = stalls_of(store->Stats());
+      }
+    }
+    PrefetchPoint point;
+    point.capacity = capacity;
+    point.wall_ms = MsSince(start);
+    const cache::RemoteStoreStats stats = store->Stats();
+    point.front_hits = stats.front_hits;
+    point.prefetch_issued = stats.prefetch_issued;
+    point.prefetch_coalesced = stats.prefetch_coalesced;
+    point.prefetch_wasted = stats.prefetch_wasted;
+    point.foreground_stalls = stalls_of(stats);
+    point.steady_stalls = point.foreground_stalls - stalls_at_warmup;
+    const double gap = sweep[i].wall_ms - warm_ms;
+    point.gap_closed =
+        gap > 0.0 ? (sweep[i].wall_ms - point.wall_ms) / gap : 1.0;
+    point.prefetch_p50_us = stats.prefetch_p50_us;
+    point.prefetch_p99_us = stats.prefetch_p99_us;
+    prefetch_sweep.push_back(point);
+    bench::PrintRow({std::to_string(capacity), bench::Fmt(point.wall_ms, 1),
+                     bench::Fmt(point.gap_closed, 2),
+                     std::to_string(point.prefetch_issued),
+                     std::to_string(point.prefetch_coalesced),
+                     std::to_string(point.foreground_stalls),
+                     std::to_string(point.steady_stalls)},
                     12);
   }
 
@@ -223,7 +326,26 @@ int main(int argc, char** argv) {
          << ",\"front_hits\":" << sweep[i].front_hits
          << ",\"remote_hits\":" << sweep[i].remote_hits
          << ",\"hit_rate\":" << sweep[i].hit_rate
-         << ",\"wall_ms\":" << sweep[i].wall_ms << "}";
+         << ",\"wall_ms\":" << sweep[i].wall_ms
+         << ",\"fetch_p50_us\":" << sweep[i].fetch_p50_us
+         << ",\"fetch_p99_us\":" << sweep[i].fetch_p99_us << "}";
+  }
+  json << "],\"queue_ahead\":" << queue_ahead
+       << ",\"prefetch_workers\":" << prefetch_workers
+       << ",\"sweep_prefetch\":[";
+  for (size_t i = 0; i < prefetch_sweep.size(); ++i) {
+    const PrefetchPoint& p = prefetch_sweep[i];
+    if (i > 0) json << ",";
+    json << "{\"capacity\":" << p.capacity << ",\"wall_ms\":" << p.wall_ms
+         << ",\"gap_closed\":" << p.gap_closed
+         << ",\"front_hits\":" << p.front_hits
+         << ",\"prefetch_issued\":" << p.prefetch_issued
+         << ",\"prefetch_coalesced\":" << p.prefetch_coalesced
+         << ",\"prefetch_wasted\":" << p.prefetch_wasted
+         << ",\"foreground_stalls\":" << p.foreground_stalls
+         << ",\"steady_stalls\":" << p.steady_stalls
+         << ",\"prefetch_p50_us\":" << p.prefetch_p50_us
+         << ",\"prefetch_p99_us\":" << p.prefetch_p99_us << "}";
   }
   json << "],\"node\":" << node.MetricsJson()
        << ",\"reconciled\":" << (put_ok ? "true" : "false") << "}";

@@ -14,9 +14,15 @@
 // remote store's hit/miss/fallback counters. Without the flags the fleet
 // shares one in-process store — never a worker-private cache either way.
 //
+// Queue-ahead prefetch (--cache-prefetch=N, default 2) starts each
+// admitted request's activation fetch while it waits behind earlier work,
+// over a --cache-connections-sized connection pool; set
+// --cache-prefetch=0 for strictly on-demand fetches.
+//
 //   flashps_served --port=7411 --workers=2 --steps=8 --max-batch=4
 //                  --policy=mask-aware --slo-ms=0 --stats-every-s=10
-//                  [--cache-host=127.0.0.1 --cache-port=7412]
+//                  [--cache-host=127.0.0.1 --cache-port=7412
+//                   --cache-prefetch=2 --cache-connections=2]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -91,6 +97,14 @@ int main(int argc, char** argv) {
     remote.host = cache_host;
     remote.port =
         static_cast<uint16_t>(FlagLong(argc, argv, "cache-port", 7412));
+    // --cache-prefetch=N: N background prefetch workers resolving the
+    // gateway's queue-ahead hints (0 disables the pipeline).
+    // --cache-connections=N: wire connections in the pool (the store
+    // raises this so prefetch workers never starve foreground fetches).
+    remote.prefetch_workers =
+        static_cast<int>(FlagLong(argc, argv, "cache-prefetch", 2));
+    remote.connection_pool =
+        static_cast<int>(FlagLong(argc, argv, "cache-connections", 2));
     options.worker.activation_source =
         std::make_shared<cache::RemoteActivationStore>(remote);
   } else {

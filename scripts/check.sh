@@ -6,8 +6,27 @@
 #   4. rebuild the net + gateway suites under AddressSanitizer and run
 #      them (malformed-frame handling must be memory-clean, not just
 #      not-crash).
+# Every ctest invocation carries a per-test timeout so a deadlocked
+# thread (the failure mode the prefetch/serving tests exist to catch)
+# fails the run instead of wedging it.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # tier-1 only: configure + build + ctest
+#
 # Run from anywhere; operates on the repo root it lives in.
 set -euo pipefail
+
+fast=0
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) fast=1 ;;
+    *) echo "unknown argument: ${arg} (supported: --fast)" >&2; exit 2 ;;
+  esac
+done
+
+# Generous for one test (the slowest integration tests run ~5 s); fatal
+# only for a hang.
+test_timeout=120
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo}"
@@ -17,7 +36,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 
 echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" \
+  --timeout "${test_timeout}"
+
+if [[ "${fast}" -eq 1 ]]; then
+  echo "== fast mode: tier-1 passed, skipping bench + sanitizers =="
+  exit 0
+fi
 
 echo "== kernel bench: BENCH_kernels.json =="
 cmake --build build -j --target bench_kernels >/dev/null
@@ -33,6 +58,7 @@ cmake --build build-tsan -j --target \
 
 echo "== tsan: run threaded suites =="
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  --timeout "${test_timeout}" \
   -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc)'
 
 echo "== asan: build net + gateway + cache-rpc suites =="
@@ -43,6 +69,7 @@ cmake --build build-asan -j --target \
 
 echo "== asan: run net + gateway + cache-rpc suites =="
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  --timeout "${test_timeout}" \
   -R '^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc)'
 
 echo "== all checks passed =="

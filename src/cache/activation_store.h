@@ -36,6 +36,22 @@ class ActivationSource {
   virtual std::shared_ptr<const model::ActivationRecord> Acquire(
       const model::DiffusionModel& m, int template_id, bool record_kv) = 0;
 
+  // Hint that `template_id` will be Acquire()d soon (the request is queued
+  // behind earlier work). Sources that can overlap a slow acquisition with
+  // the predecessor's compute start it in the background — Algorithm 1's
+  // load/compute overlap, extended past the step loop to the serving tier.
+  // Must return fast and never block on the acquisition itself; `m` is
+  // only read during the call (nothing may retain it — the hinting request
+  // may outlive the hinted-at worker's model). Default: no-op, which is
+  // always correct — a hint dropped on the floor just means the later
+  // Acquire() pays the full cost, exactly as without prefetch.
+  virtual void Prefetch(const model::DiffusionModel& m, int template_id,
+                        bool record_kv) {
+    (void)m;
+    (void)template_id;
+    (void)record_kv;
+  }
+
   // Flat JSON of the source's counters, spliced into serving metrics.
   virtual std::string MetricsJson() const = 0;
 };

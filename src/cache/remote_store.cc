@@ -1,5 +1,6 @@
 #include "src/cache/remote_store.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -11,14 +12,54 @@ RemoteActivationStore::RemoteActivationStore(RemoteStoreOptions options)
   copts.connect_attempts = options_.connect_attempts;
   copts.connect_backoff = options_.connect_backoff;
   copts.call_timeout = options_.call_timeout;
-  client_ = std::make_unique<net::CacheClient>(options_.host, options_.port,
-                                               copts);
+  // Enough connections that every prefetch worker plus one foreground
+  // fetch can be on the wire at once; otherwise a burst of prefetches
+  // would queue a foreground Acquire() behind them at the checkout —
+  // the exact head-of-line stall the pipeline exists to remove.
+  int pool_size = std::max(1, options_.connection_pool);
+  if (options_.prefetch_workers > 0) {
+    pool_size = std::max(pool_size, options_.prefetch_workers + 1);
+  }
+  pool_ = std::make_unique<net::CacheClientPool>(options_.host, options_.port,
+                                                 copts, pool_size);
+  for (int i = 0; i < options_.prefetch_workers; ++i) {
+    prefetch_threads_.emplace_back([this] { PrefetchLoop(); });
+  }
 }
 
-RemoteActivationStore::~RemoteActivationStore() = default;
+RemoteActivationStore::~RemoteActivationStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prefetch_stop_ = true;
+    // Jobs still queued will never run: resolve their flights empty so no
+    // waiter hangs on a fetch that is not coming.
+    for (const PrefetchJob& job : prefetch_queue_) {
+      auto it = flights_.find(job.flight_key);
+      if (it != flights_.end()) {
+        it->second->done = true;
+        flights_.erase(it);
+      }
+    }
+    prefetch_queue_.clear();
+  }
+  prefetch_cv_.notify_all();
+  cv_.notify_all();
+  for (std::thread& t : prefetch_threads_) {
+    t.join();
+  }
+}
 
 void RemoteActivationStore::InstallFront(
     int template_id, std::shared_ptr<const model::ActivationRecord> record) {
+  // A staged copy this record satisfies will never be consumed now that
+  // the front answers first — discard it as wasted rather than letting it
+  // sit in staging until the cap pushes it out.
+  auto sit = staged_.find(template_id);
+  if (sit != staged_.end() &&
+      (record->has_kv() || !sit->second.record->has_kv())) {
+    staged_.erase(sit);
+    ++stats_.prefetch_wasted;
+  }
   if (options_.lru_capacity == 0) {
     return;
   }
@@ -41,28 +82,116 @@ void RemoteActivationStore::InstallFront(
   front_.emplace(template_id, std::move(entry));
 }
 
+void RemoteActivationStore::InstallStaged(
+    int template_id, std::shared_ptr<const model::ActivationRecord> record) {
+  // The foreground may have satisfied the template while this fetch was
+  // on the wire; a staged copy nothing will consume is just waste.
+  auto fit = front_.find(template_id);
+  if (fit != front_.end() &&
+      (fit->second.record->has_kv() || !record->has_kv())) {
+    ++stats_.prefetch_wasted;
+    return;
+  }
+  auto sit = staged_.find(template_id);
+  if (sit != staged_.end()) {
+    // Replace (a K/V record superseding a Y-only one); the old copy was
+    // fetched for nothing.
+    ++stats_.prefetch_wasted;
+    sit->second.record = std::move(record);
+    sit->second.order = staged_order_++;
+    return;
+  }
+  while (staged_.size() >= options_.prefetch_staging_cap &&
+         !staged_.empty()) {
+    auto oldest = staged_.begin();
+    for (auto it = staged_.begin(); it != staged_.end(); ++it) {
+      if (it->second.order < oldest->second.order) {
+        oldest = it;
+      }
+    }
+    staged_.erase(oldest);
+    ++stats_.prefetch_wasted;
+  }
+  StagedEntry entry;
+  entry.record = std::move(record);
+  entry.order = staged_order_++;
+  staged_.emplace(template_id, std::move(entry));
+}
+
+bool RemoteActivationStore::CircuitClosed() {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return std::chrono::steady_clock::now() >= degraded_until_;
+}
+
+void RemoteActivationStore::NoteTransport(bool ok) {
+  bool tripped = false;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    if (ok) {
+      consecutive_failures_ = 0;
+    } else {
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= options_.max_consecutive_failures) {
+        degraded_until_ =
+            std::chrono::steady_clock::now() + options_.degrade_cooldown;
+        consecutive_failures_ = 0;
+        tripped = true;
+      }
+    }
+  }
+  if (tripped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.degrade_trips;
+  }
+}
+
 std::shared_ptr<const model::ActivationRecord>
 RemoteActivationStore::Acquire(const model::DiffusionModel& m,
                                int template_id, bool record_kv) {
-  const int64_t flight_key =
-      static_cast<int64_t>(template_id) * 2 + (record_kv ? 1 : 0);
+  const int64_t flight_key = FlightKey(template_id, record_kv);
   std::shared_ptr<Flight> flight;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    auto fit = front_.find(template_id);
-    if (fit != front_.end() &&
-        (!record_kv || fit->second.record->has_kv())) {
-      ++stats_.front_hits;
-      lru_.splice(lru_.begin(), lru_, fit->second.lru_it);
-      return fit->second.record;
-    }
-    auto flit = flights_.find(flight_key);
-    if (flit != flights_.end()) {
-      // Someone is already fetching this key; share their result.
-      ++stats_.singleflight_waits;
-      flight = flit->second;
-      cv_.wait(lock, [&] { return flight->done; });
-      return flight->result;
+    for (;;) {
+      auto fit = front_.find(template_id);
+      if (fit != front_.end() &&
+          (!record_kv || fit->second.record->has_kv())) {
+        ++stats_.front_hits;
+        lru_.splice(lru_.begin(), lru_, fit->second.lru_it);
+        return fit->second.record;
+      }
+      auto sit = staged_.find(template_id);
+      if (sit != staged_.end() &&
+          (!record_kv || sit->second.record->has_kv())) {
+        // A prefetch landed here before we arrived: promote it to the
+        // front (consumed, so no waste is charged) and take it.
+        auto record = std::move(sit->second.record);
+        staged_.erase(sit);
+        ++stats_.prefetch_coalesced;
+        InstallFront(template_id, record);
+        return record;
+      }
+      auto flit = flights_.find(flight_key);
+      if (flit == flights_.end()) {
+        break;
+      }
+      // Someone — foreground or prefetch worker — is already fetching
+      // this key; share their result. A prefetch flight may resolve
+      // empty (miss or transport death); then loop and run the ladder
+      // ourselves. The retry re-checks front/staging under the same
+      // lock hold, so nothing can slip in between.
+      std::shared_ptr<Flight> joined = flit->second;
+      joined->joined = true;
+      const bool was_prefetch = joined->prefetch;
+      cv_.wait(lock, [&] { return joined->done; });
+      if (joined->result != nullptr) {
+        if (was_prefetch) {
+          ++stats_.prefetch_coalesced;
+        } else {
+          ++stats_.singleflight_waits;
+        }
+        return joined->result;
+      }
     }
     flight = std::make_shared<Flight>();
     flights_.emplace(flight_key, flight);
@@ -82,19 +211,148 @@ RemoteActivationStore::Acquire(const model::DiffusionModel& m,
   return record;
 }
 
+void RemoteActivationStore::Prefetch(const model::DiffusionModel& m,
+                                     int template_id, bool record_kv) {
+  if (options_.prefetch_workers <= 0) {
+    return;
+  }
+  PrefetchJob job;
+  job.flight_key = FlightKey(template_id, record_kv);
+  job.template_id = template_id;
+  job.steps = m.config().num_steps;
+  job.blocks = m.config().num_blocks;
+  job.want_kv = record_kv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prefetch_stop_) {
+      return;
+    }
+    auto fit = front_.find(template_id);
+    if (fit != front_.end() &&
+        (!record_kv || fit->second.record->has_kv())) {
+      ++stats_.prefetch_redundant;
+      return;
+    }
+    auto sit = staged_.find(template_id);
+    if (sit != staged_.end() &&
+        (!record_kv || sit->second.record->has_kv())) {
+      ++stats_.prefetch_redundant;
+      return;
+    }
+    if (flights_.contains(job.flight_key)) {
+      ++stats_.prefetch_redundant;
+      return;
+    }
+    if (!CircuitClosed()) {
+      // The node just proved unreachable; speculative fetches would only
+      // hammer it (and burn a worker per timeout) for nothing.
+      ++stats_.prefetch_suppressed;
+      return;
+    }
+    if (prefetch_queue_.size() >= options_.prefetch_queue_cap) {
+      ++stats_.prefetch_dropped;
+      return;
+    }
+    // Open the flight *now*, before the job is even picked up: a
+    // foreground Acquire() racing this hint deterministically joins the
+    // prefetch instead of starting a duplicate fetch.
+    auto flight = std::make_shared<Flight>();
+    flight->prefetch = true;
+    flights_.emplace(job.flight_key, flight);
+    prefetch_queue_.push_back(job);
+    ++stats_.prefetch_issued;
+  }
+  prefetch_cv_.notify_one();
+}
+
+void RemoteActivationStore::PrefetchLoop() {
+  for (;;) {
+    PrefetchJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      prefetch_cv_.wait(lock, [&] {
+        return prefetch_stop_ || !prefetch_queue_.empty();
+      });
+      if (prefetch_stop_) {
+        return;
+      }
+      job = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+    }
+
+    std::shared_ptr<model::ActivationRecord> record;
+    uint64_t bytes = 0;
+    double fetch_us = 0.0;
+    bool remote_hit = false;
+    bool remote_miss = false;
+    if (CircuitClosed()) {
+      net::CacheClientPool::Lease lease = pool_->Checkout();
+      const auto t0 = std::chrono::steady_clock::now();
+      net::FetchRecordResult fetched =
+          lease->FetchRecord(job.template_id, job.steps, job.blocks,
+                             job.want_kv);
+      NoteTransport(fetched.transport_ok);
+      if (fetched.transport_ok) {
+        if (fetched.complete) {
+          remote_hit = true;
+          record = std::move(fetched.record);
+          bytes = fetched.bytes;
+          fetch_us = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        } else {
+          // Not resident. A prefetch cannot register locally (it has no
+          // model); resolve empty and let the foreground run its ladder.
+          remote_miss = true;
+        }
+      }
+    }
+    // Circuit opened after enqueue, or the transport died: same story —
+    // resolve empty, foreground falls back. Counted below as a fallback.
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (remote_hit) {
+        ++stats_.prefetch_remote_hits;
+        stats_.prefetch_bytes_fetched += bytes;
+        prefetch_us_.Add(fetch_us);
+      } else if (remote_miss) {
+        ++stats_.prefetch_remote_misses;
+      } else {
+        ++stats_.prefetch_fallbacks;
+      }
+      auto it = flights_.find(job.flight_key);
+      if (it != flights_.end()) {
+        if (record != nullptr) {
+          if (it->second->joined) {
+            // A waiter is blocked on this flight — hand the record over
+            // directly and put it in the front; staging is for records
+            // whose consumer has not arrived yet.
+            InstallFront(job.template_id, record);
+          } else {
+            InstallStaged(job.template_id, record);
+          }
+          it->second->result = std::move(record);
+        }
+        it->second->done = true;
+        flights_.erase(it);
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
 std::shared_ptr<const model::ActivationRecord>
 RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
                                        int template_id, bool record_kv) {
-  std::lock_guard<std::mutex> rpc_lock(rpc_mu_);
-  const auto now = std::chrono::steady_clock::now();
-  bool try_remote = now >= degraded_until_;
-
-  if (try_remote) {
+  if (CircuitClosed()) {
+    net::CacheClientPool::Lease lease = pool_->Checkout();
     const auto t0 = std::chrono::steady_clock::now();
-    net::FetchRecordResult fetched = client_->FetchRecord(
+    net::FetchRecordResult fetched = lease->FetchRecord(
         template_id, m.config().num_steps, m.config().num_blocks, record_kv);
     if (fetched.transport_ok) {
-      consecutive_failures_ = 0;
+      NoteTransport(true);
       if (fetched.complete) {
         const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                             std::chrono::steady_clock::now() - t0)
@@ -112,11 +370,11 @@ RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
       uint64_t put_bytes = 0;
       bool put_ok = false;
       if (options_.put_on_miss) {
-        net::PutRecordResult put = client_->PutRecord(template_id, *record);
+        net::PutRecordResult put = lease->PutRecord(template_id, *record);
         put_ok = put.transport_ok;
         put_bytes = put.bytes;
         if (!put_ok) {
-          ++consecutive_failures_;
+          NoteTransport(false);
         }
       }
       std::lock_guard<std::mutex> lock(mu_);
@@ -129,14 +387,7 @@ RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
       return record;
     }
     // Transport failure: count toward the circuit breaker.
-    ++consecutive_failures_;
-    if (consecutive_failures_ >= options_.max_consecutive_failures) {
-      degraded_until_ =
-          std::chrono::steady_clock::now() + options_.degrade_cooldown;
-      consecutive_failures_ = 0;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.degrade_trips;
-    }
+    NoteTransport(false);
   }
 
   // Degraded (circuit open) or the fetch transport just died: the worker
@@ -153,9 +404,14 @@ RemoteStoreStats RemoteActivationStore::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   RemoteStoreStats out = stats_;
   out.front_size = front_.size();
+  out.prefetch_staged = staged_.size();
   if (!fetch_us_.empty()) {
     out.fetch_p50_us = fetch_us_.P50();
     out.fetch_p99_us = fetch_us_.P99();
+  }
+  if (!prefetch_us_.empty()) {
+    out.prefetch_p50_us = prefetch_us_.P50();
+    out.prefetch_p99_us = prefetch_us_.P99();
   }
   return out;
 }
@@ -176,7 +432,20 @@ std::string RemoteActivationStore::MetricsJson() const {
      << ",\"remote_bytes_put\":" << s.remote_bytes_put
      << ",\"front_size\":" << s.front_size
      << ",\"fetch_p50_us\":" << s.fetch_p50_us
-     << ",\"fetch_p99_us\":" << s.fetch_p99_us << "}";
+     << ",\"fetch_p99_us\":" << s.fetch_p99_us
+     << ",\"prefetch_issued\":" << s.prefetch_issued
+     << ",\"prefetch_coalesced\":" << s.prefetch_coalesced
+     << ",\"prefetch_wasted\":" << s.prefetch_wasted
+     << ",\"prefetch_redundant\":" << s.prefetch_redundant
+     << ",\"prefetch_suppressed\":" << s.prefetch_suppressed
+     << ",\"prefetch_dropped\":" << s.prefetch_dropped
+     << ",\"prefetch_remote_hits\":" << s.prefetch_remote_hits
+     << ",\"prefetch_remote_misses\":" << s.prefetch_remote_misses
+     << ",\"prefetch_fallbacks\":" << s.prefetch_fallbacks
+     << ",\"prefetch_bytes_fetched\":" << s.prefetch_bytes_fetched
+     << ",\"prefetch_staged\":" << s.prefetch_staged
+     << ",\"prefetch_p50_us\":" << s.prefetch_p50_us
+     << ",\"prefetch_p99_us\":" << s.prefetch_p99_us << "}";
   return os.str();
 }
 

@@ -5,21 +5,48 @@
 //   1. in-process LRU front   — a hit costs no RPC at all; capacity is a
 //                               record count (the hot templates of one
 //                               worker, not the fleet's whole corpus).
-//   2. single-flight dedup    — concurrent Acquire()s of the same
+//   2. prefetch staging       — records fetched by the background prefetch
+//                               pipeline that no Acquire() has consumed
+//                               yet. Held outside the LRU cap (a bounded
+//                               double-buffer, like Algorithm 1's next-step
+//                               cache load) so an undersized front cannot
+//                               evict a prefetched record before the
+//                               request it was fetched for arrives.
+//   3. single-flight dedup    — concurrent Acquire()s of the same
 //                               (template, kv) key collapse into one
 //                               fetch; late arrivals block on the flight
-//                               and share its result.
-//   3. remote fetch           — the whole record is fetched from the cache
+//                               and share its result. Prefetch() opens a
+//                               flight *synchronously*, so a foreground
+//                               Acquire() racing a prefetch always joins
+//                               it instead of starting a second fetch.
+//   4. remote fetch           — the whole record is fetched from the cache
 //                               node, pipelined one matrix per frame,
-//                               every payload checksum-verified.
-//   4. fallback               — a remote miss registers locally and (best
+//                               every payload checksum-verified. Fetches
+//                               ride a small connection pool, so
+//                               prefetches for different templates (and
+//                               foreground fetches) do not serialize
+//                               behind one socket.
+//   5. fallback               — a remote miss registers locally and (best
 //                               effort) publishes the record back to the
 //                               node so the next worker hits. A transport
 //                               failure registers locally too; after
 //                               `max_consecutive_failures` of those in a
 //                               row the circuit opens and fetches are
 //                               skipped outright for `degrade_cooldown`,
-//                               then one probe is allowed again.
+//                               then one probe is allowed again. While the
+//                               circuit is open, prefetch issue is
+//                               suppressed at the door.
+//
+// The prefetch pipeline (Prefetch(), `prefetch_workers` > 0) is the
+// serving-tier extension of the paper's Algorithm 1: the gateway and the
+// worker runtime hint queued requests' templates ahead of admission, so
+// the wire fetch overlaps the predecessor requests' denoise loop the same
+// way Algorithm 1 overlaps step s+1's cache load with step s's compute.
+// A prefetch job performs the *network* part of the ladder only — it
+// never registers locally (registration needs the model, whose lifetime
+// belongs to the hinting worker); a prefetch that misses or dies resolves
+// its flight empty and the foreground Acquire() runs the fallback ladder
+// itself.
 //
 // The invariant the serving tier relies on: Acquire() NEVER fails — a
 // worker must never fail a request because the cache tier is down; the
@@ -31,11 +58,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/cache/activation_store.h"
 #include "src/common/stats.h"
@@ -59,24 +89,64 @@ struct RemoteStoreOptions {
   std::chrono::milliseconds degrade_cooldown{1000};
   // Publish locally registered records back to the node on a remote miss.
   bool put_on_miss = true;
+  // Async prefetch pipeline: background threads resolving Prefetch()
+  // hints. 0 (the default) disables prefetch entirely — Prefetch() is a
+  // no-op and the store behaves exactly like the pre-prefetch ladder.
+  int prefetch_workers = 0;
+  // Bounded queue of prefetch jobs not yet picked up; hints beyond the
+  // cap are dropped (counted), never queued unboundedly.
+  size_t prefetch_queue_cap = 64;
+  // Completed-but-unconsumed prefetched records held outside the LRU cap;
+  // the oldest is discarded (counted wasted) beyond this.
+  size_t prefetch_staging_cap = 32;
+  // Wire connections in the pool shared by foreground fetches and
+  // prefetch jobs. Clamped up so the prefetch workers plus one foreground
+  // fetch can all be on the wire at once.
+  int connection_pool = 1;
 };
 
-// Counter snapshot; `front_hits + remote_hits + remote_misses + fallbacks`
-// equals the number of non-coalesced Acquire() calls.
+// Counter snapshot. Every non-coalesced Acquire() lands in exactly one of
+// front_hits / remote_hits / remote_misses / fallbacks; coalesced ones
+// land in singleflight_waits (joined a foreground fetch) or
+// prefetch_coalesced (absorbed by the prefetch pipeline — joined a
+// prefetch flight or consumed a staged record). So
+//   front_hits + remote_hits + remote_misses + fallbacks
+//     + singleflight_waits + prefetch_coalesced == Acquire() calls,
+// and remote_hits + remote_misses + fallbacks == foreground Acquire()s
+// that stalled on the ladder (the number queue-ahead prefetch drives
+// toward zero).
 struct RemoteStoreStats {
   uint64_t front_hits = 0;
-  uint64_t remote_hits = 0;    // Whole records fetched remotely.
+  uint64_t remote_hits = 0;    // Whole records fetched remotely (foreground).
   uint64_t remote_misses = 0;  // Node reachable but record not resident.
   uint64_t fallbacks = 0;      // Transport down or circuit open.
-  uint64_t singleflight_waits = 0;
+  uint64_t singleflight_waits = 0;  // Joined a foreground-origin flight.
   uint64_t local_registrations = 0;  // Misses + fallbacks that registered.
   uint64_t puts_ok = 0;        // Records published back successfully.
   uint64_t degrade_trips = 0;  // Times the circuit opened.
   uint64_t remote_bytes_fetched = 0;
   uint64_t remote_bytes_put = 0;
   uint64_t front_size = 0;
-  double fetch_p50_us = 0.0;  // Over successful remote record fetches.
+  double fetch_p50_us = 0.0;  // Over successful foreground record fetches.
   double fetch_p99_us = 0.0;
+
+  // Prefetch pipeline. issued = every hint that opened a flight;
+  // coalesced = Acquire()s absorbed by the pipeline; wasted = prefetched
+  // records discarded unconsumed (staging overflow or redundant by the
+  // time they landed).
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_coalesced = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_redundant = 0;   // Hint already satisfied at issue time.
+  uint64_t prefetch_suppressed = 0;  // Circuit open at issue time.
+  uint64_t prefetch_dropped = 0;     // Job queue full at issue time.
+  uint64_t prefetch_remote_hits = 0;    // Jobs that fetched a whole record.
+  uint64_t prefetch_remote_misses = 0;  // Jobs that found it not resident.
+  uint64_t prefetch_fallbacks = 0;      // Jobs that died on transport.
+  uint64_t prefetch_bytes_fetched = 0;
+  uint64_t prefetch_staged = 0;  // Currently staged (gauge).
+  double prefetch_p50_us = 0.0;  // Over successful prefetch record fetches.
+  double prefetch_p99_us = 0.0;
 };
 
 class RemoteActivationStore : public ActivationSource {
@@ -92,6 +162,14 @@ class RemoteActivationStore : public ActivationSource {
       const model::DiffusionModel& m, int template_id,
       bool record_kv) override;
 
+  // Queue-ahead hint: opens a single-flight entry and hands the wire
+  // fetch to the background workers. Never blocks on the fetch; reads
+  // only m.config() (steps/blocks) during the call. No-op when
+  // `prefetch_workers` is 0; suppressed while the circuit is open.
+  // Thread-safe.
+  void Prefetch(const model::DiffusionModel& m, int template_id,
+                bool record_kv) override;
+
   RemoteStoreStats Stats() const;
   std::string MetricsJson() const;
 
@@ -104,38 +182,78 @@ class RemoteActivationStore : public ActivationSource {
     std::list<int>::iterator lru_it;
   };
 
-  // One in-progress fetch; waiters block on cv_ until done.
+  // One in-progress fetch; waiters block on cv_ until done. A prefetch
+  // flight may resolve with no result (miss/transport death) — waiters
+  // then retry the ladder themselves rather than ever observing null.
   struct Flight {
     bool done = false;
+    bool prefetch = false;  // Opened by Prefetch(), resolved by a worker.
+    bool joined = false;    // Some Acquire() is waiting on it.
     std::shared_ptr<const model::ActivationRecord> result;
   };
 
-  // The fetch/fallback ladder (no front lock held). Serialized on
-  // rpc_mu_: one client, one connection, one call at a time — the
-  // single-flight layer already coalesced the hot path.
+  // A queued prefetch: everything the wire fetch needs, captured by value
+  // at hint time (no model pointer — see the class comment).
+  struct PrefetchJob {
+    int64_t flight_key = 0;
+    int template_id = 0;
+    int steps = 0;
+    int blocks = 0;
+    bool want_kv = false;
+  };
+
+  // A staged record: prefetched, landed, not yet consumed by Acquire().
+  struct StagedEntry {
+    std::shared_ptr<const model::ActivationRecord> record;
+    uint64_t order = 0;  // FIFO discard order for the staging cap.
+  };
+
+  static int64_t FlightKey(int template_id, bool record_kv) {
+    return static_cast<int64_t>(template_id) * 2 + (record_kv ? 1 : 0);
+  }
+
+  // The foreground fetch/fallback ladder (no mu_ held). Rides one pooled
+  // connection; concurrent calls for different keys overlap on the wire.
   std::shared_ptr<const model::ActivationRecord> FetchOrRegister(
       const model::DiffusionModel& m, int template_id, bool record_kv);
+  // Background worker: pops jobs, fetches, resolves flights into staging.
+  void PrefetchLoop();
   // Under mu_: install into the front, evicting LRU tails.
   void InstallFront(int template_id,
                     std::shared_ptr<const model::ActivationRecord> record);
+  // Under mu_: stage a prefetched record, discarding the oldest beyond
+  // the staging cap.
+  void InstallStaged(int template_id,
+                     std::shared_ptr<const model::ActivationRecord> record);
+  // Circuit breaker (breaker_mu_): may we try the wire right now?
+  bool CircuitClosed();
+  // Records one transport outcome; trips the circuit on repeated failure.
+  void NoteTransport(bool ok);
 
   RemoteStoreOptions options_;
 
-  // Front + flights + counters.
+  // Front + staging + flights + prefetch queue + counters.
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;           // Flight completion.
+  std::condition_variable prefetch_cv_;  // Job queue.
   std::map<int, FrontEntry> front_;
   std::list<int> lru_;  // Front = most recently used.
-  // Keyed by template_id * 2 + record_kv.
+  std::map<int, StagedEntry> staged_;
+  uint64_t staged_order_ = 0;
   std::map<int64_t, std::shared_ptr<Flight>> flights_;
+  std::deque<PrefetchJob> prefetch_queue_;
+  bool prefetch_stop_ = false;
   RemoteStoreStats stats_;
   StatAccumulator fetch_us_;
+  StatAccumulator prefetch_us_;
 
-  // Transport: client + circuit-breaker state.
-  std::mutex rpc_mu_;
-  std::unique_ptr<net::CacheClient> client_;
+  // Transport: pooled clients + circuit-breaker state.
+  std::unique_ptr<net::CacheClientPool> pool_;
+  std::mutex breaker_mu_;
   int consecutive_failures_ = 0;
   std::chrono::steady_clock::time_point degraded_until_{};
+
+  std::vector<std::thread> prefetch_threads_;
 };
 
 }  // namespace flashps::cache

@@ -146,6 +146,20 @@ void Gateway::ProfileHost() {
       overhead_samples > 0 ? overhead_s / overhead_samples : 0.0;
 }
 
+void Gateway::HintPrefetch(const runtime::OnlineRequest& request) {
+  if (options_.worker.activation_source == nullptr ||
+      !options_.worker.mask_aware) {
+    return;
+  }
+  // All workers run identical seeded models, so worker 0's model supplies
+  // the record geometry no matter where routing lands the request. The
+  // source only reads the model during the call (hints are fetch-only).
+  options_.worker.activation_source->Prefetch(
+      workers_.front()->server().model(), request.template_id,
+      /*record_kv=*/false);
+  metrics_.RecordPrefetchHint();
+}
+
 std::string Gateway::MetricsJson() const {
   std::string json = metrics_.ToJson();
   if (options_.worker.activation_source != nullptr && !json.empty() &&
@@ -215,6 +229,11 @@ SubmitResult Gateway::Submit(runtime::OnlineRequest request) {
     }
   }
 
+  // Admitted: overlap the (possibly remote) activation fetch with the
+  // routing + worker-queue delay ahead of this request. With no shared
+  // source, or prefetch disabled on it, this is a no-op.
+  HintPrefetch(request);
+
   int worker_id = 0;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
@@ -246,6 +265,10 @@ SubmitResult Gateway::Submit(runtime::OnlineRequest request) {
 }
 
 void Gateway::SubmitAt(runtime::OnlineRequest request, Duration offset) {
+  // The earliest the gateway knows this template is coming is now — not
+  // when the arrival timer fires. Hint immediately so the wire fetch runs
+  // during the open-loop wait (bounded staging absorbs early arrivals).
+  HintPrefetch(request);
   const auto due = epoch_ + std::chrono::microseconds(offset.micros());
   {
     std::lock_guard<std::mutex> lock(timer_mu_);

@@ -164,6 +164,10 @@ class Gateway {
 
   void CollectorLoop();
   void TimerLoop();
+  // Queue-ahead: hand the request's template to the shared activation
+  // source as a prefetch hint, so a slow (remote) acquisition overlaps the
+  // queueing delay ahead of it instead of stalling admission later.
+  void HintPrefetch(const runtime::OnlineRequest& request);
   // Times real denoise steps across the mask-ratio range on worker 0's model
   // and fits the routing/admission regression on the wall-clock samples (the
   // paper's profiling methodology, run against this host's engine). Also

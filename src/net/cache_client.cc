@@ -27,21 +27,10 @@ bool CacheClient::Connect() {
   if (connected()) {
     return true;
   }
-  std::chrono::milliseconds backoff = options_.connect_backoff;
-  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
-       ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
-      backoff *= 2;
-    }
-    fd_ = ConnectTcp(host_, port_);
-    if (fd_.valid()) {
-      last_error_ = WireError::kOk;
-      return true;
-    }
-  }
-  last_error_ = WireError::kConnectionClosed;
-  return false;
+  fd_ = ConnectTcpWithRetry(host_, port_, options_.connect_attempts,
+                            options_.connect_backoff);
+  last_error_ = fd_.valid() ? WireError::kOk : WireError::kConnectionClosed;
+  return fd_.valid();
 }
 
 void CacheClient::Close() {
@@ -316,6 +305,33 @@ PutRecordResult CacheClient::PutRecord(
   }
   result.transport_ok = true;
   return result;
+}
+
+CacheClientPool::CacheClientPool(std::string host, uint16_t port,
+                                 CacheClientOptions options, int size) {
+  const int n = std::max(1, size);
+  clients_.reserve(static_cast<size_t>(n));
+  idle_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    clients_.push_back(std::make_unique<CacheClient>(host, port, options));
+    idle_.push_back(clients_.back().get());
+  }
+}
+
+CacheClientPool::Lease CacheClientPool::Checkout() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !idle_.empty(); });
+  CacheClient* client = idle_.back();
+  idle_.pop_back();
+  return Lease(this, client);
+}
+
+void CacheClientPool::Return(CacheClient* client) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(client);
+  }
+  cv_.notify_one();
 }
 
 std::optional<std::string> CacheClient::QueryMetrics(

@@ -15,11 +15,14 @@
 #define FLASHPS_SRC_NET_CACHE_CLIENT_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/model/diffusion_model.h"
@@ -105,6 +108,57 @@ class CacheClient {
   std::map<uint64_t, CacheReply> replies_;
   std::map<uint64_t, std::string> metrics_;
   WireError last_error_ = WireError::kOk;
+};
+
+// A small pool of CacheClient connections to one node, so concurrent
+// whole-record transfers (foreground fetches, background prefetches)
+// ride separate sockets instead of serializing behind one call. Each
+// client is still single-threaded; the pool hands out exclusive leases.
+// Checkout() blocks until a connection is free — the pool size is the
+// concurrency cap, and pressure beyond it queues at the checkout.
+class CacheClientPool {
+ public:
+  CacheClientPool(std::string host, uint16_t port, CacheClientOptions options,
+                  int size);
+
+  CacheClientPool(const CacheClientPool&) = delete;
+  CacheClientPool& operator=(const CacheClientPool&) = delete;
+
+  // Exclusive lease on one pooled connection; returns it on destruction.
+  class Lease {
+   public:
+    Lease(CacheClientPool* pool, CacheClient* client)
+        : pool_(pool), client_(client) {}
+    ~Lease() {
+      if (pool_ != nullptr) {
+        pool_->Return(client_);
+      }
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)),
+          client_(std::exchange(o.client_, nullptr)) {}
+
+    CacheClient* operator->() const { return client_; }
+    CacheClient& operator*() const { return *client_; }
+
+   private:
+    CacheClientPool* pool_;
+    CacheClient* client_;
+  };
+
+  Lease Checkout();
+  int size() const { return static_cast<int>(clients_.size()); }
+
+ private:
+  friend class Lease;
+  void Return(CacheClient* client);
+
+  std::vector<std::unique_ptr<CacheClient>> clients_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<CacheClient*> idle_;
 };
 
 }  // namespace flashps::net

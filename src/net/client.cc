@@ -26,21 +26,10 @@ bool Client::Connect() {
   if (connected()) {
     return true;
   }
-  std::chrono::milliseconds backoff = options_.connect_backoff;
-  for (int attempt = 0; attempt < std::max(1, options_.connect_attempts);
-       ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
-      backoff *= 2;
-    }
-    fd_ = ConnectTcp(host_, port_);
-    if (fd_.valid()) {
-      last_error_ = WireError::kOk;
-      return true;
-    }
-  }
-  last_error_ = WireError::kConnectionClosed;
-  return false;
+  fd_ = ConnectTcpWithRetry(host_, port_, options_.connect_attempts,
+                            options_.connect_backoff);
+  last_error_ = fd_.valid() ? WireError::kOk : WireError::kConnectionClosed;
+  return fd_.valid();
 }
 
 void Client::Close() {

@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace flashps::net {
 
@@ -80,6 +82,21 @@ UniqueFd ConnectTcp(const std::string& host, uint16_t port) {
   }
   ::freeaddrinfo(result);
   return fd;
+}
+
+UniqueFd ConnectTcpWithRetry(const std::string& host, uint16_t port,
+                             int attempts, std::chrono::milliseconds backoff) {
+  for (int attempt = 0; attempt < std::max(1, attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    UniqueFd fd = ConnectTcp(host, port);
+    if (fd.valid()) {
+      return fd;
+    }
+  }
+  return UniqueFd();
 }
 
 bool WakePipe::Open() {

@@ -5,6 +5,7 @@
 #ifndef FLASHPS_SRC_NET_SOCKET_UTIL_H_
 #define FLASHPS_SRC_NET_SOCKET_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -45,6 +46,14 @@ UniqueFd OpenListener(uint16_t port, int backlog, uint16_t* bound_port);
 // Blocking TCP connect to host:port (numeric IP or hostname). Returns an
 // invalid fd on failure.
 UniqueFd ConnectTcp(const std::string& host, uint16_t port);
+
+// ConnectTcp with bounded retries: up to max(1, attempts) tries, sleeping
+// `backoff` before the second try and doubling it per attempt (50, 100,
+// 200, ... ms). The shared connect policy of every wire client — so a
+// client started before its daemon can still win the race, and the retry
+// shape cannot drift between client implementations.
+UniqueFd ConnectTcpWithRetry(const std::string& host, uint16_t port,
+                             int attempts, std::chrono::milliseconds backoff);
 
 bool SetNonBlocking(int fd);
 

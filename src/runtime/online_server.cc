@@ -114,6 +114,15 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
   std::future<OnlineResponse> future = item->promise.get_future();
   StatusMarkWaiting(item->id, item->request.mask.ratio());
   accepted_.fetch_add(1);
+  if (options_.mask_aware) {
+    // Queue-ahead: this request waits behind pre-processing and the
+    // running batch before admission Acquire()s its template, so start a
+    // slow (remote) acquisition now — the wire fetch overlaps the
+    // predecessors' denoise exactly like Algorithm 1 overlaps the next
+    // step's cache load with the current step's compute.
+    source_->Prefetch(model_, item->request.template_id,
+                      /*record_kv=*/false);
+  }
 
   if (options_.disaggregate) {
     // Pre-processing runs on a CPU lane; the request becomes admissible

@@ -149,6 +149,83 @@ TEST(CacheRpcIntegrationTest, RemoteFleetMatchesLocalFleetAndReconciles) {
   server.Stop();
 }
 
+TEST(CacheRpcIntegrationTest, PrefetchFleetMatchesLocalAndPrefetchOffBitwise) {
+  CacheNode node;
+  TcpServer server(node.Service());
+  ASSERT_TRUE(server.Start());
+
+  const std::vector<runtime::OnlineRequest> requests =
+      MakeRequests(kNumRequests);
+  const std::vector<uint64_t> local = RunFleet(requests, nullptr);
+
+  // Prefetch off: this run also publishes every template to the node.
+  auto off_store = std::make_shared<cache::RemoteActivationStore>(
+      StoreOptionsFor(server.port()));
+  const std::vector<uint64_t> off = RunFleet(requests, off_store);
+
+  // Prefetch on, warm node: the gateway's queue-ahead hints load each
+  // template before its request reaches admission.
+  cache::RemoteStoreOptions on_options = StoreOptionsFor(server.port());
+  on_options.prefetch_workers = 2;
+  auto on_store = std::make_shared<cache::RemoteActivationStore>(on_options);
+  const std::vector<uint64_t> on = RunFleet(requests, on_store);
+
+  // Pipelining the fetch must not change a single output bit.
+  ASSERT_EQ(on.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(off[i], local[i]) << "request " << i << " (prefetch off)";
+    EXPECT_EQ(on[i], local[i]) << "request " << i << " (prefetch on)";
+  }
+
+  const cache::RemoteStoreStats stats = on_store->Stats();
+  // The pipeline did real work: hints became wire fetches, and requests
+  // were absorbed by them instead of stalling on foreground fetches.
+  EXPECT_GE(stats.prefetch_issued, 1u);
+  EXPECT_GE(stats.prefetch_coalesced, 1u);
+  EXPECT_EQ(stats.prefetch_remote_misses, 0u);  // Node was warm.
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.remote_misses, 0u);
+  // Every Acquire is accounted for exactly once across the ladder.
+  EXPECT_EQ(stats.front_hits + stats.singleflight_waits +
+                stats.prefetch_coalesced + stats.remote_hits +
+                stats.remote_misses + stats.fallbacks,
+            static_cast<uint64_t>(kNumRequests));
+
+  server.Stop();
+}
+
+TEST(CacheRpcIntegrationTest, PrefetchOnFleetSurvivesKilledNode) {
+  auto node = std::make_unique<CacheNode>();
+  auto server = std::make_unique<TcpServer>(node->Service());
+  ASSERT_TRUE(server->Start());
+  const uint16_t port = server->port();
+  // The node dies before the fleet sends a byte: every queue-ahead
+  // prefetch fails on the wire, and every request must still complete via
+  // local fallback with bitwise-identical outputs.
+  server->Stop();
+  server.reset();
+  node.reset();
+
+  const std::vector<runtime::OnlineRequest> requests =
+      MakeRequests(kNumRequests);
+  const std::vector<uint64_t> reference = RunFleet(requests, nullptr);
+
+  cache::RemoteStoreOptions store_options = StoreOptionsFor(port);
+  store_options.prefetch_workers = 2;
+  auto store = std::make_shared<cache::RemoteActivationStore>(store_options);
+  const std::vector<uint64_t> degraded = RunFleet(requests, store);
+
+  ASSERT_EQ(degraded.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(degraded[i], reference[i]) << "request " << i;
+  }
+  const cache::RemoteStoreStats stats = store->Stats();
+  EXPECT_EQ(stats.remote_hits, 0u);
+  EXPECT_EQ(stats.prefetch_remote_hits, 0u);
+  EXPECT_GE(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.local_registrations, static_cast<uint64_t>(kNumTemplates));
+}
+
 TEST(CacheRpcIntegrationTest, GatewayMetricsCarryActivationSource) {
   CacheNode node;
   TcpServer server(node.Service());
@@ -167,6 +244,10 @@ TEST(CacheRpcIntegrationTest, GatewayMetricsCarryActivationSource) {
   EXPECT_NE(json.find("\"activation_source\""), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"remote\""), std::string::npos);
   EXPECT_EQ(JsonCounter(json, "remote_misses"), 1u);
+  // The gateway hinted the accepted request's template (even though this
+  // store runs with the pipeline disabled, hints are still counted).
+  EXPECT_EQ(JsonCounter(json, "prefetch_hints"), 1u);
+  EXPECT_NE(json.find("\"prefetch_issued\":"), std::string::npos);
 
   gw.Stop();
   server.Stop();

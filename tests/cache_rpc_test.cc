@@ -491,6 +491,177 @@ TEST_F(CacheRpcRemoteStoreTest, CircuitBreakerSkipsFetchWhileOpen) {
   EXPECT_EQ(stats.local_registrations, 2u);
 }
 
+// --- prefetch pipeline ----------------------------------------------------
+
+// Polls until `done` holds or ~2 s pass; the prefetch pipeline completes in
+// microseconds on loopback, so the deadline only bounds a broken build.
+template <typename Predicate>
+bool WaitFor(Predicate done,
+             std::chrono::milliseconds timeout = std::chrono::seconds(2)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST_F(CacheRpcRemoteStoreTest, PrefetchWarmsStagingAndAcquireCoalesces) {
+  // Publish template 3 so the prefetch hits remotely.
+  CacheClient publisher("127.0.0.1", server_->port());
+  ASSERT_TRUE(
+      publisher.PutRecord(3, model_->Register(3, false)).transport_ok);
+
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  cache::RemoteActivationStore store(options);
+  store.Prefetch(*model_, 3, /*record_kv=*/false);
+  ASSERT_TRUE(WaitFor([&] { return store.Stats().prefetch_remote_hits == 1; }));
+
+  const uint64_t node_fetches_before =
+      node_.Stats().fetch_hits + node_.Stats().fetch_misses;
+  auto record = store.Acquire(*model_, 3, false);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*record, model_->Register(3, false)));
+  // The Acquire consumed the staged prefetch — no wire traffic of its own.
+  EXPECT_EQ(node_.Stats().fetch_hits + node_.Stats().fetch_misses,
+            node_fetches_before);
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_coalesced, 1u);
+  EXPECT_EQ(stats.remote_hits, 0u);   // Foreground never fetched.
+  EXPECT_EQ(stats.prefetch_staged, 0u);  // Consumed out of staging.
+  EXPECT_GT(stats.prefetch_bytes_fetched, 0u);
+  EXPECT_GT(stats.prefetch_p99_us, 0.0);
+  // And the record now fronts like any other.
+  auto again = store.Acquire(*model_, 3, false);
+  EXPECT_EQ(again.get(), record.get());
+  EXPECT_EQ(store.Stats().front_hits, 1u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, PrefetchRacingForegroundAcquireSingleFlights) {
+  CacheClient publisher("127.0.0.1", server_->port());
+  const model::ActivationRecord published = model_->Register(7, false);
+  ASSERT_TRUE(publisher.PutRecord(7, published).transport_ok);
+  const uint64_t record_matrices =
+      static_cast<uint64_t>(numerics_.num_steps) * numerics_.num_blocks;
+
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  cache::RemoteActivationStore store(options);
+  // The hint opens the flight synchronously, so the immediate foreground
+  // Acquire joins it (or consumes its staged result) — never a second
+  // fetch, no matter how the race lands.
+  store.Prefetch(*model_, 7, /*record_kv=*/false);
+  auto record = store.Acquire(*model_, 7, false);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*record, published));
+
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_coalesced, 1u);
+  EXPECT_EQ(stats.remote_hits, 0u);
+  EXPECT_EQ(stats.singleflight_waits, 0u);
+  // The node served the record exactly once.
+  EXPECT_EQ(node_.Stats().fetch_hits, record_matrices);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, PrefetchMissResolvesEmptyAndForegroundLadders) {
+  // Nothing resident: the prefetch job cannot register locally (it has no
+  // model), so it resolves its flight empty and the foreground Acquire
+  // runs the miss ladder itself — register + publish, never a null record.
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  cache::RemoteActivationStore store(options);
+  store.Prefetch(*model_, 4, /*record_kv=*/false);
+  auto record = store.Acquire(*model_, 4, false);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(RecordsEqual(*record, model_->Register(4, false)));
+
+  ASSERT_TRUE(WaitFor([&] { return store.Stats().prefetch_remote_misses == 1; }));
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.prefetch_issued, 1u);
+  EXPECT_EQ(stats.prefetch_coalesced, 0u);  // The empty flight coalesced nobody.
+  EXPECT_EQ(stats.remote_misses, 1u);
+  EXPECT_EQ(stats.local_registrations, 1u);
+  EXPECT_EQ(stats.puts_ok, 1u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, KilledNodeWithPrefetchesInFlightNeverHangs) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 2;
+  server_->Stop();  // The node dies before any prefetch lands.
+  cache::RemoteActivationStore store(options);
+  constexpr int kTemplates = 4;
+  for (int t = 0; t < kTemplates; ++t) {
+    store.Prefetch(*model_, t, /*record_kv=*/false);
+  }
+  // Every Acquire still succeeds — dead prefetches resolve empty, the
+  // foreground falls back to local registration (or rides the open
+  // circuit straight there).
+  for (int t = 0; t < kTemplates; ++t) {
+    auto record = store.Acquire(*model_, t, false);
+    ASSERT_NE(record, nullptr);
+    EXPECT_TRUE(RecordsEqual(*record, model_->Register(t, false)));
+  }
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.fallbacks, static_cast<uint64_t>(kTemplates));
+  EXPECT_EQ(stats.local_registrations, static_cast<uint64_t>(kTemplates));
+  EXPECT_EQ(stats.remote_hits, 0u);
+  EXPECT_EQ(stats.prefetch_remote_hits, 0u);
+  // Hints either died on the wire, were suppressed by the tripped
+  // circuit, or were dropped/flushed — all of them are accounted for.
+  EXPECT_EQ(stats.prefetch_issued + stats.prefetch_suppressed +
+                stats.prefetch_dropped,
+            static_cast<uint64_t>(kTemplates));
+}
+
+TEST_F(CacheRpcRemoteStoreTest, OpenCircuitSuppressesPrefetchAtIssue) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  options.max_consecutive_failures = 1;
+  options.degrade_cooldown = std::chrono::hours(1);
+  server_->Stop();
+  cache::RemoteActivationStore store(options);
+  store.Acquire(*model_, 1, false);  // Trips the breaker.
+  ASSERT_EQ(store.Stats().degrade_trips, 1u);
+  store.Prefetch(*model_, 2, /*record_kv=*/false);
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.prefetch_suppressed, 1u);
+  EXPECT_EQ(stats.prefetch_issued, 0u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, RedundantPrefetchHintsAreDeduped) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  cache::RemoteActivationStore store(options);
+  store.Acquire(*model_, 3, false);  // Front now holds template 3.
+  store.Prefetch(*model_, 3, /*record_kv=*/false);
+  const cache::RemoteStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.prefetch_redundant, 1u);
+  EXPECT_EQ(stats.prefetch_issued, 0u);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, MetricsJsonCarriesPrefetchCounters) {
+  CacheClient publisher("127.0.0.1", server_->port());
+  ASSERT_TRUE(
+      publisher.PutRecord(5, model_->Register(5, false)).transport_ok);
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.prefetch_workers = 1;
+  cache::RemoteActivationStore store(options);
+  store.Prefetch(*model_, 5, /*record_kv=*/false);
+  ASSERT_TRUE(WaitFor([&] { return store.Stats().prefetch_remote_hits == 1; }));
+  store.Acquire(*model_, 5, false);
+  const std::string json = store.MetricsJson();
+  EXPECT_EQ(JsonCounter(json, "prefetch_issued"), 1u);
+  EXPECT_EQ(JsonCounter(json, "prefetch_coalesced"), 1u);
+  EXPECT_EQ(JsonCounter(json, "prefetch_remote_hits"), 1u);
+  EXPECT_EQ(JsonCounter(json, "prefetch_staged"), 0u);
+  EXPECT_NE(json.find("\"prefetch_p99_us\":"), std::string::npos);
+}
+
 TEST_F(CacheRpcRemoteStoreTest, MetricsJsonCarriesTheLadderCounters) {
   cache::RemoteActivationStore store(StoreOptions());
   store.Acquire(*model_, 3, false);  // remote miss -> register + publish
