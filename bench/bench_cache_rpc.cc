@@ -22,6 +22,13 @@
 //            warm leg that pipelining recovers, and the foreground
 //            remote-fetch stalls after warmup (near zero when the window
 //            keeps ahead of consumption).
+//   ring   — the same Zipf trace replayed against a three-node
+//            consistent-hash ring (ShardedRemoteStore, k=2): single-node
+//            vs cold ring vs warm ring vs ring with one member killed at
+//            the trace midpoint. Every leg's per-acquire record checksums
+//            must be bitwise-identical to a local ActivationStore replay
+//            (and zero Acquires may fail) — the bench exits non-zero
+//            otherwise.
 //
 // Client and node byte counters are reconciled at the end (bytes put ==
 // bytes stored, bytes fetched == bytes served) and everything is written
@@ -31,9 +38,8 @@
 //                   --queue-ahead=8 --prefetch-workers=3
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -41,33 +47,19 @@
 
 #include "bench/bench_util.h"
 #include "src/cache/remote_store.h"
+#include "src/cache/ring/sharded_store.h"
+#include "src/common/flag_parser.h"
 #include "src/common/rng.h"
 #include "src/model/diffusion_model.h"
 #include "src/net/cache_node.h"
 #include "src/net/tcp_server.h"
+#include "src/net/wire.h"
 
 using namespace flashps;
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
-  const std::string prefix = std::string("--") + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      *out = argv[i] + prefix.size();
-      return true;
-    }
-  }
-  return false;
-}
-
-long FlagLong(int argc, char** argv, const char* key, long fallback) {
-  std::string value;
-  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
-                                            : fallback;
-}
 
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -94,14 +86,36 @@ std::vector<int> ZipfTrace(int length, int templates, Rng& rng) {
   return trace;
 }
 
+// Checksum over every matrix in a record, so "bitwise-identical" is one
+// comparable number per acquire.
+uint64_t RecordChecksum(const model::ActivationRecord& record) {
+  std::vector<uint64_t> sums;
+  for (const auto& step : record.steps) {
+    for (const auto& m : step.y) sums.push_back(net::LatentChecksum(m));
+    for (const auto& m : step.k) sums.push_back(net::LatentChecksum(m));
+    for (const auto& m : step.v) sums.push_back(net::LatentChecksum(m));
+  }
+  return net::Fnv1a64(sums.data(), sums.size() * sizeof(uint64_t));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int templates = static_cast<int>(FlagLong(argc, argv, "templates", 12));
-  const int steps = static_cast<int>(FlagLong(argc, argv, "steps", 4));
+  flags::FlagParser flags(argc, argv);
+  const int templates =
+      static_cast<int>(flags.LongInRange("templates", 12, 1, 1 << 20));
+  const int steps = static_cast<int>(flags.LongInRange("steps", 4, 1, 1024));
   const int trace_len =
-      static_cast<int>(FlagLong(argc, argv, "trace-len", 96));
-  const uint64_t seed = static_cast<uint64_t>(FlagLong(argc, argv, "seed", 7));
+      static_cast<int>(flags.LongInRange("trace-len", 96, 1, 1 << 24));
+  const uint64_t seed = static_cast<uint64_t>(flags.Long("seed", 7));
+  const int queue_ahead =
+      static_cast<int>(flags.LongInRange("queue-ahead", 8, 0, 1 << 16));
+  const int prefetch_workers =
+      static_cast<int>(flags.LongInRange("prefetch-workers", 3, 0, 64));
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s", flags.ErrorText().c_str());
+    return 2;
+  }
 
   bench::PrintHeader(
       "bench_cache_rpc — shared cache tier over the wire protocol",
@@ -218,10 +232,6 @@ int main(int argc, char** argv) {
   // consumption. Foreground stalls (ladder trips: remote fetches and
   // fallbacks) after the warmup quarter gauge the steady state — a
   // working pipeline keeps them near zero.
-  const int queue_ahead =
-      static_cast<int>(FlagLong(argc, argv, "queue-ahead", 8));
-  const int prefetch_workers =
-      static_cast<int>(FlagLong(argc, argv, "prefetch-workers", 3));
   struct PrefetchPoint {
     size_t capacity;
     double wall_ms;
@@ -296,6 +306,185 @@ int main(int argc, char** argv) {
                     12);
   }
 
+  // --- ring legs: the same trace over a three-node consistent-hash ring --
+  //
+  // Four replays of one Zipf trace, all required to produce bitwise-
+  // identical per-acquire record checksums: a local ActivationStore (the
+  // reference), a single cache node, a cold three-node ring (k=2), and a
+  // three-node ring that loses a member at the trace midpoint. The
+  // degraded leg is the acceptance check: zero failed Acquires, zero
+  // output drift, while the per-member counters show the dead node's
+  // ranges shifting to its successors.
+  constexpr int kRingNodes = 3;
+  constexpr int kReplication = 2;
+  // Fresh nodes and a fresh template range so the earlier legs' residency
+  // doesn't leak in.
+  const int ring_base = 2 * templates + 1000;
+  Rng ring_rng(seed + 1);
+  std::vector<int> ring_trace = ZipfTrace(trace_len, templates, ring_rng);
+  for (int& t : ring_trace) {
+    t += ring_base;
+  }
+
+  std::vector<std::unique_ptr<net::CacheNode>> ring_nodes;
+  std::vector<std::unique_ptr<net::TcpServer>> ring_servers;
+  for (int i = 0; i < kRingNodes; ++i) {
+    ring_nodes.push_back(std::make_unique<net::CacheNode>());
+    ring_servers.push_back(
+        std::make_unique<net::TcpServer>(ring_nodes.back()->Service()));
+    if (!ring_servers.back()->Start()) {
+      std::fprintf(stderr, "cannot start ring node %d\n", i);
+      return 1;
+    }
+  }
+  auto ring_options = [&](int prefetch) {
+    cache::ShardedStoreOptions options;
+    for (const auto& ring_server : ring_servers) {
+      options.nodes.push_back({"127.0.0.1", ring_server->port()});
+    }
+    options.replication = kReplication;
+    options.lru_capacity = 0;  // Every reuse goes back to the wire.
+    options.connect_attempts = 2;
+    options.prefetch_workers = prefetch;
+    return options;
+  };
+
+  // One replay = checksums + null count; `at_midpoint` runs after half the
+  // trace (the degraded leg stops a server there).
+  struct ReplayResult {
+    std::vector<uint64_t> checksums;
+    int nulls = 0;
+    double wall_ms = 0.0;
+  };
+  auto replay = [&](cache::ActivationSource& source,
+                    const std::function<void()>& at_midpoint) {
+    ReplayResult result;
+    result.checksums.reserve(ring_trace.size());
+    const auto start = Clock::now();
+    for (size_t i = 0; i < ring_trace.size(); ++i) {
+      if (at_midpoint && i == ring_trace.size() / 2) {
+        at_midpoint();
+      }
+      auto record = source.Acquire(model, ring_trace[i], false);
+      if (record == nullptr) {
+        ++result.nulls;
+        result.checksums.push_back(0);
+        continue;
+      }
+      result.checksums.push_back(RecordChecksum(*record));
+    }
+    result.wall_ms = MsSince(start);
+    return result;
+  };
+
+  cache::ActivationStore ring_reference_store;
+  const ReplayResult reference = replay(ring_reference_store, nullptr);
+
+  net::CacheNode single_node;
+  net::TcpServer single_server(single_node.Service());
+  if (!single_server.Start()) {
+    std::fprintf(stderr, "cannot start single-node server\n");
+    return 1;
+  }
+  cache::RemoteActivationStore single_store(
+      StoreOptions(single_server.port(), /*lru_capacity=*/0));
+  const ReplayResult single = replay(single_store, nullptr);
+
+  cache::ShardedRemoteStore cold_ring(ring_options(0));
+  const ReplayResult ring_cold = replay(cold_ring, nullptr);
+
+  cache::ShardedRemoteStore warm_ring(ring_options(0));
+  const ReplayResult ring_warm = replay(warm_ring, nullptr);
+  const cache::ShardedStoreStats warm_ring_stats = warm_ring.Stats();
+
+  // Degraded: a fresh store re-fetches everything off the ring; one member
+  // dies mid-trace.
+  cache::ShardedRemoteStore degraded_ring(ring_options(0));
+  int killed_member = -1;
+  const ReplayResult ring_degraded = replay(degraded_ring, [&] {
+    // Kill the member that served the most so far — the worst case for
+    // the Zipf head.
+    const cache::ShardedStoreStats stats = degraded_ring.Stats();
+    size_t busiest = 0;
+    for (size_t i = 1; i < stats.members.size(); ++i) {
+      if (stats.members[i].remote_hits >
+          stats.members[busiest].remote_hits) {
+        busiest = i;
+      }
+    }
+    const uint16_t port = degraded_ring.ring().member(busiest).port;
+    for (size_t i = 0; i < ring_servers.size(); ++i) {
+      if (ring_servers[i]->port() == port) {
+        ring_servers[i]->Stop();
+        killed_member = static_cast<int>(busiest);
+        break;
+      }
+    }
+  });
+  const cache::ShardedStoreStats degraded_stats = degraded_ring.Stats();
+
+  auto identical = [&](const ReplayResult& leg) {
+    return leg.nulls == 0 && leg.checksums == reference.checksums;
+  };
+  const bool single_ok = identical(single);
+  const bool cold_ok = identical(ring_cold);
+  const bool warm_ok = identical(ring_warm);
+  const bool degraded_ok = identical(ring_degraded);
+  const bool ring_bitwise =
+      single_ok && cold_ok && warm_ok && degraded_ok;
+
+  std::printf("\nring legs, %d-acquire Zipf trace, %d nodes, k=%d:\n",
+              trace_len, kRingNodes, kReplication);
+  bench::PrintRow({"leg", "wall ms", "hits", "misses", "fallbacks",
+                   "bitwise"},
+                  14);
+  const auto ring_row = [&](const char* name, const ReplayResult& leg,
+                            uint64_t hits, uint64_t misses,
+                            uint64_t fallbacks, bool ok) {
+    bench::PrintRow({name, bench::Fmt(leg.wall_ms, 1), std::to_string(hits),
+                     std::to_string(misses), std::to_string(fallbacks),
+                     ok ? "yes" : "NO"},
+                    14);
+  };
+  ring_row("local ref", reference, 0, 0, 0, true);
+  {
+    const cache::RemoteStoreStats s = single_store.Stats();
+    ring_row("single node", single, s.remote_hits, s.remote_misses,
+             s.fallbacks, single_ok);
+  }
+  {
+    const cache::ShardedStoreStats s = cold_ring.Stats();
+    ring_row("ring cold", ring_cold, s.remote_hits, s.remote_misses,
+             s.fallbacks, cold_ok);
+  }
+  ring_row("ring warm", ring_warm, warm_ring_stats.remote_hits,
+           warm_ring_stats.remote_misses, warm_ring_stats.fallbacks, warm_ok);
+  ring_row("ring -1 node", ring_degraded, degraded_stats.remote_hits,
+           degraded_stats.remote_misses, degraded_stats.fallbacks,
+           degraded_ok);
+
+  std::printf("\nper-member counters, degraded leg (killed member %d at "
+              "acquire %d):\n",
+              killed_member, trace_len / 2);
+  bench::PrintRow({"member", "hits", "misses", "xport fail", "trips", "puts",
+                   "repairs"},
+                  17);
+  for (const cache::RingMemberStats& m : degraded_stats.members) {
+    bench::PrintRow({m.id, std::to_string(m.remote_hits),
+                     std::to_string(m.remote_misses),
+                     std::to_string(m.transport_failures),
+                     std::to_string(m.circuit_trips),
+                     std::to_string(m.puts_ok),
+                     std::to_string(m.read_repairs)},
+                    17);
+  }
+  std::printf("degraded: failovers %llu, read repairs %llu, fallbacks %llu, "
+              "failed acquires %d\n",
+              static_cast<unsigned long long>(degraded_stats.failovers),
+              static_cast<unsigned long long>(degraded_stats.read_repairs),
+              static_cast<unsigned long long>(degraded_stats.fallbacks),
+              ring_degraded.nulls);
+
   // --- reconcile client-side byte counters with the node's ---------------
   const net::CacheNodeStats node_stats = node.Stats();
   const bool put_ok =
@@ -347,12 +536,36 @@ int main(int argc, char** argv) {
          << ",\"prefetch_p50_us\":" << p.prefetch_p50_us
          << ",\"prefetch_p99_us\":" << p.prefetch_p99_us << "}";
   }
-  json << "],\"node\":" << node.MetricsJson()
+  json << "],\"ring\":{\"nodes\":" << kRingNodes
+       << ",\"replication\":" << kReplication
+       << ",\"killed_member\":" << killed_member
+       << ",\"local_wall_ms\":" << reference.wall_ms
+       << ",\"single_wall_ms\":" << single.wall_ms
+       << ",\"cold_wall_ms\":" << ring_cold.wall_ms
+       << ",\"warm_wall_ms\":" << ring_warm.wall_ms
+       << ",\"degraded_wall_ms\":" << ring_degraded.wall_ms
+       << ",\"degraded_failed_acquires\":" << ring_degraded.nulls
+       << ",\"bitwise_identical\":" << (ring_bitwise ? "true" : "false")
+       << ",\"warm\":" << warm_ring.MetricsJson()
+       << ",\"degraded\":" << degraded_ring.MetricsJson() << "}";
+  json << ",\"node\":" << node.MetricsJson()
        << ",\"reconciled\":" << (put_ok ? "true" : "false") << "}";
   std::ofstream out("BENCH_cache_rpc.json");
   out << json.str() << "\n";
   std::printf("wrote BENCH_cache_rpc.json\n");
+  if (!ring_bitwise) {
+    std::fprintf(stderr,
+                 "ring legs diverged from the local reference "
+                 "(single %s, cold %s, warm %s, degraded %s)\n",
+                 single_ok ? "ok" : "MISMATCH",
+                 cold_ok ? "ok" : "MISMATCH", warm_ok ? "ok" : "MISMATCH",
+                 degraded_ok ? "ok" : "MISMATCH");
+  }
 
+  single_server.Stop();
+  for (auto& ring_server : ring_servers) {
+    ring_server->Stop();
+  }
   server.Stop();
-  return put_ok ? 0 : 2;
+  return put_ok && ring_bitwise ? 0 : 2;
 }

@@ -4,18 +4,18 @@
 // mode: the same poll loop, back-pressure, and graceful drain as
 // flashps_served, with every cache fetch/put answered inline on the poll
 // thread (the handlers are memcpy-scale). Workers configured with
-// --cache-host/--cache-port fetch template activations here instead of
-// re-registering them per process; a metrics frame (or SIGINT/SIGTERM at
-// exit) reports the node's hit/miss/byte/eviction counters.
+// --cache-host/--cache-port — or with this node in their --cache-nodes
+// ring list — fetch template activations here instead of re-registering
+// them per process; a metrics frame (or SIGINT/SIGTERM at exit) reports
+// the node's hit/miss/byte/eviction counters.
 //
 //   flashps_cached --port=7412 --max-bytes=0 --stats-every-s=10
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 
+#include "src/common/flag_parser.h"
 #include "src/net/cache_node.h"
 
 using namespace flashps;
@@ -26,36 +26,35 @@ std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int signum) { g_signal = signum; }
 
-// --key=value flag helpers (the daemon keeps argv parsing dependency-free).
-bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
-  const std::string prefix = std::string("--") + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      *out = argv[i] + prefix.size();
-      return true;
-    }
-  }
-  return false;
-}
-
-long FlagLong(int argc, char** argv, const char* key, long fallback) {
-  std::string value;
-  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
-                                            : fallback;
-}
+constexpr char kUsage[] =
+    "usage: flashps_cached [--port=7412] [--max-bytes=0]\n"
+    "                      [--max-inflight=64] [--stats-every-s=0]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  flags::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
   net::CacheNodeOptions node_options;
   node_options.max_bytes =
-      static_cast<size_t>(FlagLong(argc, argv, "max-bytes", 0));
+      static_cast<size_t>(flags.LongInRange("max-bytes", 0, 0, 1l << 40));
 
   net::TcpServerOptions server_options;
   server_options.port =
-      static_cast<uint16_t>(FlagLong(argc, argv, "port", 7412));
+      static_cast<uint16_t>(flags.LongInRange("port", 7412, 0, 65535));
   server_options.max_inflight_per_conn =
-      static_cast<int>(FlagLong(argc, argv, "max-inflight", 64));
+      static_cast<int>(flags.LongInRange("max-inflight", 64, 1, 1 << 16));
+  const long stats_every_s =
+      flags.LongInRange("stats-every-s", 0, 0, 86400);
+
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), kUsage);
+    return 2;
+  }
 
   net::CacheNode node(node_options);
   net::TcpServer server(node.Service(), server_options);
@@ -71,7 +70,6 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  const long stats_every_s = FlagLong(argc, argv, "stats-every-s", 0);
   auto last_stats = std::chrono::steady_clock::now();
   while (g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));

@@ -7,31 +7,43 @@
 // gateway's MetricsJson(). SIGINT/SIGTERM triggers a graceful drain:
 // stop admitting, finish in-flight requests, flush replies, then exit.
 //
-// With --cache-host/--cache-port set, the worker fleet shares a
-// flashps_cached node: template activations are fetched over the wire
-// (through each request's RemoteActivationStore LRU front) instead of
-// being re-registered per process, and the final metrics include the
-// remote store's hit/miss/fallback counters. Without the flags the fleet
-// shares one in-process store — never a worker-private cache either way.
+// Cache tier, three shapes:
+//
+//   (none)            — the fleet shares one in-process activation store.
+//   --cache-host/--cache-port
+//                     — one flashps_cached node behind a
+//                       RemoteActivationStore (LRU front, single-flight,
+//                       circuit breaker, local fallback).
+//   --cache-nodes=host:port,host:port,...
+//                     — a sharded, replicated cache ring: consistent-hash
+//                       placement over every listed node,
+//                       --cache-replication=k copies of each template,
+//                       per-member circuit breakers, read repair, and
+//                       failover down each template's preference list.
+//                       Member health is probed at startup (metrics
+//                       frame) and visible per member in the final
+//                       metrics dump.
 //
 // Queue-ahead prefetch (--cache-prefetch=N, default 2) starts each
 // admitted request's activation fetch while it waits behind earlier work,
-// over a --cache-connections-sized connection pool; set
-// --cache-prefetch=0 for strictly on-demand fetches.
+// over --cache-connections wire connections (per ring member, when a ring
+// is configured); set --cache-prefetch=0 for strictly on-demand fetches.
 //
 //   flashps_served --port=7411 --workers=2 --steps=8 --max-batch=4
 //                  --policy=mask-aware --slo-ms=0 --stats-every-s=10
-//                  [--cache-host=127.0.0.1 --cache-port=7412
-//                   --cache-prefetch=2 --cache-connections=2]
+//                  [--cache-host=127.0.0.1 --cache-port=7412 |
+//                   --cache-nodes=127.0.0.1:7412,127.0.0.1:7413,127.0.0.1:7414
+//                   --cache-replication=2]
+//                  [--cache-prefetch=2 --cache-connections=2]
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "src/cache/remote_store.h"
+#include "src/cache/ring/sharded_store.h"
+#include "src/common/flag_parser.h"
 #include "src/net/tcp_server.h"
 
 using namespace flashps;
@@ -42,23 +54,17 @@ std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int signum) { g_signal = signum; }
 
-// --key=value flag helpers (the daemon keeps argv parsing dependency-free).
-bool FlagValue(int argc, char** argv, const char* key, std::string* out) {
-  const std::string prefix = std::string("--") + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      *out = argv[i] + prefix.size();
-      return true;
-    }
-  }
-  return false;
-}
-
-long FlagLong(int argc, char** argv, const char* key, long fallback) {
-  std::string value;
-  return FlagValue(argc, argv, key, &value) ? std::atol(value.c_str())
-                                            : fallback;
-}
+constexpr char kUsage[] =
+    "usage: flashps_served [--port=7411] [--workers=2] [--steps=8]\n"
+    "                      [--max-batch=4] [--compute-threads=1]\n"
+    "                      [--policy=mask-aware|round-robin|first-fit|"
+    "request-count|token-count]\n"
+    "                      [--slo-ms=0] [--max-inflight=32] "
+    "[--stats-every-s=0]\n"
+    "                      [--cache-host=HOST --cache-port=7412 |\n"
+    "                       --cache-nodes=HOST:PORT,HOST:PORT,...\n"
+    "                       --cache-replication=2]\n"
+    "                      [--cache-prefetch=2 --cache-connections=2]\n";
 
 sched::RoutePolicy ParsePolicy(const std::string& name) {
   if (name == "round-robin") return sched::RoutePolicy::kRoundRobin;
@@ -71,57 +77,107 @@ sched::RoutePolicy ParsePolicy(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  flags::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
   gateway::GatewayOptions options;
-  options.num_workers = static_cast<int>(FlagLong(argc, argv, "workers", 2));
+  options.num_workers =
+      static_cast<int>(flags.LongInRange("workers", 2, 1, 256));
   options.worker.numerics = model::NumericsConfig::ForTests();
   options.worker.numerics.num_steps =
-      static_cast<int>(FlagLong(argc, argv, "steps", 8));
+      static_cast<int>(flags.LongInRange("steps", 8, 1, 1024));
   options.worker.max_batch =
-      static_cast<int>(FlagLong(argc, argv, "max-batch", 4));
+      static_cast<int>(flags.LongInRange("max-batch", 4, 1, 256));
   options.worker.compute_threads =
-      static_cast<int>(FlagLong(argc, argv, "compute-threads", 1));
-  std::string policy_name = "mask-aware";
-  FlagValue(argc, argv, "policy", &policy_name);
+      static_cast<int>(flags.LongInRange("compute-threads", 1, 1, 256));
+  const std::string policy_name = flags.String("policy", "mask-aware");
   options.policy = ParsePolicy(policy_name);
-  const long slo_ms = FlagLong(argc, argv, "slo-ms", 0);
+  const long slo_ms = flags.LongInRange("slo-ms", 0, 0, 1l << 31);
   options.slo = Duration::Millis(slo_ms);
   options.admission_control = slo_ms > 0;
 
-  // Cache tier: with a cache node configured, every worker shares one
-  // RemoteActivationStore (the shared_ptr is copied into each worker's
-  // options); otherwise the fleet shares one in-process local store.
-  std::string cache_host;
-  const bool use_cache_node = FlagValue(argc, argv, "cache-host", &cache_host);
-  if (use_cache_node) {
+  // Cache tier: a ring of cache nodes, a single node, or in-process.
+  // Whatever the shape, every worker shares ONE ActivationSource (the
+  // shared_ptr is copied into each worker's options) — never a
+  // worker-private cache.
+  const std::string cache_nodes = flags.String("cache-nodes", "");
+  const std::string cache_host = flags.String("cache-host", "");
+  const int prefetch_workers =
+      static_cast<int>(flags.LongInRange("cache-prefetch", 2, 0, 64));
+  const int cache_connections =
+      static_cast<int>(flags.LongInRange("cache-connections", 2, 1, 64));
+  const int replication =
+      static_cast<int>(flags.LongInRange("cache-replication", 2, 1, 64));
+  const uint16_t cache_port =
+      static_cast<uint16_t>(flags.LongInRange("cache-port", 7412, 1, 65535));
+
+  std::string cache_label = "local";
+  std::shared_ptr<cache::ShardedRemoteStore> ring_store;
+  if (!cache_nodes.empty() && !cache_host.empty()) {
+    std::fprintf(stderr,
+                 "flashps_served: --cache-nodes and --cache-host are "
+                 "mutually exclusive\n%s",
+                 kUsage);
+    return 2;
+  }
+  if (!cache_nodes.empty()) {
+    std::string parse_error;
+    cache::ShardedStoreOptions sharded;
+    sharded.nodes = cache::ParseRingMembers(cache_nodes, &parse_error);
+    if (sharded.nodes.empty()) {
+      std::fprintf(stderr, "flashps_served: bad --cache-nodes: %s\n%s",
+                   parse_error.c_str(), kUsage);
+      return 2;
+    }
+    sharded.replication = replication;
+    sharded.prefetch_workers = prefetch_workers;
+    sharded.connections_per_member = cache_connections;
+    ring_store = std::make_shared<cache::ShardedRemoteStore>(sharded);
+    options.worker.activation_source = ring_store;
+    cache_label = "ring(" + cache_nodes + ")";
+  } else if (!cache_host.empty()) {
     cache::RemoteStoreOptions remote;
     remote.host = cache_host;
-    remote.port =
-        static_cast<uint16_t>(FlagLong(argc, argv, "cache-port", 7412));
-    // --cache-prefetch=N: N background prefetch workers resolving the
-    // gateway's queue-ahead hints (0 disables the pipeline).
-    // --cache-connections=N: wire connections in the pool (the store
-    // raises this so prefetch workers never starve foreground fetches).
-    remote.prefetch_workers =
-        static_cast<int>(FlagLong(argc, argv, "cache-prefetch", 2));
-    remote.connection_pool =
-        static_cast<int>(FlagLong(argc, argv, "cache-connections", 2));
+    remote.port = cache_port;
+    remote.prefetch_workers = prefetch_workers;
+    remote.connection_pool = cache_connections;
     options.worker.activation_source =
         std::make_shared<cache::RemoteActivationStore>(remote);
+    cache_label = cache_host;
   } else {
     options.worker.activation_source =
         std::make_shared<cache::ActivationStore>();
   }
 
   net::TcpServerOptions server_options;
-  server_options.port = static_cast<uint16_t>(FlagLong(argc, argv, "port", 7411));
+  server_options.port =
+      static_cast<uint16_t>(flags.LongInRange("port", 7411, 0, 65535));
   server_options.max_inflight_per_conn =
-      static_cast<int>(FlagLong(argc, argv, "max-inflight", 32));
+      static_cast<int>(flags.LongInRange("max-inflight", 32, 1, 1 << 16));
+  const long stats_every_s = flags.LongInRange("stats-every-s", 0, 0, 86400);
+
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), kUsage);
+    return 2;
+  }
 
   std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "
               "slo %ld ms, cache %s\n",
               options.num_workers, options.worker.numerics.num_steps,
-              policy_name.c_str(), slo_ms,
-              use_cache_node ? cache_host.c_str() : "local");
+              policy_name.c_str(), slo_ms, cache_label.c_str());
+  if (ring_store != nullptr) {
+    // One probe per member so a mistyped node shows up at launch, not as
+    // a circuit trip minutes in.
+    const std::vector<bool> alive = ring_store->ProbeMembers();
+    for (size_t i = 0; i < alive.size(); ++i) {
+      std::printf("flashps_served: ring member %s: %s\n",
+                  ring_store->ring().member(i).id().c_str(),
+                  alive[i] ? "alive" : "UNREACHABLE");
+    }
+  }
   gateway::Gateway gateway(options);
   net::TcpServer server(gateway, server_options);
   if (!server.Start()) {
@@ -135,7 +191,6 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  const long stats_every_s = FlagLong(argc, argv, "stats-every-s", 0);
   auto last_stats = std::chrono::steady_clock::now();
   while (g_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));

@@ -10,17 +10,26 @@
 # thread (the failure mode the prefetch/serving tests exist to catch)
 # fails the run instead of wedging it.
 #
-#   scripts/check.sh          # everything
-#   scripts/check.sh --fast   # tier-1 only: configure + build + ctest
+#   scripts/check.sh                    # everything
+#   scripts/check.sh --fast             # tier-1 only: configure + build + ctest
+#   scripts/check.sh --filter <regex>   # restrict every ctest leg to tests
+#                                       # matching <regex> (replaces the
+#                                       # sanitizer legs' default regexes)
 #
 # Run from anywhere; operates on the repo root it lives in.
 set -euo pipefail
 
 fast=0
-for arg in "$@"; do
-  case "${arg}" in
-    --fast) fast=1 ;;
-    *) echo "unknown argument: ${arg} (supported: --fast)" >&2; exit 2 ;;
+filter=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) fast=1; shift ;;
+    --filter)
+      [[ $# -ge 2 ]] || { echo "--filter needs a regex" >&2; exit 2; }
+      filter="$2"; shift 2 ;;
+    --filter=*) filter="${1#--filter=}"; shift ;;
+    *) echo "unknown argument: $1 (supported: --fast, --filter <regex>)" >&2
+       exit 2 ;;
   esac
 done
 
@@ -31,13 +40,19 @@ test_timeout=120
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo}"
 
+# The threaded suites the sanitizers exercise. Keep the two lists in sync
+# with the build target lists below.
+tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing)'
+asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing)'
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
-  --timeout "${test_timeout}"
+  --timeout "${test_timeout}" \
+  ${filter:+-R "${filter}"}
 
 if [[ "${fast}" -eq 1 ]]; then
   echo "== fast mode: tier-1 passed, skipping bench + sanitizers =="
@@ -54,22 +69,24 @@ cmake -B build-tsan -S . -DFLASHPS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   kernel_equivalence_test runtime_test gateway_test common_test \
   net_test net_integration_test cache_rpc_test cache_rpc_integration_test \
+  cache_ring_test cache_ring_integration_test \
   >/dev/null
 
 echo "== tsan: run threaded suites =="
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   --timeout "${test_timeout}" \
-  -R '^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc)'
+  -R "${filter:-${tsan_regex}}"
 
-echo "== asan: build net + gateway + cache-rpc suites =="
+echo "== asan: build net + gateway + cache-rpc + cache-ring suites =="
 cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target \
   net_test net_integration_test gateway_test cache_rpc_test \
-  cache_rpc_integration_test >/dev/null
+  cache_rpc_integration_test cache_ring_test cache_ring_integration_test \
+  >/dev/null
 
-echo "== asan: run net + gateway + cache-rpc suites =="
+echo "== asan: run net + gateway + cache-rpc + cache-ring suites =="
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
   --timeout "${test_timeout}" \
-  -R '^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc)'
+  -R "${filter:-${asan_regex}}"
 
 echo "== all checks passed =="

@@ -1,0 +1,119 @@
+#include "src/cache/ring/cache_ring.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/net/wire.h"
+
+namespace flashps::cache {
+
+namespace {
+
+// Hash of a template id: FNV-1a over its explicit little-endian bytes, so
+// every process computes the same placement regardless of host endianness
+// or integer width quirks.
+uint64_t TemplateHash(int64_t template_id) {
+  uint8_t bytes[8];
+  uint64_t v = static_cast<uint64_t>(template_id);
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  return net::Fnv1a64(bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+std::vector<RingMember> ParseRingMembers(const std::string& csv,
+                                         std::string* error) {
+  std::vector<RingMember> members;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string entry =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    start = comma == std::string::npos ? csv.size() + 1 : comma + 1;
+    if (entry.empty()) {
+      if (error != nullptr) *error = "empty entry in node list";
+      return {};
+    }
+    RingMember member;
+    const size_t colon = entry.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? entry : entry.substr(colon + 1);
+    if (colon != std::string::npos) {
+      member.host = entry.substr(0, colon);
+      if (member.host.empty()) {
+        if (error != nullptr) *error = "empty host in '" + entry + "'";
+        return {};
+      }
+    }
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (port_str.empty() || end == nullptr || *end != '\0' || port <= 0 ||
+        port > 65535) {
+      if (error != nullptr) *error = "bad port in '" + entry + "'";
+      return {};
+    }
+    member.port = static_cast<uint16_t>(port);
+    members.push_back(std::move(member));
+  }
+  return members;
+}
+
+CacheRing::CacheRing(CacheRingOptions options) {
+  members_ = std::move(options.members);
+  std::sort(members_.begin(), members_.end(),
+            [](const RingMember& a, const RingMember& b) {
+              return a.id() < b.id();
+            });
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+
+  const int vnodes = std::max(1, options.virtual_nodes);
+  ring_.reserve(members_.size() * static_cast<size_t>(vnodes));
+  for (size_t m = 0; m < members_.size(); ++m) {
+    const std::string base = members_[m].id() + "#";
+    for (int v = 0; v < vnodes; ++v) {
+      const std::string label = base + std::to_string(v);
+      ring_.push_back(
+          {net::Fnv1a64(label.data(), label.size()), static_cast<int>(m)});
+    }
+  }
+  // Hash ties (astronomically unlikely) break by member index so two
+  // processes still sort identically.
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.member < b.member;
+  });
+}
+
+std::vector<int> CacheRing::PreferenceList(int64_t template_id) const {
+  std::vector<int> prefs;
+  if (members_.empty()) {
+    return prefs;
+  }
+  prefs.reserve(members_.size());
+  std::vector<bool> taken(members_.size(), false);
+  const uint64_t key = TemplateHash(template_id);
+  const auto begin = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const VNode& v, uint64_t h) { return v.hash < h; });
+  const size_t start =
+      begin == ring_.end() ? 0 : static_cast<size_t>(begin - ring_.begin());
+  for (size_t i = 0; i < ring_.size() && prefs.size() < members_.size();
+       ++i) {
+    const VNode& vnode = ring_[(start + i) % ring_.size()];
+    if (!taken[static_cast<size_t>(vnode.member)]) {
+      taken[static_cast<size_t>(vnode.member)] = true;
+      prefs.push_back(vnode.member);
+    }
+  }
+  return prefs;
+}
+
+int CacheRing::PrimaryFor(int64_t template_id) const {
+  const std::vector<int> prefs = PreferenceList(template_id);
+  return prefs.empty() ? -1 : prefs.front();
+}
+
+}  // namespace flashps::cache

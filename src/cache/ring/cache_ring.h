@@ -1,0 +1,91 @@
+// Consistent-hash placement for the sharded cache tier.
+//
+// The ring answers one question: for a template id, in what order should
+// the fleet's cache nodes be asked? Each member contributes `virtual_nodes`
+// points on a 64-bit hash circle (FNV-1a over "host:port#v"), and a
+// template lands at the first point clockwise of FNV-1a over its id bytes.
+// Walking clockwise from there and collecting *distinct* members yields the
+// preference list: entry 0 is the primary, entries 1..k-1 are the replicas,
+// and everything after is the failover order when a preferred node is dead.
+//
+// Properties the sharded store (and its tests) rely on:
+//
+//   deterministic — placement depends only on the membership *set* (members
+//     are sorted by id at construction, so listing order and process
+//     boundaries do not matter) and the vnode count. Two workers configured
+//     with the same --cache-nodes compute identical preference lists, so
+//     replicas and read repairs land on the same nodes fleet-wide without
+//     any coordination service.
+//   minimal movement — removing a member deletes only its vnodes; the
+//     surviving members' points do not move, so a dead node's ranges shift
+//     to its clockwise successors and every other placement is unchanged
+//     (PreferenceList minus the dead member == the smaller ring's list).
+//   spread — vnodes break up the circle so each member serves many small
+//     arcs instead of one big one; the Zipf head's templates scatter
+//     across members instead of melting whichever node owns one arc.
+//
+// The ring is placement only: liveness (circuit breakers, probes) belongs
+// to the ShardedRemoteStore, which walks the list skipping members whose
+// per-member circuit is open.
+#ifndef FLASHPS_SRC_CACHE_RING_CACHE_RING_H_
+#define FLASHPS_SRC_CACHE_RING_CACHE_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flashps::cache {
+
+struct RingMember {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string id() const { return host + ":" + std::to_string(port); }
+  bool operator==(const RingMember& o) const {
+    return host == o.host && port == o.port;
+  }
+};
+
+// Parses "host:port,host:port,..." (a bare "port" entry means loopback).
+// Returns an empty vector and sets *error on a malformed entry.
+std::vector<RingMember> ParseRingMembers(const std::string& csv,
+                                         std::string* error);
+
+struct CacheRingOptions {
+  std::vector<RingMember> members;
+  // Hash points per member. More vnodes = smoother spread, larger table;
+  // 64 keeps the first-preference share within a few percent of 1/N for
+  // the fleet sizes this tier targets.
+  int virtual_nodes = 64;
+};
+
+class CacheRing {
+ public:
+  explicit CacheRing(CacheRingOptions options);
+
+  size_t size() const { return members_.size(); }
+  // Members are sorted by id(); indices returned by PreferenceList refer
+  // to this order.
+  const RingMember& member(size_t index) const { return members_[index]; }
+  const std::vector<RingMember>& members() const { return members_; }
+
+  // Every member exactly once, in ring order from the template's point.
+  // Deterministic for a given membership set (see file comment).
+  std::vector<int> PreferenceList(int64_t template_id) const;
+
+  // Convenience: PreferenceList(template_id)[0] (-1 on an empty ring).
+  int PrimaryFor(int64_t template_id) const;
+
+ private:
+  struct VNode {
+    uint64_t hash;
+    int member;
+  };
+
+  std::vector<RingMember> members_;  // Sorted by id(), deduplicated.
+  std::vector<VNode> ring_;          // Sorted by hash.
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_RING_CACHE_RING_H_

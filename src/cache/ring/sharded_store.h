@@ -1,0 +1,275 @@
+// ActivationSource backed by a sharded, replicated ring of cache nodes.
+//
+// Where cache::RemoteActivationStore speaks to exactly one flashps_cached
+// node, this store routes every fetch and publish through a CacheRing over
+// N of them, converting the cache tier from "a node" into "a fleet":
+//
+//   placement   — each template maps to an ordered preference list of
+//                 nodes (consistent hashing, vnodes, FNV-1a over the
+//                 template id). Entry 0 is the primary; the next k-1 are
+//                 replicas; the rest is the failover order.
+//   replication — a miss-publish and every read repair write the record
+//                 to the first `replication` *reachable* members of the
+//                 list, so the Zipf head (~970 templates at ~35k reuses,
+//                 per the paper's trace analysis) is served by k nodes
+//                 instead of melting one.
+//   failover    — the fetch walk skips members whose per-member circuit
+//                 breaker is open and moves past transport failures to
+//                 the next preferred member; a walk only gives up when it
+//                 has heard k clean answers or run out of members.
+//   read repair — when replica i misses but replica j>i hits, the record
+//                 is written back (best effort) to every earlier reachable
+//                 replica that missed, healing holes left by node restarts
+//                 and membership change without a rebalance pass.
+//   fallback    — if no member is reachable, the request registers the
+//                 template locally: the "Acquire never fails" invariant is
+//                 preserved node-by-node, and one sick member degrades
+//                 only its own arcs of the ring.
+//
+// The PR-5 prefetch pipeline composes unchanged: Prefetch() opens the same
+// single-flight entries and the background workers run the same ring walk
+// (wire part only — a prefetch never registers locally), with one
+// net::CacheClientPool per ring member so prefetches and foreground
+// fetches to different nodes never share a socket.
+//
+// Every counter exists twice: aggregated (the ladder invariant of
+// RemoteStoreStats holds identically) and per member, so a sick ring
+// member is visible in one MetricsJson() dump instead of averaged away.
+#ifndef FLASHPS_SRC_CACHE_RING_SHARDED_STORE_H_
+#define FLASHPS_SRC_CACHE_RING_SHARDED_STORE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/activation_store.h"
+#include "src/cache/ring/cache_ring.h"
+#include "src/common/stats.h"
+#include "src/net/cache_client.h"
+
+namespace flashps::cache {
+
+struct ShardedStoreOptions {
+  // Ring membership; placement is deterministic in this set (order does
+  // not matter — the ring sorts by id).
+  std::vector<RingMember> nodes;
+  // Replicas per template (clamped to [1, nodes.size()]). 1 = pure
+  // sharding, no redundancy.
+  int replication = 2;
+  int virtual_nodes = 64;
+
+  // In-process front capacity, in records (0 = front disabled).
+  size_t lru_capacity = 64;
+  // Per-connection transport knobs (same meaning as RemoteStoreOptions).
+  int connect_attempts = 2;
+  std::chrono::milliseconds connect_backoff{50};
+  std::chrono::milliseconds call_timeout{5000};
+  // Per-member circuit breaker: consecutive transport failures against
+  // ONE member open that member's circuit only; the rest of the ring
+  // keeps serving its own ranges.
+  int max_consecutive_failures = 3;
+  std::chrono::milliseconds degrade_cooldown{1000};
+  // Publish locally registered records to the replica set on a miss.
+  bool put_on_miss = true;
+  // Back-fill earlier replicas that missed when a later one hits.
+  bool read_repair = true;
+  // Async prefetch pipeline (0 disables; Prefetch() becomes a no-op).
+  int prefetch_workers = 0;
+  size_t prefetch_queue_cap = 64;
+  size_t prefetch_staging_cap = 32;
+  // Wire connections per ring member. Clamped up so every prefetch worker
+  // plus one foreground fetch can be on the wire against the same member.
+  int connections_per_member = 1;
+};
+
+// Wire-facing counters for one ring member. All monotonic except
+// circuit_open, a gauge sampled at Stats() time.
+struct RingMemberStats {
+  std::string id;
+  uint64_t remote_hits = 0;     // Whole records served (incl. prefetch).
+  uint64_t remote_misses = 0;   // Reachable but not resident.
+  uint64_t transport_failures = 0;
+  uint64_t circuit_trips = 0;
+  bool circuit_open = false;
+  uint64_t puts_ok = 0;         // Replication publishes acked.
+  uint64_t read_repairs = 0;    // Repair writes landed ON this member.
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_put = 0;
+};
+
+// Aggregate ladder counters, same accounting identity as RemoteStoreStats:
+//   front_hits + remote_hits + remote_misses + fallbacks
+//     + singleflight_waits + prefetch_coalesced == Acquire() calls.
+struct ShardedStoreStats {
+  uint64_t front_hits = 0;
+  uint64_t remote_hits = 0;
+  uint64_t remote_misses = 0;  // >=1 member reachable, none resident.
+  uint64_t fallbacks = 0;      // No member reachable for this key.
+  uint64_t singleflight_waits = 0;
+  uint64_t prefetch_coalesced = 0;
+  uint64_t local_registrations = 0;
+  uint64_t puts_ok = 0;        // Replica publishes acked (all members).
+  uint64_t read_repairs = 0;   // Back-fill writes acked (all members).
+  uint64_t failovers = 0;      // Walk steps past a failed/open member.
+  uint64_t degrade_trips = 0;  // Per-member circuit trips, summed.
+  uint64_t remote_bytes_fetched = 0;
+  uint64_t remote_bytes_put = 0;
+  uint64_t front_size = 0;
+  double fetch_p50_us = 0.0;   // Over successful foreground record fetches.
+  double fetch_p99_us = 0.0;
+
+  // Prefetch pipeline (same meaning as RemoteStoreStats).
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_redundant = 0;
+  uint64_t prefetch_suppressed = 0;  // Every member circuit open at issue.
+  uint64_t prefetch_dropped = 0;
+  uint64_t prefetch_remote_hits = 0;
+  uint64_t prefetch_remote_misses = 0;
+  uint64_t prefetch_fallbacks = 0;
+  uint64_t prefetch_bytes_fetched = 0;
+  uint64_t prefetch_staged = 0;  // Gauge.
+  double prefetch_p50_us = 0.0;
+  double prefetch_p99_us = 0.0;
+
+  std::vector<RingMemberStats> members;
+};
+
+class ShardedRemoteStore : public ActivationSource {
+ public:
+  explicit ShardedRemoteStore(ShardedStoreOptions options);
+  ~ShardedRemoteStore() override;
+
+  ShardedRemoteStore(const ShardedRemoteStore&) = delete;
+  ShardedRemoteStore& operator=(const ShardedRemoteStore&) = delete;
+
+  // Never fails; see the failure ladder above. Thread-safe.
+  std::shared_ptr<const model::ActivationRecord> Acquire(
+      const model::DiffusionModel& m, int template_id,
+      bool record_kv) override;
+
+  // Queue-ahead hint; same contract as RemoteActivationStore::Prefetch.
+  void Prefetch(const model::DiffusionModel& m, int template_id,
+                bool record_kv) override;
+
+  ShardedStoreStats Stats() const;
+  std::string MetricsJson() const;
+
+  // Liveness probe of every member (rides the metrics frame — no new wire
+  // type). Best effort, for startup diagnostics; the per-member circuit
+  // breakers are the live health signal.
+  std::vector<bool> ProbeMembers(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
+
+  const CacheRing& ring() const { return ring_; }
+
+ private:
+  struct FrontEntry {
+    std::shared_ptr<const model::ActivationRecord> record;
+    std::list<int>::iterator lru_it;
+  };
+
+  struct Flight {
+    bool done = false;
+    bool prefetch = false;
+    bool joined = false;
+    std::shared_ptr<const model::ActivationRecord> result;
+  };
+
+  struct PrefetchJob {
+    int64_t flight_key = 0;
+    int template_id = 0;
+    int steps = 0;
+    int blocks = 0;
+    bool want_kv = false;
+  };
+
+  struct StagedEntry {
+    std::shared_ptr<const model::ActivationRecord> record;
+    uint64_t order = 0;
+  };
+
+  // One ring member's transport state. The pool is internally
+  // synchronized; breaker fields live under breaker_mu_; counters under
+  // mu_ (in stats_.members).
+  struct Member {
+    std::unique_ptr<net::CacheClientPool> pool;
+    int consecutive_failures = 0;  // Under breaker_mu_.
+    std::chrono::steady_clock::time_point degraded_until{};  // breaker_mu_.
+  };
+
+  // Outcome of one ring walk (the wire part of the ladder only).
+  struct RingFetchResult {
+    std::shared_ptr<model::ActivationRecord> record;
+    int hit_member = -1;
+    int reachable = 0;  // Members that answered (hit or miss).
+    int failovers = 0;  // Walk steps past a failed/open member.
+    int repairs = 0;    // Read-repair writes acked.
+    uint64_t bytes = 0;
+    double fetch_us = 0.0;
+    std::vector<int> missed;  // Reachable members that missed, pref order.
+  };
+
+  static int64_t FlightKey(int template_id, bool record_kv) {
+    return static_cast<int64_t>(template_id) * 2 + (record_kv ? 1 : 0);
+  }
+
+  // Walks the preference list: skip open circuits, move past transport
+  // failures, stop at a hit or after `replication` clean answers. On a
+  // hit, read-repairs the earlier reachable replicas that missed. No mu_
+  // held; member counters are updated under mu_ before returning.
+  RingFetchResult RingFetch(int template_id, int steps, int blocks,
+                            bool want_kv);
+  // The foreground ladder: RingFetch, then register + replicate on miss,
+  // then local fallback.
+  std::shared_ptr<const model::ActivationRecord> FetchOrRegister(
+      const model::DiffusionModel& m, int template_id, bool record_kv);
+  // Publishes `record` to up to `replication` reachable preferred members
+  // (miss path). Returns acked put count; updates member counters.
+  int Replicate(int template_id, const model::ActivationRecord& record);
+  void PrefetchLoop();
+  void InstallFront(int template_id,
+                    std::shared_ptr<const model::ActivationRecord> record);
+  void InstallStaged(int template_id,
+                     std::shared_ptr<const model::ActivationRecord> record);
+  bool CircuitClosed(size_t member);
+  // Trips only `member`'s circuit; returns true when it tripped.
+  void NoteTransport(size_t member, bool ok);
+  // True when at least one member's circuit is closed.
+  bool AnyMemberReachable();
+
+  ShardedStoreOptions options_;
+  CacheRing ring_;
+  int replication_ = 1;  // Clamped.
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable prefetch_cv_;
+  std::map<int, FrontEntry> front_;
+  std::list<int> lru_;
+  std::map<int, StagedEntry> staged_;
+  uint64_t staged_order_ = 0;
+  std::map<int64_t, std::shared_ptr<Flight>> flights_;
+  std::deque<PrefetchJob> prefetch_queue_;
+  bool prefetch_stop_ = false;
+  ShardedStoreStats stats_;  // members[] sized at construction.
+  StatAccumulator fetch_us_;
+  StatAccumulator prefetch_us_;
+
+  std::vector<Member> members_;  // Indexed like ring_.member().
+  mutable std::mutex breaker_mu_;
+
+  std::vector<std::thread> prefetch_threads_;
+};
+
+}  // namespace flashps::cache
+
+#endif  // FLASHPS_SRC_CACHE_RING_SHARDED_STORE_H_

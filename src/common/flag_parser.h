@@ -1,0 +1,132 @@
+// Strict --key=value flag parsing shared by the daemons and benches.
+//
+// Replaces the per-binary copy-pasted FlagValue/FlagLong helpers, which
+// silently turned "--port=sevenfourtwelve" into 0 (std::atol) and ignored
+// unknown flags outright — a typo'd flag name meant running with defaults
+// and no hint why. This parser:
+//
+//   - accepts only `--key=value` (and bare `--key`, for switches like
+//     --help); anything else is an error,
+//   - parses integers with full-string validation and range checks, so a
+//     malformed value is reported instead of becoming 0,
+//   - records which keys the program asked for, so ok() can report every
+//     flag the program does NOT understand — call it after the last
+//     lookup, print errors() + usage, and exit non-zero.
+//
+// Header-only; no dependencies beyond the standard library, so the
+// daemons stay as self-contained as before.
+#ifndef FLASHPS_SRC_COMMON_FLAG_PARSER_H_
+#define FLASHPS_SRC_COMMON_FLAG_PARSER_H_
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flashps::flags {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+        errors_.push_back("unrecognized argument '" + arg +
+                          "' (expected --key=value)");
+        continue;
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  // True when the flag was given (with or without a value).
+  bool Has(const std::string& key) {
+    seen_.insert(key);
+    return values_.count(key) != 0;
+  }
+
+  std::string String(const std::string& key, std::string fallback) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+  long Long(const std::string& key, long fallback) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (it->second.empty() || end == nullptr || *end != '\0' ||
+        errno == ERANGE) {
+      errors_.push_back("invalid integer for --" + key + ": '" + it->second +
+                        "'");
+      return fallback;
+    }
+    return value;
+  }
+
+  // Long() constrained to [min, max]; out-of-range values are errors, not
+  // silent clamps (a port of 99999 is a typo, not a request).
+  long LongInRange(const std::string& key, long fallback, long min,
+                   long max) {
+    const size_t errors_before = errors_.size();
+    const long value = Long(key, fallback);
+    if (errors_.size() != errors_before) {
+      return fallback;
+    }
+    if (value < min || value > max) {
+      errors_.push_back("--" + key + "=" + std::to_string(value) +
+                        " out of range [" + std::to_string(min) + ", " +
+                        std::to_string(max) + "]");
+      return fallback;
+    }
+    return value;
+  }
+
+  // Call after the last lookup: any flag the program never asked about is
+  // unknown. False when anything went wrong; errors() lists why.
+  bool ok() {
+    if (!finished_) {
+      finished_ = true;
+      for (const auto& [key, value] : values_) {
+        if (!seen_.contains(key)) {
+          errors_.push_back("unknown flag --" + key);
+        }
+      }
+    }
+    return errors_.empty();
+  }
+
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  // One line per error, ready for stderr.
+  std::string ErrorText() const {
+    std::string out;
+    for (const std::string& error : errors_) {
+      out += error;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> seen_;
+  std::vector<std::string> errors_;
+  bool finished_ = false;
+};
+
+}  // namespace flashps::flags
+
+#endif  // FLASHPS_SRC_COMMON_FLAG_PARSER_H_

@@ -366,4 +366,8 @@ std::optional<std::string> CacheClient::QueryMetrics(
   }
 }
 
+bool CacheClient::Probe(std::chrono::milliseconds timeout) {
+  return QueryMetrics(timeout).has_value();
+}
+
 }  // namespace flashps::net

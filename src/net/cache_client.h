@@ -86,6 +86,12 @@ class CacheClient {
   std::optional<std::string> QueryMetrics(
       std::optional<std::chrono::milliseconds> timeout = {});
 
+  // Liveness probe: rides the metrics frame (no dedicated wire type) with
+  // a short deadline. True iff the node answered in time. Used by the
+  // cache ring to report member health; the per-member circuit breakers
+  // remain the live signal on the fetch path.
+  bool Probe(std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
+
   WireError last_error() const { return last_error_; }
 
  private:

@@ -1,0 +1,255 @@
+// Cache-ring integration over loopback:
+//
+//  1. A worker fleet whose activation source is a ShardedRemoteStore over
+//     three cache nodes produces latent checksums bitwise-identical to a
+//     fleet on the default local store — cold (miss, register, replicate
+//     k ways) and warm (whole records fetched off the ring).
+//  2. Killing one ring member mid-run never fails a request and never
+//     changes an output bit: surviving members absorb the dead member's
+//     ranges, so the fleet stays bitwise-identical with zero fallbacks.
+//  3. The gateway's MetricsJson carries the per-member ring counters.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cache/ring/sharded_store.h"
+#include "src/common/rng.h"
+#include "src/gateway/gateway.h"
+#include "src/net/cache_node.h"
+#include "src/net/tcp_server.h"
+
+namespace flashps::net {
+namespace {
+
+constexpr int kNumRequests = 8;
+constexpr int kNumTemplates = 3;
+constexpr int kRingSize = 3;
+
+gateway::GatewayOptions FleetOptions() {
+  gateway::GatewayOptions options;
+  options.num_workers = 2;
+  options.worker.numerics = model::NumericsConfig::ForTests();
+  options.worker.numerics.num_steps = 2;
+  options.worker.max_batch = 3;
+  options.admission_control = false;
+  return options;
+}
+
+std::vector<runtime::OnlineRequest> MakeRequests(int count,
+                                                 int first_template = 0) {
+  const model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  Rng rng(2026);
+  std::vector<runtime::OnlineRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    runtime::OnlineRequest request;
+    request.template_id = first_template + i % kNumTemplates;
+    request.prompt_seed = 1000 + static_cast<uint64_t>(i);
+    request.mask = trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w,
+                                           0.1 + 0.05 * i, rng);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+// Runs every request through a fleet configured with `source` (null = the
+// default worker-resolved local store) and returns the latent checksums.
+std::vector<uint64_t> RunFleet(
+    const std::vector<runtime::OnlineRequest>& requests,
+    std::shared_ptr<cache::ActivationSource> source) {
+  gateway::GatewayOptions options = FleetOptions();
+  options.worker.activation_source = std::move(source);
+  gateway::Gateway gw(options);
+  std::vector<uint64_t> checksums;
+  std::vector<std::future<runtime::OnlineResponse>> futures;
+  for (const runtime::OnlineRequest& request : requests) {
+    gateway::SubmitResult result = gw.Submit(request);
+    EXPECT_TRUE(result.accepted());
+    futures.push_back(std::move(result.future));
+  }
+  for (auto& future : futures) {
+    checksums.push_back(LatentChecksum(future.get().image));
+  }
+  gw.Stop();
+  return checksums;
+}
+
+// A three-node loopback ring the tests can kill members of.
+class CacheRingFleet {
+ public:
+  CacheRingFleet() {
+    for (int i = 0; i < kRingSize; ++i) {
+      nodes_.push_back(std::make_unique<CacheNode>());
+      servers_.push_back(std::make_unique<TcpServer>(nodes_[i]->Service()));
+      EXPECT_TRUE(servers_[i]->Start());
+    }
+  }
+
+  ~CacheRingFleet() {
+    for (auto& server : servers_) {
+      if (server != nullptr) {
+        server->Stop();
+      }
+    }
+  }
+
+  cache::ShardedStoreOptions StoreOptions(int replication = 2) const {
+    cache::ShardedStoreOptions options;
+    for (const auto& server : servers_) {
+      options.nodes.push_back({"127.0.0.1", server->port()});
+    }
+    options.replication = replication;
+    options.connect_attempts = 1;
+    options.connect_backoff = std::chrono::milliseconds(1);
+    return options;
+  }
+
+  void KillMember(int index) { servers_[static_cast<size_t>(index)]->Stop(); }
+
+  int ResidentCopies(int template_id) const {
+    CacheKey key;
+    key.template_id = template_id;
+    key.step = 0;
+    key.block = 0;
+    key.kind = kCacheKindY;
+    int copies = 0;
+    for (const auto& node : nodes_) {
+      if (node->Contains(key)) {
+        ++copies;
+      }
+    }
+    return copies;
+  }
+
+ private:
+  std::vector<std::unique_ptr<CacheNode>> nodes_;
+  std::vector<std::unique_ptr<TcpServer>> servers_;
+};
+
+TEST(CacheRingIntegrationTest, RingFleetMatchesLocalFleetBitwise) {
+  CacheRingFleet ring;
+  const std::vector<runtime::OnlineRequest> requests =
+      MakeRequests(kNumRequests);
+  const std::vector<uint64_t> local = RunFleet(requests, nullptr);
+
+  // --- cold fleet: every template misses, registers, replicates k ways ---
+  auto cold_store =
+      std::make_shared<cache::ShardedRemoteStore>(ring.StoreOptions());
+  const std::vector<uint64_t> cold = RunFleet(requests, cold_store);
+  ASSERT_EQ(cold.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(cold[i], local[i]) << "request " << i
+                                 << ": ring-sourced latent differs";
+  }
+  const cache::ShardedStoreStats cold_stats = cold_store->Stats();
+  EXPECT_EQ(cold_stats.remote_misses, static_cast<uint64_t>(kNumTemplates));
+  EXPECT_EQ(cold_stats.fallbacks, 0u);
+  // k copies of every template landed on the fleet.
+  EXPECT_EQ(cold_stats.puts_ok, static_cast<uint64_t>(2 * kNumTemplates));
+  for (int t = 0; t < kNumTemplates; ++t) {
+    EXPECT_EQ(ring.ResidentCopies(t), 2) << "template " << t;
+  }
+  EXPECT_EQ(cold_stats.front_hits + cold_stats.singleflight_waits,
+            static_cast<uint64_t>(kNumRequests - kNumTemplates));
+
+  // --- warm fleet: a fresh front fetches whole records off the ring ------
+  auto warm_store =
+      std::make_shared<cache::ShardedRemoteStore>(ring.StoreOptions());
+  const std::vector<uint64_t> warm = RunFleet(requests, warm_store);
+  for (size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(warm[i], local[i]) << "request " << i
+                                 << ": warm ring latent differs";
+  }
+  const cache::ShardedStoreStats warm_stats = warm_store->Stats();
+  EXPECT_EQ(warm_stats.remote_hits, static_cast<uint64_t>(kNumTemplates));
+  EXPECT_EQ(warm_stats.remote_misses, 0u);
+  EXPECT_EQ(warm_stats.local_registrations, 0u);
+  EXPECT_EQ(warm_stats.fallbacks, 0u);
+  // Every hit is attributed to a specific member, not a blended average.
+  uint64_t member_hits = 0;
+  for (const cache::RingMemberStats& m : warm_stats.members) {
+    member_hits += m.remote_hits;
+  }
+  EXPECT_EQ(member_hits, warm_stats.remote_hits);
+}
+
+TEST(CacheRingIntegrationTest, KilledMemberMidRunStaysBitwiseIdentical) {
+  CacheRingFleet ring;
+
+  // Reference run on a local fleet: 4 warm templates + 3 post-kill ones.
+  std::vector<runtime::OnlineRequest> warm_requests = MakeRequests(4);
+  std::vector<runtime::OnlineRequest> late_requests =
+      MakeRequests(3, /*first_template=*/100);
+  std::vector<runtime::OnlineRequest> all = warm_requests;
+  all.insert(all.end(), late_requests.begin(), late_requests.end());
+  const std::vector<uint64_t> reference = RunFleet(all, nullptr);
+
+  cache::ShardedStoreOptions store_options = ring.StoreOptions();
+  store_options.call_timeout = std::chrono::milliseconds(2000);
+  auto store = std::make_shared<cache::ShardedRemoteStore>(store_options);
+  gateway::GatewayOptions options = FleetOptions();
+  options.worker.activation_source = store;
+  gateway::Gateway gw(options);
+
+  std::vector<std::future<runtime::OnlineResponse>> futures;
+  for (const auto& request : warm_requests) {
+    gateway::SubmitResult result = gw.Submit(request);
+    ASSERT_TRUE(result.accepted());
+    futures.push_back(std::move(result.future));
+  }
+  // One ring member dies while the fleet may still be mid-flight, then new
+  // templates keep arriving. Unlike the single-node tier (where this
+  // degrades to local fallback), the two surviving members absorb the dead
+  // member's ranges: every request completes through the ring.
+  ring.KillMember(1);
+  for (const auto& request : late_requests) {
+    gateway::SubmitResult result = gw.Submit(request);
+    ASSERT_TRUE(result.accepted());
+    futures.push_back(std::move(result.future));
+  }
+
+  ASSERT_EQ(futures.size(), reference.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const runtime::OnlineResponse response = futures[i].get();
+    EXPECT_EQ(LatentChecksum(response.image), reference[i])
+        << "request " << i << " diverged after the ring member died";
+  }
+  const cache::ShardedStoreStats stats = store->Stats();
+  // Zero failed Acquires AND zero local fallbacks: with two members alive,
+  // the ring itself stayed serviceable for every template.
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.front_hits + stats.singleflight_waits + stats.remote_hits +
+                stats.remote_misses + stats.fallbacks +
+                stats.prefetch_coalesced,
+            static_cast<uint64_t>(futures.size()));
+  gw.Stop();
+}
+
+TEST(CacheRingIntegrationTest, GatewayMetricsCarryRingMembers) {
+  CacheRingFleet ring;
+  gateway::GatewayOptions options = FleetOptions();
+  auto store =
+      std::make_shared<cache::ShardedRemoteStore>(ring.StoreOptions());
+  options.worker.activation_source = store;
+  gateway::Gateway gw(options);
+  gateway::SubmitResult result = gw.Submit(MakeRequests(1).front());
+  ASSERT_TRUE(result.accepted());
+  result.future.get();
+
+  // One JSON dump: gateway splices the store's metrics, and the store's
+  // metrics carry the per-member breakdown.
+  const std::string json = gw.MetricsJson();
+  EXPECT_NE(json.find("\"activation_source\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"sharded\""), std::string::npos);
+  EXPECT_NE(json.find("\"members\":["), std::string::npos);
+  for (const cache::RingMember& member : store->ring().members()) {
+    EXPECT_NE(json.find("\"id\":\"" + member.id() + "\""), std::string::npos)
+        << member.id();
+  }
+
+  gw.Stop();
+}
+
+}  // namespace
+}  // namespace flashps::net

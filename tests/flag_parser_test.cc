@@ -1,0 +1,111 @@
+// The shared --key=value parser the daemons use: strict integer parsing
+// (no silent atol-to-zero), range checks as errors, and unknown-flag
+// detection via the set of keys the program actually queried.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/flag_parser.h"
+
+namespace flashps::flags {
+namespace {
+
+// Owns mutable argv storage for a parser under test.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (std::string& arg : storage_) {
+      argv_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagParserTest, ParsesStringsLongsAndSwitches) {
+  Args args({"--port=7412", "--host=10.0.0.1", "--verbose"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Long("port", 0), 7412);
+  EXPECT_EQ(flags.String("host", "127.0.0.1"), "10.0.0.1");
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+  EXPECT_EQ(flags.Long("workers", 2), 2);  // Absent -> fallback, no error.
+  EXPECT_TRUE(flags.ok()) << flags.ErrorText();
+}
+
+TEST(FlagParserTest, MalformedIntegerIsAnErrorNotZero) {
+  // The old per-binary atol helpers turned this into port 0 silently.
+  Args args({"--port=sevenfourtwelve"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Long("port", 7412), 7412);  // Fallback, never 0.
+  EXPECT_FALSE(flags.ok());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("invalid integer"), std::string::npos);
+  EXPECT_NE(flags.errors()[0].find("sevenfourtwelve"), std::string::npos);
+}
+
+TEST(FlagParserTest, TrailingGarbageAndEmptyValuesAreErrors) {
+  Args args({"--port=7412x", "--workers="});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Long("port", 1), 1);
+  EXPECT_EQ(flags.Long("workers", 2), 2);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
+TEST(FlagParserTest, OutOfRangeIsAnErrorNotAClamp) {
+  Args args({"--port=99999"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.LongInRange("port", 7412, 1, 65535), 7412);
+  EXPECT_FALSE(flags.ok());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("out of range"), std::string::npos);
+}
+
+TEST(FlagParserTest, InRangeValuePassesThrough) {
+  Args args({"--port=80"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.LongInRange("port", 7412, 1, 65535), 80);
+  EXPECT_TRUE(flags.ok()) << flags.ErrorText();
+}
+
+TEST(FlagParserTest, UnknownFlagIsReportedAfterLastLookup) {
+  Args args({"--prot=7412"});  // Typo for --port.
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Long("port", 7412), 7412);
+  EXPECT_FALSE(flags.ok());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("unknown flag --prot"), std::string::npos);
+  // ok() is idempotent: a second call does not double-report.
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.errors().size(), 1u);
+}
+
+TEST(FlagParserTest, PositionalArgumentsAreRejected) {
+  Args args({"7412", "--port=1"});
+  FlagParser flags(args.argc(), args.argv());
+  flags.Long("port", 0);
+  EXPECT_FALSE(flags.ok());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("unrecognized argument '7412'"),
+            std::string::npos);
+}
+
+TEST(FlagParserTest, ErrorTextIsOneLinePerError) {
+  Args args({"--port=bad", "--mystery=1"});
+  FlagParser flags(args.argc(), args.argv());
+  flags.Long("port", 0);
+  EXPECT_FALSE(flags.ok());
+  const std::string text = flags.ErrorText();
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            flags.errors().size());
+}
+
+}  // namespace
+}  // namespace flashps::flags
