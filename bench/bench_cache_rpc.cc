@@ -29,6 +29,14 @@
 //            must be bitwise-identical to a local ActivationStore replay
 //            (and zero Acquires may fail) — the bench exits non-zero
 //            otherwise.
+//   precision — cold publish + warm fetch of every template at each
+//            --cache-precision mode (lossless / fp16 / staged) against a
+//            fresh node per mode. Reports wire vs decoded bytes, the
+//            compression ratio, and warm fetch p50/p99. Two hard gates:
+//            the lossless leg must be bitwise-identical to local
+//            registration, and the staged leg must cut wire
+//            bytes_fetched at least 2x vs lossless — the bench exits
+//            non-zero if either fails.
 //
 // Client and node byte counters are reconciled at the end (bytes put ==
 // bytes stored, bytes fetched == bytes served) and everything is written
@@ -485,6 +493,110 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(degraded_stats.fallbacks),
               ring_degraded.nulls);
 
+  // --- precision legs: the codec modes against fresh nodes ---------------
+  //
+  // Cold publish + warm whole-fleet fetch per mode. The decoded byte
+  // count is identical across modes by construction (same records); the
+  // wire bytes are what the codec actually moved.
+  struct PrecisionLeg {
+    std::string mode;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    uint64_t bytes_put = 0;
+    uint64_t wire_bytes_put = 0;
+    uint64_t bytes_fetched = 0;
+    uint64_t wire_bytes_fetched = 0;
+    double fetch_p50_us = 0.0;
+    double fetch_p99_us = 0.0;
+    double compression = 1.0;  // decoded / wire, put path.
+    bool bitwise = false;      // Warm records == local registration.
+  };
+  const int prec_base = 4 * templates + 10000;
+  std::vector<uint64_t> prec_reference;
+  prec_reference.reserve(static_cast<size_t>(templates));
+  for (int t = 0; t < templates; ++t) {
+    prec_reference.push_back(
+        RecordChecksum(model.Register(prec_base + t, false)));
+  }
+  std::vector<PrecisionLeg> precision_legs;
+  for (const quant::PrecisionMode mode :
+       {quant::PrecisionMode::kLossless, quant::PrecisionMode::kF16,
+        quant::PrecisionMode::kStaged}) {
+    net::CacheNode prec_node;
+    net::TcpServer prec_server(prec_node.Service());
+    if (!prec_server.Start()) {
+      std::fprintf(stderr, "cannot start precision-leg cache node\n");
+      return 1;
+    }
+    cache::RemoteStoreOptions options =
+        StoreOptions(prec_server.port(), /*lru_capacity=*/0);
+    options.precision = mode;
+
+    PrecisionLeg leg;
+    leg.mode = quant::ToString(mode);
+    cache::RemoteActivationStore prec_cold(options);
+    const auto prec_cold_start = Clock::now();
+    for (int t = 0; t < templates; ++t) {
+      prec_cold.Acquire(model, prec_base + t, /*record_kv=*/false);
+    }
+    leg.cold_ms = MsSince(prec_cold_start);
+    const cache::RemoteStoreStats cold_s = prec_cold.Stats();
+    leg.bytes_put = cold_s.remote_bytes_put;
+    leg.wire_bytes_put = cold_s.remote_wire_bytes_put;
+
+    cache::RemoteActivationStore prec_warm(options);
+    bool bitwise = true;
+    const auto prec_warm_start = Clock::now();
+    for (int t = 0; t < templates; ++t) {
+      auto record = prec_warm.Acquire(model, prec_base + t, false);
+      bitwise = bitwise && record != nullptr &&
+                RecordChecksum(*record) ==
+                    prec_reference[static_cast<size_t>(t)];
+    }
+    leg.warm_ms = MsSince(prec_warm_start);
+    const cache::RemoteStoreStats warm_s = prec_warm.Stats();
+    leg.bytes_fetched = warm_s.remote_bytes_fetched;
+    leg.wire_bytes_fetched = warm_s.remote_wire_bytes_fetched;
+    leg.fetch_p50_us = warm_s.fetch_p50_us;
+    leg.fetch_p99_us = warm_s.fetch_p99_us;
+    leg.compression = leg.wire_bytes_put > 0
+                          ? static_cast<double>(leg.bytes_put) /
+                                static_cast<double>(leg.wire_bytes_put)
+                          : 1.0;
+    leg.bitwise = bitwise && warm_s.remote_hits ==
+                                 static_cast<uint64_t>(templates);
+    precision_legs.push_back(leg);
+    prec_server.Stop();
+  }
+
+  std::printf("\nprecision legs, %d templates, fresh node per mode:\n",
+              templates);
+  bench::PrintRow({"mode", "cold ms", "warm ms", "wire put KB",
+                   "wire fetch KB", "ratio", "p50 us", "p99 us", "bitwise"},
+                  14);
+  for (const PrecisionLeg& leg : precision_legs) {
+    bench::PrintRow(
+        {leg.mode, bench::Fmt(leg.cold_ms, 1), bench::Fmt(leg.warm_ms, 1),
+         std::to_string(leg.wire_bytes_put / 1024),
+         std::to_string(leg.wire_bytes_fetched / 1024),
+         bench::Fmt(leg.compression, 2), bench::Fmt(leg.fetch_p50_us, 0),
+         bench::Fmt(leg.fetch_p99_us, 0), leg.bitwise ? "yes" : "no"},
+        14);
+  }
+  // The two hard gates: lossless must not drift, staged must halve the
+  // warm wire traffic.
+  const bool lossless_bitwise = precision_legs[0].bitwise;
+  const bool staged_cut_ok = precision_legs[2].wire_bytes_fetched * 2 <=
+                             precision_legs[0].wire_bytes_fetched;
+  if (!lossless_bitwise) {
+    std::fprintf(stderr, "lossless precision leg drifted from local "
+                         "registration\n");
+  }
+  if (!staged_cut_ok) {
+    std::fprintf(stderr, "staged precision leg moved more than half the "
+                         "lossless wire bytes\n");
+  }
+
   // --- reconcile client-side byte counters with the node's ---------------
   const net::CacheNodeStats node_stats = node.Stats();
   const bool put_ok =
@@ -548,6 +660,24 @@ int main(int argc, char** argv) {
        << ",\"bitwise_identical\":" << (ring_bitwise ? "true" : "false")
        << ",\"warm\":" << warm_ring.MetricsJson()
        << ",\"degraded\":" << degraded_ring.MetricsJson() << "}";
+  json << ",\"precision\":[";
+  for (size_t i = 0; i < precision_legs.size(); ++i) {
+    const PrecisionLeg& leg = precision_legs[i];
+    if (i > 0) json << ",";
+    json << "{\"mode\":\"" << leg.mode << "\""
+         << ",\"cold_wall_ms\":" << leg.cold_ms
+         << ",\"warm_wall_ms\":" << leg.warm_ms
+         << ",\"bytes_put\":" << leg.bytes_put
+         << ",\"wire_bytes_put\":" << leg.wire_bytes_put
+         << ",\"bytes_fetched\":" << leg.bytes_fetched
+         << ",\"wire_bytes_fetched\":" << leg.wire_bytes_fetched
+         << ",\"compression_ratio\":" << leg.compression
+         << ",\"fetch_p50_us\":" << leg.fetch_p50_us
+         << ",\"fetch_p99_us\":" << leg.fetch_p99_us
+         << ",\"bitwise_identical\":" << (leg.bitwise ? "true" : "false")
+         << "}";
+  }
+  json << "],\"staged_wire_cut_ok\":" << (staged_cut_ok ? "true" : "false");
   json << ",\"node\":" << node.MetricsJson()
        << ",\"reconciled\":" << (put_ok ? "true" : "false") << "}";
   std::ofstream out("BENCH_cache_rpc.json");
@@ -567,5 +697,5 @@ int main(int argc, char** argv) {
     ring_server->Stop();
   }
   server.Stop();
-  return put_ok && ring_bitwise ? 0 : 2;
+  return put_ok && ring_bitwise && lossless_bitwise && staged_cut_ok ? 0 : 2;
 }

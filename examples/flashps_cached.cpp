@@ -9,7 +9,14 @@
 // them per process; a metrics frame (or SIGINT/SIGTERM at exit) reports
 // the node's hit/miss/byte/eviction counters.
 //
+// --cache-precision sets the node's admission floor: lossless (the
+// default) accepts only bitwise f32 puts — a misconfigured lossy worker
+// is rejected loudly — while fp16/staged admit the matching compressed
+// encodings. Entries rest in their wire form, so --max-bytes counts
+// compressed bytes.
+//
 //   flashps_cached --port=7412 --max-bytes=0 --stats-every-s=10
+//                  --cache-precision=lossless
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -28,7 +35,8 @@ void OnSignal(int signum) { g_signal = signum; }
 
 constexpr char kUsage[] =
     "usage: flashps_cached [--port=7412] [--max-bytes=0]\n"
-    "                      [--max-inflight=64] [--stats-every-s=0]\n";
+    "                      [--max-inflight=64] [--stats-every-s=0]\n"
+    "                      [--cache-precision=lossless|fp16|staged]\n";
 
 }  // namespace
 
@@ -42,6 +50,14 @@ int main(int argc, char** argv) {
   net::CacheNodeOptions node_options;
   node_options.max_bytes =
       static_cast<size_t>(flags.LongInRange("max-bytes", 0, 0, 1l << 40));
+  // Daemon default is the strictest floor: a fleet is bitwise-attested
+  // unless the operator opts the node into compressed admissions.
+  const std::string precision_name = flags.String("cache-precision", "lossless");
+  if (!quant::ParsePrecisionMode(precision_name, &node_options.admit)) {
+    std::fprintf(stderr, "flashps_cached: bad --cache-precision=%s\n%s",
+                 precision_name.c_str(), kUsage);
+    return 2;
+  }
 
   net::TcpServerOptions server_options;
   server_options.port =
@@ -63,8 +79,10 @@ int main(int argc, char** argv) {
                  server_options.port);
     return 1;
   }
-  std::printf("flashps_cached: listening on 127.0.0.1:%u (max-bytes=%zu)\n",
-              server.port(), node_options.max_bytes);
+  std::printf(
+      "flashps_cached: listening on 127.0.0.1:%u (max-bytes=%zu, admit=%s)\n",
+      server.port(), node_options.max_bytes,
+      quant::ToString(node_options.admit).c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

@@ -35,6 +35,14 @@
 //                   --cache-nodes=127.0.0.1:7412,127.0.0.1:7413,127.0.0.1:7414
 //                   --cache-replication=2]
 //                  [--cache-prefetch=2 --cache-connections=2]
+//                  [--cache-precision=lossless|fp16|staged]
+//
+// --cache-precision picks the codec for records this worker PUBLISHES to
+// the remote tier (fetches are self-describing): lossless ships bitwise
+// f32, fp16 halves every frame, staged is fp16 for the early denoise
+// steps and int8 for the late ones. Set the cache node's own
+// --cache-precision at least as lax, or its admit policy rejects the
+// puts.
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -64,7 +72,8 @@ constexpr char kUsage[] =
     "                      [--cache-host=HOST --cache-port=7412 |\n"
     "                       --cache-nodes=HOST:PORT,HOST:PORT,...\n"
     "                       --cache-replication=2]\n"
-    "                      [--cache-prefetch=2 --cache-connections=2]\n";
+    "                      [--cache-prefetch=2 --cache-connections=2]\n"
+    "                      [--cache-precision=lossless|fp16|staged]\n";
 
 sched::RoutePolicy ParsePolicy(const std::string& name) {
   if (name == "round-robin") return sched::RoutePolicy::kRoundRobin;
@@ -113,6 +122,13 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.LongInRange("cache-replication", 2, 1, 64));
   const uint16_t cache_port =
       static_cast<uint16_t>(flags.LongInRange("cache-port", 7412, 1, 65535));
+  const std::string precision_name = flags.String("cache-precision", "lossless");
+  quant::PrecisionMode precision = quant::PrecisionMode::kLossless;
+  if (!quant::ParsePrecisionMode(precision_name, &precision)) {
+    std::fprintf(stderr, "flashps_served: bad --cache-precision=%s\n%s",
+                 precision_name.c_str(), kUsage);
+    return 2;
+  }
 
   std::string cache_label = "local";
   std::shared_ptr<cache::ShardedRemoteStore> ring_store;
@@ -135,6 +151,7 @@ int main(int argc, char** argv) {
     sharded.replication = replication;
     sharded.prefetch_workers = prefetch_workers;
     sharded.connections_per_member = cache_connections;
+    sharded.precision = precision;
     ring_store = std::make_shared<cache::ShardedRemoteStore>(sharded);
     options.worker.activation_source = ring_store;
     cache_label = "ring(" + cache_nodes + ")";
@@ -144,6 +161,7 @@ int main(int argc, char** argv) {
     remote.port = cache_port;
     remote.prefetch_workers = prefetch_workers;
     remote.connection_pool = cache_connections;
+    remote.precision = precision;
     options.worker.activation_source =
         std::make_shared<cache::RemoteActivationStore>(remote);
     cache_label = cache_host;
@@ -165,9 +183,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "
-              "slo %ld ms, cache %s\n",
+              "slo %ld ms, cache %s, precision %s\n",
               options.num_workers, options.worker.numerics.num_steps,
-              policy_name.c_str(), slo_ms, cache_label.c_str());
+              policy_name.c_str(), slo_ms, cache_label.c_str(),
+              quant::ToString(precision).c_str());
   if (ring_store != nullptr) {
     // One probe per member so a mistyped node shows up at launch, not as
     // a circuit trip minutes in.

@@ -6,6 +6,10 @@
 #   4. rebuild the net + gateway suites under AddressSanitizer and run
 #      them (malformed-frame handling must be memory-clean, not just
 #      not-crash).
+# The codec suites (Quant*, CodecQuality*) run in every leg: tier-1 via
+# ctest, and again under both sanitizers — the decoder's malformed-frame
+# rejection paths must be clean under ASan, and the codec is on the hot
+# path of the threaded cache suites.
 # Every ctest invocation carries a per-test timeout so a deadlocked
 # thread (the failure mode the prefetch/serving tests exist to catch)
 # fails the run instead of wedging it.
@@ -42,8 +46,8 @@ cd "${repo}"
 
 # The threaded suites the sanitizers exercise. Keep the two lists in sync
 # with the build target lists below.
-tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing)'
-asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing)'
+tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing|Quant|CodecQuality)'
+asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing|Quant|CodecQuality)'
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -70,6 +74,7 @@ cmake --build build-tsan -j --target \
   kernel_equivalence_test runtime_test gateway_test common_test \
   net_test net_integration_test cache_rpc_test cache_rpc_integration_test \
   cache_ring_test cache_ring_integration_test \
+  quant_test codec_quality_test \
   >/dev/null
 
 echo "== tsan: run threaded suites =="
@@ -82,6 +87,7 @@ cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target \
   net_test net_integration_test gateway_test cache_rpc_test \
   cache_rpc_integration_test cache_ring_test cache_ring_integration_test \
+  quant_test codec_quality_test \
   >/dev/null
 
 echo "== asan: run net + gateway + cache-rpc + cache-ring suites =="

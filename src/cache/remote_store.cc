@@ -282,6 +282,7 @@ void RemoteActivationStore::PrefetchLoop() {
 
     std::shared_ptr<model::ActivationRecord> record;
     uint64_t bytes = 0;
+    uint64_t wire_bytes = 0;
     double fetch_us = 0.0;
     bool remote_hit = false;
     bool remote_miss = false;
@@ -297,6 +298,7 @@ void RemoteActivationStore::PrefetchLoop() {
           remote_hit = true;
           record = std::move(fetched.record);
           bytes = fetched.bytes;
+          wire_bytes = fetched.wire_bytes;
           fetch_us = static_cast<double>(
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - t0)
@@ -316,6 +318,7 @@ void RemoteActivationStore::PrefetchLoop() {
       if (remote_hit) {
         ++stats_.prefetch_remote_hits;
         stats_.prefetch_bytes_fetched += bytes;
+        stats_.prefetch_wire_bytes_fetched += wire_bytes;
         prefetch_us_.Add(fetch_us);
       } else if (remote_miss) {
         ++stats_.prefetch_remote_misses;
@@ -360,6 +363,7 @@ RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.remote_hits;
         stats_.remote_bytes_fetched += fetched.bytes;
+        stats_.remote_wire_bytes_fetched += fetched.wire_bytes;
         fetch_us_.Add(static_cast<double>(us));
         return fetched.record;
       }
@@ -368,11 +372,14 @@ RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
       auto record = std::make_shared<model::ActivationRecord>(
           m.Register(template_id, record_kv));
       uint64_t put_bytes = 0;
+      uint64_t put_wire_bytes = 0;
       bool put_ok = false;
       if (options_.put_on_miss) {
-        net::PutRecordResult put = lease->PutRecord(template_id, *record);
+        net::PutRecordResult put =
+            lease->PutRecord(template_id, *record, options_.precision);
         put_ok = put.transport_ok;
         put_bytes = put.bytes;
+        put_wire_bytes = put.wire_bytes;
         if (!put_ok) {
           NoteTransport(false);
         }
@@ -383,6 +390,7 @@ RemoteActivationStore::FetchOrRegister(const model::DiffusionModel& m,
       if (put_ok) {
         ++stats_.puts_ok;
         stats_.remote_bytes_put += put_bytes;
+        stats_.remote_wire_bytes_put += put_wire_bytes;
       }
       return record;
     }
@@ -430,6 +438,9 @@ std::string RemoteActivationStore::MetricsJson() const {
      << ",\"degrade_trips\":" << s.degrade_trips
      << ",\"remote_bytes_fetched\":" << s.remote_bytes_fetched
      << ",\"remote_bytes_put\":" << s.remote_bytes_put
+     << ",\"remote_wire_bytes_fetched\":" << s.remote_wire_bytes_fetched
+     << ",\"remote_wire_bytes_put\":" << s.remote_wire_bytes_put
+     << ",\"precision\":\"" << quant::ToString(options_.precision) << "\""
      << ",\"front_size\":" << s.front_size
      << ",\"fetch_p50_us\":" << s.fetch_p50_us
      << ",\"fetch_p99_us\":" << s.fetch_p99_us
@@ -443,6 +454,7 @@ std::string RemoteActivationStore::MetricsJson() const {
      << ",\"prefetch_remote_misses\":" << s.prefetch_remote_misses
      << ",\"prefetch_fallbacks\":" << s.prefetch_fallbacks
      << ",\"prefetch_bytes_fetched\":" << s.prefetch_bytes_fetched
+     << ",\"prefetch_wire_bytes_fetched\":" << s.prefetch_wire_bytes_fetched
      << ",\"prefetch_staged\":" << s.prefetch_staged
      << ",\"prefetch_p50_us\":" << s.prefetch_p50_us
      << ",\"prefetch_p99_us\":" << s.prefetch_p99_us << "}";

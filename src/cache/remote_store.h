@@ -89,6 +89,11 @@ struct RemoteStoreOptions {
   std::chrono::milliseconds degrade_cooldown{1000};
   // Publish locally registered records back to the node on a remote miss.
   bool put_on_miss = true;
+  // Encoding policy for miss-publishes (--cache-precision): lossless keeps
+  // every cached byte bitwise-exact; fp16/staged shrink wire frames and
+  // node residency at a quality-gated precision cost. Fetches are
+  // self-describing, so this only shapes what THIS store publishes.
+  quant::PrecisionMode precision = quant::PrecisionMode::kLossless;
   // Async prefetch pipeline: background threads resolving Prefetch()
   // hints. 0 (the default) disables prefetch entirely — Prefetch() is a
   // no-op and the store behaves exactly like the pre-prefetch ladder.
@@ -124,8 +129,13 @@ struct RemoteStoreStats {
   uint64_t local_registrations = 0;  // Misses + fallbacks that registered.
   uint64_t puts_ok = 0;        // Records published back successfully.
   uint64_t degrade_trips = 0;  // Times the circuit opened.
+  // Decoded fp32 bytes (what the records hold) vs wire bytes (what the
+  // codec actually moved). Equal in lossless mode; the gap is the
+  // compression win.
   uint64_t remote_bytes_fetched = 0;
   uint64_t remote_bytes_put = 0;
+  uint64_t remote_wire_bytes_fetched = 0;
+  uint64_t remote_wire_bytes_put = 0;
   uint64_t front_size = 0;
   double fetch_p50_us = 0.0;  // Over successful foreground record fetches.
   double fetch_p99_us = 0.0;
@@ -144,6 +154,7 @@ struct RemoteStoreStats {
   uint64_t prefetch_remote_misses = 0;  // Jobs that found it not resident.
   uint64_t prefetch_fallbacks = 0;      // Jobs that died on transport.
   uint64_t prefetch_bytes_fetched = 0;
+  uint64_t prefetch_wire_bytes_fetched = 0;
   uint64_t prefetch_staged = 0;  // Currently staged (gauge).
   double prefetch_p50_us = 0.0;  // Over successful prefetch record fetches.
   double prefetch_p99_us = 0.0;

@@ -198,6 +198,7 @@ ShardedRemoteStore::RingFetchResult ShardedRemoteStore::RingFetch(
       result.record = std::move(fetched.record);
       result.hit_member = idx;
       result.bytes = fetched.bytes;
+      result.wire_bytes = fetched.wire_bytes;
       result.fetch_us = static_cast<double>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -215,14 +216,15 @@ ShardedRemoteStore::RingFetchResult ShardedRemoteStore::RingFetch(
     for (int idx : result.missed) {
       const size_t member = static_cast<size_t>(idx);
       net::CacheClientPool::Lease lease = members_[member].pool->Checkout();
-      net::PutRecordResult put =
-          lease->PutRecord(template_id, *result.record);
+      net::PutRecordResult put = lease->PutRecord(
+          template_id, *result.record, options_.precision);
       NoteTransport(member, put.transport_ok);
       if (put.transport_ok) {
         ++result.repairs;
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.members[member].read_repairs;
         stats_.members[member].bytes_put += put.bytes;
+        stats_.members[member].wire_bytes_put += put.wire_bytes;
       }
     }
   }
@@ -234,6 +236,7 @@ ShardedRemoteStore::RingFetchResult ShardedRemoteStore::RingFetch(
           result.hit_member)];
       ++hit.remote_hits;
       hit.bytes_fetched += result.bytes;
+      hit.wire_bytes_fetched += result.wire_bytes;
     }
     for (int idx : result.missed) {
       ++stats_.members[static_cast<size_t>(idx)].remote_misses;
@@ -254,15 +257,18 @@ int ShardedRemoteStore::Replicate(int template_id,
       continue;
     }
     net::CacheClientPool::Lease lease = members_[member].pool->Checkout();
-    net::PutRecordResult put = lease->PutRecord(template_id, record);
+    net::PutRecordResult put =
+        lease->PutRecord(template_id, record, options_.precision);
     NoteTransport(member, put.transport_ok);
     if (put.transport_ok) {
       ++acked;
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.members[member].puts_ok;
       stats_.members[member].bytes_put += put.bytes;
+      stats_.members[member].wire_bytes_put += put.wire_bytes;
       ++stats_.puts_ok;
       stats_.remote_bytes_put += put.bytes;
+      stats_.remote_wire_bytes_put += put.wire_bytes;
     }
   }
   return acked;
@@ -277,6 +283,7 @@ ShardedRemoteStore::FetchOrRegister(const model::DiffusionModel& m,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.remote_hits;
     stats_.remote_bytes_fetched += fetched.bytes;
+    stats_.remote_wire_bytes_fetched += fetched.wire_bytes;
     stats_.failovers += static_cast<uint64_t>(fetched.failovers);
     stats_.read_repairs += static_cast<uint64_t>(fetched.repairs);
     fetch_us_.Add(fetched.fetch_us);
@@ -446,6 +453,7 @@ void ShardedRemoteStore::PrefetchLoop() {
       if (record != nullptr) {
         ++stats_.prefetch_remote_hits;
         stats_.prefetch_bytes_fetched += fetched.bytes;
+        stats_.prefetch_wire_bytes_fetched += fetched.wire_bytes;
         prefetch_us_.Add(fetched.fetch_us);
       } else if (fetched.reachable > 0) {
         ++stats_.prefetch_remote_misses;
@@ -525,6 +533,9 @@ std::string ShardedRemoteStore::MetricsJson() const {
      << ",\"degrade_trips\":" << s.degrade_trips
      << ",\"remote_bytes_fetched\":" << s.remote_bytes_fetched
      << ",\"remote_bytes_put\":" << s.remote_bytes_put
+     << ",\"remote_wire_bytes_fetched\":" << s.remote_wire_bytes_fetched
+     << ",\"remote_wire_bytes_put\":" << s.remote_wire_bytes_put
+     << ",\"precision\":\"" << quant::ToString(options_.precision) << "\""
      << ",\"front_size\":" << s.front_size
      << ",\"fetch_p50_us\":" << s.fetch_p50_us
      << ",\"fetch_p99_us\":" << s.fetch_p99_us
@@ -538,6 +549,7 @@ std::string ShardedRemoteStore::MetricsJson() const {
      << ",\"prefetch_remote_misses\":" << s.prefetch_remote_misses
      << ",\"prefetch_fallbacks\":" << s.prefetch_fallbacks
      << ",\"prefetch_bytes_fetched\":" << s.prefetch_bytes_fetched
+     << ",\"prefetch_wire_bytes_fetched\":" << s.prefetch_wire_bytes_fetched
      << ",\"prefetch_staged\":" << s.prefetch_staged
      << ",\"prefetch_p50_us\":" << s.prefetch_p50_us
      << ",\"prefetch_p99_us\":" << s.prefetch_p99_us
@@ -554,7 +566,9 @@ std::string ShardedRemoteStore::MetricsJson() const {
        << ",\"puts_ok\":" << m.puts_ok
        << ",\"read_repairs\":" << m.read_repairs
        << ",\"bytes_fetched\":" << m.bytes_fetched
-       << ",\"bytes_put\":" << m.bytes_put << "}";
+       << ",\"bytes_put\":" << m.bytes_put
+       << ",\"wire_bytes_fetched\":" << m.wire_bytes_fetched
+       << ",\"wire_bytes_put\":" << m.wire_bytes_put << "}";
   }
   os << "]}";
   return os.str();

@@ -79,6 +79,10 @@ struct ShardedStoreOptions {
   std::chrono::milliseconds degrade_cooldown{1000};
   // Publish locally registered records to the replica set on a miss.
   bool put_on_miss = true;
+  // Encoding policy for replica publishes and read repairs
+  // (--cache-precision); fetches are self-describing. Same contract as
+  // RemoteStoreOptions::precision.
+  quant::PrecisionMode precision = quant::PrecisionMode::kLossless;
   // Back-fill earlier replicas that missed when a later one hits.
   bool read_repair = true;
   // Async prefetch pipeline (0 disables; Prefetch() becomes a no-op).
@@ -101,8 +105,10 @@ struct RingMemberStats {
   bool circuit_open = false;
   uint64_t puts_ok = 0;         // Replication publishes acked.
   uint64_t read_repairs = 0;    // Repair writes landed ON this member.
-  uint64_t bytes_fetched = 0;
+  uint64_t bytes_fetched = 0;   // Decoded fp32 bytes.
   uint64_t bytes_put = 0;
+  uint64_t wire_bytes_fetched = 0;  // Encoded bytes (post-codec).
+  uint64_t wire_bytes_put = 0;
 };
 
 // Aggregate ladder counters, same accounting identity as RemoteStoreStats:
@@ -120,8 +126,11 @@ struct ShardedStoreStats {
   uint64_t read_repairs = 0;   // Back-fill writes acked (all members).
   uint64_t failovers = 0;      // Walk steps past a failed/open member.
   uint64_t degrade_trips = 0;  // Per-member circuit trips, summed.
+  // Decoded vs wire (post-codec) bytes; equal in lossless mode.
   uint64_t remote_bytes_fetched = 0;
   uint64_t remote_bytes_put = 0;
+  uint64_t remote_wire_bytes_fetched = 0;
+  uint64_t remote_wire_bytes_put = 0;
   uint64_t front_size = 0;
   double fetch_p50_us = 0.0;   // Over successful foreground record fetches.
   double fetch_p99_us = 0.0;
@@ -136,6 +145,7 @@ struct ShardedStoreStats {
   uint64_t prefetch_remote_misses = 0;
   uint64_t prefetch_fallbacks = 0;
   uint64_t prefetch_bytes_fetched = 0;
+  uint64_t prefetch_wire_bytes_fetched = 0;
   uint64_t prefetch_staged = 0;  // Gauge.
   double prefetch_p50_us = 0.0;
   double prefetch_p99_us = 0.0;
@@ -214,6 +224,7 @@ class ShardedRemoteStore : public ActivationSource {
     int failovers = 0;  // Walk steps past a failed/open member.
     int repairs = 0;    // Read-repair writes acked.
     uint64_t bytes = 0;
+    uint64_t wire_bytes = 0;
     double fetch_us = 0.0;
     std::vector<int> missed;  // Reachable members that missed, pref order.
   };

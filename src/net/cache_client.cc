@@ -194,8 +194,18 @@ FetchRecordResult CacheClient::FetchRecord(int template_id, int steps,
                            : key.kind == kCacheKindK
                                  ? step.k[static_cast<size_t>(key.block)]
                                  : step.v[static_cast<size_t>(key.block)];
-        result.bytes += rit->second.body.data.bytes();
-        slot = std::move(rit->second.body.data);
+        // Decode-on-fetch: the wire decoder already validated the
+        // structure and checksum, so a failure here means a broken
+        // encoder — treat it like any other malformed payload.
+        Matrix decoded;
+        if (!quant::Decode(rit->second.body.data, &decoded, nullptr)) {
+          last_error_ = WireError::kMalformedPayload;
+          Close();
+          return result;
+        }
+        result.wire_bytes += rit->second.body.data.StoredBytes();
+        result.bytes += decoded.bytes();
+        slot = std::move(decoded);
         ++result.hits;
       } else {
         ++result.misses;
@@ -226,13 +236,15 @@ FetchRecordResult CacheClient::FetchRecord(int template_id, int steps,
   return result;
 }
 
-PutRecordResult CacheClient::PutRecord(
-    int template_id, const model::ActivationRecord& record) {
+PutRecordResult CacheClient::PutRecord(int template_id,
+                                       const model::ActivationRecord& record,
+                                       quant::PrecisionMode precision) {
   PutRecordResult result;
   if (!Connect()) {
     return result;
   }
   const bool has_kv = record.has_kv();
+  const int num_steps = static_cast<int>(record.steps.size());
   // seq -> checksum the ack must echo back.
   std::map<uint64_t, uint64_t> outstanding;
   auto fire = [&](int step, int block, uint8_t kind,
@@ -242,12 +254,21 @@ PutRecordResult CacheClient::PutRecord(
     key.step = step;
     key.block = block;
     key.kind = kind;
-    const uint64_t seq = next_seq_++;
-    if (!SendFrame(EncodeCachePut(seq, key, m))) {
+    const quant::EncodedMatrix encoded =
+        quant::Encode(m, quant::DtypeForStep(precision, step, num_steps));
+    // Refuse client-side before any bytes hit the socket: a frame the
+    // node would reject as oversized can only desync the stream.
+    if (CachePutPayloadBytes(encoded) > kMaxPayloadBytes) {
+      last_error_ = WireError::kOversizedFrame;
       return false;
     }
-    outstanding.emplace(seq, LatentChecksum(m));
+    const uint64_t seq = next_seq_++;
+    if (!SendFrame(EncodeCachePut(seq, key, encoded))) {
+      return false;
+    }
+    outstanding.emplace(seq, EncodedChecksum(encoded));
     result.bytes += m.bytes();
+    result.wire_bytes += encoded.StoredBytes();
     return true;
   };
   for (size_t step = 0; step < record.steps.size(); ++step) {

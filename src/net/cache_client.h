@@ -50,13 +50,15 @@ struct FetchRecordResult {
   std::shared_ptr<model::ActivationRecord> record;
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t bytes = 0;  // Payload bytes received in hits.
+  uint64_t bytes = 0;       // Decoded fp32 bytes placed into the record.
+  uint64_t wire_bytes = 0;  // Encoded bytes received in hits (post-codec).
 };
 
 struct PutRecordResult {
   bool transport_ok = false;  // Every matrix acked with a matching checksum.
   uint64_t puts = 0;
-  uint64_t bytes = 0;  // Payload bytes shipped.
+  uint64_t bytes = 0;       // Decoded fp32 bytes the record holds.
+  uint64_t wire_bytes = 0;  // Encoded bytes shipped (post-codec).
 };
 
 class CacheClient {
@@ -73,14 +75,19 @@ class CacheClient {
 
   // Fetches every matrix of one template's record: `steps` x `blocks` Y
   // matrices, plus K and V when `want_kv`. Pipelined; blocks until every
-  // reply lands or the call deadline lapses.
+  // reply lands or the call deadline lapses. Payloads arrive encoded
+  // (self-describing dtype) and are decoded into the record here.
   FetchRecordResult FetchRecord(int template_id, int steps, int blocks,
                                 bool want_kv);
 
-  // Stores every matrix of `record` under its content address. Pipelined;
-  // blocks until every ack lands.
-  PutRecordResult PutRecord(int template_id,
-                            const model::ActivationRecord& record);
+  // Stores every matrix of `record` under its content address, each step
+  // encoded at the dtype `precision` assigns it (default: lossless f32).
+  // Pipelined; blocks until every ack lands. A matrix whose encoded put
+  // frame would exceed kMaxPayloadBytes fails the call with
+  // kOversizedFrame *before* any of its bytes hit the socket.
+  PutRecordResult PutRecord(
+      int template_id, const model::ActivationRecord& record,
+      quant::PrecisionMode precision = quant::PrecisionMode::kLossless);
 
   // Fetches the cache node's MetricsJson().
   std::optional<std::string> QueryMetrics(

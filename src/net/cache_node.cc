@@ -5,6 +5,24 @@
 
 namespace flashps::net {
 
+namespace {
+
+// The admit policy is a precision *floor* expressed as the laxest mode:
+// each mode admits its own dtypes plus everything more precise.
+bool DtypeAdmitted(quant::PrecisionMode admit, quant::Dtype dtype) {
+  switch (admit) {
+    case quant::PrecisionMode::kLossless:
+      return dtype == quant::Dtype::kF32;
+    case quant::PrecisionMode::kF16:
+      return dtype == quant::Dtype::kF32 || dtype == quant::Dtype::kF16;
+    case quant::PrecisionMode::kStaged:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 CacheNode::CacheNode(CacheNodeOptions options) : options_(options) {}
 
 void CacheNode::Touch(Entry& entry) {
@@ -19,7 +37,7 @@ void CacheNode::EvictToFit(size_t incoming) {
     const CacheKey victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
-    resident_bytes_ -= it->second.data.bytes();
+    resident_bytes_ -= it->second.data.StoredBytes();
     entries_.erase(it);
     ++stats_.evictions;
   }
@@ -48,7 +66,9 @@ InlineReply CacheNode::Handle(const ParsedFrame& frame) {
       }
       Touch(it->second);
       ++stats_.fetch_hits;
-      stats_.bytes_served += it->second.data.bytes();
+      stats_.bytes_served += it->second.data.StoredBytes();
+      // Served exactly as it rests: no decode, no re-encode — the entry's
+      // checksum still attests the bytes end to end.
       reply.frame = EncodeCacheHit(seq, body.key, it->second.checksum,
                                    &it->second.data);
       return reply;
@@ -66,11 +86,21 @@ InlineReply CacheNode::Handle(const ParsedFrame& frame) {
         return reply;
       }
       std::lock_guard<std::mutex> lock(mu_);
-      const size_t incoming = body.data.bytes();
+      if (!DtypeAdmitted(options_.admit, body.data.dtype)) {
+        ++stats_.bad_frames;
+        ++stats_.precision_rejects;
+        reply.frame = EncodeError(
+            seq, WireError::kMalformedPayload,
+            "put dtype " + quant::ToString(body.data.dtype) +
+                " not admitted by node precision policy (--cache-precision)");
+        reply.close_connection = true;
+        return reply;
+      }
+      const size_t incoming = body.data.StoredBytes();
       auto it = entries_.find(body.key);
       if (it != entries_.end()) {
         ++stats_.put_overwrites;
-        resident_bytes_ -= it->second.data.bytes();
+        resident_bytes_ -= it->second.data.StoredBytes();
         lru_.erase(it->second.lru_it);
         entries_.erase(it);
       }
@@ -118,6 +148,19 @@ CacheNodeStats CacheNode::Stats() const {
   CacheNodeStats out = stats_;
   out.entries = entries_.size();
   out.resident_bytes = resident_bytes_;
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.data.dtype) {
+      case quant::Dtype::kF32:
+        ++out.entries_f32;
+        break;
+      case quant::Dtype::kF16:
+        ++out.entries_f16;
+        break;
+      case quant::Dtype::kI8:
+        ++out.entries_i8;
+        break;
+    }
+  }
   return out;
 }
 
@@ -130,10 +173,15 @@ std::string CacheNode::MetricsJson() const {
      << ",\"puts\":" << s.puts
      << ",\"put_overwrites\":" << s.put_overwrites
      << ",\"bad_frames\":" << s.bad_frames
+     << ",\"precision_rejects\":" << s.precision_rejects
+     << ",\"admit\":\"" << quant::ToString(options_.admit) << "\""
      << ",\"bytes_served\":" << s.bytes_served
      << ",\"bytes_stored\":" << s.bytes_stored
      << ",\"evictions\":" << s.evictions
      << ",\"entries\":" << s.entries
+     << ",\"entries_f32\":" << s.entries_f32
+     << ",\"entries_f16\":" << s.entries_f16
+     << ",\"entries_i8\":" << s.entries_i8
      << ",\"resident_bytes\":" << s.resident_bytes << "}}";
   return os.str();
 }

@@ -30,27 +30,42 @@
 #include "src/net/tcp_server.h"
 #include "src/net/wire.h"
 #include "src/tensor/matrix.h"
+#include "src/tensor/quant.h"
 
 namespace flashps::net {
 
 struct CacheNodeOptions {
   // Resident payload-byte cap; 0 = unbounded. Exceeding it evicts the
-  // least-recently-used entries until the new entry fits.
+  // least-recently-used entries until the new entry fits. Entries rest in
+  // their *encoded* (wire) form, so the cap counts compressed bytes — a
+  // staged-precision fleet fits ~2-4x more templates per node.
   size_t max_bytes = 0;
+  // Laxest encoding this node admits: kLossless accepts only f32 puts,
+  // kF16 adds f16, kStaged (the default) accepts everything. An operator
+  // running a lossless (bitwise-attested) fleet sets this down so a
+  // misconfigured lossy worker is rejected loudly instead of silently
+  // polluting the cache.
+  quant::PrecisionMode admit = quant::PrecisionMode::kStaged;
 };
 
-// Monotonic counters plus the current residency snapshot.
+// Monotonic counters plus the current residency snapshot. Byte counters
+// are over the encoded (wire) representation — the bytes that actually
+// crossed the socket and sit resident.
 struct CacheNodeStats {
   uint64_t fetch_hits = 0;
   uint64_t fetch_misses = 0;
   uint64_t puts = 0;          // Admitted puts (including overwrites).
   uint64_t put_overwrites = 0;
   uint64_t bad_frames = 0;    // Malformed payloads + wrong-direction types.
-  uint64_t bytes_served = 0;  // Payload bytes shipped in fetch hits.
-  uint64_t bytes_stored = 0;  // Payload bytes admitted by puts.
+  uint64_t precision_rejects = 0;  // Puts refused by the admit policy.
+  uint64_t bytes_served = 0;  // Encoded payload bytes shipped in fetch hits.
+  uint64_t bytes_stored = 0;  // Encoded payload bytes admitted by puts.
   uint64_t evictions = 0;
   uint64_t entries = 0;        // Resident entries right now.
-  uint64_t resident_bytes = 0;  // Resident payload bytes right now.
+  uint64_t resident_bytes = 0;  // Resident encoded bytes right now.
+  uint64_t entries_f32 = 0;    // Residency split by dtype (gauges).
+  uint64_t entries_f16 = 0;
+  uint64_t entries_i8 = 0;
 };
 
 class CacheNode {
@@ -75,7 +90,7 @@ class CacheNode {
 
  private:
   struct Entry {
-    Matrix data;
+    quant::EncodedMatrix data;  // Resident exactly as it traveled.
     uint64_t checksum = 0;
     std::list<CacheKey>::iterator lru_it;
   };

@@ -56,39 +56,72 @@ bool ValidCacheKey(const CacheKey& key, std::string* error) {
   return true;
 }
 
-// Matrices travel as rows, cols, then each float's IEEE-754 bit pattern as
-// an explicit little-endian u32 — the same byte-by-byte discipline as every
-// other wire integer.
-void AppendMatrixLe(ByteWriter& w, const Matrix& m) {
-  w.U32(static_cast<uint32_t>(m.rows()));
-  w.U32(static_cast<uint32_t>(m.cols()));
-  const float* data = m.data();
-  const size_t n = m.size();
-  for (size_t i = 0; i < n; ++i) {
+// Encoded matrices travel as rows, cols, the dtype tag, a scale count,
+// each scale's IEEE-754 bit pattern as a little-endian u32, then the
+// element payload bytes (already little-endian by construction in
+// quant::Encode) — the same byte-by-byte discipline as every other wire
+// integer.
+void AppendEncodedMatrixLe(ByteWriter& w, const quant::EncodedMatrix& m) {
+  w.U32(static_cast<uint32_t>(m.rows));
+  w.U32(static_cast<uint32_t>(m.cols));
+  w.U8(static_cast<uint8_t>(m.dtype));
+  w.U32(static_cast<uint32_t>(m.scales.size()));
+  for (const float scale : m.scales) {
     uint32_t bits;
-    std::memcpy(&bits, &data[i], sizeof(bits));
+    std::memcpy(&bits, &scale, sizeof(bits));
     w.U32(bits);
   }
+  w.Bytes(m.payload.data(), m.payload.size());
 }
 
-// Reads the float body of a matrix whose shape header was already consumed.
-bool ReadMatrixBody(ByteReader& r, uint32_t rows, uint32_t cols, Matrix* out,
-                    std::string* error) {
+// Reads the encoded body of a matrix whose shape header (rows, cols) was
+// already consumed. Strict: every dtype/scale-count/length combination
+// that quant::Decode would reject is rejected here, before any bytes are
+// believed.
+bool ReadEncodedMatrixBody(ByteReader& r, uint32_t rows, uint32_t cols,
+                           quant::EncodedMatrix* out, std::string* error) {
   if (rows == 0 || cols == 0 || rows > kMaxMatrixSide ||
       cols > kMaxMatrixSide) {
     if (error != nullptr) *error = "matrix dimensions out of range";
     return false;
   }
-  const uint64_t floats = static_cast<uint64_t>(rows) * cols;
-  if (floats * sizeof(float) > r.remaining()) {
+  const uint8_t dtype_tag = r.U8();
+  const uint32_t scale_count = r.U32();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "matrix header shorter than declared";
+    return false;
+  }
+  if (!quant::ValidDtypeTag(dtype_tag)) {
+    if (error != nullptr) *error = "unknown matrix dtype tag";
+    return false;
+  }
+  quant::EncodedMatrix m;
+  m.dtype = static_cast<quant::Dtype>(dtype_tag);
+  m.rows = static_cast<int>(rows);
+  m.cols = static_cast<int>(cols);
+  const uint32_t want_scales = m.dtype == quant::Dtype::kI8 ? rows : 0;
+  if (scale_count != want_scales) {
+    if (error != nullptr) *error = "scale count does not match dtype";
+    return false;
+  }
+  if (static_cast<uint64_t>(scale_count) * sizeof(float) > r.remaining()) {
+    if (error != nullptr) *error = "matrix scales truncated";
+    return false;
+  }
+  m.scales.resize(scale_count);
+  for (uint32_t i = 0; i < scale_count; ++i) {
+    const uint32_t bits = r.U32();
+    std::memcpy(&m.scales[i], &bits, sizeof(bits));
+  }
+  const uint64_t payload_bytes = static_cast<uint64_t>(rows) * cols *
+                                 quant::DtypeBytes(m.dtype);
+  if (payload_bytes > r.remaining()) {
     if (error != nullptr) *error = "matrix payload shorter than its shape";
     return false;
   }
-  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
-  float* data = m.data();
-  for (uint64_t i = 0; i < floats; ++i) {
-    const uint32_t bits = r.U32();
-    std::memcpy(&data[i], &bits, sizeof(bits));
+  m.payload.resize(payload_bytes);
+  for (uint64_t i = 0; i < payload_bytes; ++i) {
+    m.payload[i] = r.U8();
   }
   if (!r.ok()) {
     if (error != nullptr) *error = "matrix payload truncated";
@@ -98,14 +131,15 @@ bool ReadMatrixBody(ByteReader& r, uint32_t rows, uint32_t cols, Matrix* out,
   return true;
 }
 
-bool ReadMatrixLe(ByteReader& r, Matrix* out, std::string* error) {
+bool ReadEncodedMatrixLe(ByteReader& r, quant::EncodedMatrix* out,
+                         std::string* error) {
   const uint32_t rows = r.U32();
   const uint32_t cols = r.U32();
   if (!r.ok()) {
     if (error != nullptr) *error = "matrix header shorter than declared";
     return false;
   }
-  return ReadMatrixBody(r, rows, cols, out, error);
+  return ReadEncodedMatrixBody(r, rows, cols, out, error);
 }
 
 }  // namespace
@@ -296,29 +330,42 @@ std::vector<uint8_t> EncodeCacheFetch(uint64_t seq, const CacheKey& key) {
 }
 
 std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
-                                    const Matrix& data) {
+                                    const quant::EncodedMatrix& data) {
   std::vector<uint8_t> payload;
   ByteWriter w(payload);
   AppendCacheKey(w, key);
-  w.U64(LatentChecksum(data));
-  AppendMatrixLe(w, data);
+  w.U64(EncodedChecksum(data));
+  AppendEncodedMatrixLe(w, data);
   return EncodeFrame(FrameType::kCachePut, seq, payload);
 }
 
+std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
+                                    const Matrix& data) {
+  return EncodeCachePut(seq, key, quant::Encode(data, quant::Dtype::kF32));
+}
+
 std::vector<uint8_t> EncodeCacheHit(uint64_t seq, const CacheKey& key,
-                                    uint64_t checksum, const Matrix* data) {
+                                    uint64_t checksum,
+                                    const quant::EncodedMatrix* data) {
   std::vector<uint8_t> payload;
   ByteWriter w(payload);
   AppendCacheKey(w, key);
   w.U64(checksum);
   if (data != nullptr) {
-    AppendMatrixLe(w, *data);
+    AppendEncodedMatrixLe(w, *data);
   } else {
-    // A put acknowledgement: shape 0x0, no floats.
+    // A put acknowledgement: shape 0x0, nothing else.
     w.U32(0);
     w.U32(0);
   }
   return EncodeFrame(FrameType::kCacheHit, seq, payload);
+}
+
+size_t CachePutPayloadBytes(const quant::EncodedMatrix& data) {
+  // Key (4+4+4+1) + checksum (8) + matrix header (4+4+1+4) + scale bits +
+  // element payload; must mirror EncodeCachePut exactly.
+  return 13 + 8 + 13 + data.scales.size() * sizeof(float) +
+         data.payload.size();
 }
 
 std::vector<uint8_t> EncodeCacheMiss(uint64_t seq, const CacheKey& key) {
@@ -357,14 +404,14 @@ bool DecodeCachePut(const ParsedFrame& frame, CachePutBody* out,
   if (!ValidCacheKey(body.key, error)) {
     return false;
   }
-  if (!ReadMatrixLe(r, &body.data, error)) {
+  if (!ReadEncodedMatrixLe(r, &body.data, error)) {
     return false;
   }
   if (r.remaining() != 0) {
     if (error != nullptr) *error = "trailing bytes after cache put payload";
     return false;
   }
-  if (LatentChecksum(body.data) != body.checksum) {
+  if (EncodedChecksum(body.data) != body.checksum) {
     if (error != nullptr) *error = "cache put checksum mismatch";
     return false;
   }
@@ -396,14 +443,14 @@ bool DecodeCacheHit(const ParsedFrame& frame, CacheHitBody* out,
     *out = std::move(body);
     return true;
   }
-  if (!ReadMatrixBody(r, rows, cols, &body.data, error)) {
+  if (!ReadEncodedMatrixBody(r, rows, cols, &body.data, error)) {
     return false;
   }
   if (r.remaining() != 0) {
     if (error != nullptr) *error = "trailing bytes after cache hit payload";
     return false;
   }
-  if (LatentChecksum(body.data) != body.checksum) {
+  if (EncodedChecksum(body.data) != body.checksum) {
     if (error != nullptr) *error = "cache hit checksum mismatch";
     return false;
   }
@@ -448,6 +495,31 @@ uint64_t LatentChecksum(const Matrix& m) {
     uint32_t bits;
     std::memcpy(&bits, &data[i], sizeof(bits));
     mix(bits);
+  }
+  return hash;
+}
+
+uint64_t EncodedChecksum(const quant::EncodedMatrix& e) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix_byte = [&hash](uint8_t b) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  };
+  auto mix = [&mix_byte](uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      mix_byte(static_cast<uint8_t>(v >> shift));
+    }
+  };
+  mix(static_cast<uint32_t>(e.rows));
+  mix(static_cast<uint32_t>(e.cols));
+  mix_byte(static_cast<uint8_t>(e.dtype));
+  for (const float scale : e.scales) {
+    uint32_t bits;
+    std::memcpy(&bits, &scale, sizeof(bits));
+    mix(bits);
+  }
+  for (const uint8_t b : e.payload) {
+    mix_byte(b);
   }
   return hash;
 }

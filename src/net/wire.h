@@ -33,11 +33,14 @@
 #include "src/gateway/gateway.h"
 #include "src/runtime/serde.h"
 #include "src/tensor/matrix.h"
+#include "src/tensor/quant.h"
 
 namespace flashps::net {
 
 inline constexpr uint32_t kWireMagic = 0x31535046u;  // "FPS1" on the wire.
-inline constexpr uint16_t kWireVersion = 1;
+// v2: cache matrices travel encoded (self-describing dtype tag + per-row
+// scale metadata, src/tensor/quant.h) instead of raw fp32.
+inline constexpr uint16_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 20;
 // Hard cap on one frame's payload: bounds decoder allocations and makes
 // oversized/garbage length fields detectable before any buffering happens.
@@ -210,26 +213,29 @@ struct CacheFetchBody {
   CacheKey key;
 };
 
-// Payload of kCachePut: the key, the matrix, and the sender's FNV-1a
-// checksum of the matrix (LatentChecksum: shape + float bit patterns). The
-// node recomputes and rejects a mismatch as kMalformedPayload, so a bit
-// flipped in flight can never become a resident cache entry.
+// Payload of kCachePut: the key, the *encoded* matrix (dtype tag + scale
+// metadata + element bytes, src/tensor/quant.h), and the sender's FNV-1a
+// checksum of that encoded form (EncodedChecksum). The node recomputes and
+// rejects a mismatch as kMalformedPayload, so a bit flipped in flight can
+// never become a resident cache entry — and it never has to decode to
+// verify, so lossy entries rest exactly as they traveled.
 struct CachePutBody {
   CacheKey key;
   uint64_t checksum = 0;
-  Matrix data;
+  quant::EncodedMatrix data;
 };
 
-// Payload of kCacheHit: fetch replies carry the matrix; put acks carry only
-// the key + checksum (rows == cols == 0, no data). The checksum always
-// describes the entry as resident on the node, so the client can verify the
-// bytes it received (or confirm what it stored) end to end.
+// Payload of kCacheHit: fetch replies carry the encoded matrix; put acks
+// carry only the key + checksum (rows == cols == 0, no dtype, no data).
+// The checksum always describes the entry as resident on the node, so the
+// client can verify the bytes it received (or confirm what it stored) end
+// to end.
 struct CacheHitBody {
   CacheKey key;
   uint64_t checksum = 0;
-  Matrix data;  // Empty (0x0) for a put acknowledgement.
+  quant::EncodedMatrix data;  // Empty (0x0) for a put acknowledgement.
 
-  bool has_payload() const { return data.rows() > 0 && data.cols() > 0; }
+  bool has_payload() const { return data.rows > 0 && data.cols > 0; }
 };
 
 // Payload of kCacheMiss: the key that was not resident.
@@ -250,13 +256,22 @@ std::vector<uint8_t> EncodeMetricsReport(uint64_t seq,
 std::vector<uint8_t> EncodeError(uint64_t seq, WireError code,
                                  const std::string& message);
 std::vector<uint8_t> EncodeCacheFetch(uint64_t seq, const CacheKey& key);
-// Computes the checksum itself (LatentChecksum of `data`).
+// Computes the checksum itself (EncodedChecksum of `data`).
+std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
+                                    const quant::EncodedMatrix& data);
+// Lossless convenience: encodes `data` as f32 (bitwise round-trip) first.
 std::vector<uint8_t> EncodeCachePut(uint64_t seq, const CacheKey& key,
                                     const Matrix& data);
 // `data` may be null: a payload-less put acknowledgement.
 std::vector<uint8_t> EncodeCacheHit(uint64_t seq, const CacheKey& key,
-                                    uint64_t checksum, const Matrix* data);
+                                    uint64_t checksum,
+                                    const quant::EncodedMatrix* data);
 std::vector<uint8_t> EncodeCacheMiss(uint64_t seq, const CacheKey& key);
+
+// Exact payload size of the kCachePut frame EncodeCachePut would build for
+// `data` — lets a client refuse an oversized put (> kMaxPayloadBytes)
+// before any bytes hit the socket, instead of desyncing server-side.
+size_t CachePutPayloadBytes(const quant::EncodedMatrix& data);
 
 // Incremental stream decode: inspects the prefix of [data, data+size).
 // Returns kOk with `*out` and `*consumed` filled when one whole valid
@@ -288,11 +303,16 @@ bool DecodeCacheMiss(const ParsedFrame& frame, CacheMissBody* out);
 
 // FNV-1a over arbitrary bytes; stable across hosts.
 uint64_t Fnv1a64(const void* data, size_t size);
-// Checksum of a latent/image/activation matrix: shape plus the float bit
-// patterns, each float hashed as its little-endian IEEE-754 encoding. This
-// is the one checksum used everywhere a matrix travels: submit-result
-// latents, cache puts, and cache hits.
+// Checksum of a latent/image matrix: shape plus the float bit patterns,
+// each float hashed as its little-endian IEEE-754 encoding. Used where a
+// *decoded* matrix is attested: submit-result latents.
 uint64_t LatentChecksum(const Matrix& m);
+// Checksum of an *encoded* matrix: shape, dtype tag, scale bits, and the
+// element payload bytes. This is what cache puts and hits carry — the node
+// verifies and re-serves entries without ever decoding them. For an f32
+// encoding it covers exactly the same float bit patterns as LatentChecksum
+// (plus the dtype tag), so lossless mode keeps end-to-end bit attestation.
+uint64_t EncodedChecksum(const quant::EncodedMatrix& e);
 
 }  // namespace flashps::net
 

@@ -1,0 +1,284 @@
+#include "src/tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace flashps::quant {
+
+namespace {
+
+// Largest finite magnitude a half can hold; beyond it F32ToF16 overflows
+// to infinity by design.
+constexpr uint32_t kF32ExpMask = 0xffu;
+
+uint32_t F32Bits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float BitsToF32(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+std::string ToString(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kF32:
+      return "f32";
+    case Dtype::kF16:
+      return "f16";
+    case Dtype::kI8:
+      return "i8";
+  }
+  return "?";
+}
+
+size_t DtypeBytes(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kF32:
+      return 4;
+    case Dtype::kF16:
+      return 2;
+    case Dtype::kI8:
+      return 1;
+  }
+  return 0;
+}
+
+bool ValidDtypeTag(uint8_t tag) {
+  return tag <= static_cast<uint8_t>(Dtype::kI8);
+}
+
+uint16_t F32ToF16(float f) {
+  const uint32_t x = F32Bits(f);
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  const uint32_t exp32 = (x >> 23) & kF32ExpMask;
+  uint32_t mant = x & 0x007fffffu;
+  if (exp32 == kF32ExpMask) {
+    // Inf / NaN: preserve NaN-ness (a NaN payload truncated to zero would
+    // silently become infinity, so force the quiet bit).
+    if (mant != 0) {
+      return static_cast<uint16_t>(sign | 0x7c00u | 0x0200u | (mant >> 13));
+    }
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  const int32_t exp = static_cast<int32_t>(exp32) - 127 + 15;
+  if (exp >= 31) {
+    return static_cast<uint16_t>(sign | 0x7c00u);  // Overflow to infinity.
+  }
+  if (exp <= 0) {
+    if (exp < -10) {
+      return sign;  // Underflows past the smallest subnormal: signed zero.
+    }
+    // Subnormal half: shift the (implicit-1) mantissa into place with
+    // round-to-nearest-even on the bits shifted out.
+    mant |= 0x00800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - exp);
+    uint16_t half = static_cast<uint16_t>(mant >> shift);
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) {
+      ++half;  // May carry into the exponent field; that is the correct
+               // subnormal->normal promotion.
+    }
+    return static_cast<uint16_t>(sign | half);
+  }
+  uint16_t half = static_cast<uint16_t>(
+      sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13));
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+    ++half;  // Carry may roll into infinity; that rounds correctly too.
+  }
+  return half;
+}
+
+float F16ToF32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x03ffu;
+  if (exp == 0) {
+    if (mant == 0) {
+      return BitsToF32(sign);  // Signed zero.
+    }
+    // Subnormal half: normalize into a f32 normal.
+    int e = 0;
+    while ((mant & 0x0400u) == 0) {
+      mant <<= 1;
+      ++e;
+    }
+    mant &= 0x03ffu;
+    const uint32_t exp32 = static_cast<uint32_t>(127 - 15 - e + 1);
+    return BitsToF32(sign | (exp32 << 23) | (mant << 13));
+  }
+  if (exp == 31) {
+    return BitsToF32(sign | 0x7f800000u | (mant << 13));  // Inf / NaN.
+  }
+  return BitsToF32(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+EncodedMatrix Encode(const Matrix& m, Dtype dtype) {
+  EncodedMatrix e;
+  e.dtype = dtype;
+  e.rows = m.rows();
+  e.cols = m.cols();
+  const size_t n = m.size();
+  const float* data = m.data();
+  switch (dtype) {
+    case Dtype::kF32: {
+      e.payload.resize(n * 4);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t bits = F32Bits(data[i]);
+        e.payload[i * 4 + 0] = static_cast<uint8_t>(bits);
+        e.payload[i * 4 + 1] = static_cast<uint8_t>(bits >> 8);
+        e.payload[i * 4 + 2] = static_cast<uint8_t>(bits >> 16);
+        e.payload[i * 4 + 3] = static_cast<uint8_t>(bits >> 24);
+      }
+      break;
+    }
+    case Dtype::kF16: {
+      e.payload.resize(n * 2);
+      for (size_t i = 0; i < n; ++i) {
+        const uint16_t half = F32ToF16(data[i]);
+        e.payload[i * 2 + 0] = static_cast<uint8_t>(half);
+        e.payload[i * 2 + 1] = static_cast<uint8_t>(half >> 8);
+      }
+      break;
+    }
+    case Dtype::kI8: {
+      const size_t cols = static_cast<size_t>(m.cols());
+      e.scales.resize(static_cast<size_t>(m.rows()));
+      e.payload.resize(n);
+      for (int r = 0; r < m.rows(); ++r) {
+        const float* row = m.row(r);
+        float maxabs = 0.0f;
+        for (size_t c = 0; c < cols; ++c) {
+          maxabs = std::max(maxabs, std::fabs(row[c]));
+        }
+        const float scale = maxabs / 127.0f;
+        e.scales[static_cast<size_t>(r)] = scale;
+        uint8_t* out = e.payload.data() + static_cast<size_t>(r) * cols;
+        if (scale == 0.0f || !std::isfinite(scale)) {
+          // All-zero row (or non-finite garbage): quantize to zeros rather
+          // than divide by zero / propagate NaN into the int domain.
+          std::memset(out, 0, cols);
+          continue;
+        }
+        for (size_t c = 0; c < cols; ++c) {
+          const float q = std::nearbyint(row[c] / scale);
+          const int32_t clamped =
+              std::clamp(static_cast<int32_t>(q), -127, 127);
+          out[c] = static_cast<uint8_t>(static_cast<int8_t>(clamped));
+        }
+      }
+      break;
+    }
+  }
+  return e;
+}
+
+bool Decode(const EncodedMatrix& e, Matrix* out, std::string* error) {
+  auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!ValidDtypeTag(static_cast<uint8_t>(e.dtype))) {
+    return fail("unknown dtype tag");
+  }
+  if (e.rows < 0 || e.cols < 0) {
+    return fail("negative matrix dimensions");
+  }
+  const size_t n = static_cast<size_t>(e.rows) * static_cast<size_t>(e.cols);
+  if (e.payload.size() != n * DtypeBytes(e.dtype)) {
+    return fail("payload length does not match shape and dtype");
+  }
+  const size_t want_scales =
+      e.dtype == Dtype::kI8 ? static_cast<size_t>(e.rows) : 0;
+  if (e.scales.size() != want_scales) {
+    return fail("scale count does not match dtype contract");
+  }
+  Matrix m(e.rows, e.cols);
+  float* data = m.data();
+  switch (e.dtype) {
+    case Dtype::kF32: {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t bits = 0;
+        for (int b = 0; b < 4; ++b) {
+          bits |= static_cast<uint32_t>(e.payload[i * 4 + b]) << (8 * b);
+        }
+        data[i] = BitsToF32(bits);
+      }
+      break;
+    }
+    case Dtype::kF16: {
+      for (size_t i = 0; i < n; ++i) {
+        const uint16_t half =
+            static_cast<uint16_t>(e.payload[i * 2]) |
+            static_cast<uint16_t>(e.payload[i * 2 + 1]) << 8;
+        data[i] = F16ToF32(half);
+      }
+      break;
+    }
+    case Dtype::kI8: {
+      const size_t cols = static_cast<size_t>(e.cols);
+      for (int r = 0; r < e.rows; ++r) {
+        const float scale = e.scales[static_cast<size_t>(r)];
+        const uint8_t* in = e.payload.data() + static_cast<size_t>(r) * cols;
+        float* row = m.row(r);
+        for (size_t c = 0; c < cols; ++c) {
+          row[c] = static_cast<float>(static_cast<int8_t>(in[c])) * scale;
+        }
+      }
+      break;
+    }
+  }
+  *out = std::move(m);
+  return true;
+}
+
+std::string ToString(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::kLossless:
+      return "lossless";
+    case PrecisionMode::kF16:
+      return "fp16";
+    case PrecisionMode::kStaged:
+      return "staged";
+  }
+  return "?";
+}
+
+bool ParsePrecisionMode(const std::string& text, PrecisionMode* out) {
+  if (text == "lossless") {
+    *out = PrecisionMode::kLossless;
+  } else if (text == "fp16") {
+    *out = PrecisionMode::kF16;
+  } else if (text == "staged") {
+    *out = PrecisionMode::kStaged;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Dtype DtypeForStep(PrecisionMode mode, int step, int num_steps) {
+  switch (mode) {
+    case PrecisionMode::kLossless:
+      return Dtype::kF32;
+    case PrecisionMode::kF16:
+      return Dtype::kF16;
+    case PrecisionMode::kStaged: {
+      // First half (rounding up) f16, second half int8: early steps set
+      // the denoise trajectory, late steps only refine detail.
+      const int cutover = (std::max(1, num_steps) + 1) / 2;
+      return step < cutover ? Dtype::kF16 : Dtype::kI8;
+    }
+  }
+  return Dtype::kF32;
+}
+
+}  // namespace flashps::quant

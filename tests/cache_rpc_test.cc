@@ -1,8 +1,11 @@
-// Cache-tier RPC units: the cache frame codec, the CacheNode store
-// semantics, the CacheClient whole-record transfer over a loopback
-// TcpServer in service mode, and the RemoteActivationStore ladder (LRU
-// front, single-flight, miss-publish, fallback, circuit breaker).
+// Cache-tier RPC units: the cache frame codec (v2: encoded matrices),
+// the CacheNode store semantics (encoded residency, admission policy),
+// the CacheClient whole-record transfer over a loopback TcpServer in
+// service mode, and the RemoteActivationStore ladder (LRU front,
+// single-flight, miss-publish, fallback, circuit breaker).
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +16,7 @@
 #include "src/net/cache_client.h"
 #include "src/net/cache_node.h"
 #include "src/net/tcp_server.h"
+#include "src/tensor/quant.h"
 
 namespace flashps::net {
 namespace {
@@ -58,6 +62,13 @@ bool MatricesEqual(const Matrix& a, const Matrix& b) {
          LatentChecksum(a) == LatentChecksum(b);
 }
 
+// Wire matrices travel encoded; equality to a local Matrix means
+// decode-then-compare.
+bool DecodedEqual(const quant::EncodedMatrix& e, const Matrix& m) {
+  Matrix decoded;
+  return quant::Decode(e, &decoded, nullptr) && MatricesEqual(decoded, m);
+}
+
 bool RecordsEqual(const model::ActivationRecord& a,
                   const model::ActivationRecord& b) {
   if (a.steps.size() != b.steps.size()) return false;
@@ -101,19 +112,36 @@ TEST(CacheRpcWireTest, PutRoundTripCarriesChecksum) {
   std::string error;
   ASSERT_TRUE(DecodeCachePut(frame, &body, &error)) << error;
   EXPECT_EQ(body.key, TestKey());
-  EXPECT_EQ(body.checksum, LatentChecksum(m));
-  EXPECT_TRUE(MatricesEqual(body.data, m));
+  EXPECT_EQ(body.data.dtype, quant::Dtype::kF32);
+  EXPECT_EQ(body.checksum, EncodedChecksum(body.data));
+  EXPECT_TRUE(DecodedEqual(body.data, m));
+}
+
+TEST(CacheRpcWireTest, CompressedPutRoundTripsItsEncoding) {
+  const Matrix m = TestMatrix(6, 5, 1);
+  for (const quant::Dtype dtype : {quant::Dtype::kF16, quant::Dtype::kI8}) {
+    const quant::EncodedMatrix encoded = quant::Encode(m, dtype);
+    const ParsedFrame frame = Parse(EncodeCachePut(7, TestKey(), encoded));
+    CachePutBody body;
+    std::string error;
+    ASSERT_TRUE(DecodeCachePut(frame, &body, &error)) << error;
+    EXPECT_EQ(body.data.dtype, dtype);
+    EXPECT_EQ(body.data.payload, encoded.payload);
+    EXPECT_EQ(body.data.scales, encoded.scales);
+    EXPECT_EQ(body.checksum, EncodedChecksum(encoded));
+  }
 }
 
 TEST(CacheRpcWireTest, HitRoundTripWithPayload) {
   const Matrix m = TestMatrix(4, 4, 2);
+  const quant::EncodedMatrix encoded = quant::Encode(m, quant::Dtype::kF32);
   const ParsedFrame frame =
-      Parse(EncodeCacheHit(3, TestKey(), LatentChecksum(m), &m));
+      Parse(EncodeCacheHit(3, TestKey(), EncodedChecksum(encoded), &encoded));
   CacheHitBody body;
   std::string error;
   ASSERT_TRUE(DecodeCacheHit(frame, &body, &error)) << error;
   EXPECT_TRUE(body.has_payload());
-  EXPECT_TRUE(MatricesEqual(body.data, m));
+  EXPECT_TRUE(DecodedEqual(body.data, m));
 }
 
 TEST(CacheRpcWireTest, HitRoundTripPutAckHasNoPayload) {
@@ -163,6 +191,77 @@ TEST(CacheRpcWireTest, NegativeKeyFieldsRejected) {
   EXPECT_FALSE(DecodeCacheFetch(frame, &body, &error));
 }
 
+// --- decoder hardening ----------------------------------------------------
+//
+// Offsets inside a kCachePut payload: key (13) + checksum (8) + rows u32 +
+// cols u32 + dtype u8 + scale_count u32, then scale bits and raw bytes.
+constexpr size_t kPutDtypeOffset = 13 + 8 + 4 + 4;
+constexpr size_t kPutScaleCountOffset = kPutDtypeOffset + 1;
+
+std::vector<uint8_t> PutPayload(const std::vector<uint8_t>& frame_bytes) {
+  return std::vector<uint8_t>(frame_bytes.begin() + kFrameHeaderBytes,
+                              frame_bytes.end());
+}
+
+TEST(CacheRpcWireTest, TruncatedPutPayloadRejectedAtEveryBoundary) {
+  const std::vector<uint8_t> payload =
+      PutPayload(EncodeCachePut(1, TestKey(), TestMatrix(3, 4, 8)));
+  // Cut mid-key, mid-checksum, mid-matrix-header, and one byte short of
+  // the raw payload: every truncation must reject cleanly, never read
+  // past the end.
+  for (const size_t keep :
+       {size_t{0}, size_t{5}, size_t{12}, size_t{20}, kPutDtypeOffset,
+        kPutScaleCountOffset + 2, payload.size() - 1}) {
+    const std::vector<uint8_t> cut(payload.begin(),
+                                   payload.begin() + static_cast<long>(keep));
+    const ParsedFrame frame =
+        Parse(EncodeFrame(FrameType::kCachePut, 1, cut));
+    CachePutBody body;
+    std::string error;
+    EXPECT_FALSE(DecodeCachePut(frame, &body, &error)) << "keep=" << keep;
+  }
+}
+
+TEST(CacheRpcWireTest, UnknownDtypeTagRejected) {
+  std::vector<uint8_t> payload =
+      PutPayload(EncodeCachePut(1, TestKey(), TestMatrix(3, 4, 9)));
+  payload[kPutDtypeOffset] = 7;  // No such encoding.
+  const ParsedFrame frame =
+      Parse(EncodeFrame(FrameType::kCachePut, 1, payload));
+  CachePutBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCachePut(frame, &body, &error));
+  EXPECT_NE(error.find("dtype"), std::string::npos) << error;
+}
+
+TEST(CacheRpcWireTest, ScaleCountMismatchRejected) {
+  // An f32 matrix declares zero scales; claiming one must be rejected
+  // before any scale bytes are interpreted.
+  std::vector<uint8_t> payload =
+      PutPayload(EncodeCachePut(1, TestKey(), TestMatrix(3, 4, 10)));
+  payload[kPutScaleCountOffset] = 1;
+  const ParsedFrame frame =
+      Parse(EncodeFrame(FrameType::kCachePut, 1, payload));
+  CachePutBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCachePut(frame, &body, &error));
+}
+
+TEST(CacheRpcWireTest, DtypeLengthComboMismatchRejected) {
+  // An i8 matrix re-tagged as f16 leaves the declared per-row scales and
+  // byte count inconsistent with the claimed dtype.
+  const quant::EncodedMatrix encoded =
+      quant::Encode(TestMatrix(3, 4, 11), quant::Dtype::kI8);
+  std::vector<uint8_t> payload =
+      PutPayload(EncodeCachePut(1, TestKey(), encoded));
+  payload[kPutDtypeOffset] = static_cast<uint8_t>(quant::Dtype::kF16);
+  const ParsedFrame frame =
+      Parse(EncodeFrame(FrameType::kCachePut, 1, payload));
+  CachePutBody body;
+  std::string error;
+  EXPECT_FALSE(DecodeCachePut(frame, &body, &error));
+}
+
 // --- node -----------------------------------------------------------------
 
 TEST(CacheRpcNodeTest, PutThenFetchHitsWithSameBytes) {
@@ -176,12 +275,13 @@ TEST(CacheRpcNodeTest, PutThenFetchHitsWithSameBytes) {
   std::string error;
   ASSERT_TRUE(DecodeCacheHit(Parse(ack.frame), &ack_body, &error)) << error;
   EXPECT_FALSE(ack_body.has_payload());
-  EXPECT_EQ(ack_body.checksum, LatentChecksum(m));
+  EXPECT_EQ(ack_body.checksum,
+            EncodedChecksum(quant::Encode(m, quant::Dtype::kF32)));
 
   InlineReply hit = node.Handle(Parse(EncodeCacheFetch(2, key)));
   CacheHitBody hit_body;
   ASSERT_TRUE(DecodeCacheHit(Parse(hit.frame), &hit_body, &error)) << error;
-  EXPECT_TRUE(MatricesEqual(hit_body.data, m));
+  EXPECT_TRUE(DecodedEqual(hit_body.data, m));
 
   const CacheNodeStats stats = node.Stats();
   EXPECT_EQ(stats.puts, 1u);
@@ -240,6 +340,61 @@ TEST(CacheRpcNodeTest, LruEvictsUnderByteCap) {
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_LE(stats.resident_bytes, options.max_bytes);
+}
+
+TEST(CacheRpcNodeTest, CompressedPutsRestAndServeEncoded) {
+  CacheNode node;  // Default admission: staged, i.e. every encoding.
+  const Matrix m = TestMatrix(8, 6, 12);
+  const quant::EncodedMatrix f16 = quant::Encode(m, quant::Dtype::kF16);
+  const quant::EncodedMatrix i8 = quant::Encode(m, quant::Dtype::kI8);
+  node.Handle(Parse(EncodeCachePut(1, TestKey(1, 0, 0), f16)));
+  node.Handle(Parse(EncodeCachePut(2, TestKey(2, 0, 0), i8)));
+  const CacheNodeStats stats = node.Stats();
+  EXPECT_EQ(stats.entries_f16, 1u);
+  EXPECT_EQ(stats.entries_i8, 1u);
+  EXPECT_EQ(stats.resident_bytes, f16.StoredBytes() + i8.StoredBytes());
+  // A fetch serves the entry exactly as it rests — same dtype, same bytes.
+  InlineReply hit = node.Handle(Parse(EncodeCacheFetch(3, TestKey(1, 0, 0))));
+  CacheHitBody body;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheHit(Parse(hit.frame), &body, &error)) << error;
+  EXPECT_EQ(body.data.dtype, quant::Dtype::kF16);
+  EXPECT_EQ(body.data.payload, f16.payload);
+}
+
+TEST(CacheRpcNodeTest, LosslessAdmitRejectsCompressedPuts) {
+  CacheNodeOptions options;
+  options.admit = quant::PrecisionMode::kLossless;
+  CacheNode node(options);
+  const Matrix m = TestMatrix(4, 4, 13);
+  InlineReply reply = node.Handle(Parse(
+      EncodeCachePut(1, TestKey(), quant::Encode(m, quant::Dtype::kF16))));
+  EXPECT_TRUE(reply.close_connection);
+  WireErrorBody error_body;
+  ASSERT_TRUE(DecodeError(Parse(reply.frame), &error_body));
+  EXPECT_EQ(static_cast<WireError>(error_body.code),
+            WireError::kMalformedPayload);
+  EXPECT_FALSE(node.Contains(TestKey()));
+  EXPECT_EQ(node.Stats().precision_rejects, 1u);
+  // A lossless f32 put still lands on the same node.
+  InlineReply ack = node.Handle(Parse(EncodeCachePut(2, TestKey(), m)));
+  EXPECT_FALSE(ack.close_connection);
+  EXPECT_TRUE(node.Contains(TestKey()));
+}
+
+TEST(CacheRpcNodeTest, ByteCapCountsCompressedBytes) {
+  const Matrix m = TestMatrix(8, 8, 14);  // 256 B as f32, 128 B as f16.
+  CacheNodeOptions options;
+  options.max_bytes = 2 * m.bytes();
+  CacheNode node(options);
+  // Four f16 entries fit where only two f32 entries would.
+  for (int t = 0; t < 4; ++t) {
+    node.Handle(Parse(EncodeCachePut(static_cast<uint64_t>(t + 1),
+                                     TestKey(t, 0, 0),
+                                     quant::Encode(m, quant::Dtype::kF16))));
+  }
+  EXPECT_EQ(node.Stats().entries, 4u);
+  EXPECT_EQ(node.Stats().evictions, 0u);
 }
 
 TEST(CacheRpcNodeTest, MetricsJsonCarriesCounters) {
@@ -343,6 +498,105 @@ TEST_F(CacheRpcClientTest, MetricsQueryReconcilesWithClientCounts) {
   EXPECT_EQ(JsonCounter(*metrics, "bytes_stored"), put.bytes);
 }
 
+TEST_F(CacheRpcClientTest, OversizedPutFailsClientSideBeforeSocket) {
+  // 1200 x 1024 f32 is ~4.9 MB raw — over the 4 MiB frame cap.
+  model::ActivationRecord record;
+  record.steps.resize(1);
+  record.steps[0].y.push_back(Matrix(1200, 1024));
+
+  CacheClient client("127.0.0.1", server_->port());
+  PutRecordResult put = client.PutRecord(1, record);
+  EXPECT_FALSE(put.transport_ok);
+  EXPECT_EQ(client.last_error(), WireError::kOversizedFrame);
+  EXPECT_EQ(put.puts, 0u);
+  EXPECT_EQ(put.wire_bytes, 0u);
+  // Nothing hit the wire: the node saw neither a put nor a bad frame...
+  EXPECT_EQ(node_.Stats().puts, 0u);
+  EXPECT_EQ(node_.Stats().bad_frames, 0u);
+  // ...and the same connection still carries a normal-sized record.
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 1;
+  model::DiffusionModel model(numerics);
+  EXPECT_TRUE(client.PutRecord(2, model.Register(2, false)).transport_ok)
+      << ToString(client.last_error());
+}
+
+TEST_F(CacheRpcClientTest, Fp16RecordRoundTripsWithinTolerance) {
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 2;
+  model::DiffusionModel model(numerics);
+  const model::ActivationRecord record = model.Register(5, false);
+
+  CacheClient client("127.0.0.1", server_->port());
+  PutRecordResult put =
+      client.PutRecord(5, record, quant::PrecisionMode::kF16);
+  ASSERT_TRUE(put.transport_ok) << ToString(client.last_error());
+  EXPECT_EQ(put.wire_bytes * 2, put.bytes);  // f16 is exactly half.
+  EXPECT_EQ(node_.Stats().bytes_stored, put.wire_bytes);
+
+  FetchRecordResult fetched =
+      client.FetchRecord(5, numerics.num_steps, numerics.num_blocks, false);
+  ASSERT_TRUE(fetched.transport_ok);
+  ASSERT_TRUE(fetched.complete);
+  EXPECT_EQ(fetched.wire_bytes, put.wire_bytes);
+  EXPECT_EQ(fetched.bytes, put.bytes);  // Decoded back to full f32.
+  // Round-to-nearest f16 error is bounded by ~2^-11 at each magnitude.
+  float max_rel = 0.0f;
+  for (size_t st = 0; st < record.steps.size(); ++st) {
+    for (size_t b = 0; b < record.steps[st].y.size(); ++b) {
+      const Matrix& want = record.steps[st].y[b];
+      const Matrix& got = fetched.record->steps[st].y[b];
+      for (size_t i = 0; i < want.size(); ++i) {
+        max_rel = std::max(
+            max_rel, std::abs(want.data()[i] - got.data()[i]) /
+                         std::max(1.0f, std::abs(want.data()[i])));
+      }
+    }
+  }
+  EXPECT_LT(max_rel, 1.0f / 2048.0f);
+}
+
+TEST_F(CacheRpcClientTest, StagedPutSplitsDtypesByStep) {
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 4;
+  model::DiffusionModel model(numerics);
+  CacheClient client("127.0.0.1", server_->port());
+  ASSERT_TRUE(client
+                  .PutRecord(6, model.Register(6, false),
+                             quant::PrecisionMode::kStaged)
+                  .transport_ok);
+  // Steps 0-1 travel f16, steps 2-3 travel i8 — resident dtypes prove it.
+  const CacheNodeStats stats = node_.Stats();
+  const uint64_t per_half = 2ull * numerics.num_blocks;
+  EXPECT_EQ(stats.entries_f16, per_half);
+  EXPECT_EQ(stats.entries_i8, per_half);
+  EXPECT_EQ(stats.entries_f32, 0u);
+}
+
+TEST_F(CacheRpcClientTest, CompressedPutRejectedByLosslessNode) {
+  CacheNodeOptions strict;
+  strict.admit = quant::PrecisionMode::kLossless;
+  CacheNode lossless_node(strict);
+  TcpServer strict_server(lossless_node.Service());
+  ASSERT_TRUE(strict_server.Start());
+
+  model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  numerics.num_steps = 1;
+  model::DiffusionModel model(numerics);
+  CacheClient client("127.0.0.1", strict_server.port());
+  PutRecordResult put = client.PutRecord(3, model.Register(3, false),
+                                         quant::PrecisionMode::kF16);
+  EXPECT_FALSE(put.transport_ok);
+  // The node rejects the first put and hangs up, so the client observes
+  // either the typed error frame or the hangup, depending on the race.
+  EXPECT_TRUE(client.last_error() == WireError::kMalformedPayload ||
+              client.last_error() == WireError::kConnectionClosed)
+      << ToString(client.last_error());
+  EXPECT_GE(lossless_node.Stats().precision_rejects, 1u);
+  EXPECT_EQ(lossless_node.Stats().puts, 0u);
+  strict_server.Stop();
+}
+
 TEST_F(CacheRpcClientTest, ConnectToDeadPortFailsAfterBoundedRetries) {
   server_->Stop();
   CacheClientOptions options;
@@ -414,7 +668,31 @@ TEST_F(CacheRpcRemoteStoreTest, SecondStoreFetchesRemotelyBitwise) {
   EXPECT_EQ(stats.remote_misses, 0u);
   EXPECT_EQ(stats.local_registrations, 0u);
   EXPECT_EQ(stats.remote_bytes_fetched, node_.Stats().bytes_served);
+  // Lossless moves exactly what it decodes.
+  EXPECT_EQ(stats.remote_wire_bytes_fetched, stats.remote_bytes_fetched);
   EXPECT_GT(stats.fetch_p99_us, 0.0);
+}
+
+TEST_F(CacheRpcRemoteStoreTest, Fp16StoreMovesFewerWireBytes) {
+  cache::RemoteStoreOptions options = StoreOptions();
+  options.precision = quant::PrecisionMode::kF16;
+  cache::RemoteActivationStore first(options);
+  ASSERT_NE(first.Acquire(*model_, 3, false), nullptr);
+  const cache::RemoteStoreStats cold = first.Stats();
+  EXPECT_EQ(cold.remote_wire_bytes_put * 2, cold.remote_bytes_put);
+  EXPECT_EQ(node_.Stats().bytes_stored, cold.remote_wire_bytes_put);
+
+  cache::RemoteActivationStore second(options);
+  ASSERT_NE(second.Acquire(*model_, 3, false), nullptr);
+  const cache::RemoteStoreStats warm = second.Stats();
+  EXPECT_EQ(warm.remote_hits, 1u);
+  EXPECT_EQ(warm.remote_wire_bytes_fetched * 2, warm.remote_bytes_fetched);
+
+  const std::string json = second.MetricsJson();
+  EXPECT_EQ(JsonCounter(json, "remote_wire_bytes_fetched"),
+            warm.remote_wire_bytes_fetched);
+  EXPECT_EQ(JsonCounter(json, "remote_wire_bytes_put"), 0u);
+  EXPECT_NE(json.find("\"precision\":\"fp16\""), std::string::npos);
 }
 
 TEST_F(CacheRpcRemoteStoreTest, FrontHitCostsNoRpc) {
