@@ -33,42 +33,43 @@ std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int signum) { g_signal = signum; }
 
-constexpr char kUsage[] =
-    "usage: flashps_cached [--port=7412] [--max-bytes=0]\n"
-    "                      [--max-inflight=64] [--stats-every-s=0]\n"
-    "                      [--cache-precision=lossless|fp16|staged]\n";
-
 }  // namespace
 
 int main(int argc, char** argv) {
   flags::FlagParser flags(argc, argv);
-  if (flags.Has("help")) {
-    std::fputs(kUsage, stdout);
-    return 0;
-  }
 
   net::CacheNodeOptions node_options;
-  node_options.max_bytes =
-      static_cast<size_t>(flags.LongInRange("max-bytes", 0, 0, 1l << 40));
+  node_options.max_bytes = static_cast<size_t>(flags.LongInRange(
+      "max-bytes", 0, 0, 1l << 40, "resident-byte cap (0 = unbounded)"));
   // Daemon default is the strictest floor: a fleet is bitwise-attested
   // unless the operator opts the node into compressed admissions.
-  const std::string precision_name = flags.String("cache-precision", "lossless");
-  if (!quant::ParsePrecisionMode(precision_name, &node_options.admit)) {
-    std::fprintf(stderr, "flashps_cached: bad --cache-precision=%s\n%s",
-                 precision_name.c_str(), kUsage);
-    return 2;
-  }
+  const std::string precision_name =
+      flags.String("cache-precision", "lossless",
+                   "admission floor: lossless|fp16|staged");
 
   net::TcpServerOptions server_options;
-  server_options.port =
-      static_cast<uint16_t>(flags.LongInRange("port", 7412, 0, 65535));
-  server_options.max_inflight_per_conn =
-      static_cast<int>(flags.LongInRange("max-inflight", 64, 1, 1 << 16));
-  const long stats_every_s =
-      flags.LongInRange("stats-every-s", 0, 0, 86400);
+  server_options.port = static_cast<uint16_t>(
+      flags.LongInRange("port", 7412, 0, 65535, "listen port (0 = ephemeral)"));
+  server_options.max_inflight_per_conn = static_cast<int>(flags.LongInRange(
+      "max-inflight", 64, 1, 1 << 16, "per-connection in-flight cap"));
+  server_options.auth_token = flags.String(
+      "auth-token", "", "shared secret; refuse unauthenticated sessions");
+  const long stats_every_s = flags.LongInRange(
+      "stats-every-s", 0, 0, 86400, "periodic stats print interval (0 = off)");
 
+  const bool want_help = flags.Has("help", "print this help");
+  const std::string usage = flags.HelpText(argv[0]);
+  if (want_help) {
+    std::fputs(usage.c_str(), stdout);
+    return 0;
+  }
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), kUsage);
+    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), usage.c_str());
+    return 2;
+  }
+  if (!quant::ParsePrecisionMode(precision_name, &node_options.admit)) {
+    std::fprintf(stderr, "flashps_cached: bad --cache-precision=%s\n%s",
+                 precision_name.c_str(), usage.c_str());
     return 2;
   }
 

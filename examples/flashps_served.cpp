@@ -62,49 +62,27 @@ std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int signum) { g_signal = signum; }
 
-constexpr char kUsage[] =
-    "usage: flashps_served [--port=7411] [--workers=2] [--steps=8]\n"
-    "                      [--max-batch=4] [--compute-threads=1]\n"
-    "                      [--policy=mask-aware|round-robin|first-fit|"
-    "request-count|token-count]\n"
-    "                      [--slo-ms=0] [--max-inflight=32] "
-    "[--stats-every-s=0]\n"
-    "                      [--cache-host=HOST --cache-port=7412 |\n"
-    "                       --cache-nodes=HOST:PORT,HOST:PORT,...\n"
-    "                       --cache-replication=2]\n"
-    "                      [--cache-prefetch=2 --cache-connections=2]\n"
-    "                      [--cache-precision=lossless|fp16|staged]\n";
-
-sched::RoutePolicy ParsePolicy(const std::string& name) {
-  if (name == "round-robin") return sched::RoutePolicy::kRoundRobin;
-  if (name == "first-fit") return sched::RoutePolicy::kFirstFit;
-  if (name == "request-count") return sched::RoutePolicy::kRequestCount;
-  if (name == "token-count") return sched::RoutePolicy::kTokenCount;
-  return sched::RoutePolicy::kMaskAware;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   flags::FlagParser flags(argc, argv);
-  if (flags.Has("help")) {
-    std::fputs(kUsage, stdout);
-    return 0;
-  }
 
   gateway::GatewayOptions options;
-  options.num_workers =
-      static_cast<int>(flags.LongInRange("workers", 2, 1, 256));
+  options.num_workers = static_cast<int>(
+      flags.LongInRange("workers", 2, 1, 256, "gateway worker count"));
   options.worker.numerics = model::NumericsConfig::ForTests();
-  options.worker.numerics.num_steps =
-      static_cast<int>(flags.LongInRange("steps", 8, 1, 1024));
-  options.worker.max_batch =
-      static_cast<int>(flags.LongInRange("max-batch", 4, 1, 256));
-  options.worker.compute_threads =
-      static_cast<int>(flags.LongInRange("compute-threads", 1, 1, 256));
-  const std::string policy_name = flags.String("policy", "mask-aware");
-  options.policy = ParsePolicy(policy_name);
-  const long slo_ms = flags.LongInRange("slo-ms", 0, 0, 1l << 31);
+  options.worker.numerics.num_steps = static_cast<int>(
+      flags.LongInRange("steps", 8, 1, 1024, "denoise steps per request"));
+  options.worker.max_batch = static_cast<int>(
+      flags.LongInRange("max-batch", 4, 1, 256, "max co-batched requests"));
+  options.worker.compute_threads = static_cast<int>(flags.LongInRange(
+      "compute-threads", 1, 1, 256, "denoise compute threads per worker"));
+  const std::string policy_name =
+      flags.String("policy", "mask-aware",
+                   "route policy: mask-aware|round-robin|first-fit|"
+                   "request-count|token-count");
+  const long slo_ms = flags.LongInRange(
+      "slo-ms", 0, 0, 1l << 31, "per-request SLO (0 = no admission control)");
   options.slo = Duration::Millis(slo_ms);
   options.admission_control = slo_ms > 0;
 
@@ -112,21 +90,52 @@ int main(int argc, char** argv) {
   // Whatever the shape, every worker shares ONE ActivationSource (the
   // shared_ptr is copied into each worker's options) — never a
   // worker-private cache.
-  const std::string cache_nodes = flags.String("cache-nodes", "");
-  const std::string cache_host = flags.String("cache-host", "");
-  const int prefetch_workers =
-      static_cast<int>(flags.LongInRange("cache-prefetch", 2, 0, 64));
-  const int cache_connections =
-      static_cast<int>(flags.LongInRange("cache-connections", 2, 1, 64));
-  const int replication =
-      static_cast<int>(flags.LongInRange("cache-replication", 2, 1, 64));
-  const uint16_t cache_port =
-      static_cast<uint16_t>(flags.LongInRange("cache-port", 7412, 1, 65535));
-  const std::string precision_name = flags.String("cache-precision", "lossless");
+  const std::string cache_nodes = flags.String(
+      "cache-nodes", "", "cache ring members, HOST:PORT,HOST:PORT,...");
+  const std::string cache_host =
+      flags.String("cache-host", "", "single remote cache node host");
+  const int prefetch_workers = static_cast<int>(flags.LongInRange(
+      "cache-prefetch", 2, 0, 64, "queue-ahead prefetch depth (0 = off)"));
+  const int cache_connections = static_cast<int>(flags.LongInRange(
+      "cache-connections", 2, 1, 64, "wire connections per cache node"));
+  const int replication = static_cast<int>(flags.LongInRange(
+      "cache-replication", 2, 1, 64, "copies of each template on the ring"));
+  const uint16_t cache_port = static_cast<uint16_t>(flags.LongInRange(
+      "cache-port", 7412, 1, 65535, "single remote cache node port"));
+  const std::string precision_name =
+      flags.String("cache-precision", "lossless",
+                   "published record codec: lossless|fp16|staged");
+  const std::string auth_token = flags.String(
+      "auth-token", "", "shared secret; refuse unauthenticated sessions");
+
+  net::TcpServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(
+      flags.LongInRange("port", 7411, 0, 65535, "listen port (0 = ephemeral)"));
+  server_options.max_inflight_per_conn = static_cast<int>(flags.LongInRange(
+      "max-inflight", 32, 1, 1 << 16, "per-connection in-flight cap"));
+  server_options.auth_token = auth_token;
+  const long stats_every_s = flags.LongInRange(
+      "stats-every-s", 0, 0, 86400, "periodic stats print interval (0 = off)");
+
+  const bool want_help = flags.Has("help", "print this help");
+  const std::string usage = flags.HelpText(argv[0]);
+  if (want_help) {
+    std::fputs(usage.c_str(), stdout);
+    return 0;
+  }
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), usage.c_str());
+    return 2;
+  }
+  if (!sched::ParseRoutePolicy(policy_name, &options.policy)) {
+    std::fprintf(stderr, "flashps_served: bad --policy=%s\n%s",
+                 policy_name.c_str(), usage.c_str());
+    return 2;
+  }
   quant::PrecisionMode precision = quant::PrecisionMode::kLossless;
   if (!quant::ParsePrecisionMode(precision_name, &precision)) {
     std::fprintf(stderr, "flashps_served: bad --cache-precision=%s\n%s",
-                 precision_name.c_str(), kUsage);
+                 precision_name.c_str(), usage.c_str());
     return 2;
   }
 
@@ -136,7 +145,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "flashps_served: --cache-nodes and --cache-host are "
                  "mutually exclusive\n%s",
-                 kUsage);
+                 usage.c_str());
     return 2;
   }
   if (!cache_nodes.empty()) {
@@ -145,13 +154,14 @@ int main(int argc, char** argv) {
     sharded.nodes = cache::ParseRingMembers(cache_nodes, &parse_error);
     if (sharded.nodes.empty()) {
       std::fprintf(stderr, "flashps_served: bad --cache-nodes: %s\n%s",
-                   parse_error.c_str(), kUsage);
+                   parse_error.c_str(), usage.c_str());
       return 2;
     }
     sharded.replication = replication;
     sharded.prefetch_workers = prefetch_workers;
     sharded.connections_per_member = cache_connections;
     sharded.precision = precision;
+    sharded.auth_token = auth_token;
     ring_store = std::make_shared<cache::ShardedRemoteStore>(sharded);
     options.worker.activation_source = ring_store;
     cache_label = "ring(" + cache_nodes + ")";
@@ -162,24 +172,13 @@ int main(int argc, char** argv) {
     remote.prefetch_workers = prefetch_workers;
     remote.connection_pool = cache_connections;
     remote.precision = precision;
+    remote.auth_token = auth_token;
     options.worker.activation_source =
         std::make_shared<cache::RemoteActivationStore>(remote);
     cache_label = cache_host;
   } else {
     options.worker.activation_source =
         std::make_shared<cache::ActivationStore>();
-  }
-
-  net::TcpServerOptions server_options;
-  server_options.port =
-      static_cast<uint16_t>(flags.LongInRange("port", 7411, 0, 65535));
-  server_options.max_inflight_per_conn =
-      static_cast<int>(flags.LongInRange("max-inflight", 32, 1, 1 << 16));
-  const long stats_every_s = flags.LongInRange("stats-every-s", 0, 0, 86400);
-
-  if (!flags.ok()) {
-    std::fprintf(stderr, "%s%s", flags.ErrorText().c_str(), kUsage);
-    return 2;
   }
 
   std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "

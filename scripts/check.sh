@@ -46,8 +46,8 @@ cd "${repo}"
 
 # The threaded suites the sanitizers exercise. Keep the two lists in sync
 # with the build target lists below.
-tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing|Quant|CodecQuality)'
-asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing|Quant|CodecQuality)'
+tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
+asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -74,6 +74,7 @@ cmake --build build-tsan -j --target \
   kernel_equivalence_test runtime_test gateway_test common_test \
   net_test net_integration_test cache_rpc_test cache_rpc_integration_test \
   cache_ring_test cache_ring_integration_test \
+  fed_test fed_integration_test \
   quant_test codec_quality_test \
   >/dev/null
 
@@ -87,6 +88,7 @@ cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target \
   net_test net_integration_test gateway_test cache_rpc_test \
   cache_rpc_integration_test cache_ring_test cache_ring_integration_test \
+  fed_test fed_integration_test \
   quant_test codec_quality_test \
   >/dev/null
 

@@ -12,6 +12,7 @@ RemoteActivationStore::RemoteActivationStore(RemoteStoreOptions options)
   copts.connect_attempts = options_.connect_attempts;
   copts.connect_backoff = options_.connect_backoff;
   copts.call_timeout = options_.call_timeout;
+  copts.auth_token = options_.auth_token;
   // Enough connections that every prefetch worker plus one foreground
   // fetch can be on the wire at once; otherwise a burst of prefetches
   // would queue a foreground Acquire() behind them at the checkout —

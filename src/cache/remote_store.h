@@ -83,6 +83,9 @@ struct RemoteStoreOptions {
   std::chrono::milliseconds connect_backoff{50};
   // Deadline for one whole-record fetch or put.
   std::chrono::milliseconds call_timeout{5000};
+  // Shared secret presented to the cache node at connect (see
+  // CacheClientOptions::auth_token). Empty = no handshake.
+  std::string auth_token;
   // Circuit breaker: this many consecutive transport failures open the
   // circuit; while open, Acquire() goes straight to local registration.
   int max_consecutive_failures = 3;

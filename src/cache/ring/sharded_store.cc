@@ -21,6 +21,7 @@ ShardedRemoteStore::ShardedRemoteStore(ShardedStoreOptions options)
   copts.connect_attempts = options_.connect_attempts;
   copts.connect_backoff = options_.connect_backoff;
   copts.call_timeout = options_.call_timeout;
+  copts.auth_token = options_.auth_token;
   // Per member: enough connections that every prefetch worker plus one
   // foreground fetch can be on the wire against the SAME member at once —
   // a Zipf head means bursts do concentrate on one node.

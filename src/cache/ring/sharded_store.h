@@ -72,6 +72,9 @@ struct ShardedStoreOptions {
   int connect_attempts = 2;
   std::chrono::milliseconds connect_backoff{50};
   std::chrono::milliseconds call_timeout{5000};
+  // Shared secret presented to every ring member at connect. Empty = no
+  // handshake.
+  std::string auth_token;
   // Per-member circuit breaker: consecutive transport failures against
   // ONE member open that member's circuit only; the rest of the ring
   // keeps serving its own ranges.

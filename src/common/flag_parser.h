@@ -11,18 +11,24 @@
 //     malformed value is reported instead of becoming 0,
 //   - records which keys the program asked for, so ok() can report every
 //     flag the program does NOT understand — call it after the last
-//     lookup, print errors() + usage, and exit non-zero.
+//     lookup, print errors() + usage, and exit non-zero,
+//   - auto-generates --help text from the registered lookups (each may
+//     carry a one-line description), so a daemon's usage can never drift
+//     from the flags it actually reads: perform every lookup, then answer
+//     Has("help") with HelpText() before checking ok().
 //
 // Header-only; no dependencies beyond the standard library, so the
 // daemons stay as self-contained as before.
 #ifndef FLASHPS_SRC_COMMON_FLAG_PARSER_H_
 #define FLASHPS_SRC_COMMON_FLAG_PARSER_H_
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace flashps::flags {
@@ -47,19 +53,21 @@ class FlagParser {
   }
 
   // True when the flag was given (with or without a value).
-  bool Has(const std::string& key) {
-    seen_.insert(key);
+  bool Has(const std::string& key, const std::string& help = "") {
+    Note(key, "", "", "", help);
     return values_.count(key) != 0;
   }
 
-  std::string String(const std::string& key, std::string fallback) {
-    seen_.insert(key);
+  std::string String(const std::string& key, std::string fallback,
+                     const std::string& help = "") {
+    Note(key, "VALUE", fallback.empty() ? "\"\"" : fallback, "", help);
     auto it = values_.find(key);
     return it == values_.end() ? std::move(fallback) : it->second;
   }
 
-  long Long(const std::string& key, long fallback) {
-    seen_.insert(key);
+  long Long(const std::string& key, long fallback,
+            const std::string& help = "") {
+    Note(key, "N", std::to_string(fallback), "", help);
     auto it = values_.find(key);
     if (it == values_.end()) {
       return fallback;
@@ -78,8 +86,10 @@ class FlagParser {
 
   // Long() constrained to [min, max]; out-of-range values are errors, not
   // silent clamps (a port of 99999 is a typo, not a request).
-  long LongInRange(const std::string& key, long fallback, long min,
-                   long max) {
+  long LongInRange(const std::string& key, long fallback, long min, long max,
+                   const std::string& help = "") {
+    Note(key, "N", std::to_string(fallback),
+         "[" + std::to_string(min) + ", " + std::to_string(max) + "]", help);
     const size_t errors_before = errors_.size();
     const long value = Long(key, fallback);
     if (errors_.size() != errors_before) {
@@ -120,9 +130,73 @@ class FlagParser {
     return out;
   }
 
+  // Usage text generated from every lookup performed so far, in lookup
+  // order. Call after the last lookup (the same place ok() goes) so every
+  // flag the program reads is in the table.
+  std::string HelpText(const std::string& program) const {
+    std::vector<std::pair<std::string, std::string>> rows;
+    size_t width = 0;
+    for (const Spec& spec : specs_) {
+      std::string left = "--" + spec.key;
+      if (!spec.placeholder.empty()) {
+        left += "=" + spec.placeholder;
+      }
+      std::string right = spec.help;
+      std::string meta;
+      if (!spec.fallback.empty()) {
+        meta += "default " + spec.fallback;
+      }
+      if (!spec.range.empty()) {
+        meta += (meta.empty() ? "" : ", ") + ("range " + spec.range);
+      }
+      if (!meta.empty()) {
+        right += (right.empty() ? "(" : " (") + meta + ")";
+      }
+      width = std::max(width, left.size());
+      rows.emplace_back(std::move(left), std::move(right));
+    }
+    std::string out = "usage: " + program + " [--key=value ...]\n\nflags:\n";
+    for (const auto& [left, right] : rows) {
+      out += "  " + left;
+      if (!right.empty()) {
+        out.append(width - left.size() + 2, ' ');
+        out += right;
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
  private:
+  struct Spec {
+    std::string key;
+    std::string placeholder;  // "" for bare switches, "N"/"VALUE" otherwise.
+    std::string fallback;     // Rendered default ("" = no default to show).
+    std::string range;        // "[min, max]" or "".
+    std::string help;
+  };
+
+  // Records one lookup for ok()'s unknown-flag check and HelpText's table.
+  // First registration of a key wins on shape; a later non-empty help
+  // backfills an empty one (Long() inside LongInRange() passes none).
+  void Note(const std::string& key, const std::string& placeholder,
+            const std::string& fallback, const std::string& range,
+            const std::string& help) {
+    seen_.insert(key);
+    for (Spec& spec : specs_) {
+      if (spec.key == key) {
+        if (spec.help.empty()) {
+          spec.help = help;
+        }
+        return;
+      }
+    }
+    specs_.push_back(Spec{key, placeholder, fallback, range, help});
+  }
+
   std::map<std::string, std::string> values_;
   std::set<std::string> seen_;
+  std::vector<Spec> specs_;
   std::vector<std::string> errors_;
   bool finished_ = false;
 };

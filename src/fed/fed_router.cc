@@ -1,0 +1,105 @@
+#include "src/fed/fed_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace flashps::fed {
+
+FedRouter::FedRouter(sched::RoutePolicy policy,
+                     const model::TimingConfig& config,
+                     model::ComputeMode mode, double default_overhead_s)
+    : policy_(policy),
+      fallback_model_(sched::LatencyModel::FitOffline(config, mode)),
+      default_overhead_s_(default_overhead_s) {
+  if (policy != sched::RoutePolicy::kMaskAware) {
+    base_ = sched::MakeRouter(policy, config, mode);
+  }
+}
+
+sched::WorkerStatus FedRouter::ToWorkerStatus(const NodeSnapshot& node) {
+  sched::WorkerStatus status;
+  status.worker_id = node.node;
+  status.max_batch = std::max(1, node.capacity);
+  const size_t n = node.outstanding_ratios.size();
+  const size_t running = std::min(n, static_cast<size_t>(status.max_batch));
+  status.running_ratios.assign(node.outstanding_ratios.begin(),
+                               node.outstanding_ratios.begin() + running);
+  status.waiting_ratios.assign(node.outstanding_ratios.begin() + running,
+                               node.outstanding_ratios.end());
+  status.running_remaining_steps.assign(
+      node.outstanding_steps.begin(), node.outstanding_steps.begin() + running);
+  status.remaining_steps = 0;
+  for (int steps : node.outstanding_steps) {
+    status.remaining_steps += steps;
+  }
+  status.has_slack = n < static_cast<size_t>(status.max_batch);
+  return status;
+}
+
+double FedRouter::CalcCost(const trace::Request& request,
+                           const NodeSnapshot& node) const {
+  const sched::LatencyModel& model =
+      node.model != nullptr ? *node.model : fallback_model_;
+  const double overhead = node.model != nullptr ? node.per_request_overhead_s
+                                                : default_overhead_s_;
+  return sched::SerializedPlacementCost(model, overhead, request,
+                                        ToWorkerStatus(node));
+}
+
+int FedRouter::Route(const trace::Request& request,
+                     const std::vector<NodeSnapshot>& nodes) {
+  std::vector<const NodeSnapshot*> routable;
+  for (const auto& node : nodes) {
+    if (node.routable) {
+      routable.push_back(&node);
+    }
+  }
+  if (routable.empty()) {
+    return -1;
+  }
+
+  if (base_ != nullptr) {
+    std::vector<sched::WorkerStatus> statuses;
+    statuses.reserve(routable.size());
+    for (const NodeSnapshot* node : routable) {
+      statuses.push_back(ToWorkerStatus(*node));
+    }
+    return base_->Route(request, statuses);
+  }
+
+  // Algorithm 2 across machines: slack candidates first, every routable
+  // node once the fleet is saturated (Algorithm 2 line 7).
+  std::vector<const NodeSnapshot*> candidates;
+  for (const NodeSnapshot* node : routable) {
+    if (node->outstanding_ratios.size() <
+        static_cast<size_t>(std::max(1, node->capacity))) {
+      candidates.push_back(node);
+    }
+  }
+  if (candidates.empty()) {
+    candidates = routable;
+  }
+  double best_cost = std::numeric_limits<double>::max();
+  for (const NodeSnapshot* node : candidates) {
+    best_cost = std::min(best_cost, CalcCost(request, *node));
+  }
+  // Near-ties carry no cost signal; mirror MaskAwareRouter's serialized
+  // mode and keep indifferent decisions count-balanced across the fleet.
+  const NodeSnapshot* pick = nullptr;
+  int64_t fewest = std::numeric_limits<int64_t>::max();
+  for (const NodeSnapshot* node : candidates) {
+    if (CalcCost(request, *node) > best_cost * 1.05) {
+      continue;
+    }
+    const int64_t count = assigned_[node->node];
+    if (count < fewest) {
+      fewest = count;
+      pick = node;
+    }
+  }
+  ++assigned_[pick->node];
+  return pick->node;
+}
+
+}  // namespace flashps::fed

@@ -1,0 +1,79 @@
+// Cross-machine routing for the federated front tier.
+//
+// Same policy vocabulary as the in-process cluster (sched::RoutePolicy),
+// lifted one level: candidates are fleet nodes, not workers. A node is
+// summarized as a NodeSnapshot — the federation's own outstanding tickets
+// against that node (queued + in flight) plus the capacity and profiled
+// latency model the registry fetched from the node at join time.
+//
+// The baseline policies (round-robin, first-fit, request-count,
+// token-count) reuse the sched routers verbatim by mapping each snapshot
+// to a WorkerStatus whose worker_id is the node's registry index — the
+// sched routers return worker_id and key their assignment state by it, so
+// membership changes (dead nodes dropping out of the candidate list)
+// don't reshuffle history.
+//
+// The mask-aware policy is Algorithm 2 across machines: each candidate is
+// priced with sched::SerializedPlacementCost under that node's OWN fitted
+// latency model (from its MetricsJson splice) — a fleet of heterogeneous
+// nodes is scored on each node's hardware line, which is the point of
+// fetching profiles at join time. Nodes whose profile has not loaded yet
+// fall back to a locally fitted offline model.
+#ifndef FLASHPS_SRC_FED_FED_ROUTER_H_
+#define FLASHPS_SRC_FED_FED_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/model/timing.h"
+#include "src/sched/latency_model.h"
+#include "src/sched/scheduler.h"
+#include "src/trace/workload.h"
+
+namespace flashps::fed {
+
+// One fleet node as the router sees it. `outstanding_ratios` /
+// `outstanding_steps` are parallel arrays over the federation's own
+// unfinished tickets dispatched (or queued) to this node.
+struct NodeSnapshot {
+  int node = 0;  // Registry index; stable across membership changes.
+  bool routable = false;
+  int capacity = 4;  // workers * max_batch reported by the node.
+  std::vector<double> outstanding_ratios;
+  std::vector<int> outstanding_steps;
+  std::shared_ptr<const sched::LatencyModel> model;  // Null until profiled.
+  double per_request_overhead_s = 0.0;
+};
+
+class FedRouter {
+ public:
+  FedRouter(sched::RoutePolicy policy, const model::TimingConfig& config,
+            model::ComputeMode mode, double default_overhead_s);
+
+  // Picks a registry node index, or -1 when no snapshot is routable.
+  int Route(const trace::Request& request,
+            const std::vector<NodeSnapshot>& nodes);
+
+  // Exposed for tests: the serialized Algorithm-2 cost of placing
+  // `request` on `node` (uses the node's model, or the fallback).
+  double CalcCost(const trace::Request& request,
+                  const NodeSnapshot& node) const;
+
+  // Maps a snapshot to the WorkerStatus shape the sched routers consume.
+  static sched::WorkerStatus ToWorkerStatus(const NodeSnapshot& node);
+
+ private:
+  sched::RoutePolicy policy_;
+  // Baseline policies delegate here (null for mask-aware).
+  std::unique_ptr<sched::Router> base_;
+  // Fallback model for nodes that have not reported a profile yet.
+  sched::LatencyModel fallback_model_;
+  double default_overhead_s_;
+  // Near-tie fallback state, mirroring MaskAwareRouter's serialized mode.
+  std::map<int, int64_t> assigned_;
+};
+
+}  // namespace flashps::fed
+
+#endif  // FLASHPS_SRC_FED_FED_ROUTER_H_

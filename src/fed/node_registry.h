@@ -1,0 +1,208 @@
+// Fleet membership and health for the federated front tier (src/fed).
+//
+// The registry tracks a set of flashps_served nodes with explicit
+// join/leave, drives per-node health (alive / suspect / dead) from
+// periodic heartbeat probes — metrics frames with a short deadline, the
+// same liveness signal the cache ring's ProbeMembers uses — and keeps a
+// per-node circuit breaker fed by dispatch-path transport failures, so a
+// node that stops answering submits stops receiving them before the
+// prober has even noticed.
+//
+// At join time (and again on revival) the registry fetches the node's
+// MetricsJson and rebuilds the node's own profiled LatencyModel from the
+// "latency_model" splice, so the cross-machine Algorithm-2 router prices
+// each node with that node's hardware line rather than a local guess.
+//
+// Health state machine, driven only by probe outcomes:
+//
+//   alive  --miss x suspect_after-->  suspect  --miss x dead_after--> dead
+//   (any)  --probe answered-------->  alive    (refreshes the profile)
+//
+// Transitions to dead fire the on_dead callback (outside the registry
+// lock) — the federated gateway uses it to re-route the dead node's
+// queued work; transitions back to alive fire on_alive, which flushes
+// requests parked while the whole fleet was unreachable.
+#ifndef FLASHPS_SRC_FED_NODE_REGISTRY_H_
+#define FLASHPS_SRC_FED_NODE_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/model/timing.h"
+#include "src/net/client.h"
+#include "src/sched/latency_model.h"
+
+namespace flashps::fed {
+
+struct FedNode {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string id() const { return host + ":" + std::to_string(port); }
+};
+
+enum class NodeHealth {
+  kAlive,
+  kSuspect,  // Missed probes, not yet written off; still routable.
+  kDead,     // Written off; unroutable until a probe answers again.
+};
+
+std::string ToString(NodeHealth health);
+
+struct NodeRegistryOptions {
+  std::chrono::milliseconds probe_interval{200};
+  // Per-probe reply deadline; a heartbeat slower than this is a miss.
+  std::chrono::milliseconds probe_timeout{250};
+  int suspect_after = 2;  // Consecutive misses before suspect.
+  int dead_after = 4;     // Consecutive misses before dead.
+  // Circuit breaker: consecutive dispatch-path transport failures against
+  // one node open that node's circuit (unroutable) for the cooldown.
+  int max_consecutive_dispatch_failures = 3;
+  std::chrono::milliseconds circuit_cooldown{1000};
+  // Transport knobs for probe/join connections.
+  int connect_attempts = 2;
+  std::chrono::milliseconds connect_backoff{50};
+  // Shared secret presented to every node (see ClientOptions::auth_token).
+  std::string auth_token;
+  // Local timing config the fetched regression coefficients are rebuilt
+  // over (the fleet serves one model family, so the block geometry is
+  // shared; only the fitted lines are per-node).
+  model::TimingConfig timing = model::TimingConfig::Get(model::ModelKind::kSdxl);
+  bool mask_aware = true;
+};
+
+// Per-node view the gateway reads when building router snapshots.
+struct NodeInfo {
+  FedNode node;
+  NodeHealth health = NodeHealth::kAlive;
+  bool left = false;
+  bool routable = false;
+  bool circuit_open = false;
+  bool profile_loaded = false;
+  int workers = 1;
+  int max_batch = 4;
+  double per_request_overhead_s = 0.0;
+  uint64_t probes_ok = 0;
+  uint64_t probes_missed = 0;
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  uint64_t redispatched = 0;
+  uint64_t dispatch_failures = 0;
+};
+
+class NodeRegistry {
+ public:
+  explicit NodeRegistry(NodeRegistryOptions options);
+  ~NodeRegistry();
+
+  NodeRegistry(const NodeRegistry&) = delete;
+  NodeRegistry& operator=(const NodeRegistry&) = delete;
+
+  // Explicit join: registers the node and synchronously probes it once to
+  // load its profiled latency model. Returns the node's registry index
+  // (stable for the registry's lifetime). A node that does not answer the
+  // join probe still joins — as suspect — and is picked up by the first
+  // heartbeat that reaches it.
+  int Join(const FedNode& node);
+  // Explicit leave: administratively removes the node from routing and
+  // probing. The index stays valid (never reused). False if out of range
+  // or already left.
+  bool Leave(int index);
+
+  // Starts/stops the heartbeat prober. Start() is idempotent.
+  void Start();
+  void Stop();
+
+  size_t size() const;
+  NodeInfo Info(int index) const;
+  FedNode node(int index) const;
+  NodeHealth health(int index) const;
+  // Alive or suspect, not left, circuit closed.
+  bool Routable(int index) const;
+
+  // Dispatch-path feedback (the gateway calls these around every wire
+  // call). Failures feed the circuit breaker; successes reset it.
+  void NoteDispatchFailure(int index);
+  void NoteDispatchSuccess(int index);
+  void NoteDispatched(int index);
+  void NoteCompleted(int index);
+  void NoteRedispatched(int index);
+
+  // The node's own fitted regression model (null until a probe has loaded
+  // it). The pointer stays valid while the registry lives; reloads swap
+  // the shared_ptr, so hold a copy while scoring.
+  std::shared_ptr<const sched::LatencyModel> model(int index) const;
+  double per_request_overhead_s(int index) const;
+  // workers * max_batch as reported by the node's MetricsJson splice.
+  int capacity(int index) const;
+
+  // The node's last probed MetricsJson ("" before the first answer).
+  std::string last_metrics_json(int index) const;
+
+  // Fired on health transitions, always outside the registry lock.
+  void SetOnDead(std::function<void(int)> cb) { on_dead_ = std::move(cb); }
+  void SetOnAlive(std::function<void(int)> cb) { on_alive_ = std::move(cb); }
+
+  // One synchronous probe pass over every joined node (the prober's loop
+  // body) — exposed so tests can step health deterministically.
+  void ProbeOnce();
+
+  // The cluster rollup's "members" array: per-node id, health, counters,
+  // and the node's own last MetricsJson spliced under "metrics" — the
+  // same shape the cache ring reports for its members.
+  std::string MembersJson() const;
+
+ private:
+  struct NodeState {
+    FedNode node;
+    NodeHealth health = NodeHealth::kSuspect;  // Until the first answer.
+    bool left = false;
+    int missed = 0;
+    int consecutive_dispatch_failures = 0;
+    std::chrono::steady_clock::time_point circuit_open_until{};
+    std::string last_metrics;
+    std::shared_ptr<const sched::LatencyModel> model;
+    double per_request_overhead_s = 0.0;
+    int workers = 1;
+    int max_batch = 4;
+    uint64_t probes_ok = 0;
+    uint64_t probes_missed = 0;
+    uint64_t dispatched = 0;
+    uint64_t completed = 0;
+    uint64_t redispatched = 0;
+    uint64_t dispatch_failures = 0;
+  };
+
+  void ProbeLoop();
+  // Probes one node with a fresh short-lived connection; updates health
+  // and (on answer) the stored metrics + profile. Returns the callback to
+  // fire, if any.
+  std::function<void()> ProbeNode(int index);
+  // Parses the "latency_model" splice of `json` into `state` (caller holds
+  // mu_). False when the splice is missing/malformed.
+  bool LoadProfile(NodeState& state, const std::string& json);
+
+  NodeRegistryOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  std::function<void(int)> on_dead_;
+  std::function<void(int)> on_alive_;
+
+  std::thread probe_thread_;
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  bool probing_ = false;
+};
+
+}  // namespace flashps::fed
+
+#endif  // FLASHPS_SRC_FED_NODE_REGISTRY_H_

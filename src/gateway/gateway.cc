@@ -1,6 +1,7 @@
 #include "src/gateway/gateway.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/cache/activation_store.h"
@@ -167,6 +168,29 @@ std::string Gateway::MetricsJson() const {
     json.insert(json.size() - 1, ",\"activation_source\":" +
                                      options_.worker.activation_source
                                          ->MetricsJson());
+  }
+  if (!json.empty() && json.back() == '}') {
+    // The host's profiled regression lines, round-trippable at full double
+    // precision: a federated front fetches these at join time and rebuilds
+    // this node's LatencyModel (FromFits) so the cross-machine Algorithm-2
+    // cost prices each node with its own hardware's line.
+    auto num = [](double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return std::string(buf);
+    };
+    std::string lm = "{\"compute_slope\":" + num(latency_model_.compute_fit().slope) +
+                     ",\"compute_intercept\":" + num(latency_model_.compute_fit().intercept) +
+                     ",\"compute_r2\":" + num(latency_model_.compute_fit().r2) +
+                     ",\"load_slope\":" + num(latency_model_.load_fit().slope) +
+                     ",\"load_intercept\":" + num(latency_model_.load_fit().intercept) +
+                     ",\"load_r2\":" + num(latency_model_.load_fit().r2) +
+                     ",\"per_request_overhead_s\":" + num(per_request_overhead_s_) +
+                     ",\"mask_aware\":" + (options_.worker.mask_aware ? "true" : "false") +
+                     ",\"workers\":" + std::to_string(workers_.size()) +
+                     ",\"max_batch\":" + std::to_string(options_.worker.max_batch) +
+                     "}";
+    json.insert(json.size() - 1, ",\"latency_model\":" + lm);
   }
   return json;
 }

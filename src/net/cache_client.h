@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,9 @@ struct CacheClientOptions {
   std::chrono::milliseconds connect_backoff{50};
   // Deadline for one whole-record fetch or put (all frames + all replies).
   std::chrono::milliseconds call_timeout{5000};
+  // When non-empty, Connect() opens every session with a kAuth handshake
+  // carrying this token and fails unless the node acknowledges it.
+  std::string auth_token;
 };
 
 // Outcome of one whole-record fetch. `transport_ok` distinguishes "the
@@ -111,6 +115,8 @@ class CacheClient {
   // One bounded read + parse pass banking cache replies by seq. False when
   // the connection died or the stream is unframeable.
   bool PumpOnce(std::chrono::milliseconds budget);
+  // Runs the kAuth handshake (options_.auth_token) to completion.
+  bool Authenticate();
 
   std::string host_;
   uint16_t port_;
@@ -120,6 +126,7 @@ class CacheClient {
   std::vector<uint8_t> inbuf_;
   std::map<uint64_t, CacheReply> replies_;
   std::map<uint64_t, std::string> metrics_;
+  std::set<uint64_t> auth_acks_;
   WireError last_error_ = WireError::kOk;
 };
 

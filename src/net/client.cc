@@ -29,12 +29,41 @@ bool Client::Connect() {
   fd_ = ConnectTcpWithRetry(host_, port_, options_.connect_attempts,
                             options_.connect_backoff);
   last_error_ = fd_.valid() ? WireError::kOk : WireError::kConnectionClosed;
+  if (fd_.valid() && !options_.auth_token.empty() && !Authenticate()) {
+    Close();  // last_error_ already names the reason (e.g. kUnauthorized).
+    return false;
+  }
   return fd_.valid();
+}
+
+bool Client::Authenticate() {
+  const uint64_t seq = next_seq_++;
+  if (!SendFrame(EncodeAuth(seq, options_.auth_token))) {
+    return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.default_timeout;
+  while (auth_acks_.find(seq) == auth_acks_.end()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = WireError::kTimeout;
+      return false;
+    }
+    const auto budget = std::min(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now),
+        std::chrono::milliseconds(50));
+    if (!PumpOnce(std::max(budget, std::chrono::milliseconds(1)))) {
+      return false;
+    }
+  }
+  auth_acks_.erase(seq);
+  return true;
 }
 
 void Client::Close() {
   fd_.Reset();
   inbuf_.clear();
+  auth_acks_.clear();
 }
 
 bool Client::SendFrame(const std::vector<uint8_t>& frame) {
@@ -110,6 +139,9 @@ bool Client::PumpOnce(std::chrono::milliseconds budget) {
       case FrameType::kMetricsReport:
         metrics_[frame.header.seq] = std::string(frame.payload.begin(),
                                                  frame.payload.end());
+        break;
+      case FrameType::kAuthOk:
+        auth_acks_.insert(frame.header.seq);
         break;
       case FrameType::kError: {
         // The server names the reason and will close on us; surface the

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@ struct ClientOptions {
   // First retry delay; doubles per attempt (50, 100, 200, ... ms).
   std::chrono::milliseconds connect_backoff{50};
   std::chrono::milliseconds default_timeout{30000};
+  // When non-empty, Connect() opens every session with a kAuth handshake
+  // carrying this token and fails unless the daemon acknowledges it.
+  std::string auth_token;
 };
 
 class Client {
@@ -81,6 +85,8 @@ class Client {
   // connection is gone or the stream is unframeable.
   bool PumpOnce(std::chrono::milliseconds budget);
   bool SendFrame(const std::vector<uint8_t>& frame);
+  // Runs the kAuth handshake (options_.auth_token) to completion.
+  bool Authenticate();
 
   std::string host_;
   uint16_t port_;
@@ -90,6 +96,7 @@ class Client {
   std::vector<uint8_t> inbuf_;
   std::map<uint64_t, WireResponse> responses_;
   std::map<uint64_t, std::string> metrics_;
+  std::set<uint64_t> auth_acks_;
   WireError last_error_ = WireError::kOk;
 };
 

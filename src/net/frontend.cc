@@ -1,0 +1,67 @@
+#include "src/net/frontend.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace flashps::net {
+
+namespace {
+
+class GatewayCompletion : public WireCompletion {
+ public:
+  GatewayCompletion(int worker_id, int64_t estimated_wall_us,
+                    std::future<runtime::OnlineResponse> future)
+      : worker_id_(worker_id),
+        estimated_wall_us_(estimated_wall_us),
+        future_(std::move(future)) {}
+
+  bool Ready() override {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  WireResponse Take() override {
+    WireResponse response;
+    response.worker_id = worker_id_;
+    response.estimated_wall_us = estimated_wall_us_;
+    try {
+      runtime::OnlineResponse done = future_.get();
+      response.status = static_cast<uint8_t>(gateway::SubmitStatus::kAccepted);
+      response.queueing_us = static_cast<int64_t>(done.queueing_ms() * 1e3);
+      response.denoise_us = static_cast<int64_t>(done.denoise_ms() * 1e3);
+      response.post_us = static_cast<int64_t>(done.post_ms() * 1e3);
+      response.e2e_us = static_cast<int64_t>(done.total_ms() * 1e3);
+      response.latent_checksum = LatentChecksum(done.image);
+    } catch (const std::exception&) {
+      // The worker died under the request (shutdown race).
+      response.status =
+          static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
+    }
+    return response;
+  }
+
+ private:
+  int worker_id_;
+  int64_t estimated_wall_us_;
+  std::future<runtime::OnlineResponse> future_;
+};
+
+}  // namespace
+
+WireSubmission GatewayFrontend::Submit(WireRequest request) {
+  gateway::SubmitResult result = gateway_->Submit(std::move(request.request));
+  WireSubmission sub;
+  sub.status = result.status;
+  sub.worker_id = result.worker_id;
+  sub.estimated_wall_us = static_cast<int64_t>(result.estimated_wall_s * 1e6);
+  if (result.accepted()) {
+    sub.completion = std::make_unique<GatewayCompletion>(
+        sub.worker_id, sub.estimated_wall_us, std::move(result.future));
+  }
+  return sub;
+}
+
+std::string GatewayFrontend::MetricsJson() { return gateway_->MetricsJson(); }
+
+}  // namespace flashps::net

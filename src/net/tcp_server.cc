@@ -22,7 +22,13 @@ constexpr uint64_t kListenerId = ~0ull;
 }  // namespace
 
 TcpServer::TcpServer(gateway::Gateway& gateway, TcpServerOptions options)
-    : gateway_(&gateway), options_(options) {}
+    : owned_frontend_(std::make_unique<GatewayFrontend>(gateway)),
+      options_(options) {
+  frontend_ = owned_frontend_.get();
+}
+
+TcpServer::TcpServer(WireFrontend& frontend, TcpServerOptions options)
+    : frontend_(&frontend), options_(options) {}
 
 TcpServer::TcpServer(InlineService service, TcpServerOptions options)
     : service_(std::move(service)), options_(options) {}
@@ -185,7 +191,50 @@ void TcpServer::ParseFrames(Conn& conn) {
   HandleWritable(conn);
 }
 
+bool TcpServer::HandleAuthGate(Conn& conn, const ParsedFrame& frame) {
+  if (frame.type() == FrameType::kAuth) {
+    AuthBody body;
+    std::string error;
+    if (!DecodeAuth(frame, &body, &error)) {
+      CountWireError(WireError::kMalformedPayload);
+      QueueBytes(conn, EncodeError(frame.header.seq,
+                                   WireError::kMalformedPayload, error));
+      conn.close_after_flush = true;
+      return true;
+    }
+    if (!options_.auth_token.empty() && body.token != options_.auth_token) {
+      QueueBytes(conn, EncodeError(frame.header.seq, WireError::kUnauthorized,
+                                   "auth token rejected"));
+      conn.close_after_flush = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.unauthorized;
+      return true;
+    }
+    // Tokenless daemons still acknowledge so clients can handshake blindly.
+    conn.authed = true;
+    QueueBytes(conn, EncodeAuthOk(frame.header.seq));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.auth_ok;
+    ++stats_.responses_sent;
+    return true;
+  }
+  if (!options_.auth_token.empty() && !conn.authed) {
+    QueueBytes(conn, EncodeError(frame.header.seq, WireError::kUnauthorized,
+                                 "this daemon requires a kAuth handshake"));
+    conn.close_after_flush = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.unauthorized;
+    return true;
+  }
+  return false;
+}
+
 void TcpServer::DispatchFrame(Conn& conn, const ParsedFrame& frame) {
+  // The auth gate sits in front of both backends: the cache daemon's
+  // whole-activation records need the handshake as much as submits do.
+  if (HandleAuthGate(conn, frame)) {
+    return;
+  }
   if (service_) {
     // Service mode: the backend answers every client-to-server frame
     // synchronously; its handlers are memcpy-scale, so no completer.
@@ -208,7 +257,7 @@ void TcpServer::DispatchFrame(Conn& conn, const ParsedFrame& frame) {
       return;
     case FrameType::kMetricsQuery: {
       QueueBytes(conn, EncodeMetricsReport(frame.header.seq,
-                                           gateway_->MetricsJson()));
+                                           frontend_->MetricsJson()));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.responses_sent;
       return;
@@ -251,25 +300,22 @@ void TcpServer::HandleSubmit(Conn& conn, const ParsedFrame& frame) {
     rejection.status =
         static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
   } else {
-    gateway::SubmitResult result = gateway_->Submit(std::move(request.request));
-    if (result.accepted()) {
+    WireSubmission sub = frontend_->Submit(std::move(request));
+    if (sub.accepted()) {
       conn.inflight.fetch_add(1);
       total_inflight_.fetch_add(1);
       PendingCompletion pending;
       pending.conn_id = conn.id;
       pending.seq = frame.header.seq;
-      pending.worker_id = result.worker_id;
-      pending.estimated_wall_us =
-          static_cast<int64_t>(result.estimated_wall_s * 1e6);
-      pending.future = std::move(result.future);
+      pending.completion = std::move(sub.completion);
       completions_.Push(std::move(pending));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.submits_accepted;
       return;
     }
-    rejection.status = static_cast<uint8_t>(result.status);
-    rejection.estimated_wall_us =
-        static_cast<int64_t>(result.estimated_wall_s * 1e6);
+    rejection.status = static_cast<uint8_t>(sub.status);
+    rejection.worker_id = sub.worker_id;
+    rejection.estimated_wall_us = sub.estimated_wall_us;
   }
   QueueBytes(conn, EncodeSubmitResult(frame.header.seq, rejection));
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -469,29 +515,12 @@ void TcpServer::CompleterLoop() {
     }
     bool progressed = false;
     for (auto it = pending.begin(); it != pending.end();) {
-      if (it->future.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready) {
+      if (!it->completion->Ready()) {
         ++it;
         continue;
       }
       progressed = true;
-      WireResponse response;
-      response.worker_id = it->worker_id;
-      response.estimated_wall_us = it->estimated_wall_us;
-      try {
-        runtime::OnlineResponse done = it->future.get();
-        response.status =
-            static_cast<uint8_t>(gateway::SubmitStatus::kAccepted);
-        response.queueing_us = static_cast<int64_t>(done.queueing_ms() * 1e3);
-        response.denoise_us = static_cast<int64_t>(done.denoise_ms() * 1e3);
-        response.post_us = static_cast<int64_t>(done.post_ms() * 1e3);
-        response.e2e_us = static_cast<int64_t>(done.total_ms() * 1e3);
-        response.latent_checksum = LatentChecksum(done.image);
-      } catch (const std::exception&) {
-        // The worker died under the request (shutdown race).
-        response.status =
-            static_cast<uint8_t>(gateway::SubmitStatus::kRejectedShutdown);
-      }
+      const WireResponse response = it->completion->Take();
       const bool delivered =
           DeliverToConn(it->conn_id, EncodeSubmitResult(it->seq, response));
       {

@@ -56,6 +56,7 @@
 
 #include "src/common/concurrent_queue.h"
 #include "src/gateway/gateway.h"
+#include "src/net/frontend.h"
 #include "src/net/socket_util.h"
 #include "src/net/wire.h"
 
@@ -68,6 +69,11 @@ struct TcpServerOptions {
   int max_inflight_per_conn = 32;
   // Upper bound on Stop()'s wait for in-flight work and unflushed replies.
   std::chrono::milliseconds drain_timeout{10000};
+  // When non-empty, every connection must open with a kAuth frame carrying
+  // exactly this token before any other frame; violations get
+  // kError(kUnauthorized) and the connection closes. Empty = open frontier
+  // (kAuth frames are still acknowledged so clients can send one blindly).
+  std::string auth_token;
 };
 
 // The synchronous reply of an InlineService to one frame: the encoded
@@ -100,12 +106,19 @@ struct TcpServerStats {
   uint64_t truncated = 0;  // Peer closed with a partial frame buffered.
   uint64_t orphaned_completions = 0;
   uint64_t backpressure_stalls = 0;
+  uint64_t auth_ok = 0;        // Successful kAuth handshakes.
+  uint64_t unauthorized = 0;   // Wrong token, or a frame before kAuth.
 };
 
 class TcpServer {
  public:
-  // Gateway mode. The gateway must outlive the server.
+  // Gateway mode. The gateway must outlive the server. (Sugar for
+  // frontend mode over an internally owned GatewayFrontend.)
   TcpServer(gateway::Gateway& gateway, TcpServerOptions options = {});
+  // Frontend mode: submits dispatch through any WireFrontend — the local
+  // gateway or the federated front tier. The frontend must outlive the
+  // server.
+  TcpServer(WireFrontend& frontend, TcpServerOptions options = {});
   // Service mode: `service` answers every valid frame inline on the poll
   // thread (no completer dispatch). Anything the service must outlive the
   // server too.
@@ -140,14 +153,13 @@ class TcpServer {
     bool read_closed = false;
     bool close_after_flush = false;
     bool stalled = false;  // At the in-flight cap (for stall accounting).
+    bool authed = false;   // Completed the kAuth handshake.
   };
 
   struct PendingCompletion {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
-    int worker_id = -1;
-    int64_t estimated_wall_us = 0;
-    std::future<runtime::OnlineResponse> future;
+    std::unique_ptr<WireCompletion> completion;
   };
 
   void PollLoop();
@@ -158,6 +170,10 @@ class TcpServer {
   void HandleWritable(Conn& conn);
   void ParseFrames(Conn& conn);
   void DispatchFrame(Conn& conn, const ParsedFrame& frame);
+  // Auth gate: handles kAuth frames and rejects anything else on an
+  // unauthenticated connection when a token is required. True if the
+  // frame was consumed (handled or rejected) here.
+  bool HandleAuthGate(Conn& conn, const ParsedFrame& frame);
   void HandleSubmit(Conn& conn, const ParsedFrame& frame);
   // Appends bytes to a connection's write buffer (any thread).
   void QueueBytes(Conn& conn, const std::vector<uint8_t>& bytes);
@@ -166,9 +182,11 @@ class TcpServer {
   void CountWireError(WireError error);
   bool ShouldClose(const Conn& conn) const;
 
-  // Exactly one backend is set: gateway mode (gateway_ != nullptr) or
-  // service mode (service_ is callable).
-  gateway::Gateway* gateway_ = nullptr;
+  // Exactly one backend is set: frontend mode (frontend_ != nullptr;
+  // gateway mode is frontend mode over owned_frontend_) or service mode
+  // (service_ is callable).
+  WireFrontend* frontend_ = nullptr;
+  std::unique_ptr<WireFrontend> owned_frontend_;
   InlineService service_;
   TcpServerOptions options_;
   uint16_t port_ = 0;

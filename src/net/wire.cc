@@ -19,7 +19,7 @@ void AppendHeader(ByteWriter& w, FrameType type, uint64_t seq,
 
 bool ValidFrameType(uint16_t type) {
   return type >= static_cast<uint16_t>(FrameType::kSubmit) &&
-         type <= static_cast<uint16_t>(FrameType::kCacheMiss);
+         type <= static_cast<uint16_t>(FrameType::kAuthOk);
 }
 
 // Upper bound on either dimension of a matrix accepted off the wire.
@@ -166,6 +166,8 @@ std::string ToString(WireError error) {
       return "timeout";
     case WireError::kConnectionClosed:
       return "connection-closed";
+    case WireError::kUnauthorized:
+      return "unauthorized";
   }
   return "?";
 }
@@ -452,6 +454,29 @@ bool DecodeCacheHit(const ParsedFrame& frame, CacheHitBody* out,
   }
   if (EncodedChecksum(body.data) != body.checksum) {
     if (error != nullptr) *error = "cache hit checksum mismatch";
+    return false;
+  }
+  *out = std::move(body);
+  return true;
+}
+
+std::vector<uint8_t> EncodeAuth(uint64_t seq, const std::string& token) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(payload);
+  w.String(token);
+  return EncodeFrame(FrameType::kAuth, seq, payload);
+}
+
+std::vector<uint8_t> EncodeAuthOk(uint64_t seq) {
+  return EncodeFrame(FrameType::kAuthOk, seq, {});
+}
+
+bool DecodeAuth(const ParsedFrame& frame, AuthBody* out, std::string* error) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  AuthBody body;
+  body.token = r.String();
+  if (!r.ok() || r.remaining() != 0) {
+    if (error != nullptr) *error = "auth payload malformed";
     return false;
   }
   *out = std::move(body);

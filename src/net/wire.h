@@ -83,6 +83,16 @@ enum class FrameType : uint16_t {
   // The worker falls back to local registration (and usually puts the
   // freshly computed record so the next worker hits).
   kCacheMiss = 9,
+  // client -> server: AuthBody carrying the cluster's shared secret. When
+  // a daemon is started with --auth-token, this MUST be the first frame on
+  // every connection; anything else (or a wrong token) is answered with a
+  // kError(kUnauthorized) and the connection closes. Daemons without a
+  // token still ack the frame, so a uniformly configured client fleet
+  // works against both.
+  kAuth = 10,
+  // server -> client: empty payload acknowledging a kAuth; the session is
+  // authenticated from here on.
+  kAuthOk = 11,
 };
 
 // Every way a frame or a call can fail, each distinct, each produced by
@@ -120,6 +130,10 @@ enum class WireError : uint8_t {
   // Client-side: the socket is gone — connect failed after its bounded
   // retries, the peer hung up, or a send hit a dead connection.
   kConnectionClosed = 9,
+  // The daemon requires a shared-secret handshake (--auth-token) and this
+  // session either skipped it or presented the wrong token. The frame that
+  // triggered it is never dispatched.
+  kUnauthorized = 10,
 };
 
 std::string ToString(WireError error);
@@ -174,6 +188,13 @@ struct WireResponse {
 struct WireErrorBody {
   uint8_t code = 0;  // WireError.
   std::string message;
+};
+
+// Payload of kAuth: the shared secret, verbatim. (The reproduction's
+// transport is plaintext TCP; the handshake gates access, it does not
+// hide the token from the wire — TLS is out of scope here.)
+struct AuthBody {
+  std::string token;
 };
 
 // --- cache-tier frames ----------------------------------------------------
@@ -267,6 +288,8 @@ std::vector<uint8_t> EncodeCacheHit(uint64_t seq, const CacheKey& key,
                                     uint64_t checksum,
                                     const quant::EncodedMatrix* data);
 std::vector<uint8_t> EncodeCacheMiss(uint64_t seq, const CacheKey& key);
+std::vector<uint8_t> EncodeAuth(uint64_t seq, const std::string& token);
+std::vector<uint8_t> EncodeAuthOk(uint64_t seq);
 
 // Exact payload size of the kCachePut frame EncodeCachePut would build for
 // `data` — lets a client refuse an oversized put (> kMaxPayloadBytes)
@@ -298,6 +321,7 @@ bool DecodeCachePut(const ParsedFrame& frame, CachePutBody* out,
 bool DecodeCacheHit(const ParsedFrame& frame, CacheHitBody* out,
                     std::string* error);
 bool DecodeCacheMiss(const ParsedFrame& frame, CacheMissBody* out);
+bool DecodeAuth(const ParsedFrame& frame, AuthBody* out, std::string* error);
 
 // --- checksums ------------------------------------------------------------
 

@@ -58,6 +58,18 @@ LatencyModel LatencyModel::FitOffline(const model::TimingConfig& config,
   return m;
 }
 
+LatencyModel LatencyModel::FromFits(const model::TimingConfig& config,
+                                    model::ComputeMode mode,
+                                    const LinearFit& compute_fit,
+                                    const LinearFit& load_fit) {
+  LatencyModel m;
+  m.config_ = config;
+  m.mode_ = mode;
+  m.compute_fit_ = compute_fit;
+  m.load_fit_ = load_fit;
+  return m;
+}
+
 LatencyModel LatencyModel::FitProfiled(const model::TimingConfig& config,
                                        model::ComputeMode mode,
                                        const std::vector<double>& step_tflops,

@@ -41,6 +41,16 @@ class LatencyModel {
                                   const std::vector<double>& step_tflops,
                                   const std::vector<double>& step_seconds);
 
+  // Reconstructs a model from already-fitted regression lines — the wire
+  // path: a federated front fetches a node's fitted coefficients from its
+  // MetricsJson at join time and rebuilds the node's model here, so the
+  // cross-machine Algorithm-2 cost scores each node with the node's OWN
+  // profiled line, not a locally re-fitted approximation.
+  static LatencyModel FromFits(const model::TimingConfig& config,
+                               model::ComputeMode mode,
+                               const LinearFit& compute_fit,
+                               const LinearFit& load_fit);
+
   // Per-block duration estimates for a hypothetical batch, suitable for
   // Algorithm 1 / Algorithm 2.
   model::StepDurations EstimateStepDurations(

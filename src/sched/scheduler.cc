@@ -22,6 +22,19 @@ std::string ToString(RoutePolicy policy) {
   return "?";
 }
 
+bool ParseRoutePolicy(const std::string& name, RoutePolicy* out) {
+  for (const RoutePolicy policy :
+       {RoutePolicy::kRoundRobin, RoutePolicy::kFirstFit,
+        RoutePolicy::kRequestCount, RoutePolicy::kTokenCount,
+        RoutePolicy::kMaskAware}) {
+    if (name == ToString(policy)) {
+      *out = policy;
+      return true;
+    }
+  }
+  return false;
+}
+
 int RoundRobinRouter::Route(const trace::Request& request,
                             const std::vector<WorkerStatus>& statuses) {
   (void)request;
@@ -110,20 +123,19 @@ double EstimateDrainSeconds(const LatencyModel& latency_model,
          static_cast<double>(ratios.size()) * waves;
 }
 
-double MaskAwareRouter::CalcCost(const trace::Request& request,
-                                 const WorkerStatus& status) const {
-  if (!serialized_batches_) {
-    return EstimateDrainSeconds(latency_model_, request, status);
-  }
+double SerializedPlacementCost(const LatencyModel& latency_model,
+                               double per_request_overhead_s,
+                               const trace::Request& request,
+                               const WorkerStatus& status) {
   // Serialized-batch engine: one denoise thread runs every batch member's
   // step math back to back, so a worker's remaining wall-clock work is the
   // sum of per-request step costs times their remaining steps. The cost of
   // a placement is the worker's remaining work after accepting the request
   // — join-shortest-workload in estimated seconds, the live decaying
   // counterpart of token-count's cumulative mask balance.
-  auto step_cost_s = [this](double ratio) {
+  auto step_cost_s = [&latency_model](double ratio) {
     const std::vector<double> one{ratio};
-    return latency_model_.EstimateStepLatency(one).seconds();
+    return latency_model.EstimateStepLatency(one).seconds();
   };
 
   double backlog_work_s = 0.0;
@@ -150,7 +162,7 @@ double MaskAwareRouter::CalcCost(const trace::Request& request,
                   status.waiting_ratios.end());
     if (!ratios.empty()) {
       const double batch_step_s =
-          latency_model_.EstimateStepLatency(ratios).seconds();
+          latency_model.EstimateStepLatency(ratios).seconds();
       backlog_work_s = batch_step_s *
                        static_cast<double>(status.remaining_steps) /
                        static_cast<double>(ratios.size());
@@ -164,17 +176,26 @@ double MaskAwareRouter::CalcCost(const trace::Request& request,
   const double running_step_s =
       status.running_ratios.empty()
           ? 0.0
-          : latency_model_.EstimateStepLatency(status.running_ratios).seconds();
+          : latency_model.EstimateStepLatency(status.running_ratios).seconds();
   const double own_steps = static_cast<double>(request.denoise_steps);
   // Non-denoise load: every outstanding request still owes pre/post work on
   // the worker's CPU lanes, which the step regression cannot see.
   const double overhead_s =
-      per_request_overhead_s_ *
+      per_request_overhead_s *
       static_cast<double>(status.running_ratios.size() +
                           status.waiting_ratios.size());
   return backlog_work_s + overhead_s +
          step_cost_s(request.mask_ratio) * own_steps +
          running_step_s * own_steps;
+}
+
+double MaskAwareRouter::CalcCost(const trace::Request& request,
+                                 const WorkerStatus& status) const {
+  if (!serialized_batches_) {
+    return EstimateDrainSeconds(latency_model_, request, status);
+  }
+  return SerializedPlacementCost(latency_model_, per_request_overhead_s_,
+                                 request, status);
 }
 
 int MaskAwareRouter::Route(const trace::Request& request,

@@ -45,6 +45,11 @@ enum class RoutePolicy {
 
 std::string ToString(RoutePolicy policy);
 
+// Parses the ToString() spelling ("round-robin", "first-fit",
+// "request-count", "token-count", "mask-aware") — the shared `--route`
+// vocabulary of the daemons. False on an unknown name (`*out` untouched).
+bool ParseRoutePolicy(const std::string& name, RoutePolicy* out);
+
 class Router {
  public:
   virtual ~Router() = default;
@@ -106,6 +111,18 @@ class TokenCountRouter : public Router {
 double EstimateDrainSeconds(const LatencyModel& latency_model,
                             const trace::Request& request,
                             const WorkerStatus& status);
+
+// The serialized-batch Algorithm-2 placement cost (see MaskAwareRouter's
+// class comment, `serialized_batches = true` reading): the candidate's
+// remaining wall-clock work after accepting `request`, plus the co-batch
+// slowdown and the per-request non-denoise overhead. A free function so
+// the local MaskAwareRouter and the federated front tier score with the
+// same arithmetic — the federated router calls it once per node with that
+// node's own profiled latency model.
+double SerializedPlacementCost(const LatencyModel& latency_model,
+                               double per_request_overhead_s,
+                               const trace::Request& request,
+                               const WorkerStatus& status);
 
 // Algorithm 2.
 //

@@ -1,0 +1,335 @@
+// Federation end-to-end: a fleet of real in-process flashps_served nodes
+// (gateway + TcpServer each) behind a FedGateway front tier, driven over
+// the wire by a net::Client, exactly as a deployed cluster runs.
+//
+// The acceptance property is failover invisibility: kill a node
+// mid-trace (server stopped with a zero drain budget, so in-flight calls
+// EOF like a crashed process) and every request still completes — zero
+// failed requests, the orphans re-dispatched to sibling nodes — with
+// latent checksums bitwise-identical to a single local gateway running
+// the same trace. Determinism in (template, mask, seed, numerics) is
+// what makes re-execution on a different machine safe to splice into a
+// live trace.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/fed/fed_gateway.h"
+#include "src/net/client.h"
+#include "src/net/tcp_server.h"
+#include "src/trace/workload.h"
+
+namespace flashps::fed {
+namespace {
+
+constexpr int kNumRequests = 18;
+
+gateway::GatewayOptions NodeGatewayOptions() {
+  gateway::GatewayOptions options;
+  options.num_workers = 1;
+  options.worker.numerics = model::NumericsConfig::ForTests();
+  options.worker.numerics.num_steps = 2;
+  options.worker.max_batch = 2;
+  options.admission_control = false;
+  return options;
+}
+
+std::vector<runtime::OnlineRequest> MakeRequests(int count) {
+  const model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  Rng rng(2026);
+  std::vector<runtime::OnlineRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    runtime::OnlineRequest request;
+    request.template_id = i % 3;
+    request.prompt_seed = 4000 + static_cast<uint64_t>(i);
+    request.mask = trace::GenerateBlobMask(
+        numerics.grid_h, numerics.grid_w, 0.1 + 0.04 * (i % 8), rng);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+// What a single local gateway produces for the same trace — the bitwise
+// reference every federated run must reproduce.
+std::vector<uint64_t> LocalChecksums(
+    const std::vector<runtime::OnlineRequest>& requests) {
+  gateway::Gateway gateway(NodeGatewayOptions());
+  std::vector<uint64_t> checksums;
+  for (const runtime::OnlineRequest& request : requests) {
+    gateway::SubmitResult result = gateway.Submit(request);
+    EXPECT_TRUE(result.accepted());
+    checksums.push_back(net::LatentChecksum(result.future.get().image));
+  }
+  gateway.Stop();
+  return checksums;
+}
+
+uint64_t JsonCounter(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return ~0ull;
+  }
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// One in-process fleet node: a real gateway behind a real TcpServer.
+struct FleetNode {
+  std::unique_ptr<gateway::Gateway> gateway;
+  std::unique_ptr<net::TcpServer> server;
+};
+
+FleetNode StartNode(std::chrono::milliseconds drain_timeout,
+                    const std::string& auth_token = "") {
+  FleetNode node;
+  node.gateway = std::make_unique<gateway::Gateway>(NodeGatewayOptions());
+  net::TcpServerOptions options;
+  options.drain_timeout = drain_timeout;
+  options.auth_token = auth_token;
+  node.server = std::make_unique<net::TcpServer>(*node.gateway, options);
+  EXPECT_TRUE(node.server->Start());
+  return node;
+}
+
+FedGatewayOptions FastFedOptions(const std::vector<FleetNode>& fleet) {
+  FedGatewayOptions options;
+  for (const FleetNode& node : fleet) {
+    options.nodes.push_back(FedNode{"127.0.0.1", node.server->port()});
+  }
+  options.registry.probe_interval = std::chrono::milliseconds(50);
+  options.registry.probe_timeout = std::chrono::milliseconds(250);
+  options.registry.suspect_after = 2;
+  options.registry.dead_after = 3;
+  options.connections_per_node = 1;
+  options.call_timeout = std::chrono::milliseconds(60000);
+  return options;
+}
+
+TEST(FedIntegrationTest, FederationMatchesLocalGatewayAndRollupReconciles) {
+  const auto requests = MakeRequests(12);
+  const std::vector<uint64_t> expected = LocalChecksums(requests);
+
+  std::vector<FleetNode> fleet(3);
+  for (FleetNode& node : fleet) {
+    node = StartNode(std::chrono::milliseconds(10000));
+  }
+  FedGateway fed(FastFedOptions(fleet));
+  fed.Start();
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fed.registry().health(static_cast<int>(i)), NodeHealth::kAlive);
+    EXPECT_TRUE(fed.registry().Info(static_cast<int>(i)).profile_loaded);
+  }
+
+  net::TcpServer front(fed);
+  ASSERT_TRUE(front.Start());
+  net::Client client("127.0.0.1", front.port());
+  ASSERT_TRUE(client.Connect());
+
+  std::vector<uint64_t> seqs;
+  for (const runtime::OnlineRequest& request : requests) {
+    net::WireRequest wire;
+    wire.denoise_steps = 2;
+    wire.request = request;
+    const uint64_t seq = client.Send(wire);
+    ASSERT_NE(seq, 0u);
+    seqs.push_back(seq);
+  }
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    auto response = client.Await(seqs[i], std::chrono::milliseconds(120000));
+    ASSERT_TRUE(response.has_value()) << "request " << i;
+    EXPECT_EQ(response->submit_status(), gateway::SubmitStatus::kAccepted);
+    EXPECT_EQ(response->latent_checksum, expected[i])
+        << "request " << i << ": federated and local latents differ";
+    EXPECT_GE(response->worker_id, 0);  // The node index that served it.
+    EXPECT_LT(response->worker_id, 3);
+  }
+
+  // Federation counters: every request fulfilled, nothing failed.
+  const FedGateway::Stats stats = fed.stats();
+  EXPECT_EQ(stats.submitted, requests.size());
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.parked, 0u);
+
+  // The wire rollup reconciles with the sum of the nodes' own counters:
+  // each request was served by exactly one node.
+  auto rollup = client.QueryMetrics(std::chrono::milliseconds(10000));
+  ASSERT_TRUE(rollup.has_value());
+  EXPECT_EQ(JsonCounter(*rollup, "submitted"), requests.size());
+  EXPECT_EQ(JsonCounter(*rollup, "completed"), requests.size());
+  EXPECT_EQ(JsonCounter(*rollup, "failed"), 0u);
+  EXPECT_NE(rollup->find("\"members\":["), std::string::npos);
+
+  uint64_t fleet_completed = 0;
+  for (const FleetNode& node : fleet) {
+    net::Client probe("127.0.0.1", node.server->port());
+    ASSERT_TRUE(probe.Connect());
+    auto metrics = probe.QueryMetrics(std::chrono::milliseconds(10000));
+    ASSERT_TRUE(metrics.has_value());
+    fleet_completed += JsonCounter(*metrics, "completed");
+  }
+  EXPECT_EQ(fleet_completed, requests.size());
+
+  front.Stop();
+  fed.StopAccepting();
+  EXPECT_TRUE(fed.Drain());
+  fed.Stop();
+  for (FleetNode& node : fleet) {
+    node.server->Stop();
+    node.gateway->Stop();
+  }
+}
+
+TEST(FedIntegrationTest, KillMidTraceFailsOverWithBitwiseIdenticalOutputs) {
+  const auto requests = MakeRequests(kNumRequests);
+  const std::vector<uint64_t> expected = LocalChecksums(requests);
+
+  // Zero drain budget: stopping a node's server abandons its in-flight
+  // work and slams the sockets shut, like a crashed process.
+  std::vector<FleetNode> fleet(3);
+  for (FleetNode& node : fleet) {
+    node = StartNode(std::chrono::milliseconds(0));
+  }
+  FedGateway fed(FastFedOptions(fleet));
+  fed.Start();
+
+  net::TcpServer front(fed);
+  ASSERT_TRUE(front.Start());
+  net::Client client("127.0.0.1", front.port());
+  ASSERT_TRUE(client.Connect());
+
+  std::vector<uint64_t> seqs;
+  for (const runtime::OnlineRequest& request : requests) {
+    net::WireRequest wire;
+    wire.denoise_steps = 2;
+    wire.request = request;
+    const uint64_t seq = client.Send(wire);
+    ASSERT_NE(seq, 0u);
+    seqs.push_back(seq);
+  }
+
+  // Let the trace get going, then kill the node carrying the most
+  // unfinished work.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (fed.stats().completed < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(fed.stats().completed, 4u);
+  int victim = 0;
+  uint64_t victim_backlog = 0;
+  for (int i = 0; i < 3; ++i) {
+    const NodeInfo info = fed.registry().Info(i);
+    const uint64_t backlog = info.dispatched - info.completed;
+    if (backlog > victim_backlog) {
+      victim_backlog = backlog;
+      victim = i;
+    }
+  }
+  ASSERT_GT(victim_backlog, 0u);
+  fleet[static_cast<size_t>(victim)].server->Stop();
+
+  // Zero failed requests, and every reply bitwise-matches the reference.
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    auto response = client.Await(seqs[i], std::chrono::milliseconds(120000));
+    ASSERT_TRUE(response.has_value()) << "request " << i;
+    EXPECT_EQ(response->submit_status(), gateway::SubmitStatus::kAccepted)
+        << "request " << i << " failed despite failover";
+    EXPECT_EQ(response->latent_checksum, expected[i])
+        << "request " << i
+        << ": failover changed the output (served by node "
+        << response->worker_id << ")";
+  }
+
+  const FedGateway::Stats stats = fed.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kNumRequests));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.redispatched, 1u);  // The kill really interrupted work.
+
+  // The prober needs a few beats (dead_after consecutive misses) to write
+  // the victim off; the trace above often outruns it because failover
+  // rides the per-dispatch transport failures, not death detection.
+  const auto probe_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fed.registry().health(victim) != NodeHealth::kDead &&
+         std::chrono::steady_clock::now() < probe_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fed.registry().health(victim), NodeHealth::kDead);
+  EXPECT_FALSE(fed.registry().Routable(victim));
+
+  front.Stop();
+  fed.StopAccepting();
+  EXPECT_TRUE(fed.Drain());
+  fed.Stop();
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    fleet[i].server->Stop();
+    fleet[i].gateway->Stop();
+  }
+}
+
+TEST(FedIntegrationTest, AuthTokenFlowsFromClientThroughFedToNodes) {
+  const auto requests = MakeRequests(4);
+  const std::vector<uint64_t> expected = LocalChecksums(requests);
+
+  std::vector<FleetNode> fleet(2);
+  for (FleetNode& node : fleet) {
+    node = StartNode(std::chrono::milliseconds(10000), "fleet-secret");
+  }
+  FedGatewayOptions options = FastFedOptions(fleet);
+  options.auth_token = "fleet-secret";
+  FedGateway fed(options);
+  fed.Start();
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fed.registry().health(static_cast<int>(i)), NodeHealth::kAlive);
+  }
+
+  net::TcpServerOptions front_options;
+  front_options.auth_token = "fleet-secret";
+  net::TcpServer front(fed, front_options);
+  ASSERT_TRUE(front.Start());
+
+  // Unauthenticated and wrong-token clients are refused at the front.
+  net::Client bare("127.0.0.1", front.port());
+  ASSERT_TRUE(bare.Connect());  // No token, no handshake: session opens...
+  EXPECT_FALSE(bare.QueryMetrics(std::chrono::milliseconds(2000))
+                   .has_value());  // ...but the first real frame is refused.
+  net::ClientOptions wrong;
+  wrong.auth_token = "wrong";
+  net::Client impostor("127.0.0.1", front.port(), wrong);
+  EXPECT_FALSE(impostor.Connect());
+
+  // The authenticated path works end to end: client -> fed -> nodes.
+  net::ClientOptions right;
+  right.auth_token = "fleet-secret";
+  net::Client client("127.0.0.1", front.port(), right);
+  ASSERT_TRUE(client.Connect());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    net::WireRequest wire;
+    wire.denoise_steps = 2;
+    wire.request = requests[i];
+    auto response =
+        client.Call(wire, std::chrono::milliseconds(120000));
+    ASSERT_TRUE(response.has_value()) << "request " << i;
+    EXPECT_EQ(response->submit_status(), gateway::SubmitStatus::kAccepted);
+    EXPECT_EQ(response->latent_checksum, expected[i]);
+  }
+
+  front.Stop();
+  fed.StopAccepting();
+  EXPECT_TRUE(fed.Drain());
+  fed.Stop();
+  for (FleetNode& node : fleet) {
+    node.server->Stop();
+    node.gateway->Stop();
+  }
+}
+
+}  // namespace
+}  // namespace flashps::fed

@@ -96,6 +96,54 @@ TEST(FlagParserTest, PositionalArgumentsAreRejected) {
             std::string::npos);
 }
 
+TEST(FlagParserTest, HelpTextRendersEveryRegisteredFlag) {
+  Args args({});
+  FlagParser flags(args.argc(), args.argv());
+  flags.LongInRange("port", 7411, 0, 65535, "listen port");
+  flags.String("token", "", "shared secret");
+  flags.Has("help", "print this help");
+  const std::string help = flags.HelpText("daemon");
+
+  EXPECT_NE(help.find("usage: daemon"), std::string::npos);
+  // Each registered lookup appears with its placeholder, help string,
+  // default, and (for ranged integers) the range.
+  EXPECT_NE(help.find("--port=N"), std::string::npos);
+  EXPECT_NE(help.find("listen port (default 7411, range [0, 65535])"),
+            std::string::npos);
+  EXPECT_NE(help.find("--token=VALUE"), std::string::npos);
+  EXPECT_NE(help.find("shared secret (default \"\")"), std::string::npos);
+  // Bare switches render without a placeholder or default.
+  EXPECT_NE(help.find("--help"), std::string::npos);
+  EXPECT_EQ(help.find("--help=N"), std::string::npos);
+  EXPECT_NE(help.find("print this help"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpTextKeepsLookupOrderAndDedupesRepeats) {
+  Args args({});
+  FlagParser flags(args.argc(), args.argv());
+  flags.Long("zeta", 1, "first");
+  flags.Long("alpha", 2, "second");
+  flags.Long("zeta", 1);  // Repeat lookup: no duplicate row.
+  const std::string help = flags.HelpText("p");
+
+  const size_t zeta = help.find("--zeta");
+  const size_t alpha = help.find("--alpha");
+  ASSERT_NE(zeta, std::string::npos);
+  ASSERT_NE(alpha, std::string::npos);
+  EXPECT_LT(zeta, alpha);  // Lookup order, not alphabetical.
+  EXPECT_EQ(help.find("--zeta", zeta + 1), std::string::npos);
+  EXPECT_NE(help.find("first"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpLookupsDoNotDisturbParsingOrOk) {
+  Args args({"--port=80"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.LongInRange("port", 0, 0, 65535, "listen port"), 80);
+  EXPECT_FALSE(flags.Has("help", "print this help"));
+  (void)flags.HelpText("daemon");
+  EXPECT_TRUE(flags.ok());
+}
+
 TEST(FlagParserTest, ErrorTextIsOneLinePerError) {
   Args args({"--port=bad", "--mystery=1"});
   FlagParser flags(args.argc(), args.argv());

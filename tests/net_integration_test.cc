@@ -10,9 +10,11 @@
 // latent checksums must equal the in-process ones, and the statuses must
 // match one for one. The daemon's own MetricsJson() counters — fetched
 // over the wire — must agree with what the client observed.
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -127,6 +129,119 @@ TEST(NetIntegrationTest, LoopbackMatchesInProcessGateway) {
 
   server.Stop();
   remote_gateway.Stop();
+}
+
+// Graceful drain racing live submitters: one thread hammers the server
+// with pipelined submits over fresh connections while the main thread
+// Stop()s it mid-stream. Every Await must either produce a real reply or
+// fail cleanly (connection closed / rejected), the server must come down
+// with nothing left in flight, and (under TSan) the poll/completer/
+// submitter interleavings must be race-free.
+TEST(NetIntegrationTest, StopRacesConcurrentSubmitsCleanly) {
+  gateway::Gateway gateway(TwoWorkerOptions());
+  TcpServer server(gateway);
+  ASSERT_TRUE(server.Start());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<uint64_t> replies{0};
+  std::thread pounder([&] {
+    const std::vector<runtime::OnlineRequest> requests = MakeRequests();
+    ClientOptions one_shot;
+    one_shot.connect_attempts = 1;
+    while (!stop_requested.load()) {
+      Client client("127.0.0.1", port, one_shot);
+      if (!client.Connect()) {
+        break;  // Listener is gone: the drain won.
+      }
+      std::vector<uint64_t> seqs;
+      for (const runtime::OnlineRequest& request : requests) {
+        WireRequest wire;
+        wire.denoise_steps = 2;
+        wire.request = request;
+        const uint64_t seq = client.Send(wire);
+        if (seq == 0) {
+          break;  // Write failed mid-drain; also fine.
+        }
+        seqs.push_back(seq);
+      }
+      for (uint64_t seq : seqs) {
+        if (client.Await(seq, std::chrono::milliseconds(30000)).has_value()) {
+          replies.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  // Let the pounder get traffic in flight, then drain under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.Stop();
+  stop_requested.store(true);
+  pounder.join();
+  gateway.Stop();
+
+  EXPECT_EQ(server.inflight(), 0u);
+  const TcpServerStats stats = server.Stats();
+  EXPECT_GE(stats.submits_accepted, replies.load());
+  EXPECT_EQ(stats.connections_closed, stats.connections_accepted);
+}
+
+TEST(NetIntegrationTest, AuthTokenGatesSessions) {
+  gateway::Gateway gateway(TwoWorkerOptions());
+  TcpServerOptions options;
+  options.auth_token = "s3cret";
+  TcpServer server(gateway, options);
+  ASSERT_TRUE(server.Start());
+
+  // No token: the TCP session opens (no handshake attempted), but the
+  // first real frame gets kError(kUnauthorized) and the connection drops.
+  Client bare("127.0.0.1", server.port());
+  ASSERT_TRUE(bare.Connect());
+  EXPECT_FALSE(
+      bare.QueryMetrics(std::chrono::milliseconds(2000)).has_value());
+
+  // Wrong token: the handshake itself is refused.
+  ClientOptions wrong;
+  wrong.auth_token = "nope";
+  Client impostor("127.0.0.1", server.port(), wrong);
+  EXPECT_FALSE(impostor.Connect());
+
+  // Right token: full service, including submits.
+  ClientOptions right;
+  right.auth_token = "s3cret";
+  Client good("127.0.0.1", server.port(), right);
+  ASSERT_TRUE(good.Connect());
+  EXPECT_TRUE(
+      good.QueryMetrics(std::chrono::milliseconds(10000)).has_value());
+  WireRequest wire;
+  wire.denoise_steps = 2;
+  wire.request = MakeRequests()[0];
+  auto response = good.Call(wire, std::chrono::milliseconds(60000));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->submit_status(), gateway::SubmitStatus::kAccepted);
+
+  const TcpServerStats stats = server.Stats();
+  EXPECT_GE(stats.auth_ok, 1u);
+  EXPECT_GE(stats.unauthorized, 2u);
+  server.Stop();
+  gateway.Stop();
+}
+
+TEST(NetIntegrationTest, TokenlessDaemonAcknowledgesBlindHandshake) {
+  gateway::Gateway gateway(TwoWorkerOptions());
+  TcpServer server(gateway);  // No token: open frontier.
+  ASSERT_TRUE(server.Start());
+
+  // A client configured with a token handshakes blindly; a tokenless
+  // daemon still acks, so mixed fleets roll out without flag-day locking.
+  ClientOptions token;
+  token.auth_token = "s3cret";
+  Client client("127.0.0.1", server.port(), token);
+  ASSERT_TRUE(client.Connect());
+  EXPECT_TRUE(
+      client.QueryMetrics(std::chrono::milliseconds(10000)).has_value());
+  server.Stop();
+  gateway.Stop();
 }
 
 TEST(NetIntegrationTest, DrainingServerRejectsWithShutdownStatus) {
