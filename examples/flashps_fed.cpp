@@ -63,6 +63,16 @@ int main(int argc, char** argv) {
   options.auth_token = flags.String(
       "auth-token", "", "shared secret; presented to nodes AND required "
                         "of clients when set");
+  // The front runs no model of its own; this flag states what the fleet is
+  // EXPECTED to serve, checked against each node's advertised latency_model
+  // splice at join time. A mismatch still routes correctly (each node is
+  // priced by its own fitted line) but is worth a loud warning: mixed
+  // fleets return bitwise-identical latents at different speeds, which
+  // skews SLO attainment.
+  const bool expect_sparse = flags.Has(
+      "sparse-compute",
+      "expect every node to serve the gathered sparse compute path; warn "
+      "at join time when a node advertises otherwise");
 
   net::TcpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(
@@ -106,9 +116,18 @@ int main(int argc, char** argv) {
   fed_gateway.Start();
   for (size_t i = 0; i < fed_gateway.registry().size(); ++i) {
     const fed::NodeInfo info = fed_gateway.registry().Info(static_cast<int>(i));
-    std::printf("flashps_fed: node %s: %s%s\n", info.node.id().c_str(),
+    std::printf("flashps_fed: node %s: %s%s%s\n", info.node.id().c_str(),
                 fed::ToString(info.health).c_str(),
-                info.profile_loaded ? " (profile loaded)" : "");
+                info.profile_loaded ? " (profile loaded)" : "",
+                info.sparse_compute ? " (sparse compute)" : "");
+    if (info.profile_loaded && info.sparse_compute != expect_sparse) {
+      std::fprintf(stderr,
+                   "flashps_fed: WARNING: node %s advertises %s compute but "
+                   "this front %s --sparse-compute; fleet is mixed-speed\n",
+                   info.node.id().c_str(),
+                   info.sparse_compute ? "sparse" : "dense",
+                   expect_sparse ? "was launched with" : "was launched without");
+    }
   }
 
   net::TcpServer server(fed_gateway, server_options);

@@ -77,6 +77,10 @@ int main(int argc, char** argv) {
       flags.LongInRange("max-batch", 4, 1, 256, "max co-batched requests"));
   options.worker.compute_threads = static_cast<int>(flags.LongInRange(
       "compute-threads", 1, 1, 256, "denoise compute threads per worker"));
+  options.worker.sparse_compute = flags.Has(
+      "sparse-compute",
+      "gathered-panel sparse compute: per-step work proportional to the "
+      "mask ratio (records cached with K/V, 3x Y-only bytes)");
   const std::string policy_name =
       flags.String("policy", "mask-aware",
                    "route policy: mask-aware|round-robin|first-fit|"
@@ -182,10 +186,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("flashps_served: starting %d worker(s), %d steps, policy %s, "
-              "slo %ld ms, cache %s, precision %s\n",
+              "slo %ld ms, cache %s, precision %s, compute %s\n",
               options.num_workers, options.worker.numerics.num_steps,
               policy_name.c_str(), slo_ms, cache_label.c_str(),
-              quant::ToString(precision).c_str());
+              quant::ToString(precision).c_str(),
+              options.worker.sparse_compute ? "sparse (gathered)" : "dense");
   if (ring_store != nullptr) {
     // One probe per member so a mistyped node shows up at launch, not as
     // a circuit trip minutes in.

@@ -46,12 +46,15 @@ cd "${repo}"
 
 # The threaded suites the sanitizers exercise. Keep the two lists in sync
 # with the build target lists below.
-tsan_regex='^(ParallelFor|KernelEquivalence|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
-asan_regex='^(Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
+tsan_regex='^(ParallelFor|KernelEquivalence|SparseCompute|ConcurrentQueue|ThreadPool|OnlineServer|Gateway|MetricsRegistry|StatAccumulator|Serde|Wire|TcpServer|NetIntegration|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
+asan_regex='^(SparseCompute|Serde|Wire|TcpServer|NetIntegration|Gateway|CacheRpc|CacheRing|Quant|CodecQuality|Fed)'
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
+
+echo "== docs: flags cross-check =="
+"${repo}/scripts/check_docs.sh" "${repo}/build"
 
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
@@ -71,7 +74,8 @@ echo "BENCH_kernels.json -> ${repo}/BENCH_kernels.json"
 echo "== tsan: build threaded suites =="
 cmake -B build-tsan -S . -DFLASHPS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
-  kernel_equivalence_test runtime_test gateway_test common_test \
+  kernel_equivalence_test sparse_compute_test runtime_test gateway_test \
+  common_test \
   net_test net_integration_test cache_rpc_test cache_rpc_integration_test \
   cache_ring_test cache_ring_integration_test \
   fed_test fed_integration_test \
@@ -86,6 +90,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
 echo "== asan: build net + gateway + cache-rpc + cache-ring suites =="
 cmake -B build-asan -S . -DFLASHPS_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target \
+  sparse_compute_test \
   net_test net_integration_test gateway_test cache_rpc_test \
   cache_rpc_integration_test cache_ring_test cache_ring_integration_test \
   fed_test fed_integration_test \

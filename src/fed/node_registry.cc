@@ -224,15 +224,24 @@ bool NodeRegistry::LoadProfile(NodeState& state, const std::string& json) {
   const bool node_mask_aware =
       json.find("\"mask_aware\":true", obj) != std::string::npos &&
       json.find("\"mask_aware\":true", obj) < end;
+  const bool node_sparse =
+      json.find("\"sparse_compute\":true", obj) != std::string::npos &&
+      json.find("\"sparse_compute\":true", obj) < end;
 
   LinearFit compute_fit{compute_slope, compute_intercept, compute_r2};
   LinearFit load_fit{load_slope, load_intercept, load_r2};
+  // Rebuild over the node's own compute path: its fitted line's x-axis is
+  // gathered-path FLOPs when the node serves sparse_compute, so the local
+  // cost model must use the same formulas when pricing requests for it.
+  model::TimingConfig timing = options_.timing;
+  timing.sparse_compute = node_mask_aware && node_sparse;
   state.model = std::make_shared<const sched::LatencyModel>(
-      sched::LatencyModel::FromFits(options_.timing,
+      sched::LatencyModel::FromFits(timing,
                                     node_mask_aware
                                         ? model::ComputeMode::kMaskAwareY
                                         : model::ComputeMode::kFull,
                                     compute_fit, load_fit));
+  state.sparse_compute = node_mask_aware && node_sparse;
   state.per_request_overhead_s = overhead;
   state.workers = std::max(1, static_cast<int>(workers));
   state.max_batch = std::max(1, static_cast<int>(max_batch));
@@ -256,6 +265,7 @@ NodeInfo NodeRegistry::Info(int index) const {
   info.routable =
       !state.left && state.health != NodeHealth::kDead && !info.circuit_open;
   info.profile_loaded = state.model != nullptr;
+  info.sparse_compute = state.sparse_compute;
   info.workers = state.workers;
   info.max_batch = state.max_batch;
   info.per_request_overhead_s = state.per_request_overhead_s;

@@ -86,6 +86,11 @@ struct NodeInfo {
   bool routable = false;
   bool circuit_open = false;
   bool profile_loaded = false;
+  // Whether the node's gateway advertised the gathered sparse compute path
+  // ("sparse_compute" in its latency_model splice). Informational for
+  // fleet-consistency checks: a mixed fleet still routes correctly because
+  // each node is priced by its own fitted line.
+  bool sparse_compute = false;
   int workers = 1;
   int max_batch = 4;
   double per_request_overhead_s = 0.0;
@@ -169,6 +174,7 @@ class NodeRegistry {
     std::chrono::steady_clock::time_point circuit_open_until{};
     std::string last_metrics;
     std::shared_ptr<const sched::LatencyModel> model;
+    bool sparse_compute = false;
     double per_request_overhead_s = 0.0;
     int workers = 1;
     int max_batch = 4;

@@ -45,6 +45,11 @@ Gateway::Gateway(GatewayOptions options)
       admission_(sched::LatencyModel(), AdmissionController::Options{}),
       metrics_(std::max(1, options_.num_workers)),
       epoch_(std::chrono::steady_clock::now()) {
+  // The analytic FLOP model must price steps the way the workers execute
+  // them: when the fleet serves the gathered sparse path, the regression's
+  // x-axis (and the router's per-block costs) use the gathered formulas.
+  options_.timing.sparse_compute =
+      options_.worker.mask_aware && options_.worker.sparse_compute;
   workers_.reserve(std::max(1, options_.num_workers));
   for (int i = 0; i < std::max(1, options_.num_workers); ++i) {
     workers_.push_back(std::make_unique<WorkerHandle>(i, options_.worker));
@@ -115,8 +120,10 @@ void Gateway::ProfileHost() {
     model::DiffusionModel::RunOptions opts;
     opts.mode = mode;
     if (options_.worker.mask_aware) {
-      opts.cache = &store.GetOrRegister(m, 0);
+      opts.cache = &store.GetOrRegister(
+          m, 0, /*record_kv=*/options_.worker.sparse_compute);
       opts.mask = &mask;
+      opts.sparse_compute = options_.worker.sparse_compute;
     }
     latent = m.RunStepRange(std::move(latent), opts, 0, warm);
     const auto t0 = std::chrono::steady_clock::now();
@@ -157,7 +164,7 @@ void Gateway::HintPrefetch(const runtime::OnlineRequest& request) {
   // source only reads the model during the call (hints are fetch-only).
   options_.worker.activation_source->Prefetch(
       workers_.front()->server().model(), request.template_id,
-      /*record_kv=*/false);
+      /*record_kv=*/options_.worker.mask_aware && options_.worker.sparse_compute);
   metrics_.RecordPrefetchHint();
 }
 
@@ -187,6 +194,9 @@ std::string Gateway::MetricsJson() const {
                      ",\"load_r2\":" + num(latency_model_.load_fit().r2) +
                      ",\"per_request_overhead_s\":" + num(per_request_overhead_s_) +
                      ",\"mask_aware\":" + (options_.worker.mask_aware ? "true" : "false") +
+                     ",\"sparse_compute\":" +
+                     (options_.worker.mask_aware && options_.worker.sparse_compute
+                          ? "true" : "false") +
                      ",\"workers\":" + std::to_string(workers_.size()) +
                      ",\"max_batch\":" + std::to_string(options_.worker.max_batch) +
                      "}";

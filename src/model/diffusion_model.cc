@@ -1,5 +1,6 @@
 #include "src/model/diffusion_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -152,27 +153,51 @@ double RelChangeL1(const Matrix& a, const Matrix& b) {
 
 Matrix DiffusionModel::StepEpsilon(const Matrix& h0, int step,
                                    const RunOptions& options,
-                                   const std::vector<bool>& use_cache) const {
+                                   const std::vector<bool>& use_cache,
+                                   bool* unmasked_pristine) const {
   Matrix h = h0;
   const bool mask_aware = options.mode == ComputeMode::kMaskAwareY ||
                           options.mode == ComputeMode::kMaskAwareKV;
+  // Whether the unmasked rows of the current block input still equal the
+  // registration run's activations bit-for-bit. A cached block restores
+  // the invariant (its output replenishes those rows from the record); a
+  // full-computed block breaks it for the next block's input. In
+  // kMaskAwareY mode the gathered sparse path reuses the cached K/V rows
+  // instead of recomputing them from the input, which is only bitwise-safe
+  // while this holds; in kMaskAwareKV mode the dense flow reuses them too,
+  // so the gathered path is valid for any input.
+  bool block_pristine = *unmasked_pristine;
   for (int b = 0; b < config_.num_blocks; ++b) {
     if (mask_aware && use_cache[b]) {
       const StepActivations& acts = options.cache->steps[step];
-      if (options.mode == ComputeMode::kMaskAwareY) {
+      const bool has_kv = !acts.k.empty();
+      const bool gathered =
+          options.sparse_compute && has_kv &&
+          (options.mode == ComputeMode::kMaskAwareKV || block_pristine);
+      if (gathered) {
+        h = BlockForwardMaskedGathered(blocks_[b], h, attn_bias_,
+                                       *options.mask, acts.y[b], acts.k[b],
+                                       acts.v[b]);
+      } else if (options.mode == ComputeMode::kMaskAwareY) {
         h = BlockForwardMaskedY(blocks_[b], h, attn_bias_, *options.mask,
                                 acts.y[b]);
       } else {
         h = BlockForwardMaskedKV(blocks_[b], h, attn_bias_, *options.mask,
                                  acts.y[b], acts.k[b], acts.v[b]);
       }
+      block_pristine = true;
     } else {
       h = BlockForwardFull(blocks_[b], h, attn_bias_);
+      block_pristine = false;
     }
     if (options.record != nullptr) {
       options.record->steps[step].y[b] = h;
     }
   }
+  // latent' = latent + scale * (y_last - h0): its unmasked rows match the
+  // registration trajectory only if both the incoming latent did and the
+  // last block's output was replenished.
+  *unmasked_pristine = *unmasked_pristine && block_pristine;
   Matrix eps = h;
   for (size_t i = 0; i < eps.size(); ++i) {
     eps.data()[i] -= h0.data()[i];
@@ -240,6 +265,10 @@ DiffusionModel::RunResult DiffusionModel::RunDenoise(
   Matrix prev_eps;
   Matrix last_computed_temb;
   double accumulated_change = 0.0;
+  // Replenish invariant at entry: InitEditLatent copies the unmasked rows
+  // straight from the template latent, which is exactly the latent the
+  // registration pass started from — so mask-aware runs begin pristine.
+  bool unmasked_pristine = true;
   for (int s = 0; s < config_.num_steps; ++s) {
     const Matrix temb = TimestepEmbedding(s);
     bool skip = false;
@@ -254,7 +283,7 @@ DiffusionModel::RunResult DiffusionModel::RunDenoise(
     } else {
       Matrix h0 = latent;
       AddRowBroadcast(h0, temb);
-      eps = StepEpsilon(h0, s, options, use_cache);
+      eps = StepEpsilon(h0, s, options, use_cache, &unmasked_pristine);
       prev_eps = eps;
       last_computed_temb = temb;
       accumulated_change = 0.0;
@@ -276,10 +305,19 @@ Matrix DiffusionModel::RunStepRange(Matrix latent, const RunOptions& options,
   if (use_cache.empty()) {
     use_cache.assign(static_cast<size_t>(config_.num_blocks), true);
   }
+  // Chunked engines re-enter mid-trajectory, so the replenish invariant at
+  // begin_step holds iff every preceding step replenished the unmasked
+  // rows — under a fixed per-block plan, iff every block used the cache.
+  // (Conservative: a plan whose last block caches also preserves it, but a
+  // dense fallback there only costs speed, never correctness.)
+  bool unmasked_pristine =
+      std::all_of(use_cache.begin(), use_cache.end(),
+                  [](bool use) { return use; });
   for (int s = begin_step; s < end_step; ++s) {
     Matrix h0 = latent;
     AddRowBroadcast(h0, TimestepEmbedding(s));
-    const Matrix eps = StepEpsilon(h0, s, options, use_cache);
+    const Matrix eps = StepEpsilon(h0, s, options, use_cache,
+                                   &unmasked_pristine);
     AxpyInPlace(latent, config_.residual_scale, eps);
   }
   return latent;

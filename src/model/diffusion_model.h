@@ -90,6 +90,18 @@ class DiffusionModel {
     std::vector<bool> use_cache_blocks;
     // TeaCache accumulation threshold; larger skips more steps.
     double teacache_threshold = 0.12;
+    // Mask-aware modes only: run cached blocks through the gathered-panel
+    // sparse compute path (BlockForwardMaskedGathered), making block
+    // compute O(m·L) instead of O(L). Output is bitwise-identical to the
+    // dense mask-aware flows; the step loop falls back to the dense path
+    // for any block whose input's unmasked rows may have drifted from the
+    // registration latent (a preceding full-compute block under a partial
+    // `use_cache_blocks` plan) and, in kMaskAwareY mode, whenever the
+    // cache record carries no K/V to replenish from — so kMaskAwareY with
+    // sparse_compute wants a cache from Register(record_kv=true).
+    // Assumes the unmasked rows of the initial latent equal the template's
+    // registration latent, which InitEditLatent guarantees.
+    bool sparse_compute = false;
     // Optional: record this run's activations (for the Fig. 6 analysis).
     ActivationRecord* record = nullptr;
   };
@@ -126,8 +138,14 @@ class DiffusionModel {
   Matrix PromptTexture(uint64_t prompt_seed) const;
 
  private:
+  // `unmasked_pristine` (in/out) tracks the replenish invariant: on entry,
+  // whether the unmasked rows of the latent behind `h0` still equal the
+  // registration run's latent at this step; on exit, whether they will
+  // after the caller applies this epsilon. Gates the gathered sparse path
+  // in kMaskAwareY mode (see RunOptions::sparse_compute).
   Matrix StepEpsilon(const Matrix& h0, int step, const RunOptions& options,
-                     const std::vector<bool>& use_cache) const;
+                     const std::vector<bool>& use_cache,
+                     bool* unmasked_pristine) const;
 
   NumericsConfig config_;
   std::vector<BlockWeights> blocks_;

@@ -31,6 +31,13 @@ double FlopsKvCacheBlock(double tokens, double hidden, double mask_ratio,
   return layers * (proj + attn + ff);
 }
 
+double FlopsYCacheGatheredBlock(double tokens, double hidden,
+                                double mask_ratio, double layers) {
+  // Identical cost structure to the K/V-cache mode: the gathered path
+  // replenishes K/V from the cache instead of recomputing them.
+  return FlopsKvCacheBlock(tokens, hidden, mask_ratio, layers);
+}
+
 double FlopsSparseBlock(double tokens, double hidden, double mask_ratio,
                         double layers) {
   assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
@@ -59,6 +66,15 @@ uint64_t KvCacheLoadBytes(int tokens, int hidden, double mask_ratio,
 
 uint64_t KvCacheStoreBytes(int tokens, int hidden, int bytes_per_elem) {
   return 2 * YCacheStoreBytes(tokens, hidden, bytes_per_elem);
+}
+
+uint64_t GatheredCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                                int bytes_per_elem) {
+  return 3 * YCacheLoadBytes(tokens, hidden, mask_ratio, bytes_per_elem);
+}
+
+uint64_t GatheredCacheStoreBytes(int tokens, int hidden, int bytes_per_elem) {
+  return 3 * YCacheStoreBytes(tokens, hidden, bytes_per_elem);
 }
 
 }  // namespace flashps::model

@@ -15,13 +15,16 @@
 namespace flashps::model {
 
 // Full computation: QKV+output projections (8LH^2), attention scores and
-// value aggregation (4L^2H), feed-forward (16LH^2).
+// value aggregation (4L^2H), feed-forward (16LH^2). O(L): every term spans
+// all tokens.
 double FlopsFullBlock(double tokens, double hidden, double layers = 1.0);
 
 // Mask-aware with cached Y activations (paper Fig. 5-Bottom): K and V are
 // recomputed for all tokens from the replenished input, Q / output projection
 // / feed-forward run on masked tokens only, attention scores are
-// (mL x L): 4LH^2 + (4m)LH^2 + 16mLH^2 + 4mL^2H.
+// (mL x L): 4LH^2 + (4m)LH^2 + 16mLH^2 + 4mL^2H. O(L), not O(m·L): the
+// 4LH^2 K/V term is mask-independent and dominates as m -> 0, which is why
+// the gathered path below exists.
 double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
                         double layers = 1.0);
 
@@ -31,6 +34,16 @@ double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
 // a 2x larger cache.
 double FlopsKvCacheBlock(double tokens, double hidden, double mask_ratio,
                          double layers = 1.0);
+
+// Gathered-panel sparse compute path over the Y-cache mode (SIGE-style
+// gather→GEMM→scatter, see BlockForwardMaskedGathered): the 4LH^2 K/V
+// recompute of FlopsYCacheBlock disappears — unmasked K/V rows are
+// replenished from the cache — leaving exactly the K/V-cache cost,
+// 24mLH^2 + 4mL^2H. Every term is O(m·L); this is what makes step compute
+// proportional to the mask ratio. The price is loading 3x the Y-only
+// cache bytes (Y + K + V rows of the unmasked tokens).
+double FlopsYCacheGatheredBlock(double tokens, double hidden,
+                                double mask_ratio, double layers = 1.0);
 
 // FISEdit-style sparse computation: masked tokens only, attending only to
 // each other (no global context): 24mLH^2 + 4m^2L^2H.
@@ -50,6 +63,13 @@ uint64_t YCacheStoreBytes(int tokens, int hidden, int bytes_per_elem);
 uint64_t KvCacheLoadBytes(int tokens, int hidden, double mask_ratio,
                           int bytes_per_elem);
 uint64_t KvCacheStoreBytes(int tokens, int hidden, int bytes_per_elem);
+
+// Gathered Y-mode path loads/stores three matrices (Y, K, V): the Y rows
+// that replenish the block output plus the K/V rows that replenish the
+// projections the dense Y-mode flow would recompute.
+uint64_t GatheredCacheLoadBytes(int tokens, int hidden, double mask_ratio,
+                                int bytes_per_elem);
+uint64_t GatheredCacheStoreBytes(int tokens, int hidden, int bytes_per_elem);
 
 }  // namespace flashps::model
 

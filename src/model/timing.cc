@@ -60,9 +60,15 @@ double TimingConfig::NonTfFlopsPerStep() const {
 uint64_t TimingConfig::TemplateCacheStoreBytes(ComputeMode mode) const {
   uint64_t per_step = 0;
   for (const GroupDims& g : EffectiveGroups()) {
-    per_step += mode == ComputeMode::kMaskAwareKV
-                    ? KvCacheStoreBytes(g.tokens, g.hidden, cache_bytes_per_elem)
-                    : YCacheStoreBytes(g.tokens, g.hidden, cache_bytes_per_elem);
+    if (mode == ComputeMode::kMaskAwareKV) {
+      per_step += KvCacheStoreBytes(g.tokens, g.hidden, cache_bytes_per_elem);
+    } else if (mode == ComputeMode::kMaskAwareY && sparse_compute) {
+      // Gathered Y-mode records carry K/V alongside Y.
+      per_step +=
+          GatheredCacheStoreBytes(g.tokens, g.hidden, cache_bytes_per_elem);
+    } else {
+      per_step += YCacheStoreBytes(g.tokens, g.hidden, cache_bytes_per_elem);
+    }
   }
   return per_step * static_cast<uint64_t>(denoise_steps);
 }
@@ -175,6 +181,15 @@ StepWorkload BuildStepWorkload(const TimingConfig& config,
           active_cached = L;
           break;
         case ComputeMode::kMaskAwareY: {
+          if (config.sparse_compute) {
+            // Gathered-panel sparse path: no O(L) K/V recompute phase, so
+            // the whole block runs at the masked-token occupancy, and the
+            // cache load carries K/V rows alongside Y.
+            with_cache = cfg * FlopsYCacheGatheredBlock(L, H, m, layers);
+            load = GatheredCacheLoadBytes(dims[g].tokens, dims[g].hidden, m,
+                                          config.cache_bytes_per_elem);
+            break;
+          }
           with_cache = cfg * FlopsYCacheBlock(L, H, m, layers);
           load = YCacheLoadBytes(dims[g].tokens, dims[g].hidden, m,
                                  config.cache_bytes_per_elem);

@@ -78,11 +78,24 @@ struct TimingConfig {
   // by the whole batch — the residual batching benefit full-compute engines
   // see before plateauing (Fig. 14).
   Duration step_overhead = Duration::Millis(1);
-  // Relative throughput of FISEdit-style custom sparse kernels vs the
-  // dense cuBLAS/FlashAttention path. Hand-written gather/scatter sparse
-  // kernels do not reach dense-library rates; this is a large part of why
-  // FISEdit loses end-to-end despite computing fewer FLOPs (§2.4, §6.2).
-  double sparse_kernel_efficiency = 0.5;
+  // kMaskAwareY only: price cached blocks at the gathered-panel sparse
+  // compute path's cost (see BlockForwardMaskedGathered) — the O(m·L)
+  // FlopsYCacheGatheredBlock with every phase running at the masked-token
+  // occupancy, loading 3x the Y-only cache bytes (Y + K + V rows). Must
+  // mirror the serving engine's OnlineServer::Options::sparse_compute so
+  // routing/admission price steps the way the workers execute them.
+  bool sparse_compute = false;
+  // Relative throughput of gather/GEMM/scatter sparse kernels vs the dense
+  // path. Measured, not hand-tuned: bench_kernels times this repo's
+  // gathered block kernel (BlockForwardMaskedGathered) against the dense
+  // reference at m = 0.1 and emits the achieved-FLOP/s ratio as
+  // "sparse_kernel_efficiency_measured" in BENCH_kernels.json. With panel
+  // group packing and the paired micro-kernel the gathered panels reach
+  // dense parity (runs cluster around 1.0, roughly 0.9-1.15 depending on
+  // host noise), so the analytic model uses 1.0. FISEdit-style custom GPU
+  // kernels historically ran well below dense-library rates (§2.4, §6.2);
+  // lower this to model such a backend.
+  double sparse_kernel_efficiency = 1.0;
   // Fraction of the mask-aware token-wise work that pads to the batch's
   // largest masked-token count (ragged batches under static-shape kernels).
   // This is why mixing very different mask ratios in one batch is costly

@@ -170,6 +170,43 @@ Matrix BlockForwardMaskedKV(const BlockWeights& w, const Matrix& x,
   return y;
 }
 
+Matrix BlockForwardMaskedGathered(const BlockWeights& w, const Matrix& x,
+                                  const Matrix& attn_bias,
+                                  const trace::Mask& mask,
+                                  const Matrix& cached_y,
+                                  const Matrix& cached_k,
+                                  const Matrix& cached_v) {
+  assert(cached_y.rows() == x.rows() && cached_y.cols() == x.cols());
+  assert(cached_k.rows() == x.rows() && cached_v.rows() == x.rows());
+  const float inv_sqrt_h = 1.0f / std::sqrt(static_cast<float>(x.cols()));
+
+  // Gather: one dense panel of the masked rows; every kernel below runs on
+  // it. LayerNorm is row-wise, so the panel's normalized rows equal the
+  // corresponding rows of LayerNorm(x) bit-for-bit.
+  Matrix x_masked = GatherRows(x, mask.masked_tokens);
+  Matrix xn_masked = LayerNorm(x_masked, w.ln1_gamma, w.ln1_beta);
+  Matrix q = MatMul(xn_masked, w.wq);
+
+  // Panel GEMM + scatter-back: masked K/V rows are computed on the panel
+  // and scattered into a copy of the cached projections, which replenish
+  // the unmasked rows the dense flow would recompute.
+  Matrix k = cached_k;
+  Matrix v = cached_v;
+  MatMulScatterRows(xn_masked, w.wk, mask.masked_tokens, k);
+  MatMulScatterRows(xn_masked, w.wv, mask.masked_tokens, v);
+
+  Matrix scores = MatMulTransposed(q, k);
+  ScaleInPlace(scores, inv_sqrt_h);
+  AddBiasRows(scores, attn_bias, &mask.masked_tokens);
+  SoftmaxRows(scores);
+  Matrix attn = MatMul(MatMul(scores, v), w.wo);
+
+  Matrix y_masked = BlockTail(w, x_masked, attn);
+  Matrix y = cached_y;
+  ScatterRows(y, y_masked, mask.masked_tokens);
+  return y;
+}
+
 Matrix BlockForwardSparse(const BlockWeights& w, const Matrix& x_masked,
                           const Matrix& masked_bias) {
   const float inv_sqrt_h = 1.0f / std::sqrt(static_cast<float>(x_masked.cols()));

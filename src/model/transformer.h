@@ -40,6 +40,23 @@ struct StepActivations {
   std::vector<Matrix> v;
 };
 
+// Compute-cost summary (L = tokens, m = mask ratio; see flops.h for the
+// exact Table 1 formulas):
+//   BlockForwardFull           O(L)    — every token, every op.
+//   BlockForwardMaskedY        O(L)+O(m·L) — the K/V projections and the
+//                              first LayerNorm span all L tokens; only
+//                              Q/attention/FF are proportional to m.
+//   BlockForwardMaskedKV       O(m·L)  — all GEMMs on masked rows, at the
+//                              price of a 2x cache record.
+//   BlockForwardMaskedGathered O(m·L)  — the sparse compute path: every
+//                              GEMM runs on a gathered dense panel of the
+//                              masked rows; unmasked K/V/Y rows are
+//                              replenished from the cache.
+//   BlockForwardSparse         O(m·L + m^2·L^2/H·…) — FISEdit: masked rows
+//                              only, no global attention context.
+// Attention scores are (m·L x L) in every mask-aware flow — masked queries
+// attend to ALL tokens — so the attention term is O(m·L·L) throughout.
+
 // Full computation of one block (Fig. 5-Top). If `k_out`/`v_out` are
 // non-null, the projected K/V are copied out for KV-cache registration.
 Matrix BlockForwardFull(const BlockWeights& w, const Matrix& x,
@@ -49,6 +66,8 @@ Matrix BlockForwardFull(const BlockWeights& w, const Matrix& x,
 // Mask-aware flow with cached Y (Fig. 5-Bottom): K/V are recomputed for all
 // tokens from the replenished input, Q/attention/FF run on masked rows only,
 // and the unmasked rows of the output are replenished from `cached_y`.
+// Compute is O(L): the two K/V projections (4LH^2 FLOPs) dominate at small
+// mask ratios. The gathered variant below removes exactly that term.
 Matrix BlockForwardMaskedY(const BlockWeights& w, const Matrix& x,
                            const Matrix& attn_bias, const trace::Mask& mask,
                            const Matrix& cached_y);
@@ -56,10 +75,33 @@ Matrix BlockForwardMaskedY(const BlockWeights& w, const Matrix& x,
 // Mask-aware flow with cached K/V (Fig. 7 alternative): unmasked K/V rows
 // come from the cache instead of being recomputed; everything else runs on
 // masked rows only. Output unmasked rows are replenished from `cached_y`.
+// Compute is O(m·L).
 Matrix BlockForwardMaskedKV(const BlockWeights& w, const Matrix& x,
                             const Matrix& attn_bias, const trace::Mask& mask,
                             const Matrix& cached_y, const Matrix& cached_k,
                             const Matrix& cached_v);
+
+// Gathered-panel sparse compute path (SIGE's gather→GEMM→scatter applied to
+// the mask-aware flows): the masked rows are gathered into a dense panel,
+// every GEMM (LayerNorm, Q, K, V, FF) runs on that panel with the blocked
+// kernels, and the unmasked rows of K, V and the output are replenished
+// from the cache. Compute is O(m·L) — proportional to the mask ratio.
+//
+// Bitwise guarantees (sparse_compute's gate in diffusion_model.cc):
+//  - vs BlockForwardMaskedKV: identical for ANY input — it is the same
+//    computation with the gather/scatter fused into the GEMMs.
+//  - vs BlockForwardMaskedY: identical exactly when the unmasked rows of
+//    `x` equal the registration pass's input at this step/block (the
+//    "replenish invariant"): then the K/V rows the dense flow recomputes
+//    are bit-for-bit the cached registration rows, because LayerNorm is
+//    row-wise and the blocked GEMM computes each row independently of the
+//    others (see MatMulRows in src/tensor/matrix.h).
+Matrix BlockForwardMaskedGathered(const BlockWeights& w, const Matrix& x,
+                                  const Matrix& attn_bias,
+                                  const trace::Mask& mask,
+                                  const Matrix& cached_y,
+                                  const Matrix& cached_k,
+                                  const Matrix& cached_v);
 
 // FISEdit-style sparse flow: input holds masked rows only; attention spans
 // only those rows (`masked_bias` is the gathered bias submatrix). No global
@@ -68,6 +110,7 @@ Matrix BlockForwardSparse(const BlockWeights& w, const Matrix& x_masked,
                           const Matrix& masked_bias);
 
 // Post-softmax attention matrix of a block (for the Fig. 6 analysis).
+// Compute is O(L) — it exists for offline analysis, not serving.
 Matrix AttentionMatrix(const BlockWeights& w, const Matrix& x,
                        const Matrix& attn_bias);
 

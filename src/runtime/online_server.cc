@@ -121,7 +121,7 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
     // predecessors' denoise exactly like Algorithm 1 overlaps the next
     // step's cache load with the current step's compute.
     source_->Prefetch(model_, item->request.template_id,
-                      /*record_kv=*/false);
+                      /*record_kv=*/options_.sparse_compute);
   }
 
   if (options_.disaggregate) {
@@ -161,6 +161,7 @@ void OnlineServer::DenoiseLoop() {
   model::DiffusionModel::RunOptions run_options;
   run_options.mode = options_.mask_aware ? model::ComputeMode::kMaskAwareY
                                          : model::ComputeMode::kFull;
+  run_options.sparse_compute = options_.mask_aware && options_.sparse_compute;
 
   for (;;) {
     // Admit up to capacity. Block only when the batch is idle.
@@ -179,9 +180,11 @@ void OnlineServer::DenoiseLoop() {
         // source registers on first use; a remote source fetches from the
         // cache node (or falls back to local registration — admission
         // never fails because the cache tier is down).
+        // sparse_compute needs K/V in the record; the step loop degrades
+        // to the dense path if a (remote) source hands back a Y-only one.
         inflight->cache =
             source_->Acquire(model_, inflight->request.template_id,
-                             /*record_kv=*/false);
+                             /*record_kv=*/options_.sparse_compute);
       }
       inflight->admitted = std::chrono::steady_clock::now();
       StatusMarkRunning(inflight->id);

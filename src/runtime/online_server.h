@@ -110,6 +110,13 @@ class OnlineServer {
     // denoise thread (the Fig. 10-Top strawman).
     bool disaggregate = true;
     int cpu_lanes = 2;
+    // Mask-aware only: run cached blocks through the gathered-panel sparse
+    // compute path, making per-step compute proportional to the mask ratio
+    // (see model::DiffusionModel::RunOptions::sparse_compute). Acquires
+    // activation records with K/V (3x the Y-only record bytes) so the
+    // gathered path can replenish projections from the cache. Output is
+    // bitwise-identical to the dense path.
+    bool sparse_compute = false;
     // Intra-op kernel parallelism for the denoise thread: GEMM row panels,
     // LayerNorm/softmax rows and GeLU are fanned out across this many
     // threads (shared ParallelFor pool; 1 = the seed's serial kernels).

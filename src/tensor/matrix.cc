@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/parallel_for.h"
+#include "src/tensor/fast_tanh.h"
 
 namespace flashps {
 
@@ -25,7 +26,11 @@ namespace {
 // packed into kNr-wide column panels, and a kMr x kNr register-tiled
 // micro-kernel accumulates C over k. The packed inner loop over the panel
 // lanes is branch-free with unit stride, which the compiler auto-vectorizes;
-// remainder rows/columns fall back to the generic tile.
+// remainder rows/columns fall back to the generic tile. GEMMs with few
+// logical rows — the gathered sparse compute path's panels — run the same
+// tiling panel-at-a-time instead (see GemmPanelRangeImpl), which skips the
+// whole-B pack those few rows cannot amortize without changing a bit of
+// the result.
 // ---------------------------------------------------------------------------
 
 constexpr int kMr = 4;    // C rows per micro-kernel tile.
@@ -40,42 +45,87 @@ constexpr int64_t kElemwiseGrainElems = 1 << 15;
 
 int NumPanels(int n) { return (n + kNr - 1) / kNr; }
 
-// Packs b[k0:k1) x [0:n) into column panels: panel j holds columns
-// [j*kNr, j*kNr + kNr) in k-major order, zero-padded past n.
-void PackPanels(const Matrix& b, int k0, int k1, int n,
-                std::vector<float>& packed) {
+// Packs one column panel of b[k0:k1) into `dst` (kc * kNr floats): columns
+// [panel*kNr, panel*kNr + kNr) in k-major order, zero-padded past n.
+void PackOnePanel(const Matrix& b, int k0, int k1, int n, int panel,
+                  float* dst) {
   const int kc = k1 - k0;
-  const int panels = NumPanels(n);
-  packed.assign(static_cast<size_t>(panels) * kc * kNr, 0.0f);
-  for (int panel = 0; panel < panels; ++panel) {
-    const int j0 = panel * kNr;
-    const int jw = std::min(kNr, n - j0);
-    float* dst = packed.data() + static_cast<size_t>(panel) * kc * kNr;
-    for (int p = 0; p < kc; ++p) {
-      const float* src = b.row(k0 + p) + j0;
-      for (int c = 0; c < jw; ++c) {
-        dst[p * kNr + c] = src[c];
-      }
+  const int j0 = panel * kNr;
+  const int jw = std::min(kNr, n - j0);
+  if (jw < kNr) {
+    std::fill(dst, dst + static_cast<size_t>(kc) * kNr, 0.0f);
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* src = b.row(k0 + p) + j0;
+    for (int c = 0; c < jw; ++c) {
+      dst[p * kNr + c] = src[c];
     }
   }
 }
 
 // Same panel layout, but the packed "columns" are rows of b — packing b^T
 // without materializing it. b is (n, k).
-void PackPanelsTransposed(const Matrix& b, int k0, int k1, int n,
-                          std::vector<float>& packed) {
+void PackOnePanelTransposed(const Matrix& b, int k0, int k1, int n, int panel,
+                            float* dst) {
+  const int kc = k1 - k0;
+  const int j0 = panel * kNr;
+  const int jw = std::min(kNr, n - j0);
+  if (jw < kNr) {
+    std::fill(dst, dst + static_cast<size_t>(kc) * kNr, 0.0f);
+  }
+  for (int c = 0; c < jw; ++c) {
+    const float* src = b.row(j0 + c) + k0;
+    for (int p = 0; p < kc; ++p) {
+      dst[p * kNr + c] = src[p];
+    }
+  }
+}
+
+// Panels packed per pass over b's rows in the panel-at-a-time path. One
+// pass per panel reads just kNr floats of every b row — a large-stride
+// walk whose TLB cost repeats for each panel. Packing a group amortizes
+// the walk: each row contributes kPanelGroup * kNr sequential floats per
+// pass, and the per-panel layout (and thus every packed value) is
+// unchanged.
+constexpr int kPanelGroup = 8;
+
+// Packs `np` consecutive column panels of row-major b[k0:k1) into `dst`
+// (np buffers of kc * kNr floats each, laid out exactly as PackOnePanel
+// would produce them) in a single pass over b's rows.
+void PackPanelGroup(const Matrix& b, int k0, int k1, int n, int panel0,
+                    int np, float* dst) {
+  const int kc = k1 - k0;
+  const int j0 = panel0 * kNr;
+  const int jtotal = std::min(np * kNr, n - j0);
+  if (jtotal < np * kNr) {
+    std::fill(dst, dst + static_cast<size_t>(np) * kc * kNr, 0.0f);
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* src = b.row(k0 + p) + j0;
+    float* prow = dst + static_cast<size_t>(p) * kNr;
+    for (int g = 0; g < np; ++g) {
+      const int w = std::min(kNr, jtotal - g * kNr);
+      float* d = prow + static_cast<size_t>(g) * kc * kNr;
+      for (int c = 0; c < w; ++c) {
+        d[c] = src[g * kNr + c];
+      }
+    }
+  }
+}
+
+// Packs b[k0:k1) x [0:n) into column panels (see PackOnePanel for the
+// layout of each).
+void PackPanels(const Matrix& b, int k0, int k1, int n, bool b_transposed,
+                std::vector<float>& packed) {
   const int kc = k1 - k0;
   const int panels = NumPanels(n);
   packed.assign(static_cast<size_t>(panels) * kc * kNr, 0.0f);
   for (int panel = 0; panel < panels; ++panel) {
-    const int j0 = panel * kNr;
-    const int jw = std::min(kNr, n - j0);
     float* dst = packed.data() + static_cast<size_t>(panel) * kc * kNr;
-    for (int c = 0; c < jw; ++c) {
-      const float* src = b.row(j0 + c) + k0;
-      for (int p = 0; p < kc; ++p) {
-        dst[p * kNr + c] = src[p];
-      }
+    if (b_transposed) {
+      PackOnePanelTransposed(b, k0, k1, n, panel, dst);
+    } else {
+      PackOnePanel(b, k0, k1, n, panel, dst);
     }
   }
 }
@@ -107,15 +157,20 @@ FLASHPS_ALWAYS_INLINE void StoreVec(float* p, VecNr v) {
 // (an explicit lane loop compiles to a vinsertps chain on GCC 12).
 FLASHPS_ALWAYS_INLINE VecNr Splat(float s) { return s + VecNr{}; }
 
-// C[rows i0..i0+mr) x [panel columns j0..j0+jw) += A-rows * packed-panel.
+// C[rows i0..i0+mr) x [panel columns j0..j0+jw) += A-rows * B-panel.
 // The accumulator tile lives in registers across the whole k-block.
+// `ldb` is the float stride between consecutive k rows of the panel: kNr
+// for a packed panel, b.cols() when the panel is read straight out of a
+// row-major B (the panel-at-a-time path below). The loaded lane values and
+// the accumulation order are the same either way, so the result bits do
+// not depend on which layout fed the kernel.
 template <int MR>
 FLASHPS_ALWAYS_INLINE void MicroKernel(const float* a_rows[],
-                                       const float* panel, int kc,
+                                       const float* panel, int ldb, int kc,
                                        float* c_rows[], int jw) {
   VecNr acc[MR] = {};
   for (int p = 0; p < kc; ++p) {
-    const VecNr bp = LoadVec(panel + p * kNr);
+    const VecNr bp = LoadVec(panel + static_cast<size_t>(p) * ldb);
     for (int r = 0; r < MR; ++r) {
       acc[r] += Splat(a_rows[r][p]) * bp;
     }
@@ -133,13 +188,51 @@ FLASHPS_ALWAYS_INLINE void MicroKernel(const float* a_rows[],
   }
 }
 
-// Remainder tile with runtime row count (mr < kMr).
-FLASHPS_ALWAYS_INLINE void MicroKernelEdge(int mr, const float* a_rows[],
-                                           const float* panel, int kc,
-                                           float* c_rows[], int jw) {
-  VecNr acc[kMr] = {};
+// Tall row tile for the panel-at-a-time path below: with only a handful of
+// logical rows, each packed panel is reused by few tiles, so the tile is
+// made twice as tall to halve the panel passes (and the per-k bp loads).
+// Row count never changes what a row accumulates — acc[r] depends only on
+// its own A row and the panel — so tile height is bitwise-neutral. (A
+// 16-row tile measured slower on AVX-512 hosts: the kernel is bound by the
+// per-row broadcast loads, which taller tiles do not reduce.)
+constexpr int kMrPanel = 2 * kMr;
+
+// Two-panel tile for the panel-at-a-time path: one A broadcast feeds a
+// FMA into each of two adjacent packed panels, halving the broadcast
+// loads per flop the single-panel kernel is bound by. Needs 2*MR + 2
+// live vector registers, so only the AVX-512 instantiation (32 registers)
+// uses it. Each accumulator still sums its own A row against its own
+// panel lane in the same p order, so pairing is bitwise-neutral.
+template <int MR>
+FLASHPS_ALWAYS_INLINE void MicroKernelPair(const float* a_rows[],
+                                           const float* p0, const float* p1,
+                                           int ldb, int kc, float* c_rows0[],
+                                           float* c_rows1[]) {
+  VecNr acc0[MR] = {};
+  VecNr acc1[MR] = {};
   for (int p = 0; p < kc; ++p) {
-    const VecNr bp = LoadVec(panel + p * kNr);
+    const VecNr b0 = LoadVec(p0 + static_cast<size_t>(p) * ldb);
+    const VecNr b1 = LoadVec(p1 + static_cast<size_t>(p) * ldb);
+    for (int r = 0; r < MR; ++r) {
+      const VecNr s = Splat(a_rows[r][p]);
+      acc0[r] += s * b0;
+      acc1[r] += s * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    StoreVec(c_rows0[r], LoadVec(c_rows0[r]) + acc0[r]);
+    StoreVec(c_rows1[r], LoadVec(c_rows1[r]) + acc1[r]);
+  }
+}
+
+// Remainder tile with runtime row count (mr < TM).
+template <int TM>
+FLASHPS_ALWAYS_INLINE void MicroKernelEdge(int mr, const float* a_rows[],
+                                           const float* panel, int ldb, int kc,
+                                           float* c_rows[], int jw) {
+  VecNr acc[TM] = {};
+  for (int p = 0; p < kc; ++p) {
+    const VecNr bp = LoadVec(panel + static_cast<size_t>(p) * ldb);
     for (int r = 0; r < mr; ++r) {
       acc[r] += Splat(a_rows[r][p]) * bp;
     }
@@ -155,9 +248,16 @@ FLASHPS_ALWAYS_INLINE void MicroKernelEdge(int mr, const float* a_rows[],
 // every packed panel. Ranges from ParallelFor are grain-aligned with grain a
 // multiple of kMr, so the tile decomposition — and with it the result bits —
 // does not depend on the thread count.
+//
+// `a_idx`/`c_idx` are the gathered-panel hooks (null = identity): when set,
+// logical row i reads a.row(a_idx[i]) and/or writes out.row(c_idx[i]).
+// The per-row accumulation order is untouched, so a gathered row is
+// bitwise-identical to the same row of the dense all-rows GEMM — the
+// property the mask-aware sparse compute path is built on.
 FLASHPS_ALWAYS_INLINE void GemmRowRangeImpl(const Matrix& a,
                                             const std::vector<float>& packed,
                                             int k0, int kc, int n, Matrix& out,
+                                            const int* a_idx, const int* c_idx,
                                             int64_t i0, int64_t i1) {
   const int panels = NumPanels(n);
   const float* a_rows[kMr];
@@ -165,19 +265,21 @@ FLASHPS_ALWAYS_INLINE void GemmRowRangeImpl(const Matrix& a,
   for (int64_t i = i0; i < i1; i += kMr) {
     const int mr = static_cast<int>(std::min<int64_t>(kMr, i1 - i));
     for (int r = 0; r < mr; ++r) {
-      a_rows[r] = a.row(static_cast<int>(i) + r) + k0;
+      const int ar = static_cast<int>(i) + r;
+      a_rows[r] = a.row(a_idx == nullptr ? ar : a_idx[ar]) + k0;
     }
     for (int panel = 0; panel < panels; ++panel) {
       const int j0 = panel * kNr;
       const int jw = std::min(kNr, n - j0);
       const float* pp = packed.data() + static_cast<size_t>(panel) * kc * kNr;
       for (int r = 0; r < mr; ++r) {
-        c_rows[r] = out.row(static_cast<int>(i) + r) + j0;
+        const int cr = static_cast<int>(i) + r;
+        c_rows[r] = out.row(c_idx == nullptr ? cr : c_idx[cr]) + j0;
       }
       if (mr == kMr) {
-        MicroKernel<kMr>(a_rows, pp, kc, c_rows, jw);
+        MicroKernel<kMr>(a_rows, pp, kNr, kc, c_rows, jw);
       } else {
-        MicroKernelEdge(mr, a_rows, pp, kc, c_rows, jw);
+        MicroKernelEdge<kMr>(mr, a_rows, pp, kNr, kc, c_rows, jw);
       }
     }
   }
@@ -192,28 +294,182 @@ FLASHPS_ALWAYS_INLINE void GemmRowRangeImpl(const Matrix& a,
 // The choice is process-wide and thread-count-independent, so the bitwise
 // invariance guarantee above is unaffected.
 using GemmRowRangeFn = void (*)(const Matrix&, const std::vector<float>&, int,
-                                int, int, Matrix&, int64_t, int64_t);
+                                int, int, Matrix&, const int*, const int*,
+                                int64_t, int64_t);
 
 void GemmRowRangeGeneric(const Matrix& a, const std::vector<float>& packed,
-                         int k0, int kc, int n, Matrix& out, int64_t i0,
-                         int64_t i1) {
-  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+                         int k0, int kc, int n, Matrix& out, const int* a_idx,
+                         const int* c_idx, int64_t i0, int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, a_idx, c_idx, i0, i1);
 }
 
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define FLASHPS_GEMM_MULTIVERSION 1
 __attribute__((target("arch=x86-64-v3"))) void GemmRowRangeV3(
     const Matrix& a, const std::vector<float>& packed, int k0, int kc, int n,
-    Matrix& out, int64_t i0, int64_t i1) {
-  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+    Matrix& out, const int* a_idx, const int* c_idx, int64_t i0, int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, a_idx, c_idx, i0, i1);
 }
 
 __attribute__((target("arch=x86-64-v4"))) void GemmRowRangeV4(
     const Matrix& a, const std::vector<float>& packed, int k0, int kc, int n,
-    Matrix& out, int64_t i0, int64_t i1) {
-  GemmRowRangeImpl(a, packed, k0, kc, n, out, i0, i1);
+    Matrix& out, const int* a_idx, const int* c_idx, int64_t i0, int64_t i1) {
+  GemmRowRangeImpl(a, packed, k0, kc, n, out, a_idx, c_idx, i0, i1);
 }
 #endif
+
+// Panel-at-a-time variant for GEMMs with few logical rows (the gathered
+// sparse compute path's panels): packing all of B costs O(k·n) writes plus
+// a second pass of reads, which only pays for itself when many row tiles
+// reuse the packed image. Here the panel loop is outermost; a full-width
+// panel of a row-major B needs no packing at all — the micro-kernel reads
+// the kNr lanes straight out of B at stride b.cols() — and the remaining
+// cases (B^T, or the ragged last panel) pack one small L1-resident buffer,
+// use it against every row tile, and discard it. B streams through exactly
+// once. The lane values and the per-element accumulation order are
+// identical to the all-panels layout above, so results stay
+// bitwise-identical to the dense kernel (and to this kernel at any thread
+// count: panels write disjoint column ranges and each is computed
+// identically wherever it lands).
+template <int TM, int NP>
+FLASHPS_ALWAYS_INLINE void GemmPanelRangeImpl(
+    const Matrix& a, const Matrix& b, bool b_transposed, int k0, int kc, int m,
+    int n, Matrix& out, const int* a_idx, const int* c_idx, float* panel_buf,
+    int64_t panel0, int64_t panel1) {
+  const float* a_rows[TM];
+  float* c_rows[TM];
+  float* c_rows1[TM];
+  int64_t panel = panel0;
+  while (panel < panel1) {
+    const int j0 = static_cast<int>(panel) * kNr;
+    const int jw = std::min(kNr, n - j0);
+    int ng = 1;
+    const float* pp0;
+    int ldb;
+    bool packed = false;
+    if (!b_transposed && jw == kNr && m <= TM) {
+      // One tile pass total: reading the lanes straight out of row-major B
+      // beats packing, which would touch the same strided rows and then
+      // round-trip them through a buffer for a single consumer.
+      pp0 = b.row(k0) + j0;
+      ldb = b.cols();
+    } else {
+      ng = static_cast<int>(std::min<int64_t>(kPanelGroup, panel1 - panel));
+      if (b_transposed) {
+        // b^T packing already reads b's rows contiguously; pack the group
+        // panel by panel into the shared buffer.
+        for (int g = 0; g < ng; ++g) {
+          PackOnePanelTransposed(b, k0, k0 + kc, n, static_cast<int>(panel) + g,
+                                 panel_buf + static_cast<size_t>(g) * kc * kNr);
+        }
+      } else {
+        PackPanelGroup(b, k0, k0 + kc, n, static_cast<int>(panel), ng,
+                       panel_buf);
+      }
+      pp0 = panel_buf;
+      ldb = kNr;
+      packed = true;
+    }
+    int g = 0;
+    if (NP == 2 && packed) {
+      // Packed-panel pairs, both full width: the paired kernel shares each
+      // A broadcast between the two panels' FMAs.
+      for (; g + 1 < ng && static_cast<int>(panel + g) * kNr + 2 * kNr <= n;
+           g += 2) {
+        const int gj0 = static_cast<int>(panel + g) * kNr;
+        const float* gp0 = panel_buf + static_cast<size_t>(g) * kc * kNr;
+        const float* gp1 = gp0 + static_cast<size_t>(kc) * kNr;
+        for (int i = 0; i < m; i += TM) {
+          const int mr = std::min(TM, m - i);
+          for (int r = 0; r < mr; ++r) {
+            a_rows[r] = a.row(a_idx == nullptr ? i + r : a_idx[i + r]) + k0;
+            c_rows[r] = out.row(c_idx == nullptr ? i + r : c_idx[i + r]) + gj0;
+            c_rows1[r] = c_rows[r] + kNr;
+          }
+          if (mr == TM) {
+            MicroKernelPair<TM>(a_rows, gp0, gp1, ldb, kc, c_rows, c_rows1);
+          } else {
+            MicroKernelEdge<TM>(mr, a_rows, gp0, ldb, kc, c_rows, kNr);
+            MicroKernelEdge<TM>(mr, a_rows, gp1, ldb, kc, c_rows1, kNr);
+          }
+        }
+      }
+    }
+    for (; g < ng; ++g) {
+      const int gj0 = static_cast<int>(panel + g) * kNr;
+      const int gjw = std::min(kNr, n - gj0);
+      const float* pp =
+          packed ? panel_buf + static_cast<size_t>(g) * kc * kNr : pp0;
+      for (int i = 0; i < m; i += TM) {
+        const int mr = std::min(TM, m - i);
+        for (int r = 0; r < mr; ++r) {
+          a_rows[r] = a.row(a_idx == nullptr ? i + r : a_idx[i + r]) + k0;
+          c_rows[r] = out.row(c_idx == nullptr ? i + r : c_idx[i + r]) + gj0;
+        }
+        if (mr == TM) {
+          MicroKernel<TM>(a_rows, pp, ldb, kc, c_rows, gjw);
+        } else {
+          MicroKernelEdge<TM>(mr, a_rows, pp, ldb, kc, c_rows, gjw);
+        }
+      }
+    }
+    panel += ng;
+  }
+}
+
+using GemmPanelRangeFn = void (*)(const Matrix&, const Matrix&, bool, int, int,
+                                  int, int, Matrix&, const int*, const int*,
+                                  float*, int64_t, int64_t);
+
+void GemmPanelRangeGeneric(const Matrix& a, const Matrix& b, bool b_transposed,
+                           int k0, int kc, int m, int n, Matrix& out,
+                           const int* a_idx, const int* c_idx, float* panel_buf,
+                           int64_t panel0, int64_t panel1) {
+  GemmPanelRangeImpl<kMrPanel, 1>(a, b, b_transposed, k0, kc, m, n, out,
+                                  a_idx, c_idx, panel_buf, panel0, panel1);
+}
+
+#ifdef FLASHPS_GEMM_MULTIVERSION
+__attribute__((target("arch=x86-64-v3"))) void GemmPanelRangeV3(
+    const Matrix& a, const Matrix& b, bool b_transposed, int k0, int kc, int m,
+    int n, Matrix& out, const int* a_idx, const int* c_idx, float* panel_buf,
+    int64_t panel0, int64_t panel1) {
+  GemmPanelRangeImpl<kMrPanel, 1>(a, b, b_transposed, k0, kc, m, n, out,
+                                  a_idx, c_idx, panel_buf, panel0, panel1);
+}
+
+__attribute__((target("arch=x86-64-v4"))) void GemmPanelRangeV4(
+    const Matrix& a, const Matrix& b, bool b_transposed, int k0, int kc, int m,
+    int n, Matrix& out, const int* a_idx, const int* c_idx, float* panel_buf,
+    int64_t panel0, int64_t panel1) {
+  GemmPanelRangeImpl<kMrPanel, 2>(a, b, b_transposed, k0, kc, m, n, out,
+                                  a_idx, c_idx, panel_buf, panel0, panel1);
+}
+#endif
+
+GemmPanelRangeFn ResolveGemmPanelRange() {
+#ifdef FLASHPS_GEMM_MULTIVERSION
+  const char* pin = std::getenv("FLASHPS_ISA");
+  if (pin != nullptr) {
+    if (std::strcmp(pin, "generic") == 0) {
+      return GemmPanelRangeGeneric;
+    }
+    if (std::strcmp(pin, "v3") == 0 && __builtin_cpu_supports("x86-64-v3")) {
+      return GemmPanelRangeV3;
+    }
+    if (std::strcmp(pin, "v4") == 0 && __builtin_cpu_supports("x86-64-v4")) {
+      return GemmPanelRangeV4;
+    }
+  }
+  if (__builtin_cpu_supports("x86-64-v4")) {
+    return GemmPanelRangeV4;
+  }
+  if (__builtin_cpu_supports("x86-64-v3")) {
+    return GemmPanelRangeV3;
+  }
+#endif
+  return GemmPanelRangeGeneric;
+}
 
 GemmRowRangeFn ResolveGemmRowRange() {
 #ifdef FLASHPS_GEMM_MULTIVERSION
@@ -241,22 +497,52 @@ GemmRowRangeFn ResolveGemmRowRange() {
   return GemmRowRangeGeneric;
 }
 
-Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool b_transposed) {
-  const int m = a.rows();
+// Below this many logical rows the driver switches to the panel-at-a-time
+// kernel: packing all of B costs ~2 extra passes over it plus a packed
+// image that blows the cache, which this few row tiles cannot amortize.
+// 64 rows is 8 tall tiles — the gathered sparse compute path's panels at
+// the mask ratios it serves (m ~= 0.1..0.4) sit below this on every model
+// grid in the repo, while the dense flows (full token counts) stay above.
+constexpr int kPanelAtATimeMaxRows = 64;
+
+// Shared blocked-GEMM driver. `m` is the logical row count; `a_idx`/`c_idx`
+// (null = identity) remap logical rows to `a`/`out` rows, which is how the
+// gathered-panel entry points below reuse this core without materializing
+// the gathered operand or the scattered result.
+void GemmBlockedInto(const Matrix& a, const Matrix& b, bool b_transposed,
+                     int m, const int* a_idx, const int* c_idx, Matrix& out) {
   const int k = a.cols();
   const int n = b_transposed ? b.rows() : b.cols();
-  Matrix out(m, n);
   if (m == 0 || n == 0 || k == 0) {
-    return out;
+    return;
+  }
+  if (m <= kPanelAtATimeMaxRows) {
+    static const GemmPanelRangeFn gemm_panel_range = ResolveGemmPanelRange();
+    for (int k0 = 0; k0 < k; k0 += kKc) {
+      const int kc = std::min(kKc, k - k0);
+      // Panels per chunk sized so each chunk carries at least
+      // kGemmParallelFlops work, rounded up to the pack-group width so
+      // chunks can amortize B's row walk. Panels own disjoint column
+      // ranges, so any split is race-free and thread-count-invariant.
+      int64_t grain = std::max<int64_t>(
+          1, kGemmParallelFlops / (2LL * kc * kNr * m + 1));
+      grain = ((grain + kPanelGroup - 1) / kPanelGroup) * kPanelGroup;
+      ParallelFor(NumPanels(n), grain, [&](int64_t p0, int64_t p1) {
+        // Scratch for one packed panel group, reused across chunks and
+        // calls — a per-chunk vector would zero-fill its floats every few
+        // panels of work.
+        thread_local std::vector<float> panel_buf;
+        panel_buf.resize(static_cast<size_t>(kc) * kNr * kPanelGroup);
+        gemm_panel_range(a, b, b_transposed, k0, kc, m, n, out, a_idx, c_idx,
+                         panel_buf.data(), p0, p1);
+      });
+    }
+    return;
   }
   std::vector<float> packed;
   for (int k0 = 0; k0 < k; k0 += kKc) {
     const int kc = std::min(kKc, k - k0);
-    if (b_transposed) {
-      PackPanelsTransposed(b, k0, k0 + kc, n, packed);
-    } else {
-      PackPanels(b, k0, k0 + kc, n, packed);
-    }
+    PackPanels(b, k0, k0 + kc, n, b_transposed, packed);
     // Rows per chunk sized so each chunk carries at least kGemmParallelFlops
     // work, rounded to the row-tile height for thread-count-invariant tiling.
     int64_t grain =
@@ -264,9 +550,15 @@ Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool b_transposed) {
     grain = ((grain + kMr - 1) / kMr) * kMr;
     static const GemmRowRangeFn gemm_row_range = ResolveGemmRowRange();
     ParallelFor(m, grain, [&](int64_t i0, int64_t i1) {
-      gemm_row_range(a, packed, k0, kc, n, out, i0, i1);
+      gemm_row_range(a, packed, k0, kc, n, out, a_idx, c_idx, i0, i1);
     });
   }
+}
+
+Matrix GemmBlocked(const Matrix& a, const Matrix& b, bool b_transposed) {
+  const int n = b_transposed ? b.rows() : b.cols();
+  Matrix out(a.rows(), n);
+  GemmBlockedInto(a, b, b_transposed, a.rows(), nullptr, nullptr, out);
   return out;
 }
 
@@ -280,6 +572,30 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransposed(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   return GemmBlocked(a, b, /*b_transposed=*/true);
+}
+
+Matrix MatMulRows(const Matrix& a, const Matrix& b,
+                  const std::vector<int>& rows) {
+  assert(a.cols() == b.rows());
+  Matrix out(static_cast<int>(rows.size()), b.cols());
+  GemmBlockedInto(a, b, /*b_transposed=*/false, static_cast<int>(rows.size()),
+                  rows.data(), nullptr, out);
+  return out;
+}
+
+void MatMulScatterRows(const Matrix& a_panel, const Matrix& b,
+                       const std::vector<int>& rows, Matrix& out) {
+  assert(a_panel.cols() == b.rows());
+  assert(static_cast<int>(rows.size()) == a_panel.rows());
+  assert(out.cols() == b.cols());
+  // The micro-kernel accumulates into C, so the target rows (and only
+  // those — the replenished rows around them must survive) start from zero.
+  for (const int r : rows) {
+    assert(r >= 0 && r < out.rows());
+    std::fill(out.row(r), out.row(r) + out.cols(), 0.0f);
+  }
+  GemmBlockedInto(a_panel, b, /*b_transposed=*/false, a_panel.rows(), nullptr,
+                  rows.data(), out);
 }
 
 void SoftmaxRows(Matrix& m) {
@@ -350,7 +666,7 @@ void GeluInPlace(Matrix& m) {
                 for (int64_t i = b; i < e; ++i) {
                   const float x = data[i];
                   const float t =
-                      std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
+                      FastTanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
                   data[i] = 0.5f * x * (1.0f + t);
                 }
               });

@@ -93,6 +93,28 @@ Matrix GatherRows(const Matrix& m, const std::vector<int>& indices);
 // Scatters src's rows into dst at the given row indices.
 void ScatterRows(Matrix& dst, const Matrix& src, const std::vector<int>& indices);
 
+// Gathered-panel GEMM (the SIGE-style sparse compute path, one fused
+// gather→GEMM): out.row(i) = a.row(rows[i]) * b for each i, without
+// materializing the gathered operand. Row `i` of the result is
+// bitwise-identical to row rows[i] of MatMul(a, b): the blocked kernel
+// computes every output row from its own A row alone, in a fixed
+// k-blocked accumulation order that does not depend on which other rows
+// are present. Cost is O(|rows|·k·n) — proportional to the mask ratio
+// when `rows` is a mask's token list. `rows` must hold valid, distinct
+// row indices of `a`.
+Matrix MatMulRows(const Matrix& a, const Matrix& b,
+                  const std::vector<int>& rows);
+
+// Scatter-back half of the sparse compute path (one fused GEMM→scatter):
+// out.row(rows[i]) = a_panel.row(i) * b for each i; every other row of
+// `out` is left untouched, so the caller can pre-fill it with replenished
+// (cached) rows. The written rows are bitwise-identical to the same rows
+// of MatMul(x, b) whenever a_panel holds the gathered rows of x (see
+// MatMulRows). `rows` must hold valid, DISTINCT row indices of `out`
+// (duplicates would race across row-panel threads).
+void MatMulScatterRows(const Matrix& a_panel, const Matrix& b,
+                       const std::vector<int>& rows, Matrix& out);
+
 // Cosine similarity of row r1 of a and row r2 of b.
 double CosineSimilarity(const Matrix& a, int r1, const Matrix& b, int r2);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/fast_tanh.h"
+
 namespace flashps::naive {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -98,7 +100,7 @@ void GeluInPlace(Matrix& m) {
   constexpr float kSqrt2OverPi = 0.7978845608f;
   for (size_t i = 0; i < m.size(); ++i) {
     const float x = m.data()[i];
-    const float t = std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
+    const float t = FastTanh(kSqrt2OverPi * (x + 0.044715f * x * x * x));
     m.data()[i] = 0.5f * x * (1.0f + t);
   }
 }

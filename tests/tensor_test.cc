@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/tensor/fast_tanh.h"
 #include "src/tensor/matrix.h"
 
 namespace flashps {
@@ -168,6 +169,17 @@ TEST(MatrixTest, GeluKnownValues) {
   EXPECT_NEAR(m.at(0, 0), 0.0f, 1e-6f);
   EXPECT_NEAR(m.at(0, 1), 10.0f, 1e-3f);
   EXPECT_NEAR(m.at(0, 2), 0.0f, 1e-3f);
+}
+
+// The GELU kernels use the rational FastTanh fit instead of libm's tanh;
+// this pins its error bound over the clamp range and saturation outside.
+// The worst case (~4 ULPs of 1.0) is near the saturation knee |x| ~ 9.
+TEST(MatrixTest, FastTanhMatchesLibmWithinTolerance) {
+  for (float x = -12.0f; x <= 12.0f; x += 1e-3f) {
+    EXPECT_NEAR(FastTanh(x), std::tanh(x), 5e-7f) << "x=" << x;
+  }
+  EXPECT_EQ(FastTanh(100.0f), FastTanh(9.0f));
+  EXPECT_EQ(FastTanh(-100.0f), FastTanh(-9.0f));
 }
 
 TEST(MatrixTest, GatherScatterRoundTrip) {
