@@ -101,6 +101,68 @@ void LoadBalance() {
   }
 }
 
+void HybridResolutions() {
+  std::printf(
+      "\n--- Mixed-resolution leg: patch-granular vs pad-to-largest "
+      "(4 Flux workers) ---\n");
+  bench::PrintRow({"hybrid mode", "P95(s)", "mean(s)", "SLO att."});
+
+  // Production trace with a resolution mixture straddling Flux's native
+  // 64x64 latent grid: smaller crops, native edits, and oversize panels.
+  trace::WorkloadSpec spec;
+  spec.trace = trace::TraceKind::kProduction;
+  spec.rps = 1.2;
+  spec.num_requests = 320;
+  spec.resolutions = {{48, 48, 0.4}, {64, 64, 0.35}, {96, 96, 0.25}};
+  const auto requests = trace::GenerateWorkload(spec);
+
+  // SLO attainment against a fixed per-request wall budget, at a rate near
+  // the pad-mode knee: patch-granular batches still clear the budget while
+  // pad-to-largest serializes behind its oversize members and backlogs.
+  const double slo_budget_s = 12.0;
+  double patch_p95 = 0.0;
+  double pad_p95 = 0.0;
+  double patch_att = 0.0;
+  double pad_att = 0.0;
+  for (const serving::HybridMode mode :
+       {serving::HybridMode::kPatchGranular,
+        serving::HybridMode::kPadToLargest}) {
+    cluster::ClusterConfig config;
+    config.num_workers = 4;
+    config.engine = serving::EngineConfig::ForSystem(
+        serving::SystemKind::kFlashPS, model::ModelKind::kFlux);
+    config.engine.hybrid = mode;
+    config.policy = sched::RoutePolicy::kMaskAware;
+    const auto result = cluster::RunClusterSim(config, requests);
+    size_t met = 0;
+    for (const auto& done : result.completed) {
+      if (done.total().seconds() <= slo_budget_s) {
+        ++met;
+      }
+    }
+    const double attainment =
+        result.completed.empty()
+            ? 1.0
+            : static_cast<double>(met) /
+                  static_cast<double>(result.completed.size());
+    bench::PrintRow({ToString(mode), Fmt(result.total_latency_s.P95(), 2),
+                     Fmt(result.total_latency_s.Mean(), 2),
+                     Fmt(attainment, 3)});
+    if (mode == serving::HybridMode::kPatchGranular) {
+      patch_p95 = result.total_latency_s.P95();
+      patch_att = attainment;
+    } else {
+      pad_p95 = result.total_latency_s.P95();
+      pad_att = attainment;
+    }
+  }
+  std::printf(
+      "patch-granular vs pad-to-largest: P95 %.2fx, SLO attainment "
+      "%.3f vs %.3f (PatchedServe: ~35%% SLO improvement on mixed "
+      "resolutions)\n",
+      pad_p95 / patch_p95, patch_att, pad_att);
+}
+
 }  // namespace
 }  // namespace flashps
 
@@ -111,5 +173,6 @@ int main() {
       "balancing inflates tail latency by up to 35% at higher traffic");
   flashps::Batching();
   flashps::LoadBalance();
+  flashps::HybridResolutions();
   return 0;
 }

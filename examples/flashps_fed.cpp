@@ -21,11 +21,14 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/cache/ring/cache_ring.h"
 #include "src/common/flag_parser.h"
 #include "src/fed/fed_gateway.h"
 #include "src/net/tcp_server.h"
+#include "src/trace/workload.h"
 
 using namespace flashps;
 
@@ -73,6 +76,15 @@ int main(int argc, char** argv) {
       "sparse-compute",
       "expect every node to serve the gathered sparse compute path; warn "
       "at join time when a node advertises otherwise");
+  // Same expectation pattern for resolutions: the front never builds a
+  // model, so --resolutions only declares which extra grids the fleet is
+  // supposed to serve. A node whose profile lacks a fit for one of them
+  // still works (cost falls back to the token-scaled primary fit) but
+  // routes on a cruder estimate — warn at join time.
+  const std::vector<std::string> resolution_args = flags.StringList(
+      "resolutions",
+      "extra latent grids the fleet is expected to profile, HxW,HxW,...; "
+      "warn at join time when a node's profile lacks one");
 
   net::TcpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(
@@ -111,6 +123,18 @@ int main(int argc, char** argv) {
   for (const cache::RingMember& m : members) {
     options.nodes.push_back(fed::FedNode{m.host, m.port});
   }
+  std::vector<std::pair<int, int>> expected_resolutions;
+  for (const std::string& text : resolution_args) {
+    int grid_h = 0;
+    int grid_w = 0;
+    if (!trace::ParseResolution(text, &grid_h, &grid_w)) {
+      std::fprintf(stderr, "flashps_fed: bad --resolutions entry '%s' "
+                   "(expected HxW, e.g. 96x96)\n%s",
+                   text.c_str(), usage.c_str());
+      return 2;
+    }
+    expected_resolutions.emplace_back(grid_h, grid_w);
+  }
 
   fed::FedGateway fed_gateway(options);
   fed_gateway.Start();
@@ -127,6 +151,34 @@ int main(int argc, char** argv) {
                    info.node.id().c_str(),
                    info.sparse_compute ? "sparse" : "dense",
                    expect_sparse ? "was launched with" : "was launched without");
+    }
+    if (info.profile_loaded && !expected_resolutions.empty()) {
+      const std::shared_ptr<const sched::LatencyModel> model =
+          fed_gateway.registry().model(static_cast<int>(i));
+      for (const auto& [grid_h, grid_w] : expected_resolutions) {
+        if (model == nullptr) {
+          break;
+        }
+        if (grid_h == model->primary_grid_h() &&
+            grid_w == model->primary_grid_w()) {
+          continue;  // The node's native grid needs no extra fit.
+        }
+        bool fitted = false;
+        for (const sched::LatencyModel::ResolutionFit& fit :
+             model->resolution_fits()) {
+          if (fit.grid_h == grid_h && fit.grid_w == grid_w) {
+            fitted = true;
+            break;
+          }
+        }
+        if (!fitted) {
+          std::fprintf(stderr,
+                       "flashps_fed: WARNING: node %s has no profiled fit for "
+                       "%dx%d; its cost estimate falls back to the "
+                       "token-scaled primary fit\n",
+                       info.node.id().c_str(), grid_h, grid_w);
+        }
+      }
     }
   }
 

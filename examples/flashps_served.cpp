@@ -53,6 +53,7 @@
 #include "src/cache/ring/sharded_store.h"
 #include "src/common/flag_parser.h"
 #include "src/net/tcp_server.h"
+#include "src/trace/workload.h"
 
 using namespace flashps;
 
@@ -81,6 +82,11 @@ int main(int argc, char** argv) {
       "sparse-compute",
       "gathered-panel sparse compute: per-step work proportional to the "
       "mask ratio (records cached with K/V, 3x Y-only bytes)");
+  const std::vector<std::string> resolution_args = flags.StringList(
+      "resolutions",
+      "extra latent grids to serve besides the native one, HxW,HxW,... "
+      "(requests route by mask grid; needs --sparse-compute for "
+      "patch-granular batching)");
   const std::string policy_name =
       flags.String("policy", "mask-aware",
                    "route policy: mask-aware|round-robin|first-fit|"
@@ -142,6 +148,17 @@ int main(int argc, char** argv) {
                  precision_name.c_str(), usage.c_str());
     return 2;
   }
+  for (const std::string& text : resolution_args) {
+    int grid_h = 0;
+    int grid_w = 0;
+    if (!trace::ParseResolution(text, &grid_h, &grid_w)) {
+      std::fprintf(stderr, "flashps_served: bad --resolutions entry '%s' "
+                   "(expected HxW, e.g. 96x96)\n%s",
+                   text.c_str(), usage.c_str());
+      return 2;
+    }
+    options.worker.extra_resolutions.emplace_back(grid_h, grid_w);
+  }
 
   std::string cache_label = "local";
   std::shared_ptr<cache::ShardedRemoteStore> ring_store;
@@ -191,6 +208,14 @@ int main(int argc, char** argv) {
               policy_name.c_str(), slo_ms, cache_label.c_str(),
               quant::ToString(precision).c_str(),
               options.worker.sparse_compute ? "sparse (gathered)" : "dense");
+  if (!options.worker.extra_resolutions.empty()) {
+    std::string joined;
+    for (const auto& [grid_h, grid_w] : options.worker.extra_resolutions) {
+      joined += (joined.empty() ? "" : ",") + std::to_string(grid_h) + "x" +
+                std::to_string(grid_w);
+    }
+    std::printf("flashps_served: extra resolutions %s\n", joined.c_str());
+  }
   if (ring_store != nullptr) {
     // One probe per member so a mistyped node shows up at launch, not as
     // a circuit trip minutes in.

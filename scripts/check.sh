@@ -16,6 +16,10 @@
 #
 #   scripts/check.sh                    # everything
 #   scripts/check.sh --fast             # tier-1 only: configure + build + ctest
+#   scripts/check.sh --bench-smoke      # also run every bench binary with
+#                                       # tiny iterations (numbers are not
+#                                       # meaningful; catches bit-rot in the
+#                                       # bench-only code paths)
 #   scripts/check.sh --filter <regex>   # restrict every ctest leg to tests
 #                                       # matching <regex> (replaces the
 #                                       # sanitizer legs' default regexes)
@@ -25,14 +29,17 @@ set -euo pipefail
 
 fast=0
 filter=""
+bench_smoke=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) fast=1; shift ;;
+    --bench-smoke) bench_smoke=1; shift ;;
     --filter)
       [[ $# -ge 2 ]] || { echo "--filter needs a regex" >&2; exit 2; }
       filter="$2"; shift 2 ;;
     --filter=*) filter="${1#--filter=}"; shift ;;
-    *) echo "unknown argument: $1 (supported: --fast, --filter <regex>)" >&2
+    *) echo "unknown argument: $1 (supported: --fast, --bench-smoke," \
+            "--filter <regex>)" >&2
        exit 2 ;;
   esac
 done
@@ -60,6 +67,28 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   --timeout "${test_timeout}" \
   ${filter:+-R "${filter}"}
+
+# Opt-in smoke pass over every bench binary (~1 min): each one runs end to
+# end with tiny iterations, from a scratch directory so the throwaway
+# numbers never overwrite the recorded BENCH_*.json artifacts. Catches
+# bench-only code paths (flag parsing, JSON dumps, the gathered-panel
+# drivers) that ctest never executes.
+if [[ "${bench_smoke}" -eq 1 ]]; then
+  echo "== bench smoke: every bench binary, tiny iterations =="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  for bin in "${repo}"/build/bench/bench_*; do
+    name="$(basename "${bin}")"
+    args=()
+    case "${name}" in
+      bench_hybrid_resolution|bench_gateway_slo) args=(--smoke) ;;
+      bench_kernels) args=(--json-only) ;;
+    esac
+    echo "-- ${name} ${args[*]-}"
+    (cd "${smoke_dir}" && "${bin}" ${args[@]+"${args[@]}"} >/dev/null)
+  done
+  echo "== bench smoke: all bench binaries ran clean =="
+fi
 
 if [[ "${fast}" -eq 1 ]]; then
   echo "== fast mode: tier-1 passed, skipping bench + sanitizers =="

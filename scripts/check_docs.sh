@@ -22,12 +22,14 @@ daemons=(flashps_served flashps_cached flashps_fed)
 docs=("${repo}/README.md" "${repo}/DESIGN.md")
 
 # Flags documented for tools whose help output this script does not parse:
-# check.sh itself, ctest invocations quoted in the README, and the
-# bench_net_loadgen client.
+# check.sh itself, ctest invocations quoted in the README, and the bench
+# binaries (bench_net_loadgen's client options; --smoke on
+# bench_hybrid_resolution / bench_gateway_slo; --bench-smoke on check.sh).
 allowlist=(
   --fast --filter --help --json-only
   --build --test-dir --output-on-failure --timeout
   --host --requests --rps
+  --smoke --bench-smoke
 )
 
 for d in "${daemons[@]}"; do

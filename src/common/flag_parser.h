@@ -9,6 +9,11 @@
 //     --help); anything else is an error,
 //   - parses integers with full-string validation and range checks, so a
 //     malformed value is reported instead of becoming 0,
+//   - distinguishes scalar flags from list flags: a scalar given twice is
+//     an error (the old map silently kept the last occurrence, so
+//     "--port=1 --port=2" ran on 2 with no hint), while StringList()
+//     accumulates every occurrence and splits each on commas, so
+//     "--resolutions=64x64,96x96 --resolutions=128x128" yields all three,
 //   - records which keys the program asked for, so ok() can report every
 //     flag the program does NOT understand — call it after the last
 //     lookup, print errors() + usage, and exit non-zero,
@@ -45,40 +50,74 @@ class FlagParser {
       }
       const size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "";
+        values_[arg.substr(2)].push_back("");
       } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        values_[arg.substr(2, eq - 2)].push_back(arg.substr(eq + 1));
       }
     }
   }
 
-  // True when the flag was given (with or without a value).
+  // True when the flag was given (with or without a value). A switch
+  // repeated twice is a scalar duplicate and therefore an error.
   bool Has(const std::string& key, const std::string& help = "") {
     Note(key, "", "", "", help);
-    return values_.count(key) != 0;
+    return Scalar(key) != nullptr;
   }
 
   std::string String(const std::string& key, std::string fallback,
                      const std::string& help = "") {
     Note(key, "VALUE", fallback.empty() ? "\"\"" : fallback, "", help);
+    const std::string* value = Scalar(key);
+    return value == nullptr ? std::move(fallback) : *value;
+  }
+
+  // Every occurrence of `--key=...`, in command-line order, with each
+  // value split on commas: "--k=a,b --k=c" yields {a, b, c}. Repeats are
+  // legal here — this is the one lookup for which they are. An empty
+  // element ("--k=" or "--k=a,,b") is an error.
+  std::vector<std::string> StringList(const std::string& key,
+                                      const std::string& help = "") {
+    Note(key, "V1,V2,...", "", "", help);
+    std::vector<std::string> out;
     auto it = values_.find(key);
-    return it == values_.end() ? std::move(fallback) : it->second;
+    if (it == values_.end()) {
+      return out;
+    }
+    for (const std::string& occurrence : it->second) {
+      size_t begin = 0;
+      for (;;) {
+        const size_t comma = occurrence.find(',', begin);
+        const std::string element =
+            occurrence.substr(begin, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - begin);
+        if (element.empty()) {
+          errors_.push_back("empty element in --" + key + "='" + occurrence +
+                            "'");
+        } else {
+          out.push_back(element);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        begin = comma + 1;
+      }
+    }
+    return out;
   }
 
   long Long(const std::string& key, long fallback,
             const std::string& help = "") {
     Note(key, "N", std::to_string(fallback), "", help);
-    auto it = values_.find(key);
-    if (it == values_.end()) {
+    const std::string* raw = Scalar(key);
+    if (raw == nullptr) {
       return fallback;
     }
     errno = 0;
     char* end = nullptr;
-    const long value = std::strtol(it->second.c_str(), &end, 10);
-    if (it->second.empty() || end == nullptr || *end != '\0' ||
-        errno == ERANGE) {
-      errors_.push_back("invalid integer for --" + key + ": '" + it->second +
-                        "'");
+    const long value = std::strtol(raw->c_str(), &end, 10);
+    if (raw->empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      errors_.push_back("invalid integer for --" + key + ": '" + *raw + "'");
       return fallback;
     }
     return value;
@@ -176,6 +215,26 @@ class FlagParser {
     std::string help;
   };
 
+  // Resolves `key` as a scalar: null when absent, its single value when
+  // given once. A repeated scalar is a hard error (reported once per key,
+  // however many lookups see it) and resolves to null so the caller's
+  // fallback applies — never a silent last-one-wins.
+  const std::string* Scalar(const std::string& key) {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return nullptr;
+    }
+    if (it->second.size() > 1) {
+      if (duplicates_reported_.insert(key).second) {
+        errors_.push_back("--" + key + " given " +
+                          std::to_string(it->second.size()) +
+                          " times (expected at most once)");
+      }
+      return nullptr;
+    }
+    return &it->second.front();
+  }
+
   // Records one lookup for ok()'s unknown-flag check and HelpText's table.
   // First registration of a key wins on shape; a later non-empty help
   // backfills an empty one (Long() inside LongInRange() passes none).
@@ -194,8 +253,11 @@ class FlagParser {
     specs_.push_back(Spec{key, placeholder, fallback, range, help});
   }
 
-  std::map<std::string, std::string> values_;
+  // Every occurrence of each key, in command-line order. Scalar lookups
+  // demand exactly one; StringList() consumes them all.
+  std::map<std::string, std::vector<std::string>> values_;
   std::set<std::string> seen_;
+  std::set<std::string> duplicates_reported_;
   std::vector<Spec> specs_;
   std::vector<std::string> errors_;
   bool finished_ = false;

@@ -137,6 +137,8 @@ void FedGateway::Stop() {
 net::WireSubmission FedGateway::Submit(net::WireRequest request) {
   auto ticket = std::make_shared<Ticket>();
   ticket->mask_ratio = request.request.mask.ratio();
+  ticket->grid_h = request.request.mask.grid_h;
+  ticket->grid_w = request.request.mask.grid_w;
   ticket->denoise_steps = request.denoise_steps;
   std::future<net::WireResponse> future;
   int node = -1;
@@ -169,13 +171,21 @@ std::vector<NodeSnapshot> FedGateway::SnapshotLocked(int exclude) const {
     snap.capacity = registry_.capacity(index);
     snap.model = registry_.model(index);
     snap.per_request_overhead_s = registry_.per_request_overhead_s(index);
+    // Outstanding ratios are token-scaled against the node's profiled
+    // primary grid, so mixed-resolution backlogs are priced comparably
+    // (TokenScale is 1.0 without a profile or for primary-grid tickets).
+    const auto effective_ratio = [&snap](const TicketPtr& t) {
+      return snap.model == nullptr
+                 ? t->mask_ratio
+                 : t->mask_ratio * snap.model->TokenScale(t->grid_h, t->grid_w);
+    };
     for (const TicketPtr& t : queues_[i]) {
-      snap.outstanding_ratios.push_back(t->mask_ratio);
+      snap.outstanding_ratios.push_back(effective_ratio(t));
       snap.outstanding_steps.push_back(t->denoise_steps);
     }
     for (const auto& [id, t] : inflight_[i]) {
       (void)id;
-      snap.outstanding_ratios.push_back(t->mask_ratio);
+      snap.outstanding_ratios.push_back(effective_ratio(t));
       snap.outstanding_steps.push_back(t->denoise_steps);
     }
   }
@@ -187,6 +197,8 @@ int FedGateway::RouteTicketLocked(const TicketPtr& ticket, int exclude) {
   request.id = ticket->id;
   request.template_id = ticket->request.request.template_id;
   request.mask_ratio = ticket->mask_ratio;
+  request.grid_h = ticket->grid_h;
+  request.grid_w = ticket->grid_w;
   request.denoise_steps = ticket->denoise_steps;
   const int node = router_.Route(request, SnapshotLocked(exclude));
   if (node < 0) {

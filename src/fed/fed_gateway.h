@@ -108,6 +108,10 @@ class FedGateway : public net::WireFrontend {
     uint64_t id = 0;
     net::WireRequest request;  // Kept whole for redispatch.
     double mask_ratio = 0.0;
+    // The request's latent grid, so routing can token-scale its cost
+    // against each node's profiled primary resolution.
+    int grid_h = 0;
+    int grid_w = 0;
     int denoise_steps = 50;
     int attempts = 0;
     int node = -1;

@@ -235,12 +235,48 @@ bool NodeRegistry::LoadProfile(NodeState& state, const std::string& json) {
   // cost model must use the same formulas when pricing requests for it.
   model::TimingConfig timing = options_.timing;
   timing.sparse_compute = node_mask_aware && node_sparse;
-  state.model = std::make_shared<const sched::LatencyModel>(
-      sched::LatencyModel::FromFits(timing,
-                                    node_mask_aware
-                                        ? model::ComputeMode::kMaskAwareY
-                                        : model::ComputeMode::kFull,
-                                    compute_fit, load_fit));
+  sched::LatencyModel model = sched::LatencyModel::FromFits(
+      timing,
+      node_mask_aware ? model::ComputeMode::kMaskAwareY
+                      : model::ComputeMode::kFull,
+      compute_fit, load_fit);
+  // Hybrid-resolution profile: the node's primary grid (flat numbers
+  // inside latency_model) and its per-resolution whole-step fits (a
+  // SEPARATE top-level array — this parser's flat-object scan stops at
+  // the first '}', so the gateway never nests objects in latency_model).
+  double grid_h = 0.0;
+  double grid_w = 0.0;
+  if (FindNumber(json, obj, end, "grid_h", &grid_h) &&
+      FindNumber(json, obj, end, "grid_w", &grid_w)) {
+    model.SetPrimaryGrid(static_cast<int>(grid_h), static_cast<int>(grid_w));
+  }
+  const size_t fits = json.find("\"resolution_fits\":[");
+  if (fits != std::string::npos) {
+    const size_t arr_end = json.find(']', fits);
+    size_t pos = fits;
+    while (arr_end != std::string::npos) {
+      const size_t open = json.find('{', pos);
+      if (open == std::string::npos || open > arr_end) {
+        break;
+      }
+      const size_t close = json.find('}', open);
+      if (close == std::string::npos || close > arr_end) {
+        break;
+      }
+      double res_h = 0.0, res_w = 0.0, slope = 0.0, intercept = 0.0, r2 = 0.0;
+      if (FindNumber(json, open, close, "grid_h", &res_h) &&
+          FindNumber(json, open, close, "grid_w", &res_w) &&
+          FindNumber(json, open, close, "slope", &slope) &&
+          FindNumber(json, open, close, "intercept", &intercept)) {
+        FindNumber(json, open, close, "r2", &r2);
+        model.AddResolutionFit(static_cast<int>(res_h),
+                               static_cast<int>(res_w),
+                               LinearFit{slope, intercept, r2});
+      }
+      pos = close + 1;
+    }
+  }
+  state.model = std::make_shared<const sched::LatencyModel>(std::move(model));
   state.sparse_compute = node_mask_aware && node_sparse;
   state.per_request_overhead_s = overhead;
   state.workers = std::max(1, static_cast<int>(workers));

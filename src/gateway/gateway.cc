@@ -34,8 +34,12 @@ runtime::OnlineRequest MakeOnlineRequest(const trace::Request& request,
                                          Rng& rng) {
   runtime::OnlineRequest out;
   out.template_id = request.template_id;
-  out.mask = trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w,
-                                     request.mask_ratio, rng);
+  // The request's own grid when the trace carries one (hybrid-resolution
+  // mixtures), else the worker's native grid — byte-identical masks for
+  // resolution-less traces.
+  const int grid_h = request.has_resolution() ? request.grid_h : numerics.grid_h;
+  const int grid_w = request.has_resolution() ? request.grid_w : numerics.grid_w;
+  out.mask = trace::GenerateBlobMask(grid_h, grid_w, request.mask_ratio, rng);
   out.prompt_seed = request.id + 1;
   return out;
 }
@@ -152,6 +156,54 @@ void Gateway::ProfileHost() {
                                                     tflops, seconds);
   per_request_overhead_s_ =
       overhead_samples > 0 ? overhead_s / overhead_samples : 0.0;
+
+  // Hybrid-resolution serving: anchor TokenScale on the native grid and
+  // fit one whole-step line per extra resolution from timed steps on that
+  // resolution's model. The fit's x-axis is the masked-token fraction of
+  // the PRIMARY grid, so routing costs across resolutions are directly
+  // comparable. No extra resolutions → no fits; every estimate stays on
+  // the primary regression, exactly as before.
+  latency_model_.SetPrimaryGrid(options_.worker.numerics.grid_h,
+                                options_.worker.numerics.grid_w);
+  const double primary_tokens =
+      static_cast<double>(options_.worker.numerics.tokens());
+  for (const auto& [grid_h, grid_w] : options_.worker.extra_resolutions) {
+    if (grid_h == options_.worker.numerics.grid_h &&
+        grid_w == options_.worker.numerics.grid_w) {
+      continue;
+    }
+    const model::DiffusionModel* rm =
+        workers_.front()->server().ModelForGrid(grid_h, grid_w);
+    if (rm == nullptr) {
+      continue;  // Duplicate entry already profiled.
+    }
+    // Fresh store per resolution: the profiling records are keyed by bare
+    // template id, and records of different shapes must not collide.
+    cache::ActivationStore res_store;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const double target : {0.1, 0.3, 0.6}) {
+      auto mask = trace::GenerateBlobMask(grid_h, grid_w, target, rng);
+      const Matrix tmpl = rm->EncodeTemplate(0);
+      Matrix latent = rm->InitEditLatent(tmpl, mask, /*prompt_seed=*/1);
+      model::DiffusionModel::RunOptions opts;
+      opts.mode = mode;
+      if (options_.worker.mask_aware) {
+        opts.cache = &res_store.GetOrRegister(
+            *rm, 0, /*record_kv=*/options_.worker.sparse_compute);
+        opts.mask = &mask;
+        opts.sparse_compute = options_.worker.sparse_compute;
+      }
+      latent = rm->RunStepRange(std::move(latent), opts, 0, warm);
+      const auto t0 = std::chrono::steady_clock::now();
+      latent = rm->RunStepRange(std::move(latent), opts, warm, warm + timed);
+      const auto t1 = std::chrono::steady_clock::now();
+      xs.push_back(mask.ratio() * static_cast<double>(grid_h * grid_w) /
+                   primary_tokens);
+      ys.push_back(std::chrono::duration<double>(t1 - t0).count() / timed);
+    }
+    latency_model_.AddResolutionFit(grid_h, grid_w, FitLinear(xs, ys));
+  }
 }
 
 void Gateway::HintPrefetch(const runtime::OnlineRequest& request) {
@@ -159,11 +211,22 @@ void Gateway::HintPrefetch(const runtime::OnlineRequest& request) {
       !options_.worker.mask_aware) {
     return;
   }
-  // All workers run identical seeded models, so worker 0's model supplies
+  // All workers run identical seeded models, so worker 0's models supply
   // the record geometry no matter where routing lands the request. The
   // source only reads the model during the call (hints are fetch-only).
+  // Hint with the request's OWN resolution model and the salted key the
+  // worker will Acquire() under; an unsupported grid skips the hint (the
+  // worker rejects the request anyway).
+  const runtime::OnlineServer& server = workers_.front()->server();
+  const model::DiffusionModel* m =
+      server.ModelForGrid(request.mask.grid_h, request.mask.grid_w);
+  const int effective_id = server.EffectiveTemplateId(
+      request.template_id, request.mask.grid_h, request.mask.grid_w);
+  if (m == nullptr || effective_id < 0) {
+    return;
+  }
   options_.worker.activation_source->Prefetch(
-      workers_.front()->server().model(), request.template_id,
+      *m, effective_id,
       /*record_kv=*/options_.worker.mask_aware && options_.worker.sparse_compute);
   metrics_.RecordPrefetchHint();
 }
@@ -199,8 +262,28 @@ std::string Gateway::MetricsJson() const {
                           ? "true" : "false") +
                      ",\"workers\":" + std::to_string(workers_.size()) +
                      ",\"max_batch\":" + std::to_string(options_.worker.max_batch) +
+                     ",\"grid_h\":" + std::to_string(latency_model_.primary_grid_h()) +
+                     ",\"grid_w\":" + std::to_string(latency_model_.primary_grid_w()) +
                      "}";
     json.insert(json.size() - 1, ",\"latency_model\":" + lm);
+    // Per-resolution whole-step fits, as a SEPARATE top-level array: the
+    // registry's latency_model parser scans a flat object (it stops at the
+    // first '}'), so nested objects must not live inside it.
+    if (!latency_model_.resolution_fits().empty()) {
+      std::string fits = "[";
+      for (const auto& rf : latency_model_.resolution_fits()) {
+        if (fits.size() > 1) {
+          fits += ",";
+        }
+        fits += "{\"grid_h\":" + std::to_string(rf.grid_h) +
+                ",\"grid_w\":" + std::to_string(rf.grid_w) +
+                ",\"slope\":" + num(rf.fit.slope) +
+                ",\"intercept\":" + num(rf.fit.intercept) +
+                ",\"r2\":" + num(rf.fit.r2) + "}";
+      }
+      fits += "]";
+      json.insert(json.size() - 1, ",\"resolution_fits\":" + fits);
+    }
   }
   return json;
 }
@@ -236,10 +319,14 @@ SubmitResult Gateway::Submit(runtime::OnlineRequest request) {
     }
   }
 
-  // The request as the schedulers see it.
+  // The request as the schedulers see it, carrying its own grid so the
+  // resolution-aware cost terms can price it (TokenScale is 1.0 and the
+  // per-resolution fits are empty outside hybrid setups).
   trace::Request probe;
   probe.mask_ratio = request.mask.ratio();
   probe.denoise_steps = options_.worker.numerics.num_steps;
+  probe.grid_h = request.mask.grid_h;
+  probe.grid_w = request.mask.grid_w;
 
   const std::vector<sched::WorkerStatus> statuses = WorkerStatuses();
 

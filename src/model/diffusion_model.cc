@@ -323,6 +323,65 @@ Matrix DiffusionModel::RunStepRange(Matrix latent, const RunOptions& options,
   return latent;
 }
 
+void DiffusionModel::RunStepBatchGathered(
+    const std::vector<StepBatchMember>& members) {
+  if (members.empty()) {
+    return;
+  }
+  const DiffusionModel& canon = *members.front().model;
+  for (const StepBatchMember& m : members) {
+    assert(m.model != nullptr && m.latent != nullptr && m.mask != nullptr);
+    assert(m.cache != nullptr && m.cache->has_kv());
+    assert(m.step >= 0 && m.step < m.model->config_.num_steps);
+    // Shared weight family: the batch runs every member through ONE set of
+    // block weights, which is only sound when all members' models drew the
+    // same blocks.
+    assert(m.model->config_.weight_seed == canon.config_.weight_seed);
+    assert(m.model->config_.hidden == canon.config_.hidden);
+    assert(m.model->config_.num_blocks == canon.config_.num_blocks);
+    (void)canon;
+  }
+
+  // Per-member h0 = latent + temb(step), each under its member's own model
+  // (temb depends on the member's step count and schedule).
+  std::vector<Matrix> h0;
+  std::vector<Matrix> h;
+  h0.reserve(members.size());
+  for (const StepBatchMember& m : members) {
+    Matrix x = *m.latent;
+    AddRowBroadcast(x, m.model->TimestepEmbedding(m.step));
+    h0.push_back(std::move(x));
+  }
+  h = h0;
+
+  // Block stack: one cross-request gathered panel per block. Ping-pong
+  // between h and h_next so an item's input never aliases its output.
+  std::vector<Matrix> h_next(members.size());
+  for (int b = 0; b < canon.config_.num_blocks; ++b) {
+    std::vector<GatheredBatchItem> items;
+    items.reserve(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      const StepBatchMember& m = members[i];
+      const StepActivations& acts = m.cache->steps[static_cast<size_t>(m.step)];
+      items.push_back({&h[i], &m.model->attn_bias_, m.mask, &acts.y[b],
+                       &acts.k[b], &acts.v[b], &h_next[i]});
+    }
+    BlockForwardMaskedGatheredBatch(canon.blocks_[static_cast<size_t>(b)],
+                                    items);
+    h.swap(h_next);
+  }
+
+  // latent += scale * (h - h0), per member, under the member's own scale.
+  for (size_t i = 0; i < members.size(); ++i) {
+    Matrix eps = std::move(h[i]);
+    for (size_t j = 0; j < eps.size(); ++j) {
+      eps.data()[j] -= h0[i].data()[j];
+    }
+    AxpyInPlace(*members[i].latent, members[i].model->config_.residual_scale,
+                eps);
+  }
+}
+
 ActivationRecord DiffusionModel::Register(int template_id,
                                           bool record_kv) const {
   ActivationRecord record;

@@ -46,9 +46,12 @@ struct NumericsConfig {
   static NumericsConfig ForModelKind(ModelKind kind);
 };
 
-// Per-template activation record: y[step][block] is the full (tokens x
-// hidden) Y output. K/V are recorded only when requested (the Fig. 7
-// alternative needs them and doubles the record size).
+// Per-template activation record: y[step][block] is the Y output over the
+// recording model's OWN token count — (grid_h*grid_w x hidden) of the
+// NumericsConfig that ran Register(), so records from different-resolution
+// models differ in row count and are not interchangeable. K/V are recorded
+// only when requested (the Fig. 7 alternative needs them and doubles the
+// record size).
 struct ActivationRecord {
   std::vector<StepActivations> steps;
 
@@ -120,6 +123,31 @@ class DiffusionModel {
   // cross-step state or the sparse flow).
   Matrix RunStepRange(Matrix latent, const RunOptions& options,
                       int begin_step, int end_step) const;
+
+  // One request's slice of a cross-request patch-batched step. Members may
+  // come from models of DIFFERENT resolutions as long as the models share a
+  // weight family (equal weight_seed, hidden, num_blocks — their block
+  // weights are then bitwise-identical, because the constructor draws them
+  // first from Rng(weight_seed) before any grid-dependent state).
+  struct StepBatchMember {
+    const DiffusionModel* model = nullptr;
+    Matrix* latent = nullptr;  // In/out; advanced by one step.
+    const trace::Mask* mask = nullptr;
+    // Must carry K/V (Register(record_kv=true)) from `model`'s resolution.
+    const ActivationRecord* cache = nullptr;
+    int step = 0;
+  };
+
+  // Patch-granular hybrid-resolution step: advances every member's latent
+  // by its own step, running all members' masked tokens through ONE
+  // gathered panel per block (BlockForwardMaskedGatheredBatch) so the
+  // token-wise GEMMs batch across requests and resolutions. Each member's
+  // latent update is bitwise-identical to a solo
+  // RunStepRange(mode=kMaskAwareY, sparse_compute=true, full-cache plan)
+  // call on that member, for any batch composition — the property the
+  // degenerate-mixture gate asserts. Requires the replenish invariant for
+  // every member (all-cache plans only), as solo gathered serving does.
+  static void RunStepBatchGathered(const std::vector<StepBatchMember>& members);
 
   // Convenience: end-to-end edit (init + denoise + decode) for a template.
   Matrix EditImage(int template_id, const trace::Mask& mask,

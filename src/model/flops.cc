@@ -12,9 +12,15 @@ double FlopsFullBlock(double tokens, double hidden, double layers) {
   return layers * (proj + attn + ff);
 }
 
+// The cached-flow costs take mask_ratio > 1.0: hybrid-resolution engines
+// charge a request at a grid larger than `tokens` its EFFECTIVE ratio
+// (masked tokens over the profiled image), so the masked-token terms
+// extrapolate linearly past 1. The per-image terms (Y-cache kv_all) stay at
+// the profiled size — an approximation; wall-clock serving prices
+// resolutions with per-grid profiled fits instead (sched::LatencyModel).
 double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
                         double layers) {
-  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  assert(mask_ratio >= 0.0);
   const double kv_all = 4.0 * tokens * hidden * hidden;
   const double q_and_out = 4.0 * mask_ratio * tokens * hidden * hidden;
   const double attn = 4.0 * mask_ratio * tokens * tokens * hidden;
@@ -24,7 +30,7 @@ double FlopsYCacheBlock(double tokens, double hidden, double mask_ratio,
 
 double FlopsKvCacheBlock(double tokens, double hidden, double mask_ratio,
                          double layers) {
-  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  assert(mask_ratio >= 0.0);
   const double proj = 8.0 * mask_ratio * tokens * hidden * hidden;
   const double attn = 4.0 * mask_ratio * tokens * tokens * hidden;
   const double ff = 16.0 * mask_ratio * tokens * hidden * hidden;
@@ -40,7 +46,7 @@ double FlopsYCacheGatheredBlock(double tokens, double hidden,
 
 double FlopsSparseBlock(double tokens, double hidden, double mask_ratio,
                         double layers) {
-  assert(mask_ratio >= 0.0 && mask_ratio <= 1.0);
+  assert(mask_ratio >= 0.0);
   const double proj = 8.0 * mask_ratio * tokens * hidden * hidden;
   const double attn = 4.0 * mask_ratio * mask_ratio * tokens * tokens * hidden;
   const double ff = 16.0 * mask_ratio * tokens * hidden * hidden;

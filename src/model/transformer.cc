@@ -207,6 +207,87 @@ Matrix BlockForwardMaskedGathered(const BlockWeights& w, const Matrix& x,
   return y;
 }
 
+void BlockForwardMaskedGatheredBatch(
+    const BlockWeights& w, const std::vector<GatheredBatchItem>& items) {
+  const int hidden = w.wq.rows();
+  const float inv_sqrt_h = 1.0f / std::sqrt(static_cast<float>(hidden));
+
+  // Panel assembly: every item's masked rows, item-major in ascending token
+  // order — each item's segment is laid out exactly as its solo gathered
+  // panel would be.
+  std::vector<RowRef> panel_rows;
+  std::vector<size_t> offsets(items.size() + 1, 0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const GatheredBatchItem& item = items[i];
+    assert(item.x != nullptr && item.x->cols() == hidden);
+    assert(item.cached_y != nullptr && item.cached_k != nullptr &&
+           item.cached_v != nullptr);
+    assert(item.y != nullptr);
+    for (const int t : item.mask->masked_tokens) {
+      panel_rows.push_back({item.x, t});
+    }
+    offsets[i + 1] = panel_rows.size();
+  }
+  Matrix x_panel = GatherRowsMulti(panel_rows, hidden);
+  Matrix xn_panel = LayerNorm(x_panel, w.ln1_gamma, w.ln1_beta);
+
+  // Batched token-wise projections: one GEMM each across all requests.
+  Matrix q_panel = MatMul(xn_panel, w.wq);
+  Matrix k_panel = MatMul(xn_panel, w.wk);
+  Matrix v_panel = MatMul(xn_panel, w.wv);
+
+  // Per-item attention: replenish K/V from the item's cache, scatter in the
+  // panel's fresh masked rows, score against the item's own bias.
+  Matrix ctx_panel(x_panel.rows(), hidden);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const GatheredBatchItem& item = items[i];
+    const int m = static_cast<int>(offsets[i + 1] - offsets[i]);
+    if (m == 0) {
+      *item.y = *item.cached_y;
+      continue;
+    }
+    Matrix q(m, hidden);
+    Matrix k = *item.cached_k;
+    Matrix v = *item.cached_v;
+    for (int r = 0; r < m; ++r) {
+      const int pr = static_cast<int>(offsets[i]) + r;
+      const int token = item.mask->masked_tokens[static_cast<size_t>(r)];
+      std::copy(q_panel.row(pr), q_panel.row(pr) + hidden, q.row(r));
+      std::copy(k_panel.row(pr), k_panel.row(pr) + hidden, k.row(token));
+      std::copy(v_panel.row(pr), v_panel.row(pr) + hidden, v.row(token));
+    }
+    Matrix scores = MatMulTransposed(q, k);
+    ScaleInPlace(scores, inv_sqrt_h);
+    AddBiasRows(scores, *item.attn_bias, &item.mask->masked_tokens);
+    SoftmaxRows(scores);
+    Matrix ctx = MatMul(scores, v);
+    for (int r = 0; r < m; ++r) {
+      const int pr = static_cast<int>(offsets[i]) + r;
+      std::copy(ctx.row(r), ctx.row(r) + hidden, ctx_panel.row(pr));
+    }
+  }
+
+  // Batched tail: the wo projection and the whole feed-forward run once on
+  // the concatenated context rows.
+  Matrix attn_panel = MatMul(ctx_panel, w.wo);
+  Matrix y_panel = BlockTail(w, x_panel, attn_panel);
+
+  // Scatter back: each item's output is its cached Y with the fresh masked
+  // rows written over it.
+  std::vector<RowRefMut> out_rows;
+  out_rows.reserve(panel_rows.size());
+  for (const GatheredBatchItem& item : items) {
+    if (item.mask->masked_tokens.empty()) {
+      continue;  // Already handled above; y_panel holds no rows for it.
+    }
+    *item.y = *item.cached_y;
+    for (const int t : item.mask->masked_tokens) {
+      out_rows.push_back({item.y, t});
+    }
+  }
+  ScatterRowsMulti(y_panel, out_rows);
+}
+
 Matrix BlockForwardSparse(const BlockWeights& w, const Matrix& x_masked,
                           const Matrix& masked_bias) {
   const float inv_sqrt_h = 1.0f / std::sqrt(static_cast<float>(x_masked.cols()));

@@ -103,6 +103,42 @@ Matrix BlockForwardMaskedGathered(const BlockWeights& w, const Matrix& x,
                                   const Matrix& cached_k,
                                   const Matrix& cached_v);
 
+// One request's slice of a cross-request patch panel (the patch-granular
+// hybrid-resolution batching unit). Requests may differ in grid size —
+// `x`, `attn_bias` and the cached activations are per-request shapes —
+// but must share the block's hidden width.
+struct GatheredBatchItem {
+  const Matrix* x = nullptr;          // tokens_i x hidden (latent + temb).
+  const Matrix* attn_bias = nullptr;  // tokens_i x tokens_i.
+  const trace::Mask* mask = nullptr;  // Ascending masked token list.
+  const Matrix* cached_y = nullptr;   // Registration activations, this block.
+  const Matrix* cached_k = nullptr;
+  const Matrix* cached_v = nullptr;
+  Matrix* y = nullptr;                // Out: tokens_i x hidden.
+};
+
+// Cross-request batched form of BlockForwardMaskedGathered: the masked rows
+// of EVERY item are gathered into ONE dense panel (per-row source offsets
+// across requests, via GatherRowsMulti), all token-wise GEMMs — LayerNorm,
+// Q/K/V projections, the wo projection, the feed-forward — run once on that
+// panel, and results scatter back per item. Attention stays per-item (its
+// scores are (m_i x L_i) against the item's own token length and bias), so
+// only the token-wise work batches — exactly the PatchedServe framing.
+//
+// Each item's written `y` is bitwise-identical to what a solo
+// BlockForwardMaskedGathered call on that item would produce, at ANY
+// composition of the batch: the blocked GEMM computes every output row from
+// its own A row alone in a fixed k-blocked accumulation order (see
+// MatMulRows in src/tensor/matrix.h), and LayerNorm/GeLU/Add are row- or
+// element-wise — so which other requests' rows share the panel never
+// changes a bit. This is the property the degenerate-mixture gate in
+// bench_hybrid_resolution asserts end to end.
+//
+// Items may alias nothing with each other; every item needs a K/V-bearing
+// cache record. Empty-mask items are legal (their y is the cached_y copy).
+void BlockForwardMaskedGatheredBatch(const BlockWeights& w,
+                                     const std::vector<GatheredBatchItem>& items);
+
 // FISEdit-style sparse flow: input holds masked rows only; attention spans
 // only those rows (`masked_bias` is the gathered bias submatrix). No global
 // context is available — this is what distorts its outputs.

@@ -245,7 +245,7 @@ WireError TryParseFrame(const uint8_t* data, size_t size, ParsedFrame* out,
   header.type = r.U16();
   header.seq = r.U64();
   header.payload_len = r.U32();
-  if (header.version != kWireVersion) {
+  if (header.version < kMinWireVersion || header.version > kWireVersion) {
     return WireError::kBadVersion;
   }
   if (!ValidFrameType(header.type)) {
@@ -283,7 +283,9 @@ bool DecodeSubmit(const ParsedFrame& frame, WireRequest* out,
     if (error != nullptr) *error = "denoise step count out of range";
     return false;
   }
-  if (!runtime::ReadOnlineRequest(r, &request.request, error)) {
+  if (!runtime::ReadOnlineRequest(
+          r, &request.request, error,
+          /*with_resolution=*/frame.header.version >= kResolutionWireVersion)) {
     return false;
   }
   if (r.remaining() != 0) {

@@ -40,7 +40,15 @@ namespace flashps::net {
 inline constexpr uint32_t kWireMagic = 0x31535046u;  // "FPS1" on the wire.
 // v2: cache matrices travel encoded (self-describing dtype tag + per-row
 // scale metadata, src/tensor/quant.h) instead of raw fp32.
-inline constexpr uint16_t kWireVersion = 2;
+// v3: submit payloads append the request's resolution (res_h/res_w i32,
+// validated equal to the mask grid) for hybrid-resolution serving.
+inline constexpr uint16_t kWireVersion = 3;
+// Oldest frame version this release still decodes: v2 submits carry no
+// resolution fields and decode with resolution = mask grid. Frames older
+// than this (or newer than kWireVersion) are kBadVersion.
+inline constexpr uint16_t kMinWireVersion = 2;
+// First version whose submit payload carries the resolution fields.
+inline constexpr uint16_t kResolutionWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 20;
 // Hard cap on one frame's payload: bounds decoder allocations and makes
 // oversized/garbage length fields detectable before any buffering happens.
@@ -108,7 +116,8 @@ enum class WireError : uint8_t {
   // protocol (or the stream desynchronized). Checked the moment four bytes
   // exist, before waiting for a full header.
   kBadMagic = 2,
-  // Header version field != kWireVersion: an incompatible peer release.
+  // Header version field outside [kMinWireVersion, kWireVersion]: an
+  // incompatible peer release.
   kBadVersion = 3,
   // Header type field names no FrameType, or a structurally valid type
   // arrived in the wrong direction (e.g. a kSubmitResult sent *to* a

@@ -9,6 +9,20 @@ namespace flashps::runtime {
 
 OnlineServer::OnlineServer(Options options)
     : options_(std::move(options)), model_(options_.numerics) {
+  // One model per extra resolution; skipping the native grid (and
+  // duplicates) keeps the resolution index stable for cache-id salting.
+  for (const auto& [grid_h, grid_w] : options_.extra_resolutions) {
+    if (grid_h <= 0 || grid_w <= 0) {
+      throw std::runtime_error("OnlineServer: non-positive resolution");
+    }
+    if (ModelForGrid(grid_h, grid_w) != nullptr) {
+      continue;
+    }
+    model::NumericsConfig numerics = options_.numerics;
+    numerics.grid_h = grid_h;
+    numerics.grid_w = grid_w;
+    extra_models_.push_back(std::make_unique<model::DiffusionModel>(numerics));
+  }
   source_ = options_.activation_source != nullptr
                 ? options_.activation_source
                 : std::make_shared<cache::ActivationStore>();
@@ -20,11 +34,42 @@ OnlineServer::OnlineServer(Options options)
 
 OnlineServer::~OnlineServer() { Stop(); }
 
+OnlineServer::ResolutionRoute OnlineServer::RouteForGrid(int grid_h,
+                                                         int grid_w) const {
+  if (grid_h == options_.numerics.grid_h && grid_w == options_.numerics.grid_w) {
+    return {&model_, 0};
+  }
+  for (size_t i = 0; i < extra_models_.size(); ++i) {
+    const model::NumericsConfig& numerics = extra_models_[i]->config();
+    if (grid_h == numerics.grid_h && grid_w == numerics.grid_w) {
+      return {extra_models_[i].get(), static_cast<int>(i) + 1};
+    }
+  }
+  return {nullptr, 0};
+}
+
+const model::DiffusionModel* OnlineServer::ModelForGrid(int grid_h,
+                                                        int grid_w) const {
+  return RouteForGrid(grid_h, grid_w).model;
+}
+
+int OnlineServer::EffectiveTemplateId(int template_id, int grid_h,
+                                      int grid_w) const {
+  const ResolutionRoute route = RouteForGrid(grid_h, grid_w);
+  if (route.model == nullptr) {
+    return -1;
+  }
+  return template_id + kResolutionCacheStride * route.res_index;
+}
+
 void OnlineServer::Preprocess(InFlight& item) const {
   // The CPU-bound "pre-processing": decode the user's inputs into a latent.
-  const Matrix tmpl = model_.EncodeTemplate(item.request.template_id);
-  item.latent =
-      model_.InitEditLatent(tmpl, item.request.mask, item.request.prompt_seed);
+  // Both the template encode and the activation record (Acquire in the
+  // denoise loop) use the salted effective id, so they stay consistent
+  // per resolution.
+  const Matrix tmpl = item.model->EncodeTemplate(item.effective_template_id);
+  item.latent = item.model->InitEditLatent(tmpl, item.request.mask,
+                                           item.request.prompt_seed);
 }
 
 void OnlineServer::Postprocess(InFlightPtr item) {
@@ -32,7 +77,7 @@ void OnlineServer::Postprocess(InFlightPtr item) {
   // fulfil the caller's future.
   OnlineResponse response;
   response.id = item->id;
-  response.image = model_.DecodeLatent(item->latent);
+  response.image = item->model->DecodeLatent(item->latent);
   response.submitted = item->submitted;
   response.admitted = item->admitted;
   response.denoise_done = item->denoise_done;
@@ -107,12 +152,34 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
   if (stopping_.load()) {
     throw std::runtime_error("OnlineServer: submit after Stop()");
   }
+  const ResolutionRoute route =
+      RouteForGrid(request.mask.grid_h, request.mask.grid_w);
+  if (route.model == nullptr) {
+    // Unsupported resolution: fail the future without touching the
+    // accepted/completed accounting (neither is incremented, so Stop()
+    // stays balanced).
+    std::promise<OnlineResponse> failed;
+    failed.set_exception(std::make_exception_ptr(std::runtime_error(
+        "OnlineServer: unsupported resolution " +
+        std::to_string(request.mask.grid_h) + "x" +
+        std::to_string(request.mask.grid_w))));
+    return failed.get_future();
+  }
   auto item = std::make_unique<InFlight>();
   item->id = next_id_.fetch_add(1);
   item->request = std::move(request);
+  item->model = route.model;
+  item->effective_template_id =
+      item->request.template_id + kResolutionCacheStride * route.res_index;
   item->submitted = std::chrono::steady_clock::now();
   std::future<OnlineResponse> future = item->promise.get_future();
-  StatusMarkWaiting(item->id, item->request.mask.ratio());
+  // The status tables publish the EFFECTIVE ratio — masked tokens over the
+  // native grid's token count — so routers comparing load across a
+  // hybrid-resolution fleet see cost-comparable numbers. For native-grid
+  // requests this is exactly mask.ratio().
+  StatusMarkWaiting(item->id,
+                    static_cast<double>(item->request.mask.masked_tokens.size()) /
+                        static_cast<double>(options_.numerics.tokens()));
   accepted_.fetch_add(1);
   if (options_.mask_aware) {
     // Queue-ahead: this request waits behind pre-processing and the
@@ -120,7 +187,7 @@ std::future<OnlineResponse> OnlineServer::Submit(OnlineRequest request) {
     // slow (remote) acquisition now — the wire fetch overlaps the
     // predecessors' denoise exactly like Algorithm 1 overlaps the next
     // step's cache load with the current step's compute.
-    source_->Prefetch(model_, item->request.template_id,
+    source_->Prefetch(*item->model, item->effective_template_id,
                       /*record_kv=*/options_.sparse_compute);
   }
 
@@ -162,6 +229,8 @@ void OnlineServer::DenoiseLoop() {
   run_options.mode = options_.mask_aware ? model::ComputeMode::kMaskAwareY
                                          : model::ComputeMode::kFull;
   run_options.sparse_compute = options_.mask_aware && options_.sparse_compute;
+  const bool patch_batching = options_.mask_aware && options_.sparse_compute &&
+                              options_.patch_batching;
 
   for (;;) {
     // Admit up to capacity. Block only when the batch is idle.
@@ -183,7 +252,8 @@ void OnlineServer::DenoiseLoop() {
         // sparse_compute needs K/V in the record; the step loop degrades
         // to the dense path if a (remote) source hands back a Y-only one.
         inflight->cache =
-            source_->Acquire(model_, inflight->request.template_id,
+            source_->Acquire(*inflight->model,
+                             inflight->effective_template_id,
                              /*record_kv=*/options_.sparse_compute);
       }
       inflight->admitted = std::chrono::steady_clock::now();
@@ -198,15 +268,39 @@ void OnlineServer::DenoiseLoop() {
     }
 
     // One denoising step for every batch member (step-level interleaving).
+    // Patch-granular path: members whose pinned record carries K/V advance
+    // through ONE cross-request gathered panel per block — the token-wise
+    // GEMMs of the whole (possibly mixed-resolution) batch run as single
+    // kernels over everyone's masked tokens. The rest (full-compute mode,
+    // Y-only records from a degraded remote fetch, patch batching off)
+    // step solo; both paths produce bitwise-identical latents (see
+    // DiffusionModel::RunStepBatchGathered).
+    std::vector<model::DiffusionModel::StepBatchMember> panel;
+    std::vector<InFlight*> solo;
     for (auto& member : batch) {
+      if (patch_batching && member->cache != nullptr &&
+          member->cache->has_kv()) {
+        panel.push_back({member->model, &member->latent,
+                         &member->request.mask, member->cache.get(),
+                         member->steps_done});
+      } else {
+        solo.push_back(member.get());
+      }
+    }
+    if (!panel.empty()) {
+      model::DiffusionModel::RunStepBatchGathered(panel);
+    }
+    for (InFlight* member : solo) {
       model::DiffusionModel::RunOptions opts = run_options;
       if (options_.mask_aware) {
         opts.cache = member->cache.get();
         opts.mask = &member->request.mask;
       }
-      member->latent = model_.RunStepRange(std::move(member->latent), opts,
-                                           member->steps_done,
-                                           member->steps_done + 1);
+      member->latent = member->model->RunStepRange(std::move(member->latent),
+                                                   opts, member->steps_done,
+                                                   member->steps_done + 1);
+    }
+    for (auto& member : batch) {
       ++member->steps_done;
       StatusUpdateSteps(member->id, member->steps_done);
     }

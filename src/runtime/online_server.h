@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/cache/activation_store.h"
@@ -117,6 +118,29 @@ class OnlineServer {
     // gathered path can replenish projections from the cache. Output is
     // bitwise-identical to the dense path.
     bool sparse_compute = false;
+    // Grids served in addition to the native `numerics` grid. Each extra
+    // resolution gets its own model that shares the native model's weight
+    // family (same numerics except the grid), so its block weights are
+    // bitwise-identical and cross-resolution panels batch safely (see
+    // model::DiffusionModel::StepBatchMember). Requests route by their
+    // mask's grid; a grid matching no configured resolution fails the
+    // submit future immediately. Empty keeps the seed's single-resolution
+    // server, byte for byte. Non-native resolutions key the activation
+    // source with a salted template id (template_id +
+    // kResolutionCacheStride * resolution_index) so records of different
+    // shapes never collide in a shared cache tier; template ids should
+    // stay below the stride.
+    std::vector<std::pair<int, int>> extra_resolutions;
+    // Patch-granular step batching (the hybrid-resolution serving unit):
+    // when mask-aware sparse compute is on, batch members whose pinned
+    // records carry K/V advance through ONE cross-request gathered panel
+    // per block (DiffusionModel::RunStepBatchGathered) instead of solo
+    // steps — bitwise-identical latents, with the token-wise GEMM cost of
+    // the whole batch proportional to its total masked tokens rather than
+    // paid per member. false = the serialize-per-resolution baseline
+    // (every member steps alone). Ignored unless mask_aware and
+    // sparse_compute are both set.
+    bool patch_batching = true;
     // Intra-op kernel parallelism for the denoise thread: GEMM row panels,
     // LayerNorm/softmax rows and GeLU are fanned out across this many
     // threads (shared ParallelFor pool; 1 = the seed's serial kernels).
@@ -151,6 +175,19 @@ class OnlineServer {
   uint64_t completed_count() const { return completed_.load(); }
   const Options& options() const { return options_; }
   const model::DiffusionModel& model() const { return model_; }
+
+  // Salted-template-id stride for non-native resolutions (see
+  // Options::extra_resolutions).
+  static constexpr int kResolutionCacheStride = 1 << 20;
+
+  // The model serving this grid, or null if the server accepts no such
+  // resolution. The native numerics grid always resolves (to model()).
+  const model::DiffusionModel* ModelForGrid(int grid_h, int grid_w) const;
+
+  // The salted template id keying `grid`'s activation records (bare id for
+  // the native grid), or -1 for an unsupported grid. Lets gateways hint
+  // prefetches with the same key admission will Acquire() under.
+  int EffectiveTemplateId(int template_id, int grid_h, int grid_w) const;
   // The resolved source (the configured one, or the private local store).
   const std::shared_ptr<cache::ActivationSource>& activation_source() const {
     return source_;
@@ -160,6 +197,10 @@ class OnlineServer {
   struct InFlight {
     uint64_t id = 0;
     OnlineRequest request;
+    // Resolution routing, fixed at submit: the model serving this
+    // request's grid and the (salted) template id keying its activations.
+    const model::DiffusionModel* model = nullptr;
+    int effective_template_id = 0;
     Matrix latent;
     // Pinned activation record for the request's lifetime: an evicting
     // source (remote store LRU front) can drop its reference without
@@ -172,6 +213,14 @@ class OnlineServer {
     std::chrono::steady_clock::time_point denoise_done;
   };
   using InFlightPtr = std::unique_ptr<InFlight>;
+
+  // Resolution route: the serving model plus its index (0 = native, used
+  // to salt the cache template id). `model` null means unsupported grid.
+  struct ResolutionRoute {
+    const model::DiffusionModel* model = nullptr;
+    int res_index = 0;
+  };
+  ResolutionRoute RouteForGrid(int grid_h, int grid_w) const;
 
   void DenoiseLoop();
   // Prepares the initial latent (the CPU-bound "pre-processing").
@@ -189,6 +238,10 @@ class OnlineServer {
 
   Options options_;
   model::DiffusionModel model_;
+  // Models for Options::extra_resolutions (resolution index i+1); they
+  // share model_'s weight family, so cross-resolution step panels are
+  // bitwise-safe.
+  std::vector<std::unique_ptr<model::DiffusionModel>> extra_models_;
   // The resolved activation source: options_.activation_source when set
   // (possibly shared across a fleet or remote), else a private local
   // store. Acquire() happens only on the denoise thread, but the source

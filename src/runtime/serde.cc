@@ -26,10 +26,15 @@ void AppendOnlineRequest(const OnlineRequest& request,
   for (const int token : request.mask.masked_tokens) {
     w.U32(static_cast<uint32_t>(token));
   }
+  // v3 resolution fields. The request's resolution IS its mask grid, but
+  // the pair still travels explicitly so the decoder can reject a frame
+  // whose two notions of shape disagree.
+  w.I32(request.mask.grid_h);
+  w.I32(request.mask.grid_w);
 }
 
 bool ReadOnlineRequest(ByteReader& reader, OnlineRequest* out,
-                       std::string* error) {
+                       std::string* error, bool with_resolution) {
   OnlineRequest request;
   request.template_id = reader.I32();
   request.prompt_seed = reader.U64();
@@ -70,6 +75,17 @@ bool ReadOnlineRequest(ByteReader& reader, OnlineRequest* out,
     }
     prev = token;
     request.mask.masked_tokens.push_back(static_cast<int>(token));
+  }
+  if (with_resolution) {
+    const int32_t res_h = reader.I32();
+    const int32_t res_w = reader.I32();
+    if (!reader.ok()) {
+      return FailWith(reader, error, "resolution fields truncated");
+    }
+    if (res_h != request.mask.grid_h || res_w != request.mask.grid_w) {
+      return FailWith(reader, error,
+                      "resolution fields disagree with mask grid");
+    }
   }
   // Rebuild the unmasked complement so the mask is consistent by
   // construction.

@@ -9,6 +9,13 @@
 //   grid_w        i32   latent token grid width,  (0, kMaxGridSide]
 //   n_masked      u32   <= grid_h * grid_w
 //   masked[i]     u32   token ids, strictly increasing, < grid_h * grid_w
+//   res_h         i32   request resolution; must equal grid_h (wire v3+)
+//   res_w         i32   request resolution; must equal grid_w (wire v3+)
+//
+// The trailing resolution pair exists so hybrid-resolution servers can
+// route by an explicit, validated field rather than inferring intent from
+// the mask shape; v2 payloads omit it and decode with resolution = mask
+// grid (see net::kResolutionWireVersion).
 //
 // Only the masked token list travels; the decoder rebuilds the unmasked
 // complement, so a request can never arrive with an inconsistent mask.
@@ -41,8 +48,11 @@ void AppendOnlineRequest(const OnlineRequest& request,
 // Reads one request payload from `reader`. Returns false (and fills
 // `error` when non-null) on short input or any validation failure; the
 // reader is left failed so callers composing larger decodes see it too.
+// `with_resolution` selects the payload layout: true reads and validates
+// the trailing res_h/res_w pair (wire v3+), false stops after the masked
+// token list (legacy v2 frames).
 bool ReadOnlineRequest(ByteReader& reader, OnlineRequest* out,
-                       std::string* error);
+                       std::string* error, bool with_resolution = true);
 
 }  // namespace flashps::runtime
 

@@ -90,6 +90,48 @@ LatencyModel LatencyModel::FitProfiled(const model::TimingConfig& config,
   return m;
 }
 
+void LatencyModel::SetPrimaryGrid(int grid_h, int grid_w) {
+  primary_grid_h_ = grid_h;
+  primary_grid_w_ = grid_w;
+}
+
+void LatencyModel::AddResolutionFit(int grid_h, int grid_w,
+                                    const LinearFit& fit) {
+  for (ResolutionFit& rf : resolution_fits_) {
+    if (rf.grid_h == grid_h && rf.grid_w == grid_w) {
+      rf.fit = fit;
+      return;
+    }
+  }
+  resolution_fits_.push_back({grid_h, grid_w, fit});
+}
+
+double LatencyModel::TokenScale(int grid_h, int grid_w) const {
+  if (primary_grid_h_ <= 0 || primary_grid_w_ <= 0 || grid_h <= 0 ||
+      grid_w <= 0) {
+    return 1.0;
+  }
+  return static_cast<double>(grid_h) * static_cast<double>(grid_w) /
+         (static_cast<double>(primary_grid_h_) *
+          static_cast<double>(primary_grid_w_));
+}
+
+double LatencyModel::EstimateRequestStepSeconds(
+    const trace::Request& request) const {
+  const double scaled_ratio =
+      request.mask_ratio * TokenScale(request.grid_h, request.grid_w);
+  if (request.has_resolution()) {
+    for (const ResolutionFit& rf : resolution_fits_) {
+      if (rf.grid_h == request.grid_h && rf.grid_w == request.grid_w) {
+        return std::max(0.0,
+                        rf.fit.slope * scaled_ratio + rf.fit.intercept);
+      }
+    }
+  }
+  const std::vector<double> one{scaled_ratio};
+  return EstimateStepLatency(one).seconds();
+}
+
 model::StepDurations LatencyModel::EstimateStepDurations(
     std::span<const double> mask_ratios) const {
   const auto workload = model::BuildStepWorkload(config_, mask_ratios, mode_);

@@ -16,6 +16,7 @@
 #include "src/common/time.h"
 #include "src/device/device.h"
 #include "src/model/timing.h"
+#include "src/trace/workload.h"
 
 namespace flashps::sched {
 
@@ -60,6 +61,41 @@ class LatencyModel {
   // (plus the non-maskable step work).
   Duration EstimateStepLatency(std::span<const double> mask_ratios) const;
 
+  // Hybrid-resolution serving: one whole-step fit per distinct non-primary
+  // grid profiled at startup. The fit's x-axis is the request's
+  // masked-token fraction OF THE PRIMARY GRID (mask_ratio * TokenScale),
+  // so fits across resolutions share an axis with the primary regression.
+  struct ResolutionFit {
+    int grid_h = 0;
+    int grid_w = 0;
+    LinearFit fit;
+  };
+
+  // Names the grid the compute/load fits were profiled at (the anchor for
+  // TokenScale). Unset (the default) disables all resolution scaling —
+  // every estimate behaves exactly as before resolutions existed.
+  void SetPrimaryGrid(int grid_h, int grid_w);
+  // Adds (or replaces) the profiled whole-step fit for one grid.
+  void AddResolutionFit(int grid_h, int grid_w, const LinearFit& fit);
+  int primary_grid_h() const { return primary_grid_h_; }
+  int primary_grid_w() const { return primary_grid_w_; }
+  const std::vector<ResolutionFit>& resolution_fits() const {
+    return resolution_fits_;
+  }
+
+  // Masked-token scale of `grid` relative to the primary grid: a ratio-r
+  // request at that grid carries r * TokenScale(grid) masked tokens per
+  // primary-grid token. 1.0 when either grid is unset.
+  double TokenScale(int grid_h, int grid_w) const;
+
+  // Solo per-step cost (seconds) of `request` under its own resolution:
+  // the grid's profiled fit when one was added, else the primary
+  // regression at the token-scaled ratio. For primary-grid or
+  // resolution-less requests this is exactly
+  // EstimateStepLatency({mask_ratio}) — the degenerate-mixture guarantee
+  // the routers rely on.
+  double EstimateRequestStepSeconds(const trace::Request& request) const;
+
   const LinearFit& compute_fit() const { return compute_fit_; }
   const LinearFit& load_fit() const { return load_fit_; }
   const model::TimingConfig& config() const { return config_; }
@@ -70,6 +106,9 @@ class LatencyModel {
   model::ComputeMode mode_ = model::ComputeMode::kMaskAwareY;
   LinearFit compute_fit_;  // TFLOPs -> seconds.
   LinearFit load_fit_;     // MB -> seconds.
+  int primary_grid_h_ = 0;  // 0 = resolution scaling off.
+  int primary_grid_w_ = 0;
+  std::vector<ResolutionFit> resolution_fits_;
 };
 
 }  // namespace flashps::sched

@@ -95,18 +95,28 @@ int TokenCountRouter::Route(const trace::Request& request,
       best = s.worker_id;
     }
   }
-  assigned_tokens_[best] += request.mask_ratio * tokens_per_image_;
+  // Masked-token count of the request at its OWN resolution (the
+  // constructor's L is the fallback for resolution-less requests).
+  const double request_tokens =
+      request.has_resolution()
+          ? request.mask_ratio * request.grid_h * request.grid_w
+          : request.mask_ratio * tokens_per_image_;
+  assigned_tokens_[best] += request_tokens;
   return best;
 }
 
 double EstimateDrainSeconds(const LatencyModel& latency_model,
                             const trace::Request& request,
                             const WorkerStatus& status) {
-  // Hypothetical batch: everything outstanding plus the new request.
+  // Hypothetical batch: everything outstanding plus the new request. The
+  // new request joins at its effective ratio (masked tokens over the
+  // primary grid), matching how hybrid-resolution publishers report their
+  // outstanding ratios; TokenScale is 1.0 outside hybrid setups.
   std::vector<double> ratios = status.running_ratios;
   ratios.insert(ratios.end(), status.waiting_ratios.begin(),
                 status.waiting_ratios.end());
-  ratios.push_back(request.mask_ratio);
+  ratios.push_back(request.mask_ratio *
+                   latency_model.TokenScale(request.grid_h, request.grid_w));
 
   // Estimated per-step pipeline latency of that batch (Algorithm 1 over
   // regression-estimated durations), amortized per request, times the steps
@@ -184,8 +194,12 @@ double SerializedPlacementCost(const LatencyModel& latency_model,
       per_request_overhead_s *
       static_cast<double>(status.running_ratios.size() +
                           status.waiting_ratios.size());
+  // The request's own per-step cost is resolution-aware: its grid's
+  // profiled fit when the model carries one, else the primary regression
+  // at the token-scaled ratio (identical to step_cost_s(mask_ratio) for
+  // primary-grid requests).
   return backlog_work_s + overhead_s +
-         step_cost_s(request.mask_ratio) * own_steps +
+         latency_model.EstimateRequestStepSeconds(request) * own_steps +
          running_step_s * own_steps;
 }
 

@@ -20,6 +20,16 @@ std::string ToString(BatchPolicy policy) {
   return "?";
 }
 
+std::string ToString(HybridMode mode) {
+  switch (mode) {
+    case HybridMode::kPatchGranular:
+      return "patch-granular";
+    case HybridMode::kPadToLargest:
+      return "pad-to-largest";
+  }
+  return "?";
+}
+
 std::string ToString(SystemKind kind) {
   switch (kind) {
     case SystemKind::kFlashPS:
@@ -116,11 +126,21 @@ void Worker::Enqueue(const trace::Request& request, TimePoint now) {
   waiting_.push_back(std::move(w));
 }
 
+double Worker::EffectiveRatio(const trace::Request& request) const {
+  if (!request.has_resolution()) {
+    return request.mask_ratio;
+  }
+  const double profiled = std::max(1, config_.model_config.tokens);
+  return request.mask_ratio *
+         (static_cast<double>(request.grid_h) *
+          static_cast<double>(request.grid_w) / profiled);
+}
+
 std::vector<double> Worker::RunningRatios() const {
   std::vector<double> out;
   out.reserve(batch_.size());
   for (const auto& r : batch_) {
-    out.push_back(r.request.mask_ratio);
+    out.push_back(EffectiveRatio(r.request));
   }
   return out;
 }
@@ -129,7 +149,31 @@ std::vector<double> Worker::WaitingRatios() const {
   std::vector<double> out;
   out.reserve(waiting_.size());
   for (const auto& w : waiting_) {
-    out.push_back(w.request.mask_ratio);
+    out.push_back(EffectiveRatio(w.request));
+  }
+  return out;
+}
+
+std::vector<double> Worker::StepRatios() const {
+  if (config_.hybrid == HybridMode::kPatchGranular) {
+    return RunningRatios();
+  }
+  // Pad-to-largest: every member is charged its mask fraction of the
+  // largest grid in the batch (the profiled grid when no member exceeds
+  // it), so one big member inflates everyone.
+  const double profiled = std::max(1, config_.model_config.tokens);
+  double largest = profiled;
+  for (const auto& r : batch_) {
+    if (r.request.has_resolution()) {
+      largest = std::max(largest,
+                         static_cast<double>(r.request.grid_h) *
+                             static_cast<double>(r.request.grid_w));
+    }
+  }
+  std::vector<double> out;
+  out.reserve(batch_.size());
+  for (const auto& r : batch_) {
+    out.push_back(r.request.mask_ratio * (largest / profiled));
   }
   return out;
 }
@@ -218,7 +262,7 @@ bool Worker::Admit() {
 
 void Worker::RunOneStep() {
   assert(!batch_.empty());
-  Duration step = StepLatency(RunningRatios());
+  Duration step = StepLatency(StepRatios());
   if (config_.batching != BatchPolicy::kStatic) {
     step += config_.batch_org_overhead;  // §6.6 batching overhead.
   }

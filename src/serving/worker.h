@@ -33,6 +33,22 @@ enum class BatchPolicy { kStatic, kContinuousNaive, kContinuousDisaggregated };
 
 std::string ToString(BatchPolicy policy);
 
+// Cost model for mixed-resolution batches — requests whose latent grid
+// differs from the `model_config.tokens` image the engine was profiled at.
+//  - kPatchGranular: the panel holds exactly each member's masked tokens,
+//    so a member contributes mask_ratio * (own_tokens / profiled_tokens)
+//    to the step's work (PatchedServe-style patch batching over the
+//    gathered kernels).
+//  - kPadToLargest: the naive baseline pads every member's latent to the
+//    batch's largest grid, so each member is charged its mask FRACTION of
+//    that largest grid — the whole batch serializes behind its biggest
+//    member.
+// A batch whose members all sit at the profiled grid (or carry no
+// resolution at all) costs the same under both modes.
+enum class HybridMode { kPatchGranular, kPadToLargest };
+
+std::string ToString(HybridMode mode);
+
 // The four serving systems of the paper's evaluation (§6.1).
 enum class SystemKind { kFlashPS, kDiffusers, kFISEdit, kTeaCache };
 
@@ -52,6 +68,8 @@ struct EngineConfig {
   // Per-step batch-organization overhead (§6.6: ~1.2 ms) in continuous
   // modes.
   Duration batch_org_overhead = Duration::Micros(1200);
+  // How mixed-resolution batch members are charged (see HybridMode).
+  HybridMode hybrid = HybridMode::kPatchGranular;
   // Latent serialization + IPC to the post-processing process
   // (§6.6: 1.1 ms + 1.3 ms), charged per completion under disaggregation.
   Duration handoff_overhead = Duration::Micros(2400);
@@ -100,9 +118,11 @@ class Worker {
   int id() const { return id_; }
   const EngineConfig& config() const { return config_; }
   TimePoint now() const { return now_; }
-  // Mask ratios of requests in the running batch.
+  // Effective mask ratios (masked tokens over the profiled image) of
+  // requests in the running batch — equal to the raw ratios when every
+  // request is at the profiled resolution.
   std::vector<double> RunningRatios() const;
-  // Mask ratios of requests waiting (queued or preprocessing).
+  // Effective mask ratios of requests waiting (queued or preprocessing).
   std::vector<double> WaitingRatios() const;
   // Total denoising steps outstanding across running + waiting requests.
   int64_t RemainingSteps() const;
@@ -142,6 +162,11 @@ class Worker {
     int interruptions = 0;
   };
 
+  // Masked tokens of `request` over the profiled image's token count
+  // (mask_ratio itself for resolution-less requests).
+  double EffectiveRatio(const trace::Request& request) const;
+  // The running batch's per-member step ratios under config_.hybrid.
+  std::vector<double> StepRatios() const;
   // Admits eligible waiting requests; returns true if any joined.
   bool Admit();
   void RunOneStep();

@@ -724,6 +724,27 @@ void ScatterRows(Matrix& dst, const Matrix& src, const std::vector<int>& indices
   }
 }
 
+Matrix GatherRowsMulti(const std::vector<RowRef>& rows, int cols) {
+  Matrix out(static_cast<int>(rows.size()), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].m != nullptr && rows[i].m->cols() == cols);
+    assert(rows[i].row >= 0 && rows[i].row < rows[i].m->rows());
+    const float* src = rows[i].m->row(rows[i].row);
+    std::copy(src, src + cols, out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void ScatterRowsMulti(const Matrix& src, const std::vector<RowRefMut>& rows) {
+  assert(static_cast<int>(rows.size()) == src.rows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].m != nullptr && rows[i].m->cols() == src.cols());
+    assert(rows[i].row >= 0 && rows[i].row < rows[i].m->rows());
+    const float* s = src.row(static_cast<int>(i));
+    std::copy(s, s + src.cols(), rows[i].m->row(rows[i].row));
+  }
+}
+
 double CosineSimilarity(const Matrix& a, int r1, const Matrix& b, int r2) {
   assert(a.cols() == b.cols());
   const float* x = a.row(r1);

@@ -115,6 +115,33 @@ Matrix MatMulRows(const Matrix& a, const Matrix& b,
 void MatMulScatterRows(const Matrix& a_panel, const Matrix& b,
                        const std::vector<int>& rows, Matrix& out);
 
+// One row of some source matrix, for multi-request panel assembly: the
+// patch-granular batching path gathers masked rows from SEVERAL requests'
+// latents (different Matrix objects, different shapes) into one dense
+// panel. Column counts of all referenced matrices must agree.
+struct RowRef {
+  const Matrix* m = nullptr;
+  int row = 0;
+};
+
+// Gathers rows[i] = rows[i].m->row(rows[i].row) into a new
+// (rows.size(), cols) matrix. The multi-source generalization of
+// GatherRows; each referenced matrix must have `cols` columns.
+Matrix GatherRowsMulti(const std::vector<RowRef>& rows, int cols);
+
+// Mutable counterpart of RowRef for multi-request scatter-back.
+struct RowRefMut {
+  Matrix* m = nullptr;
+  int row = 0;
+};
+
+// Scatters src.row(i) into rows[i].m->row(rows[i].row) for each i. The
+// multi-target generalization of ScatterRows: the patch panel's result
+// rows return to their owning requests' matrices. Targets must be
+// distinct (matrix, row) pairs; each referenced matrix must have
+// src.cols() columns.
+void ScatterRowsMulti(const Matrix& src, const std::vector<RowRefMut>& rows);
+
 // Cosine similarity of row r1 of a and row r2 of b.
 double CosineSimilarity(const Matrix& a, int r1, const Matrix& b, int r2);
 

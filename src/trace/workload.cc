@@ -190,11 +190,41 @@ TimePoint BurstyArrivals::Next() {
   }
 }
 
+bool ParseResolution(const std::string& text, int* grid_h, int* grid_w) {
+  int h = 0;
+  int w = 0;
+  char trailing = 0;
+  if (std::sscanf(text.c_str(), "%dx%d%c", &h, &w, &trailing) != 2) {
+    return false;
+  }
+  if (h <= 0 || w <= 0) {
+    return false;
+  }
+  *grid_h = h;
+  *grid_w = w;
+  return true;
+}
+
 std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
   Rng rng(spec.seed);
   Rng arrival_rng = rng.Split();
   Rng ratio_rng = rng.Split();
   Rng template_rng = rng.Split();
+  // Split unconditionally so adding a mixture to a spec never perturbs the
+  // arrival/ratio/template streams above (and an empty mixture reproduces
+  // pre-mixture traces bit for bit).
+  Rng resolution_rng = rng.Split();
+
+  double total_weight = 0.0;
+  for (const ResolutionWeight& rw : spec.resolutions) {
+    if (rw.grid_h <= 0 || rw.grid_w <= 0 || rw.weight < 0.0) {
+      throw std::runtime_error("workload: malformed resolution mixture entry");
+    }
+    total_weight += rw.weight;
+  }
+  if (!spec.resolutions.empty() && total_weight <= 0.0) {
+    throw std::runtime_error("workload: resolution mixture has zero weight");
+  }
 
   const MaskRatioDistribution ratios(spec.trace);
   const TemplateCatalog catalog(spec.num_templates, spec.zipf_exponent);
@@ -209,19 +239,33 @@ std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
     r.template_id = catalog.SampleTemplate(template_rng);
     r.mask_ratio = ratios.Sample(ratio_rng);
     r.denoise_steps = spec.denoise_steps;
+    if (!spec.resolutions.empty()) {
+      double u = resolution_rng.NextDouble() * total_weight;
+      const ResolutionWeight* pick = &spec.resolutions.back();
+      for (const ResolutionWeight& rw : spec.resolutions) {
+        if (u < rw.weight) {
+          pick = &rw;
+          break;
+        }
+        u -= rw.weight;
+      }
+      r.grid_h = pick->grid_h;
+      r.grid_w = pick->grid_w;
+    }
     out.push_back(r);
   }
   return out;
 }
 
 std::string SerializeTraceCsv(const std::vector<Request>& requests) {
-  std::string out = "id,arrival_us,template_id,mask_ratio,denoise_steps\n";
-  char line[160];
+  std::string out =
+      "id,arrival_us,template_id,mask_ratio,denoise_steps,grid_h,grid_w\n";
+  char line[192];
   for (const Request& r : requests) {
-    std::snprintf(line, sizeof(line), "%llu,%lld,%d,%.17g,%d\n",
+    std::snprintf(line, sizeof(line), "%llu,%lld,%d,%.17g,%d,%d,%d\n",
                   static_cast<unsigned long long>(r.id),
                   static_cast<long long>(r.arrival.micros()), r.template_id,
-                  r.mask_ratio, r.denoise_steps);
+                  r.mask_ratio, r.denoise_steps, r.grid_h, r.grid_w);
     out += line;
   }
   return out;
@@ -248,9 +292,20 @@ std::vector<Request> ParseTraceCsv(const std::string& csv) {
     Request r;
     unsigned long long id = 0;
     long long arrival_us = 0;
-    if (std::sscanf(line.c_str(), "%llu,%lld,%d,%lf,%d", &id, &arrival_us,
-                    &r.template_id, &r.mask_ratio, &r.denoise_steps) != 5) {
+    const int fields = std::sscanf(
+        line.c_str(), "%llu,%lld,%d,%lf,%d,%d,%d", &id, &arrival_us,
+        &r.template_id, &r.mask_ratio, &r.denoise_steps, &r.grid_h, &r.grid_w);
+    // 7 fields is the current format; 5 is a legacy pre-resolution row,
+    // which decodes with grid 0,0 (the native-resolution sentinel).
+    if (fields != 7 && fields != 5) {
       throw std::runtime_error("trace csv: malformed row: " + line);
+    }
+    if (fields == 5) {
+      r.grid_h = 0;
+      r.grid_w = 0;
+    }
+    if ((r.grid_h > 0) != (r.grid_w > 0) || r.grid_h < 0 || r.grid_w < 0) {
+      throw std::runtime_error("trace csv: malformed grid in row: " + line);
     }
     r.id = id;
     r.arrival = TimePoint::FromMicros(arrival_us);

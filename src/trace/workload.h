@@ -80,14 +80,33 @@ class TemplateCatalog {
   ZipfSampler sampler_;
 };
 
-// One image-editing request as seen by the serving system.
+// One image-editing request as seen by the serving system. `grid_h`/`grid_w`
+// name the request's latent resolution; 0 (the legacy default) means "the
+// serving config's native grid" — single-resolution traces and pre-mixture
+// trace files carry 0 and behave exactly as before.
 struct Request {
   uint64_t id = 0;
   TimePoint arrival;
   int template_id = 0;
   double mask_ratio = 0.0;
   int denoise_steps = 50;
+  int grid_h = 0;
+  int grid_w = 0;
+
+  bool has_resolution() const { return grid_h > 0 && grid_w > 0; }
 };
+
+// One entry of a resolution-mixture distribution: requests draw this grid
+// with probability weight / sum(weights).
+struct ResolutionWeight {
+  int grid_h = 0;
+  int grid_w = 0;
+  double weight = 1.0;
+};
+
+// Parses "HxW" (e.g. "96x64") into a grid. Returns false on malformed
+// input or non-positive sides.
+bool ParseResolution(const std::string& text, int* grid_h, int* grid_w);
 
 // Poisson arrival process at a fixed rate (requests per second), the load
 // model the paper's evaluation uses (§6.1).
@@ -133,12 +152,20 @@ struct WorkloadSpec {
   double zipf_exponent = 1.1;
   int denoise_steps = 50;
   uint64_t seed = 42;
+  // Resolution mixture: each request draws its grid from these weights.
+  // Empty (the default) leaves every request at the native resolution
+  // (grid 0,0) and generates bit-for-bit the same trace as before the
+  // mixture existed — the resolution stream is split off AFTER the
+  // arrival/ratio/template streams, so it never perturbs them.
+  std::vector<ResolutionWeight> resolutions;
 };
 
 std::vector<Request> GenerateWorkload(const WorkloadSpec& spec);
 
 // Record/replay: writes a request trace as CSV
-// (id,arrival_us,template_id,mask_ratio,denoise_steps) and reads it back.
+// (id,arrival_us,template_id,mask_ratio,denoise_steps,grid_h,grid_w) and
+// reads it back. Legacy 5-column rows (pre-resolution traces) parse with
+// grid 0,0 — the native-resolution sentinel.
 // Throws std::runtime_error on malformed rows.
 std::string SerializeTraceCsv(const std::vector<Request>& requests);
 std::vector<Request> ParseTraceCsv(const std::string& csv);

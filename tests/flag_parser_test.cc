@@ -96,6 +96,58 @@ TEST(FlagParserTest, PositionalArgumentsAreRejected) {
             std::string::npos);
 }
 
+TEST(FlagParserTest, RepeatedScalarIsAnErrorNotLastOneWins) {
+  // The old map silently kept the last occurrence; "--port=1 --port=2"
+  // ran on 2 with no hint the first was dropped.
+  Args args({"--port=1", "--port=2"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Long("port", 7412), 7412);  // Fallback, not 2.
+  EXPECT_EQ(flags.Long("port", 7412), 7412);  // Re-lookup: no new error.
+  EXPECT_FALSE(flags.ok());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("--port given 2 times"),
+            std::string::npos);
+}
+
+TEST(FlagParserTest, RepeatedSwitchAndStringAreErrorsToo) {
+  Args args({"--verbose", "--verbose", "--host=a", "--host=b"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_FALSE(flags.Has("verbose"));  // Duplicate resolves to fallback.
+  EXPECT_EQ(flags.String("host", "fallback"), "fallback");
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
+TEST(FlagParserTest, StringListAccumulatesAndSplitsOnCommas) {
+  Args args({"--resolutions=64x64,96x96", "--resolutions=128x128"});
+  FlagParser flags(args.argc(), args.argv());
+  const std::vector<std::string> values = flags.StringList("resolutions");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "64x64");
+  EXPECT_EQ(values[1], "96x96");
+  EXPECT_EQ(values[2], "128x128");
+  EXPECT_TRUE(flags.ok()) << flags.ErrorText();
+}
+
+TEST(FlagParserTest, StringListAbsentIsEmptyAndNotAnError) {
+  Args args({});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_TRUE(flags.StringList("resolutions").empty());
+  EXPECT_TRUE(flags.ok()) << flags.ErrorText();
+}
+
+TEST(FlagParserTest, StringListEmptyElementsAreErrors) {
+  Args args({"--tags=a,,b", "--names="});
+  FlagParser flags(args.argc(), args.argv());
+  const std::vector<std::string> tags = flags.StringList("tags");
+  ASSERT_EQ(tags.size(), 2u);  // The well-formed elements still parse.
+  EXPECT_EQ(tags[0], "a");
+  EXPECT_EQ(tags[1], "b");
+  EXPECT_TRUE(flags.StringList("names").empty());
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
 TEST(FlagParserTest, HelpTextRendersEveryRegisteredFlag) {
   Args args({});
   FlagParser flags(args.argc(), args.argv());

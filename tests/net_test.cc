@@ -33,7 +33,11 @@ runtime::OnlineRequest MakeRequest(uint64_t seed = 7) {
   request.template_id = 3;
   request.prompt_seed = seed;
   request.slo = Duration::Millis(250);
-  request.mask = trace::GenerateBlobMask(8, 8, 0.2, rng);
+  // The mask grid must be one the server serves: submits route by mask
+  // grid, and an unserved grid fails the request.
+  const model::NumericsConfig numerics = model::NumericsConfig::ForTests();
+  request.mask =
+      trace::GenerateBlobMask(numerics.grid_h, numerics.grid_w, 0.2, rng);
   return request;
 }
 
@@ -58,6 +62,27 @@ TEST(SerdeTest, OnlineRequestRoundTrip) {
   EXPECT_EQ(decoded.mask.unmasked_tokens, request.mask.unmasked_tokens);
 }
 
+// Builds a request payload by hand. `res_h`/`res_w` are the trailing v3
+// resolution fields; pass 0,0 to omit them (a v2-layout payload).
+std::vector<uint8_t> CraftPayload(int32_t tmpl, int32_t h, int32_t w,
+                                  const std::vector<uint32_t>& masked,
+                                  int32_t res_h, int32_t res_w) {
+  std::vector<uint8_t> bytes;
+  ByteWriter writer(bytes);
+  writer.I32(tmpl);
+  writer.U64(1);  // prompt_seed
+  writer.I64(0);  // slo_us
+  writer.I32(h);
+  writer.I32(w);
+  writer.U32(static_cast<uint32_t>(masked.size()));
+  for (uint32_t token : masked) writer.U32(token);
+  if (res_h != 0 || res_w != 0) {
+    writer.I32(res_h);
+    writer.I32(res_w);
+  }
+  return bytes;
+}
+
 TEST(SerdeTest, RejectsBadPayloads) {
   const auto decode = [](const std::vector<uint8_t>& bytes) {
     ByteReader reader(bytes.data(), bytes.size());
@@ -67,16 +92,7 @@ TEST(SerdeTest, RejectsBadPayloads) {
   };
   const auto craft = [](int32_t tmpl, int32_t h, int32_t w,
                         const std::vector<uint32_t>& masked) {
-    std::vector<uint8_t> bytes;
-    ByteWriter writer(bytes);
-    writer.I32(tmpl);
-    writer.U64(1);  // prompt_seed
-    writer.I64(0);  // slo_us
-    writer.I32(h);
-    writer.I32(w);
-    writer.U32(static_cast<uint32_t>(masked.size()));
-    for (uint32_t token : masked) writer.U32(token);
-    return bytes;
+    return CraftPayload(tmpl, h, w, masked, h, w);
   };
 
   EXPECT_TRUE(decode(craft(0, 4, 4, {0, 5, 15})));
@@ -87,6 +103,25 @@ TEST(SerdeTest, RejectsBadPayloads) {
   EXPECT_FALSE(decode(craft(0, 4, 4, {5, 5})));        // Not increasing.
   EXPECT_FALSE(decode(craft(0, 4, 4, {9, 3})));        // Out of order.
   EXPECT_FALSE(decode({0x01, 0x02}));                  // Short input.
+  // Resolution fields disagreeing with the mask grid, or missing outright
+  // from a payload decoded as v3, are malformed.
+  EXPECT_FALSE(decode(CraftPayload(0, 4, 4, {0}, 8, 4)));
+  EXPECT_FALSE(decode(CraftPayload(0, 4, 4, {0}, 0, 0)));
+}
+
+TEST(SerdeTest, LegacyPayloadWithoutResolutionStillDecodes) {
+  // A v2 peer's payload stops after the masked token list; decoding with
+  // with_resolution=false accepts it and the resolution IS the mask grid.
+  const std::vector<uint8_t> bytes = CraftPayload(3, 4, 4, {1, 6}, 0, 0);
+  ByteReader reader(bytes.data(), bytes.size());
+  runtime::OnlineRequest decoded;
+  std::string error;
+  ASSERT_TRUE(runtime::ReadOnlineRequest(reader, &decoded, &error,
+                                         /*with_resolution=*/false))
+      << error;
+  EXPECT_EQ(decoded.mask.grid_h, 4);
+  EXPECT_EQ(decoded.mask.grid_w, 4);
+  EXPECT_EQ(decoded.mask.masked_tokens, (std::vector<int>{1, 6}));
 }
 
 // --- wire frames ---------------------------------------------------------

@@ -346,5 +346,91 @@ TEST_F(OnlineServerTest, ComputeThreadsProduceIdenticalImages) {
   EXPECT_EQ(MeanAbsDiff(images[0], images[1]), 0.0);
 }
 
+TEST_F(OnlineServerTest, HybridResolutionRequestsRouteByMaskGrid) {
+  OnlineServer::Options options;
+  options.sparse_compute = true;
+  options.extra_resolutions = {{8, 8}, {16, 12}};
+  OnlineServer server(options);
+  Rng rng(11);
+
+  // One request per served grid, decoded image sized by its own grid.
+  const std::vector<std::pair<int, int>> grids = {
+      {options.numerics.grid_h, options.numerics.grid_w}, {8, 8}, {16, 12}};
+  std::vector<std::future<OnlineResponse>> futures;
+  for (size_t i = 0; i < grids.size(); ++i) {
+    OnlineRequest r;
+    r.template_id = static_cast<int>(i) % 3;
+    r.mask = trace::GenerateBlobMask(grids[i].first, grids[i].second, 0.3, rng);
+    r.prompt_seed = 700 + i;
+    futures.push_back(server.Submit(std::move(r)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const OnlineResponse r = futures[i].get();
+    EXPECT_EQ(r.image.rows(), grids[i].first * options.numerics.patch);
+    EXPECT_EQ(r.image.cols(), grids[i].second * options.numerics.patch);
+  }
+  server.Stop();
+  EXPECT_EQ(server.completed_count(), grids.size());
+}
+
+TEST_F(OnlineServerTest, UnsupportedGridFailsTheFutureNotTheServer) {
+  OnlineServer::Options options;
+  options.extra_resolutions = {{8, 8}};
+  OnlineServer server(options);
+  Rng rng(12);
+
+  OnlineRequest bad;
+  bad.template_id = 0;
+  bad.mask = trace::GenerateBlobMask(5, 5, 0.3, rng);
+  bad.prompt_seed = 1;
+  auto failed = server.Submit(std::move(bad));
+  EXPECT_THROW(failed.get(), std::runtime_error);
+
+  // The server stays healthy for supported grids.
+  OnlineResponse ok = server.Submit(MakeRequest(options.numerics, 0, rng)).get();
+  EXPECT_EQ(ok.image.rows(), options.numerics.image_h());
+  server.Stop();
+}
+
+TEST_F(OnlineServerTest, PatchBatchingMatchesSerializedBaselineBitwise) {
+  // The gathered cross-resolution step panel must not change any output:
+  // a patch-batching server and a serialize-per-resolution server given
+  // the same mixed-resolution submissions produce identical images.
+  std::vector<Matrix> images[2];
+  const bool batching[2] = {true, false};
+  for (int variant = 0; variant < 2; ++variant) {
+    OnlineServer::Options options;
+    options.sparse_compute = true;
+    options.patch_batching = batching[variant];
+    options.extra_resolutions = {{8, 8}, {16, 12}};
+    options.max_batch = 4;
+    OnlineServer server(options);
+    Rng rng(13);
+    const std::vector<std::pair<int, int>> grids = {
+        {options.numerics.grid_h, options.numerics.grid_w},
+        {8, 8},
+        {16, 12},
+        {8, 8}};
+    std::vector<std::future<OnlineResponse>> futures;
+    for (size_t i = 0; i < grids.size(); ++i) {
+      OnlineRequest r;
+      r.template_id = static_cast<int>(i) % 3;
+      r.mask =
+          trace::GenerateBlobMask(grids[i].first, grids[i].second, 0.25, rng);
+      r.prompt_seed = 50 + i;
+      futures.push_back(server.Submit(std::move(r)));
+    }
+    for (auto& f : futures) {
+      images[variant].push_back(f.get().image);
+    }
+    server.Stop();
+  }
+  ASSERT_EQ(images[0].size(), images[1].size());
+  for (size_t i = 0; i < images[0].size(); ++i) {
+    ASSERT_EQ(images[0][i].rows(), images[1][i].rows()) << i;
+    EXPECT_EQ(MeanAbsDiff(images[0][i], images[1][i]), 0.0) << i;
+  }
+}
+
 }  // namespace
 }  // namespace flashps::runtime

@@ -423,6 +423,101 @@ TEST(SparseComputeRunTest, StepRangeChunksMatchWholeRun) {
   EXPECT_TRUE(BitwiseEqual(whole, dense_whole));
 }
 
+// ---------------------------------------------------------------------------
+// Batch level: the cross-request (and cross-resolution) gathered step panel.
+
+TEST(SparseComputeBatchTest, StepBatchGatheredMatchesSoloAcrossResolutions) {
+  // Three models sharing one weight family (equal weight_seed, hidden,
+  // num_blocks) at three latent grids. Advancing all requests through the
+  // shared panel must land every latent on the same bits as solo
+  // per-request RunStepRange calls — the property that makes hybrid-
+  // resolution patch batching free of quality drift.
+  const model::NumericsConfig native = model::NumericsConfig::ForTests();
+  model::NumericsConfig small = native;
+  small.grid_h = 8;
+  small.grid_w = 8;
+  model::NumericsConfig large = native;
+  large.grid_h = 16;
+  large.grid_w = 12;
+  const model::DiffusionModel m_native(native);
+  const model::DiffusionModel m_small(small);
+  const model::DiffusionModel m_large(large);
+
+  struct Member {
+    const model::DiffusionModel* m;
+    const model::NumericsConfig* c;
+    double ratio;
+    uint64_t seed;
+  };
+  const std::vector<Member> members = {
+      {&m_native, &native, 0.2, 41},
+      {&m_small, &small, 0.5, 42},
+      {&m_large, &large, 0.1, 43},
+      {&m_native, &native, 0.7, 44},  // Two requests on one model.
+  };
+
+  Rng mask_rng(0xBA7C4);
+  std::vector<model::ActivationRecord> caches;
+  std::vector<trace::Mask> masks;
+  std::vector<Matrix> solo;
+  std::vector<Matrix> batched;
+  caches.reserve(members.size());
+  for (const Member& member : members) {
+    caches.push_back(member.m->Register(0, /*record_kv=*/true));
+    masks.push_back(trace::GenerateBlobMask(member.c->grid_h, member.c->grid_w,
+                                            member.ratio, mask_rng));
+    const Matrix tmpl = member.m->EncodeTemplate(0);
+    Matrix latent = member.m->InitEditLatent(tmpl, masks.back(), member.seed);
+    solo.push_back(latent);
+    batched.push_back(std::move(latent));
+  }
+
+  for (int step = 0; step < native.num_steps; ++step) {
+    std::vector<model::DiffusionModel::StepBatchMember> panel;
+    for (size_t i = 0; i < members.size(); ++i) {
+      panel.push_back({members[i].m, &batched[i], &masks[i], &caches[i], step});
+    }
+    model::DiffusionModel::RunStepBatchGathered(panel);
+    for (size_t i = 0; i < members.size(); ++i) {
+      model::DiffusionModel::RunOptions opts;
+      opts.mode = model::ComputeMode::kMaskAwareY;
+      opts.cache = &caches[i];
+      opts.mask = &masks[i];
+      opts.sparse_compute = true;
+      solo[i] = members[i].m->RunStepRange(std::move(solo[i]), opts, step,
+                                           step + 1);
+      ASSERT_TRUE(BitwiseEqual(batched[i], solo[i]))
+          << "member " << i << " step " << step;
+    }
+  }
+}
+
+TEST(SparseComputeBatchTest, SingleMemberPanelIsTheSoloPath) {
+  // Degenerate batch: a panel of one must be exactly the solo step.
+  const model::NumericsConfig config = model::NumericsConfig::ForTests();
+  const model::DiffusionModel m(config);
+  const model::ActivationRecord cache = m.Register(0, /*record_kv=*/true);
+  Rng mask_rng(0x50F0);
+  const trace::Mask mask =
+      trace::GenerateBlobMask(config.grid_h, config.grid_w, 0.3, mask_rng);
+  const Matrix tmpl = m.EncodeTemplate(0);
+  Matrix batched = m.InitEditLatent(tmpl, mask, /*prompt_seed=*/6);
+  Matrix solo = batched;
+
+  model::DiffusionModel::RunOptions opts;
+  opts.mode = model::ComputeMode::kMaskAwareY;
+  opts.cache = &cache;
+  opts.mask = &mask;
+  opts.sparse_compute = true;
+  for (int step = 0; step < config.num_steps; ++step) {
+    std::vector<model::DiffusionModel::StepBatchMember> panel = {
+        {&m, &batched, &mask, &cache, step}};
+    model::DiffusionModel::RunStepBatchGathered(panel);
+    solo = m.RunStepRange(std::move(solo), opts, step, step + 1);
+  }
+  EXPECT_TRUE(BitwiseEqual(batched, solo));
+}
+
 TEST(SparseComputeRunTest, ThreadCountInvariance) {
   RunFixture f;
   Rng mask_rng(13);

@@ -26,8 +26,43 @@ TEST(TraceCsvTest, RoundTripPreservesEveryField) {
 
 TEST(TraceCsvTest, EmptyTraceIsHeaderOnly) {
   const std::string csv = SerializeTraceCsv({});
-  EXPECT_EQ(csv, "id,arrival_us,template_id,mask_ratio,denoise_steps\n");
+  EXPECT_EQ(csv,
+            "id,arrival_us,template_id,mask_ratio,denoise_steps,"
+            "grid_h,grid_w\n");
   EXPECT_TRUE(ParseTraceCsv(csv).empty());
+}
+
+TEST(TraceCsvTest, ResolutionColumnsRoundTrip) {
+  WorkloadSpec spec;
+  spec.num_requests = 60;
+  spec.rps = 2.0;
+  spec.resolutions = {{48, 48, 0.5}, {96, 96, 0.5}};
+  const auto original = GenerateWorkload(spec);
+  const auto parsed = ParseTraceCsv(SerializeTraceCsv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  bool any_resolution = false;
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].grid_h, original[i].grid_h);
+    EXPECT_EQ(parsed[i].grid_w, original[i].grid_w);
+    any_resolution |= parsed[i].has_resolution();
+  }
+  EXPECT_TRUE(any_resolution);
+}
+
+TEST(TraceCsvTest, LegacyFiveColumnRowsParseAsNativeResolution) {
+  const std::string legacy =
+      "id,arrival_us,template_id,mask_ratio,denoise_steps\n"
+      "0,1000,3,0.25,50\n"
+      "1,2500,7,0.4,50\n";
+  const auto parsed = ParseTraceCsv(legacy);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].template_id, 3);
+  EXPECT_DOUBLE_EQ(parsed[1].mask_ratio, 0.4);
+  for (const Request& r : parsed) {
+    EXPECT_EQ(r.grid_h, 0);
+    EXPECT_EQ(r.grid_w, 0);
+    EXPECT_FALSE(r.has_resolution());
+  }
 }
 
 TEST(TraceCsvTest, RejectsMalformedRows) {

@@ -155,6 +155,89 @@ TEST(GenerateWorkloadTest, DeterministicAndWellFormed) {
   }
 }
 
+TEST(ParseResolutionTest, AcceptsHxWAndRejectsJunk) {
+  int h = 0;
+  int w = 0;
+  EXPECT_TRUE(ParseResolution("96x64", &h, &w));
+  EXPECT_EQ(h, 96);
+  EXPECT_EQ(w, 64);
+  for (const char* bad : {"", "x", "96", "96x", "x64", "0x64", "96x0",
+                          "-4x4", "96x64x32", "96 x 64", "axb"}) {
+    EXPECT_FALSE(ParseResolution(bad, &h, &w)) << bad;
+  }
+}
+
+TEST(GenerateWorkloadTest, ResolutionMixtureIsDeterministic) {
+  WorkloadSpec spec;
+  spec.num_requests = 300;
+  spec.rps = 2.0;
+  spec.resolutions = {{48, 48, 1.0}, {64, 64, 2.0}, {96, 96, 1.0}};
+  const auto a = GenerateWorkload(spec);
+  const auto b = GenerateWorkload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].grid_h, b[i].grid_h);
+    EXPECT_EQ(a[i].grid_w, b[i].grid_w);
+    EXPECT_TRUE(a[i].has_resolution());
+  }
+}
+
+TEST(GenerateWorkloadTest, ResolutionMixtureHonorsProportions) {
+  WorkloadSpec spec;
+  spec.num_requests = 4000;
+  spec.rps = 50.0;
+  spec.resolutions = {{48, 48, 0.25}, {64, 64, 0.5}, {96, 96, 0.25}};
+  const auto requests = GenerateWorkload(spec);
+  int small = 0;
+  int native = 0;
+  int big = 0;
+  for (const Request& r : requests) {
+    if (r.grid_h == 48) {
+      ++small;
+    } else if (r.grid_h == 64) {
+      ++native;
+    } else {
+      ASSERT_EQ(r.grid_h, 96);
+      ++big;
+    }
+  }
+  const double n = static_cast<double>(requests.size());
+  EXPECT_NEAR(small / n, 0.25, 0.03);
+  EXPECT_NEAR(native / n, 0.5, 0.03);
+  EXPECT_NEAR(big / n, 0.25, 0.03);
+}
+
+TEST(GenerateWorkloadTest, EmptyMixtureIsBitwiseLegacyTrace) {
+  // The resolution stream splits off AFTER the legacy streams, so a spec
+  // with no mixture reproduces pre-mixture traces exactly.
+  WorkloadSpec spec;
+  spec.num_requests = 200;
+  spec.rps = 3.0;
+  const auto legacy = GenerateWorkload(spec);
+  spec.resolutions = {{64, 64, 1.0}};
+  const auto mixed = GenerateWorkload(spec);
+  ASSERT_EQ(legacy.size(), mixed.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].arrival.micros(), mixed[i].arrival.micros());
+    EXPECT_EQ(legacy[i].template_id, mixed[i].template_id);
+    EXPECT_DOUBLE_EQ(legacy[i].mask_ratio, mixed[i].mask_ratio);
+    EXPECT_EQ(legacy[i].denoise_steps, mixed[i].denoise_steps);
+    EXPECT_EQ(legacy[i].grid_h, 0);
+    EXPECT_EQ(mixed[i].grid_h, 64);  // Only the grid columns differ.
+  }
+}
+
+TEST(GenerateWorkloadTest, MalformedMixtureThrows) {
+  WorkloadSpec spec;
+  spec.num_requests = 4;
+  spec.resolutions = {{0, 64, 1.0}};
+  EXPECT_THROW(GenerateWorkload(spec), std::runtime_error);
+  spec.resolutions = {{64, 64, 0.0}};
+  EXPECT_THROW(GenerateWorkload(spec), std::runtime_error);
+  spec.resolutions = {{64, 64, -1.0}};
+  EXPECT_THROW(GenerateWorkload(spec), std::runtime_error);
+}
+
 TEST(GenerateWorkloadTest, DifferentSeedsDiffer) {
   WorkloadSpec spec;
   spec.num_requests = 50;
